@@ -1,0 +1,82 @@
+// Ablation A3 — private vs public provider backbones (§4.1's provider
+// distinction): compares per-probe best RTT achieved against the
+// private-backbone providers (Amazon/Google/Azure/Alibaba) with the
+// public-transit ones (Digital Ocean/Linode/Vultr).
+#include <iostream>
+
+#include "atlas/campaign.hpp"
+#include "atlas/placement.hpp"
+#include "core/analysis.hpp"
+#include "net/latency_model.hpp"
+#include "report/table.hpp"
+#include "stats/ecdf.hpp"
+#include "topology/registry.hpp"
+
+namespace {
+
+using namespace shears;
+
+struct BackboneStats {
+  std::size_t probes = 0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double under_mtp = 0.0;
+};
+
+BackboneStats run_for(const atlas::ProbeFleet& fleet,
+                      const topology::CloudRegistry& registry) {
+  const net::LatencyModel model;
+  atlas::CampaignConfig config;
+  config.duration_days = 10;
+  const auto dataset =
+      atlas::Campaign(fleet, registry, model, config).run();
+  const auto mins = core::min_rtt_by_continent(dataset);
+  std::vector<double> all;
+  for (const auto& continent : mins) {
+    all.insert(all.end(), continent.begin(), continent.end());
+  }
+  const stats::Ecdf ecdf(all);
+  return {all.size(), ecdf.median(), ecdf.percentile(90.0),
+          ecdf.fraction_at_or_below(20.0)};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation A3: private-backbone vs public-transit providers\n"
+            << "paper shape target: private backbones (wide ISP peering) "
+               "deliver lower medians and tighter tails than public-transit "
+               "providers\n\n";
+
+  atlas::PlacementConfig placement;
+  placement.probe_count = 1600;
+  const auto fleet = atlas::ProbeFleet::generate(placement);
+
+  const auto private_reg = topology::CloudRegistry::for_providers(
+      {topology::CloudProvider::kAmazon, topology::CloudProvider::kGoogle,
+       topology::CloudProvider::kAzure, topology::CloudProvider::kAlibaba});
+  const auto public_reg = topology::CloudRegistry::for_providers(
+      {topology::CloudProvider::kDigitalOcean,
+       topology::CloudProvider::kLinode, topology::CloudProvider::kVultr});
+
+  const BackboneStats priv = run_for(fleet, private_reg);
+  const BackboneStats pub = run_for(fleet, public_reg);
+
+  report::TextTable table;
+  table.set_header({"backbone", "regions", "probes", "median best RTT",
+                    "p90 best RTT", "share under MTP"});
+  table.add_row({"private (AWS/GCP/Azure/Alibaba)",
+                 std::to_string(private_reg.size()),
+                 std::to_string(priv.probes), report::fmt(priv.median, 1),
+                 report::fmt(priv.p90, 1), report::fmt_percent(priv.under_mtp)});
+  table.add_row({"public (DO/Linode/Vultr)", std::to_string(public_reg.size()),
+                 std::to_string(pub.probes), report::fmt(pub.median, 1),
+                 report::fmt(pub.p90, 1), report::fmt_percent(pub.under_mtp)});
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "note: the public set also fields fewer regions ("
+            << public_reg.size() << " vs " << private_reg.size()
+            << "), compounding the transit penalty — both effects push "
+               "public-transit latencies up\n";
+  return 0;
+}

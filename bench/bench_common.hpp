@@ -1,0 +1,51 @@
+// Shared plumbing for the figure benches: every bench regenerates one
+// table/figure of the paper from a standard campaign. A day count can be
+// passed as argv[1] — 30 (default) gives second-scale runs whose shapes
+// already match; 270 reproduces the paper's nine-month campaign and its
+// ~3M-datapoint scale.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "atlas/campaign.hpp"
+#include "atlas/placement.hpp"
+#include "net/latency_model.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::bench {
+
+struct StandardCampaign {
+  atlas::ProbeFleet fleet;
+  topology::CloudRegistry registry;
+  net::LatencyModel model;
+  atlas::CampaignConfig config;
+
+  [[nodiscard]] atlas::MeasurementDataset run() const {
+    return atlas::Campaign(fleet, registry, model, config).run();
+  }
+};
+
+inline StandardCampaign make_standard_campaign(int argc, char** argv) {
+  atlas::CampaignConfig config;
+  config.duration_days = argc > 1 ? std::atoi(argv[1]) : 30;
+  if (config.duration_days <= 0) config.duration_days = 30;
+  return StandardCampaign{
+      atlas::ProbeFleet::generate({}),
+      topology::CloudRegistry::campaign_footprint(),
+      net::LatencyModel{},
+      config,
+  };
+}
+
+inline void print_title(const std::string& figure, const std::string& claim) {
+  std::cout << "==============================================================="
+               "=========\n"
+            << figure << "\n"
+            << "paper shape target: " << claim << "\n"
+            << "==============================================================="
+               "=========\n";
+}
+
+}  // namespace shears::bench

@@ -1,0 +1,68 @@
+// Figure 2 + the §3 threshold table — the application landscape: each
+// edge-motivating application's latency band, per-entity data volume,
+// 2025 market size, and quadrant.
+#include <iostream>
+
+#include "apps/application.hpp"
+#include "apps/thresholds.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace shears;
+
+  std::cout << "Figure 2: driving edge applications by latency/bandwidth "
+               "requirements\n"
+            << "paper shape target: apps partition into Q1-Q4; Q2 (the hype "
+               "quadrant) carries the largest expected market\n\n";
+
+  std::cout << "Perception thresholds (Section 3):\n";
+  report::TextTable thresholds;
+  thresholds.set_header({"threshold", "value", "meaning"});
+  thresholds.add_row({"MTP", report::fmt(apps::kMotionToPhotonMs, 0) + " ms",
+                      "motion-to-photon (immersive sync)"});
+  thresholds.add_row({"MTP display share",
+                      report::fmt(apps::kMtpDisplayShareMs, 0) + " ms",
+                      "consumed by display hardware"});
+  thresholds.add_row({"MTP compute budget",
+                      report::fmt(apps::kMtpComputeBudgetMs, 0) + " ms",
+                      "left for compute + network"});
+  thresholds.add_row({"NASA HUD", report::fmt(apps::kNasaHudComputeMs, 1) + " ms",
+                      "strictest HUD compute requirement"});
+  thresholds.add_row({"PL", report::fmt(apps::kPerceivableLatencyMs, 0) + " ms",
+                      "perceivable latency"});
+  thresholds.add_row({"HRT", report::fmt(apps::kHumanReactionTimeMs, 0) + " ms",
+                      "human reaction time"});
+  std::cout << thresholds.to_string() << '\n';
+
+  report::TextTable table;
+  table.set_header({"application", "latency (ms)", "GB/entity/day",
+                    "market 2025 ($B)", "quadrant", "hyped driver"});
+  for (const apps::Application& a : apps::application_catalog()) {
+    table.add_row({
+        std::string(a.name),
+        report::fmt(a.latency_floor_ms, 1) + " - " +
+            report::fmt(a.latency_ceiling_ms, 0),
+        report::fmt(a.data_gb_per_entity_day, 2),
+        report::fmt(a.market_2025_busd, 0),
+        std::string(to_string(quadrant_of(a))),
+        a.hyped_edge_driver ? "yes" : "no",
+    });
+  }
+  std::cout << table.to_string() << '\n';
+
+  double market[5] = {};
+  std::size_t count[5] = {};
+  for (const apps::Application& a : apps::application_catalog()) {
+    const auto q = static_cast<int>(quadrant_of(a));
+    market[q] += a.market_2025_busd;
+    ++count[q];
+  }
+  report::TextTable summary;
+  summary.set_header({"quadrant", "apps", "market 2025 ($B)"});
+  for (int q = 1; q <= 4; ++q) {
+    summary.add_row({"Q" + std::to_string(q), std::to_string(count[q]),
+                     report::fmt(market[q], 0)});
+  }
+  std::cout << summary.to_string();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 3 — the measurement infrastructure: (a) cloud regions of seven
+// providers, (b) the probe fleet's distribution.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/svg.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shears;
+  const auto setup = bench::make_standard_campaign(argc, argv);
+
+  bench::print_title(
+      "Figure 3: measurement end-points and vantage points",
+      "101 regions of 7 providers in 21 countries; 3200+ probes in 166+ "
+      "countries, EU/NA-dense");
+
+  report::TextTable providers;
+  providers.set_header({"provider", "regions", "backbone"});
+  for (const topology::CloudProvider p : topology::kAllProviders) {
+    providers.add_row({
+        std::string(to_string(p)),
+        std::to_string(setup.registry.of_provider(p).size()),
+        backbone_class(p) == topology::BackboneClass::kPrivate ? "private"
+                                                               : "public",
+    });
+  }
+  std::cout << providers.to_string() << '\n';
+
+  std::cout << "total regions: " << setup.registry.size() << " in "
+            << setup.registry.hosting_countries().size() << " countries\n\n";
+
+  report::TextTable by_continent;
+  by_continent.set_header({"continent", "regions", "probes", "probe share"});
+  for (const geo::Continent c : geo::kAllContinents) {
+    const auto regions = setup.registry.in_continent(c).size();
+    const auto probes = setup.fleet.in_continent(c).size();
+    by_continent.add_row({
+        std::string(to_string(c)),
+        std::to_string(regions),
+        std::to_string(probes),
+        report::fmt_percent(static_cast<double>(probes) / setup.fleet.size()),
+    });
+  }
+  std::cout << by_continent.to_string() << '\n';
+
+  std::cout << "fleet: " << setup.fleet.size() << " probes in "
+            << setup.fleet.country_count() << " countries\n";
+
+  std::size_t privileged = 0;
+  std::size_t wired = 0;
+  std::size_t wireless = 0;
+  for (const atlas::Probe& p : setup.fleet.probes()) {
+    privileged += p.privileged();
+    wired += p.tagged_wired();
+    wireless += p.tagged_wireless();
+  }
+  std::cout << "privileged (filtered from analyses): " << privileged
+            << "; tagged wired: " << wired << "; tagged wireless: " << wireless
+            << "\n";
+
+  // The Fig. 3 map itself: probes as dots, regions as diamonds.
+  report::MapLayer probes_layer;
+  probes_layer.name = "RIPE-like probes";
+  probes_layer.radius = 1.3;
+  for (const atlas::Probe& p : setup.fleet.probes()) {
+    probes_layer.lon_lat.emplace_back(p.endpoint.location.lon_deg,
+                                      p.endpoint.location.lat_deg);
+  }
+  report::MapLayer regions_layer;
+  regions_layer.name = "cloud regions";
+  regions_layer.diamond = true;
+  regions_layer.colour = "#D55E00";
+  for (const topology::CloudRegion* r : setup.registry.regions()) {
+    regions_layer.lon_lat.emplace_back(r->location.lon_deg,
+                                       r->location.lat_deg);
+  }
+  const std::string map_path = "fig3_infrastructure_map.svg";
+  if (report::write_text_file(
+          map_path,
+          report::render_svg_map({probes_layer, regions_layer},
+                                 "Fig. 3 - probes and cloud regions"))) {
+    std::cout << "map written to " << map_path << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 4 — minimum latency to the nearest datacenter per country (the
+// map), rendered as banded tables plus the headline counts.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/analysis.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shears;
+  const auto setup = bench::make_standard_campaign(argc, argv);
+
+  bench::print_title(
+      "Figure 4: minimum latency to nearest datacenter globally",
+      "32 countries <10 ms; 21 more in 10-20 ms; all but ~16 under the PL "
+      "threshold (100 ms); fast countries host or neighbour datacenters");
+
+  const auto dataset = setup.run();
+  auto rows = core::country_min_latency(dataset);
+  std::sort(rows.begin(), rows.end(),
+            [](const core::CountryMinLatency& a,
+               const core::CountryMinLatency& b) {
+              return a.min_rtt_ms < b.min_rtt_ms;
+            });
+
+  const core::LatencyBands bands = core::band_country_latencies(rows);
+  report::TextTable band_table;
+  band_table.set_header({"band", "countries", "paper"});
+  band_table.add_row({"< 10 ms", std::to_string(bands.under_10), "32"});
+  band_table.add_row({"10-20 ms", std::to_string(bands.from_10_to_20), "21"});
+  band_table.add_row({"20-50 ms", std::to_string(bands.from_20_to_50), "-"});
+  band_table.add_row({"50-100 ms", std::to_string(bands.from_50_to_100), "-"});
+  band_table.add_row({">= 100 ms", std::to_string(bands.over_100), "~16"});
+  band_table.add_row({"measured total", std::to_string(bands.total()), "-"});
+  std::cout << band_table.to_string() << '\n';
+
+  const auto hosts = setup.registry.hosting_countries();
+  const auto hosts_dc = [&hosts](std::string_view iso2) {
+    return std::find(hosts.begin(), hosts.end(), iso2) != hosts.end();
+  };
+
+  std::cout << "fastest 20 countries:\n";
+  report::TextTable fast;
+  fast.set_header({"country", "min RTT (ms)", "best region", "hosts a DC"});
+  for (std::size_t i = 0; i < rows.size() && i < 20; ++i) {
+    fast.add_row({
+        std::string(rows[i].country->name),
+        report::fmt(rows[i].min_rtt_ms, 1),
+        std::string(rows[i].best_region->city) + " (" +
+            std::string(to_string(rows[i].best_region->provider)) + ")",
+        hosts_dc(rows[i].country->iso2) ? "yes" : "no",
+    });
+  }
+  std::cout << fast.to_string() << '\n';
+
+  std::cout << "slowest 10 countries:\n";
+  report::TextTable slow;
+  slow.set_header({"country", "continent", "min RTT (ms)"});
+  for (std::size_t i = rows.size() >= 10 ? rows.size() - 10 : 0;
+       i < rows.size(); ++i) {
+    slow.add_row({
+        std::string(rows[i].country->name),
+        std::string(to_string(rows[i].country->continent)),
+        report::fmt(rows[i].min_rtt_ms, 1),
+    });
+  }
+  std::cout << slow.to_string() << '\n';
+
+  std::size_t fast_hosting = 0;
+  for (const auto& row : rows) {
+    if (row.min_rtt_ms < 10.0 && hosts_dc(row.country->iso2)) ++fast_hosting;
+  }
+  std::cout << "of the " << bands.under_10 << " sub-10ms countries, "
+            << fast_hosting << " host a datacenter (registry hosts "
+            << hosts.size() << " countries)\n\n";
+
+  // The abstract's headline, population-weighted: "for most applications
+  // the cloud is already close enough for [the] majority of the world's
+  // population".
+  const core::PopulationCoverage cov = core::population_coverage(rows);
+  std::cout << "population-weighted coverage (of "
+            << report::fmt(cov.world_population_m / 1000.0, 2)
+            << "B people): under MTP " << report::fmt_percent(cov.under_mtp)
+            << ", under PL " << report::fmt_percent(cov.under_pl)
+            << ", under HRT " << report::fmt_percent(cov.under_hrt)
+            << "  (paper: the majority of the world's population)\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Microbenchmarks for topology queries and campaign-engine throughput.
+#include <benchmark/benchmark.h>
+
+#include "atlas/campaign.hpp"
+#include "atlas/placement.hpp"
+#include "net/latency_model.hpp"
+#include "topology/registry.hpp"
+
+namespace {
+
+using namespace shears;
+
+void BM_NearestRegion(benchmark::State& state) {
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  double lat = -60.0;
+  for (auto _ : state) {
+    lat += 0.37;
+    if (lat > 60.0) lat = -60.0;
+    benchmark::DoNotOptimize(registry.nearest({lat, lat * 2.5}));
+  }
+}
+BENCHMARK(BM_NearestRegion);
+
+void BM_FleetGeneration(benchmark::State& state) {
+  atlas::PlacementConfig config;
+  config.probe_count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto fleet = atlas::ProbeFleet::generate(config);
+    benchmark::DoNotOptimize(fleet);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FleetGeneration)->Arg(400)->Arg(3200);
+
+void BM_CampaignDay(benchmark::State& state) {
+  // Throughput of one full campaign day across the standard fleet
+  // (3200 probes x 8 ticks), single-threaded for stable numbers.
+  const auto fleet = atlas::ProbeFleet::generate({});
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  atlas::CampaignConfig config;
+  config.duration_days = 1;
+  config.threads = 1;
+  const atlas::Campaign campaign(fleet, registry, model, config);
+  for (auto _ : state) {
+    auto dataset = campaign.run();
+    benchmark::DoNotOptimize(dataset);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(dataset.size()));
+  }
+}
+BENCHMARK(BM_CampaignDay)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignDayParallel(benchmark::State& state) {
+  const auto fleet = atlas::ProbeFleet::generate({});
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  atlas::CampaignConfig config;
+  config.duration_days = 1;
+  config.threads = 0;  // hardware concurrency
+  const atlas::Campaign campaign(fleet, registry, model, config);
+  for (auto _ : state) {
+    auto dataset = campaign.run();
+    benchmark::DoNotOptimize(dataset);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(dataset.size()));
+  }
+}
+BENCHMARK(BM_CampaignDayParallel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Microbenchmarks for the latency model — the simulator's hot path: a
+// nine-month campaign samples tens of millions of pings.
+#include <benchmark/benchmark.h>
+
+#include "geo/country.hpp"
+#include "net/latency_model.hpp"
+#include "stats/rng.hpp"
+#include "topology/registry.hpp"
+
+namespace {
+
+using namespace shears;
+
+const topology::CloudRegion& frankfurt() {
+  for (const topology::CloudRegion& r : topology::all_regions()) {
+    if (r.region_id == "eu-central-1") return r;
+  }
+  std::abort();
+}
+
+void BM_PathCharacterize(benchmark::State& state) {
+  const net::PathModelConfig config;
+  const geo::GeoPoint src{48.21, 16.37};
+  const geo::GeoPoint dst{50.11, 8.68};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::characterize_path(
+        config, src, geo::ConnectivityTier::kTier1, dst,
+        topology::BackboneClass::kPrivate));
+  }
+}
+BENCHMARK(BM_PathCharacterize);
+
+void BM_BaselineRtt(benchmark::State& state) {
+  const net::LatencyModel model;
+  const net::Endpoint src{{48.21, 16.37}, geo::ConnectivityTier::kTier1,
+                          net::AccessTechnology::kCable};
+  const topology::CloudRegion& dst = frankfurt();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.baseline_rtt_ms(src, dst));
+  }
+}
+BENCHMARK(BM_BaselineRtt);
+
+void BM_PingOnce(benchmark::State& state) {
+  const net::LatencyModel model;
+  const net::Endpoint src{{48.21, 16.37}, geo::ConnectivityTier::kTier1,
+                          net::AccessTechnology::kCable};
+  const topology::CloudRegion& dst = frankfurt();
+  stats::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ping_once(src, dst, rng));
+  }
+}
+BENCHMARK(BM_PingOnce);
+
+void BM_PingBurst3(benchmark::State& state) {
+  const net::LatencyModel model;
+  const net::Endpoint src{{40.71, -74.01}, geo::ConnectivityTier::kTier1,
+                          net::AccessTechnology::kLte};
+  const topology::CloudRegion& dst = frankfurt();
+  stats::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ping(src, dst, 3, rng));
+  }
+}
+BENCHMARK(BM_PingBurst3);
+
+void BM_AccessSample(benchmark::State& state) {
+  const net::AccessProfile profile = net::profile_for(
+      net::AccessTechnology::kLte, geo::ConnectivityTier::kTier2);
+  stats::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::sample_access_latency(profile, rng));
+  }
+}
+BENCHMARK(BM_AccessSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

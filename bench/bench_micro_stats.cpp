@@ -1,0 +1,82 @@
+// Microbenchmarks for the statistics kernels used by the analyses.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace shears::stats;
+
+std::vector<double> make_sample(std::size_t n) {
+  Xoshiro256 rng(7);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.push_back(sample_lognormal_median(rng, 25.0, 1.6));
+  }
+  return v;
+}
+
+void BM_RngNext(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_LognormalSample(benchmark::State& state) {
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_lognormal_median(rng, 25.0, 1.6));
+  }
+}
+BENCHMARK(BM_LognormalSample);
+
+void BM_SummaryAdd(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  Summary s;
+  for (auto _ : state) {
+    s.add(rng.next_double());
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SummaryAdd);
+
+void BM_EcdfBuild(benchmark::State& state) {
+  const auto sample = make_sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Ecdf ecdf(sample);
+    benchmark::DoNotOptimize(ecdf);
+  }
+}
+BENCHMARK(BM_EcdfBuild)->Range(1 << 10, 1 << 20);
+
+void BM_EcdfQuantile(benchmark::State& state) {
+  const Ecdf ecdf(make_sample(1 << 16));
+  double q = 0.0;
+  for (auto _ : state) {
+    q += 1e-7;
+    if (q >= 1.0) q = 0.0;
+    benchmark::DoNotOptimize(ecdf.quantile(q));
+  }
+}
+BENCHMARK(BM_EcdfQuantile);
+
+void BM_EcdfFraction(benchmark::State& state) {
+  const Ecdf ecdf(make_sample(1 << 16));
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.01;
+    if (x >= 200.0) x = 0.0;
+    benchmark::DoNotOptimize(ecdf.fraction_at_or_below(x));
+  }
+}
+BENCHMARK(BM_EcdfFraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// §5 extension — TCP-based probing vs ICMP: validates that application-
+// level latencies (TCP connect, HTTP TTFB) track the ping-based results
+// the paper's conclusions rest on.
+#include <iostream>
+#include <vector>
+
+#include "geo/country.hpp"
+#include "net/tcp.hpp"
+#include "report/table.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/rng.hpp"
+#include "topology/registry.hpp"
+
+int main() {
+  using namespace shears;
+
+  std::cout << "Section 5 extension: ICMP ping vs TCP connect vs HTTP TTFB\n"
+            << "shape target: TCP tracks ICMP plus a small additive "
+               "overhead; TTFB adds one more RTT plus server time — "
+               "ping-based conclusions carry over to application traffic\n\n";
+
+  const net::LatencyModel model;
+  const auto cloud = topology::CloudRegistry::campaign_footprint();
+
+  struct Scenario {
+    const char* iso2;
+    net::AccessTechnology access;
+  };
+  const Scenario scenarios[] = {
+      {"DE", net::AccessTechnology::kFibre},
+      {"US", net::AccessTechnology::kCable},
+      {"IN", net::AccessTechnology::kLte},
+      {"KE", net::AccessTechnology::kDsl},
+  };
+
+  report::TextTable table;
+  table.set_header({"user", "ping median", "tcp connect median",
+                    "http ttfb median", "tcp - ping"});
+  for (const Scenario& s : scenarios) {
+    const geo::Country* country = geo::find_country(s.iso2);
+    const net::Endpoint user{country->site, country->tier, s.access};
+    const auto nearest = cloud.nearest(country->site);
+    const topology::CloudRegion& region = *nearest->region;
+
+    stats::Xoshiro256 rng(stats::fnv1a64(s.iso2, 2));
+    std::vector<double> pings;
+    std::vector<double> connects;
+    std::vector<double> ttfbs;
+    for (int i = 0; i < 20000; ++i) {
+      const net::PingObservation p = model.ping_once(user, region, rng);
+      if (!p.lost) pings.push_back(p.rtt_ms);
+      const net::TcpConnectResult t = net::tcp_connect(model, user, region, rng);
+      if (t.connected && t.syn_attempts == 1) connects.push_back(t.connect_ms);
+      const net::HttpProbeResult h = net::http_ttfb(model, user, region, rng);
+      if (h.ok) ttfbs.push_back(h.ttfb_ms);
+    }
+    const double ping = stats::Ecdf(std::move(pings)).median();
+    const double tcp = stats::Ecdf(std::move(connects)).median();
+    const double ttfb = stats::Ecdf(std::move(ttfbs)).median();
+    table.add_row({
+        std::string(country->name) + ", " + std::string(to_string(s.access)),
+        report::fmt(ping, 1),
+        report::fmt(tcp, 1),
+        report::fmt(ttfb, 1),
+        report::fmt(tcp - ping, 2),
+    });
+  }
+  std::cout << table.to_string() << '\n';
+  std::cout << "the Facebook comparison (§5): TCP-level latencies for served "
+               "wired users remain well under 40 ms\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// analyze_dataset — the offline half of the measurement pipeline: loads a
+// CSV dataset previously produced by dataset_export (or any campaign's
+// write_csv) and regenerates the headline analyses without re-running the
+// simulation. Mirrors how the paper's public dataset [18] is consumed.
+//
+// Usage:  analyze_dataset <dataset.csv>
+#include <fstream>
+#include <iostream>
+
+#include "shears.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shears;
+
+  if (argc < 2) {
+    std::cerr << "usage: analyze_dataset <dataset.csv>\n"
+              << "(produce one with ./build/examples/dataset_export)\n";
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "cannot open " << argv[1] << '\n';
+    return 1;
+  }
+
+  // The dataset references the default fleet and footprint; the loader
+  // cross-checks every row and aborts loudly on a mismatched fleet.
+  const atlas::ProbeFleet fleet = atlas::ProbeFleet::generate({});
+  const topology::CloudRegistry cloud =
+      topology::CloudRegistry::campaign_footprint();
+  atlas::MeasurementDataset dataset = [&] {
+    try {
+      return atlas::MeasurementDataset::read_csv(in, &fleet, &cloud);
+    } catch (const std::exception& e) {
+      std::cerr << "load failed: " << e.what() << '\n';
+      std::exit(1);
+    }
+  }();
+
+  std::cout << "loaded " << dataset.size() << " ping bursts (loss "
+            << report::fmt_percent(dataset.loss_fraction()) << ")\n\n";
+
+  const auto rows = core::country_min_latency(dataset);
+  const auto bands = core::band_country_latencies(rows);
+  std::cout << "Fig.4 bands: <10ms " << bands.under_10 << ", 10-20ms "
+            << bands.from_10_to_20 << ", >=100ms " << bands.over_100
+            << " (of " << bands.total() << " countries)\n";
+
+  const auto cov = core::population_coverage(rows);
+  std::cout << "population under PL: " << report::fmt_percent(cov.under_pl)
+            << "\n\n";
+
+  report::TextTable table;
+  table.set_header({"continent", "probes", "median min RTT", "F(MTP)",
+                    "F(PL)"});
+  const auto mins = core::min_rtt_by_continent(dataset);
+  for (const geo::Continent c : geo::kAllContinents) {
+    const auto& sample = mins[geo::index_of(c)];
+    if (sample.empty()) continue;
+    const stats::Ecdf ecdf(sample);
+    table.add_row({std::string(to_string(c)), std::to_string(sample.size()),
+                   report::fmt(ecdf.median(), 1),
+                   report::fmt_percent(ecdf.fraction_at_or_below(20.0)),
+                   report::fmt_percent(ecdf.fraction_at_or_below(100.0))});
+  }
+  std::cout << table.to_string();
+
+  const core::AccessComparison cmp = core::compare_access(dataset);
+  if (!cmp.wired.empty() && !cmp.wireless.empty()) {
+    std::cout << "\nwired vs wireless: " << report::fmt(cmp.wired_median, 1)
+              << " vs " << report::fmt(cmp.wireless_median, 1) << " ms ("
+              << report::fmt(cmp.median_ratio, 2) << "x)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// app_placement_advisor — the practitioner-facing scenario behind the
+// paper: "should application X deploy on the cloud, at the edge, or
+// on-device for users in country Y?"
+//
+// Usage:  app_placement_advisor [app-slug] [iso2-country]
+//         app_placement_advisor cloud-gaming KE
+//         app_placement_advisor            (prints the full matrix)
+//
+// The advisor measures the cloud latency a wired and a wireless user in
+// that country actually experience (sampling the latency model against
+// the real footprint), then applies the Fig. 8 feasibility logic.
+#include <iostream>
+#include <string>
+
+#include "shears.hpp"
+
+namespace {
+
+using namespace shears;
+
+/// Median sampled RTT from a country's main population centre to the best
+/// cloud region reachable under the §4.1 continent rule.
+double measured_cloud_rtt(const geo::Country& country,
+                          net::AccessTechnology access,
+                          const topology::CloudRegistry& cloud,
+                          const net::LatencyModel& internet) {
+  const net::Endpoint user{country.site, country.tier, access};
+  // Pick the best region by congestion-free baseline...
+  const topology::CloudRegion* best = nullptr;
+  double best_rtt = 0.0;
+  for (const topology::CloudRegion* region : cloud.regions()) {
+    const auto rc = topology::region_continent(*region);
+    if (rc != country.continent &&
+        geo::measurement_fallback(country.continent) != rc) {
+      continue;
+    }
+    const double rtt = internet.baseline_rtt_ms(user, *region);
+    if (best == nullptr || rtt < best_rtt) {
+      best = region;
+      best_rtt = rtt;
+    }
+  }
+  if (best == nullptr) return 1e9;
+  // ...then sample what a user actually sees across a day of traffic.
+  stats::Xoshiro256 rng(stats::fnv1a64(country.iso2.data(), 2));
+  std::vector<double> rtts;
+  for (int i = 0; i < 2000; ++i) {
+    const net::PingObservation obs = internet.ping_once(user, *best, rng);
+    if (!obs.lost) rtts.push_back(obs.rtt_ms);
+  }
+  return stats::Ecdf(std::move(rtts)).median();
+}
+
+void advise(const apps::Application& app, const geo::Country& country,
+            const topology::CloudRegistry& cloud,
+            const net::LatencyModel& internet) {
+  const double wired = measured_cloud_rtt(
+      country, net::AccessTechnology::kFibre, cloud, internet);
+  const double wireless = measured_cloud_rtt(
+      country, net::AccessTechnology::kLte, cloud, internet);
+  const core::EdgeVerdict wired_verdict = core::classify(app, wired);
+  const core::EdgeVerdict wireless_verdict = core::classify(app, wireless);
+  std::cout << app.name << " for users in " << country.name << ":\n"
+            << "  wired cloud RTT ~" << report::fmt(wired, 1) << " ms -> "
+            << to_string(wired_verdict) << '\n'
+            << "  LTE cloud RTT  ~" << report::fmt(wireless, 1) << " ms -> "
+            << to_string(wireless_verdict) << '\n'
+            << "  requirement: " << report::fmt(app.latency_floor_ms, 1)
+            << "-" << report::fmt(app.latency_ceiling_ms, 0) << " ms, "
+            << report::fmt(app.data_gb_per_entity_day, 1)
+            << " GB/entity/day (quadrant "
+            << to_string(quadrant_of(app)) << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const topology::CloudRegistry cloud =
+      topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel internet;
+
+  if (argc >= 3) {
+    const apps::Application* app = apps::find_application(argv[1]);
+    const geo::Country* country = geo::find_country(argv[2]);
+    if (app == nullptr || country == nullptr) {
+      std::cerr << "unknown application slug or ISO-2 country code\n"
+                << "apps: ";
+      for (const auto& a : apps::application_catalog()) {
+        std::cerr << a.id << ' ';
+      }
+      std::cerr << '\n';
+      return 1;
+    }
+    advise(*app, *country, cloud, internet);
+    return 0;
+  }
+
+  // No arguments: the full matrix for three contrasting countries.
+  for (const char* iso2 : {"DE", "BR", "KE"}) {
+    const geo::Country* country = geo::find_country(iso2);
+    std::cout << "=== " << country->name << " ===\n";
+    for (const char* slug :
+         {"cloud-gaming", "ar-vr", "traffic-monitoring", "wearables",
+          "smart-city"}) {
+      advise(*apps::find_application(slug), *country, cloud, internet);
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// calibration_report — prints the simulator's key statistics next to the
+// paper's published anchors so model calibration can be inspected at a
+// glance. Run after any change to the latency model.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "atlas/campaign.hpp"
+#include "atlas/placement.hpp"
+#include "core/access_comparison.hpp"
+#include "core/analysis.hpp"
+#include "net/latency_model.hpp"
+#include "report/table.hpp"
+#include "stats/ecdf.hpp"
+#include "topology/registry.hpp"
+
+namespace {
+
+using namespace shears;
+
+void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A reduced campaign keeps this interactive: 30 days instead of nine
+  // months. Pass a day count to override.
+  atlas::CampaignConfig campaign_config;
+  campaign_config.duration_days = argc > 1 ? std::atoi(argv[1]) : 30;
+
+  const atlas::ProbeFleet fleet = atlas::ProbeFleet::generate({});
+  const topology::CloudRegistry registry =
+      topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+
+  std::cout << "fleet: " << fleet.size() << " probes in "
+            << fleet.country_count() << " countries; registry: "
+            << registry.size() << " regions in "
+            << registry.hosting_countries().size() << " countries\n";
+
+  const atlas::Campaign campaign(fleet, registry, model, campaign_config);
+  const atlas::MeasurementDataset dataset = campaign.run();
+  std::cout << "dataset: " << dataset.size() << " ping bursts, loss "
+            << report::fmt_percent(dataset.loss_fraction()) << "\n";
+
+  print_header("Fig.4 anchors: country minimum-latency bands");
+  const auto rows = core::country_min_latency(dataset);
+  const auto bands = core::band_country_latencies(rows);
+  std::cout << "countries <10ms: " << bands.under_10 << "  (paper: 32)\n"
+            << "countries 10-20ms: " << bands.from_10_to_20 << "  (paper: 21)\n"
+            << "countries >=100ms: " << bands.over_100 << "  (paper: ~16)\n"
+            << "countries measured: " << bands.total() << "\n";
+
+  print_header("Fig.5 anchors: per-probe min RTT by continent");
+  const auto mins = core::min_rtt_by_continent(dataset);
+  for (const geo::Continent c : geo::kAllContinents) {
+    const auto& sample = mins[geo::index_of(c)];
+    if (sample.empty()) continue;
+    const stats::Ecdf ecdf(sample);
+    std::cout << geo::to_string(c) << ": n=" << sample.size()
+              << " F(20)=" << report::fmt_percent(ecdf.fraction_at_or_below(20))
+              << " F(50)=" << report::fmt_percent(ecdf.fraction_at_or_below(50))
+              << " F(100)=" << report::fmt_percent(ecdf.fraction_at_or_below(100))
+              << " median=" << report::fmt(ecdf.median()) << "ms\n";
+  }
+  std::cout << "(paper: ~80% EU/NA under 20ms; Oceania ~all under 50ms;"
+               " ~75% AF/SA under 100ms)\n";
+
+  print_header("Fig.6 anchors: all bursts to best region by continent");
+  const auto all_samples = core::best_region_samples_by_continent(dataset);
+  for (const geo::Continent c : geo::kAllContinents) {
+    const auto& sample = all_samples[geo::index_of(c)];
+    if (sample.empty()) continue;
+    const stats::Ecdf ecdf(sample);
+    std::cout << geo::to_string(c) << ": n=" << sample.size()
+              << " p25=" << report::fmt(ecdf.percentile(25))
+              << " median=" << report::fmt(ecdf.median())
+              << " p75=" << report::fmt(ecdf.percentile(75))
+              << " F(MTP)=" << report::fmt_percent(ecdf.fraction_at_or_below(20))
+              << " F(PL)=" << report::fmt_percent(ecdf.fraction_at_or_below(100))
+              << "\n";
+  }
+  std::cout << "(paper: >75% NA/EU/OC under PL; top 25% NA/EU under MTP)\n";
+
+  print_header("Fig.7 anchors: wired vs wireless");
+  const core::AccessComparison cmp = core::compare_access(dataset);
+  std::cout << "wired probes: " << cmp.wired_probe_count
+            << ", wireless probes: " << cmp.wireless_probe_count << "\n"
+            << "wired median: " << report::fmt(cmp.wired_median)
+            << "ms, wireless median: " << report::fmt(cmp.wireless_median)
+            << "ms\n"
+            << "ratio: " << report::fmt(cmp.median_ratio, 2)
+            << "  (paper: ~2.5x), added: "
+            << report::fmt(cmp.added_latency_ms) << "ms (paper: 10-40ms)\n";
+  return 0;
+}

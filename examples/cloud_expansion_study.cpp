@@ -1,0 +1,66 @@
+// cloud_expansion_study — replay the decade that undermined the edge's
+// latency argument: how each year's datacenter build-out moved countries
+// under the perception thresholds, and what a 5G-grade last mile would
+// change on top.
+//
+// Usage:  cloud_expansion_study [first_year] [last_year]
+#include <cstdlib>
+#include <iostream>
+
+#include "shears.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shears;
+
+  int first = argc > 1 ? std::atoi(argv[1]) : 2008;
+  int last = argc > 2 ? std::atoi(argv[2]) : 2020;
+  if (first < 2004) first = 2004;
+  if (last < first) last = first;
+
+  const net::LatencyModel internet;
+  std::vector<int> years;
+  for (int y = first; y <= last; y += 2) years.push_back(y);
+  if (years.back() != last) years.push_back(last);
+
+  std::cout << "Cloud expansion study, " << first << "-" << last << "\n\n";
+  report::TextTable table;
+  table.set_header({"year", "regions", "countries <20ms", "countries <100ms",
+                    "median best RTT"});
+  const auto points = core::expansion_sweep(years, internet);
+  for (const core::ExpansionPoint& p : points) {
+    table.add_row({std::to_string(p.year), std::to_string(p.region_count),
+                   std::to_string(p.countries_under_20ms),
+                   std::to_string(p.countries_under_100ms),
+                   report::fmt(p.median_best_rtt_ms, 1) + " ms"});
+  }
+  std::cout << table.to_string() << '\n';
+
+  // What would the same analysis look like if 5G delivered? Scale the
+  // wireless medians down and compare a wireless user's proximity to the
+  // 2020 cloud in three representative countries.
+  std::cout << "wireless users vs the " << last << " cloud, status quo vs "
+               "a delivered-5G last mile:\n";
+  const auto cloud = topology::CloudRegistry::footprint_as_of(last);
+  net::LatencyModelConfig promised;
+  promised.wireless_latency_scale = 0.1;
+  const net::LatencyModel internet_5g(promised);
+  report::TextTable wireless_table;
+  wireless_table.set_header({"country", "LTE today", "with 5G-grade access"});
+  for (const char* iso2 : {"DE", "US", "IN", "NG"}) {
+    const geo::Country* c = geo::find_country(iso2);
+    const net::Endpoint user{c->site, c->tier, net::AccessTechnology::kLte};
+    double today = 1e9;
+    double promised_rtt = 1e9;
+    for (const topology::CloudRegion* r : cloud.regions()) {
+      today = std::min(today, internet.baseline_rtt_ms(user, *r));
+      promised_rtt = std::min(promised_rtt, internet_5g.baseline_rtt_ms(user, *r));
+    }
+    wireless_table.add_row({std::string(c->name),
+                            report::fmt(today, 1) + " ms",
+                            report::fmt(promised_rtt, 1) + " ms"});
+  }
+  std::cout << wireless_table.to_string() << '\n';
+  std::cout << "even a delivered 5G promise leaves the wide-area path — "
+               "which the cloud build-out, not the edge, has been fixing\n";
+  return 0;
+}

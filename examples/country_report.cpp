@@ -1,0 +1,126 @@
+// country_report — the full latency-shears profile for one country: cloud
+// proximity by access technology, path decomposition, per-application
+// verdicts, and edge-deployment economics. The report a regulator or ISP
+// would pull before deciding whether edge investment makes sense there.
+//
+// Usage:  country_report [iso2]
+#include <iostream>
+#include <string>
+
+#include "shears.hpp"
+
+namespace {
+
+using namespace shears;
+
+const topology::CloudRegion* nearest_in_scope(
+    const geo::Country& country, const net::Endpoint& user,
+    const net::LatencyModel& model, const topology::CloudRegistry& cloud) {
+  const topology::CloudRegion* best = nullptr;
+  double best_rtt = 0.0;
+  for (const topology::CloudRegion* region : cloud.regions()) {
+    const auto rc = topology::region_continent(*region);
+    if (rc != country.continent &&
+        geo::measurement_fallback(country.continent) != rc) {
+      continue;
+    }
+    const double rtt = model.baseline_rtt_ms(user, *region);
+    if (best == nullptr || rtt < best_rtt) {
+      best = region;
+      best_rtt = rtt;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string iso2 = argc > 1 ? argv[1] : "KE";
+  const geo::Country* country = geo::find_country(iso2);
+  if (country == nullptr) {
+    std::cerr << "unknown country code '" << iso2 << "'\n";
+    return 1;
+  }
+  const net::LatencyModel model;
+  const auto cloud = topology::CloudRegistry::campaign_footprint();
+
+  std::cout << "# Latency-shears profile: " << country->name << "\n\n"
+            << "continent " << to_string(country->continent)
+            << ", connectivity tier " << static_cast<int>(country->tier)
+            << ", population " << report::fmt(country->population_m, 1)
+            << "M\n\n";
+
+  // Cloud proximity per access technology.
+  std::cout << "## Cloud proximity\n\n";
+  report::TextTable proximity;
+  proximity.set_header({"access", "nearest region", "expected RTT",
+                        "regime"});
+  for (const net::AccessTechnology access : net::kAllAccessTechnologies) {
+    const net::Endpoint user{country->site, country->tier, access};
+    const topology::CloudRegion* best =
+        nearest_in_scope(*country, user, model, cloud);
+    if (best == nullptr) continue;
+    const double rtt = model.baseline_rtt_ms(user, *best);
+    proximity.add_row({
+        std::string(to_string(access)),
+        std::string(best->city) + " (" + std::string(to_string(best->provider)) +
+            ")",
+        report::fmt(rtt, 1) + " ms",
+        std::string(to_string(apps::classify_latency(rtt))),
+    });
+  }
+  std::cout << proximity.to_string() << '\n';
+
+  // Path decomposition for the representative wired user.
+  const net::Endpoint wired{country->site, country->tier,
+                            net::AccessTechnology::kDsl};
+  const topology::CloudRegion* best =
+      nearest_in_scope(*country, wired, model, cloud);
+  std::cout << "## Where is the delay? (DSL user -> " << best->city << ")\n\n";
+  const net::SegmentBreakdown breakdown =
+      net::decompose_path(model, wired, *best);
+  for (std::size_t i = 0; i < net::kPathSegmentCount; ++i) {
+    const auto segment = static_cast<net::PathSegment>(i);
+    std::cout << "- " << to_string(segment) << ": "
+              << report::fmt(breakdown[segment], 1) << " ms ("
+              << report::fmt_percent(breakdown.share(segment), 0) << ")\n";
+  }
+
+  // Application verdicts against the wired cloud experience.
+  const double cloud_rtt = model.baseline_rtt_ms(wired, *best) * 1.2;
+  std::cout << "\n## Application verdicts (cloud RTT ~"
+            << report::fmt(cloud_rtt, 0) << " ms)\n\n";
+  report::TextTable verdicts;
+  verdicts.set_header({"application", "verdict"});
+  for (const apps::Application& app : apps::application_catalog()) {
+    verdicts.add_row({std::string(app.name),
+                      std::string(to_string(core::classify(app, cloud_rtt)))});
+  }
+  std::cout << verdicts.to_string() << '\n';
+
+  // Edge economics.
+  std::cout << "## Edge deployment economics\n\n";
+  const edge::EdgeGain lte_gain =
+      edge::analyze_gain(model, *country, net::AccessTechnology::kLte, cloud,
+                         edge::EdgePlacement::kBasestation);
+  std::cout << "basestation edge vs cloud for LTE users: "
+            << report::fmt(lte_gain.edge_rtt_ms, 1) << " vs "
+            << report::fmt(lte_gain.cloud_rtt_ms, 1) << " ms (gain "
+            << report::fmt_percent(lte_gain.relative_gain, 0) << ")\n";
+  for (const double target : {20.0, 50.0, 100.0}) {
+    const auto estimates = edge::sites_for_target(
+        model, target, net::AccessTechnology::kFibre,
+        edge::EdgePlacement::kCentralOffice);
+    for (const edge::SiteEstimate& e : estimates) {
+      if (e.country != country) continue;
+      std::cout << "fibre users under " << report::fmt(target, 0) << " ms: "
+                << (e.feasible
+                        ? std::to_string(e.sites) + " edge site(s), radius " +
+                              report::fmt(e.radius_km, 0) + " km"
+                        : std::string("infeasible (access link too slow)"))
+                << '\n';
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// export_geojson — writes the Fig. 4 country-minimum map as GeoJSON
+// (one Point feature per country with its band), plus the regions layer;
+// drop it on any GIS tool to get the paper's map.
+//
+// Usage:  export_geojson [days] [output.geojson]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "shears.hpp"
+
+namespace {
+
+const char* band_of(double rtt_ms) {
+  if (rtt_ms < 10.0) return "<10ms";
+  if (rtt_ms < 20.0) return "10-20ms";
+  if (rtt_ms < 50.0) return "20-50ms";
+  if (rtt_ms < 100.0) return "50-100ms";
+  return ">=100ms";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace shears;
+
+  const int days = argc > 1 ? std::atoi(argv[1]) : 30;
+  const std::string path = argc > 2 ? argv[2] : "fig4_map.geojson";
+
+  const atlas::ProbeFleet fleet = atlas::ProbeFleet::generate({});
+  const topology::CloudRegistry cloud =
+      topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  atlas::CampaignConfig config;
+  config.duration_days = days > 0 ? days : 30;
+  const auto dataset = atlas::Campaign(fleet, cloud, model, config).run();
+  const auto rows = core::country_min_latency(dataset);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << '\n';
+    return 1;
+  }
+  out << "{\"type\":\"FeatureCollection\",\"features\":[\n";
+  bool first = true;
+  for (const core::CountryMinLatency& row : rows) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\","
+        << "\"coordinates\":[" << row.country->site.lon_deg << ','
+        << row.country->site.lat_deg << "]},\"properties\":{"
+        << "\"kind\":\"country\",\"iso2\":\"" << row.country->iso2
+        << "\",\"name\":\"" << row.country->name << "\",\"min_rtt_ms\":"
+        << row.min_rtt_ms << ",\"band\":\"" << band_of(row.min_rtt_ms)
+        << "\",\"best_region\":\"" << row.best_region->city << "\"}}";
+  }
+  for (const topology::CloudRegion* region : cloud.regions()) {
+    out << ",\n{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\","
+        << "\"coordinates\":[" << region->location.lon_deg << ','
+        << region->location.lat_deg << "]},\"properties\":{"
+        << "\"kind\":\"region\",\"provider\":\""
+        << to_string(region->provider) << "\",\"id\":\"" << region->region_id
+        << "\"}}";
+  }
+  out << "\n]}\n";
+  std::cout << "wrote " << rows.size() << " country features and "
+            << cloud.size() << " region features to " << path << '\n';
+  return 0;
+}

@@ -1,0 +1,167 @@
+// full_reproduction — one binary, the whole paper: runs the campaign and
+// writes a self-contained markdown report (plus SVG figures) with every
+// reproduced figure's data next to the paper's claims. The artefact a
+// reviewer would ask for.
+//
+// Usage:  full_reproduction [days] [output-dir]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "shears.hpp"
+
+namespace {
+
+using namespace shears;
+
+std::string md_table(report::TextTable& table) {
+  // Render the aligned text table inside a fenced block — keeps the
+  // report dependency-free.
+  return "```\n" + table.to_string() + "```\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int days = argc > 1 ? std::atoi(argv[1]) : 30;
+  const std::string dir = argc > 2 ? argv[2] : ".";
+
+  const atlas::ProbeFleet fleet = atlas::ProbeFleet::generate({});
+  const topology::CloudRegistry cloud =
+      topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  atlas::CampaignConfig config;
+  config.duration_days = days > 0 ? days : 30;
+  const atlas::MeasurementDataset dataset =
+      atlas::Campaign(fleet, cloud, model, config).run();
+
+  std::ostringstream md;
+  md << "# latency-shears — full reproduction report\n\n"
+     << "Campaign: " << fleet.size() << " probes / "
+     << fleet.country_count() << " countries, " << cloud.size()
+     << " regions / " << cloud.hosting_countries().size() << " countries, "
+     << config.duration_days << " days, " << dataset.size()
+     << " ping bursts (loss "
+     << report::fmt_percent(dataset.loss_fraction()) << ").\n\n";
+
+  // ---- Fig. 4 ----------------------------------------------------------
+  const auto rows = core::country_min_latency(dataset);
+  const auto bands = core::band_country_latencies(rows);
+  const auto coverage = core::population_coverage(rows);
+  md << "## Fig. 4 — country minimum latency\n\n";
+  {
+    report::TextTable t;
+    t.set_header({"band", "countries", "paper"});
+    t.add_row({"< 10 ms", std::to_string(bands.under_10), "32"});
+    t.add_row({"10-20 ms", std::to_string(bands.from_10_to_20), "21"});
+    t.add_row({">= 100 ms", std::to_string(bands.over_100), "~16"});
+    md << md_table(t);
+  }
+  md << "\nPopulation-weighted: " << report::fmt_percent(coverage.under_pl)
+     << " of the world under PL, " << report::fmt_percent(coverage.under_hrt)
+     << " under HRT (the abstract's \"majority of the world's "
+        "population\").\n\n";
+
+  // ---- Fig. 5 / Fig. 6 -------------------------------------------------
+  const auto mins = core::min_rtt_by_continent(dataset);
+  const auto samples = core::best_region_samples_by_continent(dataset);
+  md << "## Fig. 5 — per-probe minimum CDFs\n\n";
+  {
+    report::TextTable t;
+    t.set_header({"continent", "probes", "F(MTP)", "F(50ms)", "F(PL)"});
+    for (const geo::Continent c : geo::kAllContinents) {
+      const auto& sample = mins[geo::index_of(c)];
+      if (sample.empty()) continue;
+      const stats::Ecdf ecdf(sample);
+      t.add_row({std::string(to_string(c)), std::to_string(sample.size()),
+                 report::fmt_percent(ecdf.fraction_at_or_below(20.0)),
+                 report::fmt_percent(ecdf.fraction_at_or_below(50.0)),
+                 report::fmt_percent(ecdf.fraction_at_or_below(100.0))});
+    }
+    md << md_table(t);
+  }
+  md << "\nPaper: ~80% EU/NA under MTP; Oceania ~all under 50 ms; ~75% of "
+        "Africa+LatAm under PL.\n\n";
+
+  md << "## Fig. 6 — all measurements to the closest DC\n\n";
+  std::vector<report::Series> fig6_series;
+  {
+    report::TextTable t;
+    t.set_header({"continent", "samples", "p25", "median", "F(PL)"});
+    for (const geo::Continent c : geo::kAllContinents) {
+      const auto& sample = samples[geo::index_of(c)];
+      if (sample.empty()) continue;
+      const stats::Ecdf ecdf(sample);
+      t.add_row({std::string(to_string(c)), std::to_string(sample.size()),
+                 report::fmt(ecdf.percentile(25.0), 1),
+                 report::fmt(ecdf.median(), 1),
+                 report::fmt_percent(ecdf.fraction_at_or_below(100.0))});
+      report::Series s;
+      s.name = std::string(to_code(c));
+      s.points = ecdf.curve(std::size_t{160});
+      fig6_series.push_back(std::move(s));
+    }
+    md << md_table(t);
+  }
+
+  report::SvgPlotOptions svg_options;
+  svg_options.title = "Fig. 6 — CDF of all pings to each probe's closest DC";
+  svg_options.log_x = true;
+  svg_options.x_min = 1.0;
+  svg_options.x_max = 300.0;
+  const std::string svg_path = dir + "/reproduction_fig6.svg";
+  if (report::write_text_file(
+          svg_path,
+          render_svg_cdf(fig6_series,
+                         {{"MTP", apps::kMotionToPhotonMs},
+                          {"PL", apps::kPerceivableLatencyMs},
+                          {"HRT", apps::kHumanReactionTimeMs}},
+                         svg_options))) {
+    md << "\n![Fig. 6](reproduction_fig6.svg)\n\n";
+  }
+
+  // ---- Fig. 7 ----------------------------------------------------------
+  const core::AccessComparison cmp = core::compare_access(dataset);
+  const stats::RankSumResult mw =
+      stats::mann_whitney_u(cmp.wireless, cmp.wired);
+  md << "## Fig. 7 — wired vs wireless\n\n"
+     << "wireless/wired median ratio **"
+     << report::fmt(cmp.median_ratio, 2) << "x** (paper ~2.5x), added "
+     << report::fmt(cmp.added_latency_ms, 1)
+     << " ms (paper 10-40 ms); Mann-Whitney effect size "
+     << report::fmt(mw.effect_size, 2) << ", p "
+     << (mw.p_two_sided < 1e-12 ? "< 1e-12" : report::fmt(mw.p_two_sided, 6))
+     << ".\n\n";
+
+  // ---- Fig. 8 ----------------------------------------------------------
+  const double eu_median =
+      stats::Ecdf(samples[geo::index_of(geo::Continent::kEurope)]).median();
+  const auto fz_rows =
+      core::classify_catalog(apps::application_catalog(), eu_median);
+  const auto market = core::market_share_summary(apps::application_catalog());
+  md << "## Fig. 8 — feasibility zone\n\n";
+  {
+    report::TextTable t;
+    t.set_header({"application", "in FZ", "verdict vs EU cloud"});
+    for (const core::FeasibilityRow& row : fz_rows) {
+      t.add_row({std::string(row.app->name), row.in_zone ? "YES" : "no",
+                 std::string(to_string(row.verdict))});
+    }
+    md << md_table(t);
+  }
+  md << "\nFZ market $" << report::fmt(market.in_zone_busd, 0)
+     << "B vs outside $" << report::fmt(market.out_of_zone_busd, 0)
+     << "B — the zone \"pales\", as §5 concludes.\n";
+
+  const std::string report_path = dir + "/REPRODUCTION.md";
+  std::ofstream out(report_path);
+  if (!out) {
+    std::cerr << "cannot write " << report_path << '\n';
+    return 1;
+  }
+  out << md.str();
+  std::cout << "wrote " << report_path << " and " << svg_path << '\n';
+  return 0;
+}

@@ -1,0 +1,56 @@
+// quickstart — the five-minute tour of the library:
+//  1. generate the RIPE-Atlas-like probe fleet,
+//  2. load the 101-region cloud footprint,
+//  3. run a (short) measurement campaign over the Internet latency model,
+//  4. ask the paper's question: is the cloud already close enough?
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "shears.hpp"
+
+int main() {
+  using namespace shears;
+
+  // 1. A 3200-probe fleet across ~177 countries, EU/NA-dense like the real
+  //    RIPE Atlas. Deterministic: same config -> same fleet.
+  const atlas::ProbeFleet fleet = atlas::ProbeFleet::generate({});
+  std::cout << "fleet: " << fleet.size() << " probes, "
+            << fleet.country_count() << " countries\n";
+
+  // 2. The 2019/2020 cloud footprint: 101 compute regions, 7 providers.
+  const topology::CloudRegistry cloud =
+      topology::CloudRegistry::campaign_footprint();
+  std::cout << "cloud: " << cloud.size() << " regions in "
+            << cloud.hosting_countries().size() << " countries\n";
+
+  // 3. One week of pings, every 3 hours, per the paper's §4.1 schedule.
+  const net::LatencyModel internet;  // calibrated defaults
+  atlas::CampaignConfig schedule;
+  schedule.duration_days = 7;
+  const atlas::Campaign campaign(fleet, cloud, internet, schedule);
+  const atlas::MeasurementDataset dataset = campaign.run();
+  std::cout << "campaign: " << dataset.size() << " ping bursts collected\n\n";
+
+  // 4a. Fig. 4 in two lines: how many countries reach the cloud fast?
+  const core::LatencyBands bands =
+      core::band_country_latencies(core::country_min_latency(dataset));
+  std::cout << bands.under_10 << " countries reach a datacenter under 10 ms; "
+            << bands.under_100() << " of " << bands.total()
+            << " measured countries are under the 100 ms perceivable-latency "
+               "threshold\n";
+
+  // 4b. And the verdict for one motivating application, per region.
+  const apps::Application* gaming = apps::find_application("cloud-gaming");
+  const auto samples = core::best_region_samples_by_continent(dataset);
+  for (const geo::Continent c :
+       {geo::Continent::kEurope, geo::Continent::kAfrica}) {
+    const double median =
+        stats::Ecdf(samples[geo::index_of(c)]).median();
+    const core::EdgeVerdict verdict = core::classify(*gaming, median);
+    std::cout << gaming->name << " behind the median "
+              << to_string(c) << " cloud (" << report::fmt(median, 1)
+              << " ms): " << to_string(verdict) << '\n';
+  }
+  return 0;
+}

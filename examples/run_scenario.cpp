@@ -1,0 +1,86 @@
+// run_scenario — the configurable experiment runner: loads a scenario
+// file, runs the campaign it describes, and prints the standard summary
+// (Fig. 4 bands, continent CDF anchors, Fig. 7 ratio). Sweeps become a
+// folder of scenario files instead of recompiles.
+//
+// Usage:  run_scenario <scenario.ini>
+//         run_scenario --print-default > my_scenario.ini
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "config/scenario.hpp"
+#include "shears.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shears;
+
+  if (argc < 2) {
+    std::cerr << "usage: run_scenario <scenario.ini> | --print-default\n";
+    return 1;
+  }
+  const std::string arg = argv[1];
+  if (arg == "--print-default") {
+    std::cout << config::default_scenario_text();
+    return 0;
+  }
+
+  std::ifstream in(arg);
+  if (!in) {
+    std::cerr << "cannot open " << arg << '\n';
+    return 1;
+  }
+  config::Scenario scenario;
+  try {
+    scenario = config::parse_scenario(in);
+  } catch (const std::exception& e) {
+    std::cerr << "scenario error: " << e.what() << '\n';
+    return 1;
+  }
+
+  const atlas::ProbeFleet fleet = atlas::ProbeFleet::generate(scenario.fleet);
+  const topology::CloudRegistry registry = scenario.make_registry();
+  const net::LatencyModel model(scenario.model);
+  std::cout << "scenario '" << scenario.name << "': " << fleet.size()
+            << " probes, " << registry.size() << " regions, "
+            << scenario.campaign.duration_days << " days\n";
+  if (registry.empty()) {
+    std::cerr << "footprint is empty (year too early / providers too "
+                 "narrow)\n";
+    return 1;
+  }
+
+  const auto dataset =
+      atlas::Campaign(fleet, registry, model, scenario.campaign).run();
+  std::cout << "dataset: " << dataset.size() << " bursts, loss "
+            << report::fmt_percent(dataset.loss_fraction()) << "\n\n";
+
+  const auto bands =
+      core::band_country_latencies(core::country_min_latency(dataset));
+  std::cout << "Fig.4 bands: <10ms " << bands.under_10 << " | 10-20ms "
+            << bands.from_10_to_20 << " | >=100ms " << bands.over_100
+            << " (of " << bands.total() << ")\n";
+
+  report::TextTable table;
+  table.set_header({"continent", "probes", "median min", "F(MTP)", "F(PL)"});
+  const auto mins = core::min_rtt_by_continent(dataset);
+  for (const geo::Continent c : geo::kAllContinents) {
+    const auto& sample = mins[geo::index_of(c)];
+    if (sample.empty()) continue;
+    const stats::Ecdf ecdf(sample);
+    table.add_row({std::string(to_string(c)), std::to_string(sample.size()),
+                   report::fmt(ecdf.median(), 1),
+                   report::fmt_percent(ecdf.fraction_at_or_below(20.0)),
+                   report::fmt_percent(ecdf.fraction_at_or_below(100.0))});
+  }
+  std::cout << table.to_string();
+
+  const core::AccessComparison cmp = core::compare_access(dataset);
+  if (!cmp.wired.empty() && !cmp.wireless.empty()) {
+    std::cout << "\nwired vs wireless medians: "
+              << report::fmt(cmp.wired_median, 1) << " vs "
+              << report::fmt(cmp.wireless_median, 1) << " ms ("
+              << report::fmt(cmp.median_ratio, 2) << "x)\n";
+  }
+  return 0;
+}

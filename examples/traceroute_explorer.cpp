@@ -1,0 +1,80 @@
+// traceroute_explorer — "where is the delay?" for one user/region pair:
+// prints the segment decomposition and a sampled traceroute, the way a
+// practitioner would debug a slow path.
+//
+// Usage:  traceroute_explorer [iso2] [access] [region-id]
+//         traceroute_explorer KE dsl eu-central-1
+#include <iostream>
+#include <string>
+
+#include "shears.hpp"
+
+namespace {
+
+using namespace shears;
+
+net::AccessTechnology parse_access(std::string_view name) {
+  for (const net::AccessTechnology t : net::kAllAccessTechnologies) {
+    if (to_string(t) == name) return t;
+  }
+  std::cerr << "unknown access technology '" << name << "', using ethernet\n";
+  return net::AccessTechnology::kEthernet;
+}
+
+const topology::CloudRegion* parse_region(std::string_view id) {
+  for (const topology::CloudRegion& r : topology::all_regions()) {
+    if (r.region_id == id) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string iso2 = argc > 1 ? argv[1] : "KE";
+  const std::string access_name = argc > 2 ? argv[2] : "dsl";
+  const std::string region_id = argc > 3 ? argv[3] : "eu-central-1";
+
+  const geo::Country* country = geo::find_country(iso2);
+  const topology::CloudRegion* region = parse_region(region_id);
+  if (country == nullptr || region == nullptr) {
+    std::cerr << "unknown country or region id\n";
+    return 1;
+  }
+  const net::Endpoint user{country->site, country->tier,
+                           parse_access(access_name)};
+  const net::LatencyModel model;
+
+  std::cout << "path: " << country->name << " (" << access_name << ", tier "
+            << static_cast<int>(country->tier) << ") -> " << region->city
+            << " [" << to_string(region->provider) << " " << region->region_id
+            << "]\n\n";
+
+  const net::PathCharacteristics path = model.path_to(user, *region);
+  std::cout << "geodesic " << report::fmt(path.geodesic_km, 0)
+            << " km, routed " << report::fmt(path.routed_km, 0) << " km ("
+            << report::fmt(path.routed_km / std::max(path.geodesic_km, 1.0), 2)
+            << "x stretch), ~" << report::fmt(path.hop_count, 0) << " hops\n";
+  std::cout << "expected RTT: " << report::fmt(model.baseline_rtt_ms(user, *region), 1)
+            << " ms\n\n";
+
+  std::cout << "segment decomposition:\n";
+  const net::SegmentBreakdown breakdown =
+      net::decompose_path(model, user, *region);
+  for (std::size_t i = 0; i < net::kPathSegmentCount; ++i) {
+    const auto segment = static_cast<net::PathSegment>(i);
+    std::cout << "  " << to_string(segment) << ": "
+              << report::fmt(breakdown[segment], 2) << " ms ("
+              << report::fmt_percent(breakdown.share(segment), 0) << ")\n";
+  }
+
+  std::cout << "\nsampled traceroute:\n";
+  stats::Xoshiro256 rng(stats::fnv1a64(iso2.data(), iso2.size()));
+  for (const net::TracerouteHop& hop :
+       net::traceroute(model, user, *region, rng)) {
+    std::cout << "  " << hop.ttl << "\t" << hop.label << "\t"
+              << (hop.responded ? report::fmt(hop.rtt_ms, 2) + " ms" : "*")
+              << "\t[" << to_string(hop.segment) << "]\n";
+  }
+  return 0;
+}

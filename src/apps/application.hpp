@@ -1,0 +1,79 @@
+// The application model of Fig. 2: each edge-motivating application as a
+// requirements "ellipse" — a latency band, a data-generation volume, and
+// its projected 2025 market size — plus the quadrant taxonomy of §3.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "apps/thresholds.hpp"
+
+namespace shears::apps {
+
+/// §3 quadrants over (latency strictness, bandwidth demand).
+enum class Quadrant : unsigned char {
+  kQ1LowLatencyLowBandwidth = 1,   ///< wearables, health monitoring
+  kQ2LowLatencyHighBandwidth = 2,  ///< AR/VR, AV, cloud gaming (the hype)
+  kQ3HighLatencyHighBandwidth = 3, ///< smart city, video analytics
+  kQ4HighLatencyLowBandwidth = 4,  ///< smart home, weather monitoring
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Quadrant q) noexcept {
+  switch (q) {
+    case Quadrant::kQ1LowLatencyLowBandwidth: return "Q1 (low lat, low bw)";
+    case Quadrant::kQ2LowLatencyHighBandwidth: return "Q2 (low lat, high bw)";
+    case Quadrant::kQ3HighLatencyHighBandwidth: return "Q3 (high lat, high bw)";
+    case Quadrant::kQ4HighLatencyLowBandwidth: return "Q4 (high lat, low bw)";
+  }
+  return "unknown";
+}
+
+struct Application {
+  std::string_view id;     ///< short slug, e.g. "cloud-gaming"
+  std::string_view name;
+  /// Strictest latency at which the application still gains anything —
+  /// the lower edge of its requirements ellipse (ms round trip).
+  double latency_floor_ms;
+  /// Loosest latency at which it still works acceptably — the upper edge
+  /// of the ellipse (ms round trip). The binding requirement.
+  double latency_ceiling_ms;
+  /// Data one entity (camera, car, sensor, player) generates per day (GB).
+  double data_gb_per_entity_day;
+  /// Projected 2025 market size, billions USD (Statista-derived).
+  double market_2025_busd;
+  /// Commonly cited as a *driver* of edge computing (the "hype" set).
+  bool hyped_edge_driver;
+};
+
+/// Data-volume threshold above which edge-side aggregation meaningfully
+/// relieves the backhaul (§5: "we estimate 1GB/entity data generation to
+/// be a fitting threshold for edge's bandwidth aggregation gains").
+inline constexpr double kBandwidthGainThresholdGbPerDay = 1.0;
+
+/// Latency strictness boundary of the quadrant plot: an application is
+/// "low latency" when it must respond within the perceivable-latency
+/// threshold.
+[[nodiscard]] constexpr bool is_latency_strict(const Application& a) noexcept {
+  return a.latency_ceiling_ms <= kPerceivableLatencyMs;
+}
+
+[[nodiscard]] constexpr bool is_bandwidth_heavy(const Application& a) noexcept {
+  return a.data_gb_per_entity_day >= kBandwidthGainThresholdGbPerDay;
+}
+
+[[nodiscard]] constexpr Quadrant quadrant_of(const Application& a) noexcept {
+  if (is_latency_strict(a)) {
+    return is_bandwidth_heavy(a) ? Quadrant::kQ2LowLatencyHighBandwidth
+                                 : Quadrant::kQ1LowLatencyLowBandwidth;
+  }
+  return is_bandwidth_heavy(a) ? Quadrant::kQ3HighLatencyHighBandwidth
+                               : Quadrant::kQ4HighLatencyLowBandwidth;
+}
+
+/// The embedded Fig. 2 catalog (16 applications).
+[[nodiscard]] std::span<const Application> application_catalog() noexcept;
+
+/// Lookup by slug; nullptr when absent.
+[[nodiscard]] const Application* find_application(std::string_view id) noexcept;
+
+}  // namespace shears::apps

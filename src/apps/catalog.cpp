@@ -1,0 +1,63 @@
+// The Fig. 2 application catalog.
+//
+// Requirement bands follow the published estimates the paper relies on
+// ([7, 37, 42, 54, 64] — HUD latency studies, mobile cloud-gaming
+// measurements, 360° streaming, gamer-perception studies); per-entity data
+// volumes follow the usual per-device figures (an HD camera ~1-2 GB/h, an
+// autonomous vehicle several TB/day, a wearable a few MB/day); market sizes
+// are 2025 projections in billions USD (Statista-derived, as in the paper).
+#include "apps/application.hpp"
+
+#include <array>
+
+namespace shears::apps {
+
+namespace {
+
+constexpr std::array kCatalog = {
+    // --- Quadrant II candidates: strict latency, heavy data (the hype) ---
+    Application{"ar-vr", "AR / VR", 2.5, 20.0, 40.0, 87.0, true},
+    Application{"360-streaming", "360-degree streaming", 20.0, 100.0, 25.0,
+                7.0, true},
+    Application{"cloud-gaming", "Cloud gaming", 40.0, 100.0, 20.0, 8.0, true},
+    Application{"autonomous-vehicles", "Autonomous vehicles", 1.0, 10.0,
+                3000.0, 60.0, true},
+    Application{"drone-control", "Drone video & control", 10.0, 50.0, 60.0,
+                25.0, true},
+    Application{"traffic-monitoring", "Traffic camera monitoring", 50.0, 100.0,
+                30.0, 18.0, false},
+    Application{"industrial-automation", "Industrial automation / robotics",
+                1.0, 10.0, 80.0, 40.0, true},
+    // --- Quadrant I: strict latency, light data --------------------------
+    Application{"online-gaming", "Online multiplayer gaming", 30.0, 100.0,
+                0.05, 92.0, false},
+    Application{"wearables", "Wearables", 50.0, 100.0, 0.02, 63.0, true},
+    Application{"remote-surgery", "Remote surgery / telepresence", 20.0, 250.0,
+                0.8, 5.0, true},
+    Application{"voice-assistants", "Voice assistants", 100.0, 250.0, 0.05,
+                12.0, false},
+    // --- Quadrant III: relaxed latency, heavy data -----------------------
+    Application{"smart-city", "Smart city", 1000.0, 60000.0, 500.0, 89.0,
+                true},
+    Application{"video-analytics", "Retail video analytics", 250.0, 5000.0,
+                40.0, 21.0, false},
+    Application{"video-streaming", "Video-on-demand streaming", 1000.0,
+                10000.0, 7.0, 103.0, false},
+    // --- Quadrant IV: relaxed latency, light data ------------------------
+    Application{"smart-home", "Smart home", 500.0, 5000.0, 0.3, 78.0, true},
+    Application{"weather-monitoring", "Weather / environment monitoring",
+                60000.0, 3600000.0, 0.01, 2.0, false},
+};
+
+}  // namespace
+
+std::span<const Application> application_catalog() noexcept { return kCatalog; }
+
+const Application* find_application(std::string_view id) noexcept {
+  for (const Application& a : kCatalog) {
+    if (a.id == id) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace shears::apps

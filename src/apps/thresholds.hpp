@@ -1,0 +1,70 @@
+// Human-perception latency thresholds (§3 of the paper).
+//
+// The paper anchors application feasibility to three human limits:
+//   * Motion-to-Photon (MTP): <~20 ms end-to-end for immersive sync, of
+//     which ~13 ms is consumed by display hardware, leaving ~7 ms for
+//     compute+network; NASA HUD studies push the compute part to 2.5 ms.
+//   * Perceivable Latency (PL): ~100 ms — visual feedback delay the eye
+//     starts to notice in semi-passive interaction.
+//   * Human Reaction Time (HRT): ~250 ms — stimulus-to-motor-response for
+//     actively engaged users.
+#pragma once
+
+#include <string_view>
+
+namespace shears::apps {
+
+/// Motion-to-photon threshold for immersive applications (ms, end-to-end).
+inline constexpr double kMotionToPhotonMs = 20.0;
+/// Display-pipeline share of MTP (refresh, pixel switching).
+inline constexpr double kMtpDisplayShareMs = 13.0;
+/// Budget left for compute + network within MTP.
+inline constexpr double kMtpComputeBudgetMs = 7.0;
+/// NASA head-up-display requirement on the compute share of MTP.
+inline constexpr double kNasaHudComputeMs = 2.5;
+/// Perceivable-latency threshold (ms).
+inline constexpr double kPerceivableLatencyMs = 100.0;
+/// Human reaction time (ms).
+inline constexpr double kHumanReactionTimeMs = 250.0;
+
+/// Which perception regime a given round-trip budget falls into.
+enum class LatencyRegime : unsigned char {
+  kSubMtpCompute,  ///< <= 7 ms: inside the MTP compute budget
+  kMtp,            ///< <= 20 ms: motion-to-photon
+  kPerceivable,    ///< <= 100 ms: below perceivable latency
+  kReaction,       ///< <= 250 ms: below human reaction time
+  kRelaxed,        ///< anything slower
+};
+
+[[nodiscard]] constexpr LatencyRegime classify_latency(double rtt_ms) noexcept {
+  if (rtt_ms <= kMtpComputeBudgetMs) return LatencyRegime::kSubMtpCompute;
+  if (rtt_ms <= kMotionToPhotonMs) return LatencyRegime::kMtp;
+  if (rtt_ms <= kPerceivableLatencyMs) return LatencyRegime::kPerceivable;
+  if (rtt_ms <= kHumanReactionTimeMs) return LatencyRegime::kReaction;
+  return LatencyRegime::kRelaxed;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(LatencyRegime r) noexcept {
+  switch (r) {
+    case LatencyRegime::kSubMtpCompute: return "sub-MTP-compute";
+    case LatencyRegime::kMtp: return "MTP";
+    case LatencyRegime::kPerceivable: return "perceivable";
+    case LatencyRegime::kReaction: return "reaction";
+    case LatencyRegime::kRelaxed: return "relaxed";
+  }
+  return "unknown";
+}
+
+/// The threshold (ms) that upper-bounds a regime; +inf for kRelaxed.
+[[nodiscard]] constexpr double regime_ceiling_ms(LatencyRegime r) noexcept {
+  switch (r) {
+    case LatencyRegime::kSubMtpCompute: return kMtpComputeBudgetMs;
+    case LatencyRegime::kMtp: return kMotionToPhotonMs;
+    case LatencyRegime::kPerceivable: return kPerceivableLatencyMs;
+    case LatencyRegime::kReaction: return kHumanReactionTimeMs;
+    case LatencyRegime::kRelaxed: return 1e300;
+  }
+  return 1e300;
+}
+
+}  // namespace shears::apps

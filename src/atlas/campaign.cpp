@@ -1,0 +1,156 @@
+#include "atlas/campaign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "stats/rng.hpp"
+
+namespace shears::atlas {
+
+Campaign::Campaign(const ProbeFleet& fleet,
+                   const topology::CloudRegistry& registry,
+                   const net::LatencyModel& model, CampaignConfig config)
+    : fleet_(&fleet), registry_(&registry), model_(&model), config_(config) {
+  if (config_.duration_days <= 0 || config_.interval_hours <= 0 ||
+      config_.packets_per_ping <= 0 || config_.targets_per_tick <= 0) {
+    throw std::invalid_argument("CampaignConfig: all knobs must be positive");
+  }
+  if (config_.probe_uptime <= 0.0 || config_.probe_uptime > 1.0) {
+    throw std::invalid_argument("CampaignConfig: probe_uptime must be (0, 1]");
+  }
+  if (registry.size() > 0xFFFF) {
+    throw std::invalid_argument("Campaign: registry too large for index type");
+  }
+  // Precompute the per-continent target lists once.
+  const auto& regions = registry_->regions();
+  for (const geo::Continent c : geo::kAllContinents) {
+    auto& targets = targets_by_continent_[geo::index_of(c)];
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      if (topology::region_continent(*regions[i]) == c) {
+        targets.push_back(static_cast<std::uint16_t>(i));
+      }
+    }
+    if (const auto fallback = geo::measurement_fallback(c)) {
+      for (std::size_t i = 0; i < regions.size(); ++i) {
+        if (topology::region_continent(*regions[i]) == *fallback) {
+          targets.push_back(static_cast<std::uint16_t>(i));
+        }
+      }
+    }
+  }
+}
+
+std::uint32_t Campaign::tick_count() const noexcept {
+  return static_cast<std::uint32_t>(config_.duration_days * 24 /
+                                    config_.interval_hours);
+}
+
+std::vector<std::uint16_t> Campaign::targets_for(const Probe& p) const {
+  return targets_by_continent_[geo::index_of(p.country->continent)];
+}
+
+std::size_t Campaign::expected_record_count() const {
+  std::size_t total = 0;
+  const std::size_t ticks = tick_count();
+  const auto per_tick = static_cast<std::size_t>(config_.targets_per_tick);
+  for (const Probe& p : fleet_->probes()) {
+    const auto& targets = targets_by_continent_[geo::index_of(p.country->continent)];
+    if (targets.empty()) continue;
+    total += ticks * std::min(per_tick, targets.size());
+  }
+  return total;
+}
+
+void Campaign::run_probe_range(std::size_t begin, std::size_t end,
+                               std::vector<Measurement>& out) const {
+  stats::Xoshiro256 root(config_.seed);
+  const std::uint32_t ticks = tick_count();
+  const auto probes = fleet_->probes();
+  const auto& regions = registry_->regions();
+
+  for (std::size_t pi = begin; pi < end; ++pi) {
+    const Probe& probe = probes[pi];
+    const auto& targets =
+        targets_by_continent_[geo::index_of(probe.country->continent)];
+    if (targets.empty()) continue;
+    // One independent stream per probe: identical results regardless of
+    // sharding, and adding probes does not disturb existing streams.
+    stats::Xoshiro256 rng = root.fork(probe.id);
+    const std::size_t per_tick = std::min(
+        static_cast<std::size_t>(config_.targets_per_tick), targets.size());
+    const std::size_t rotation = rng.bounded(targets.size());
+    // The probe's last mile carries a temporally-correlated congestion
+    // level, advanced once per tick.
+    net::CongestionState congestion(model_->config(), rng);
+
+    for (std::uint32_t tick = 0; tick < ticks; ++tick) {
+      const double temporal_load = congestion.step(model_->config(), rng);
+      if (config_.probe_uptime < 1.0 && !rng.bernoulli(config_.probe_uptime)) {
+        continue;  // probe offline this tick
+      }
+      for (std::size_t j = 0; j < per_tick; ++j) {
+        const std::size_t slot =
+            (rotation + static_cast<std::size_t>(tick) * per_tick + j) %
+            targets.size();
+        const std::uint16_t region_index = targets[slot];
+        // Scheduled time of this tick; drives the diurnal load cycle.
+        const double utc_hour = static_cast<double>(
+            (static_cast<std::uint64_t>(tick) * config_.interval_hours) % 24);
+        const double load =
+            model_->diurnal_load(probe.endpoint, utc_hour) * temporal_load;
+        const net::PingResult ping = model_->ping_loaded(
+            probe.endpoint, *regions[region_index], config_.packets_per_ping,
+            load, rng);
+        Measurement m;
+        m.probe_id = probe.id;
+        m.region_index = region_index;
+        m.tick = tick;
+        m.sent = static_cast<std::uint8_t>(ping.sent);
+        m.received = static_cast<std::uint8_t>(ping.received);
+        if (ping.received > 0) {
+          m.min_ms = static_cast<float>(ping.min_ms);
+          m.avg_ms = static_cast<float>(ping.avg_ms);
+          m.max_ms = static_cast<float>(ping.max_ms);
+        }
+        out.push_back(m);
+      }
+    }
+  }
+}
+
+MeasurementDataset Campaign::run() const {
+  const std::size_t n = fleet_->size();
+  unsigned threads = config_.threads != 0 ? config_.threads
+                                          : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, n > 0 ? n : 1));
+
+  std::vector<std::vector<Measurement>> shards(threads);
+  if (threads == 1) {
+    shards[0].reserve(expected_record_count());
+    run_probe_range(0, n, shards[0]);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const std::size_t chunk = (n + threads - 1) / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+      const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      workers.emplace_back([this, begin, end, &shard = shards[t]] {
+        run_probe_range(begin, end, shard);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  std::vector<Measurement> records;
+  records.reserve(expected_record_count());
+  for (auto& shard : shards) {
+    records.insert(records.end(), shard.begin(), shard.end());
+  }
+  return MeasurementDataset(fleet_, registry_, std::move(records));
+}
+
+}  // namespace shears::atlas

@@ -1,0 +1,28 @@
+#include "atlas/credits.hpp"
+
+namespace shears::atlas {
+
+double campaign_cost_credits(const CreditPolicy& policy,
+                             const CampaignConfig& config,
+                             std::size_t probes) noexcept {
+  const double ticks =
+      static_cast<double>(config.duration_days) * 24.0 / config.interval_hours;
+  const double bursts = ticks * config.targets_per_tick *
+                        static_cast<double>(probes) * config.probe_uptime;
+  return bursts * policy.cost_per_ping_packet * config.packets_per_ping;
+}
+
+int affordable_targets_per_tick(const CreditPolicy& policy,
+                                double daily_budget, std::size_t probes,
+                                int interval_hours, int packets) noexcept {
+  if (probes == 0 || interval_hours <= 0 || packets <= 0) return 0;
+  const double ticks_per_day = 24.0 / interval_hours;
+  const double cost_per_target_per_day = ticks_per_day *
+                                         static_cast<double>(probes) *
+                                         policy.cost_per_ping_packet * packets;
+  if (cost_per_target_per_day <= 0.0) return 0;
+  const double cap = std::min(daily_budget, policy.daily_spend_cap);
+  return static_cast<int>(cap / cost_per_target_per_day);
+}
+
+}  // namespace shears::atlas

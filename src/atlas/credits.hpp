@@ -1,0 +1,75 @@
+// The RIPE Atlas credit economy — the resource constraint that shaped the
+// paper's schedule. Atlas users spend credits per measurement result and
+// earn them by hosting probes; daily spending caps bound how much a
+// campaign can measure (the paper's acknowledgements thank the Atlas team
+// for "increased quota limits"). This module makes the economics
+// computable: what does a campaign cost, and what schedule does a given
+// budget afford?
+#pragma once
+
+#include <cstdint>
+
+#include "atlas/campaign.hpp"
+
+namespace shears::atlas {
+
+struct CreditPolicy {
+  /// Credits a connected probe earns its host per day (RIPE: 21600 —
+  /// one per 4 seconds online).
+  double daily_earn_per_hosted_probe = 21600.0;
+  /// Cost of one ping result (RIPE: 10 credits per packet).
+  double cost_per_ping_packet = 10.0;
+  /// Platform cap on one user's daily spend (default RIPE quota: 1M).
+  double daily_spend_cap = 1e6;
+};
+
+/// Running balance of one measurement campaign's sponsor.
+class CreditLedger {
+ public:
+  explicit CreditLedger(CreditPolicy policy, double initial_balance = 0.0)
+      : policy_(policy), balance_(initial_balance) {}
+
+  [[nodiscard]] const CreditPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] double balance() const noexcept { return balance_; }
+  [[nodiscard]] double spent_today() const noexcept { return spent_today_; }
+
+  /// Accrues hosting income for a day and resets the daily spend.
+  void start_day(std::size_t hosted_probes) noexcept {
+    balance_ += policy_.daily_earn_per_hosted_probe *
+                static_cast<double>(hosted_probes);
+    spent_today_ = 0.0;
+  }
+
+  /// Attempts to pay for one ping burst; false when the balance or the
+  /// daily cap refuses it (the measurement is simply not scheduled).
+  [[nodiscard]] bool charge_ping(int packets) noexcept {
+    const double cost = policy_.cost_per_ping_packet * packets;
+    if (cost > balance_ || spent_today_ + cost > policy_.daily_spend_cap) {
+      return false;
+    }
+    balance_ -= cost;
+    spent_today_ += cost;
+    return true;
+  }
+
+ private:
+  CreditPolicy policy_;
+  double balance_ = 0.0;
+  double spent_today_ = 0.0;
+};
+
+/// Total credit cost of running `config` over `probes` vantage points
+/// (every probe measures targets_per_tick bursts per tick).
+[[nodiscard]] double campaign_cost_credits(const CreditPolicy& policy,
+                                           const CampaignConfig& config,
+                                           std::size_t probes) noexcept;
+
+/// The largest targets_per_tick a daily budget affords for a fleet and
+/// schedule; 0 when even one target per tick exceeds the budget.
+[[nodiscard]] int affordable_targets_per_tick(const CreditPolicy& policy,
+                                              double daily_budget,
+                                              std::size_t probes,
+                                              int interval_hours,
+                                              int packets) noexcept;
+
+}  // namespace shears::atlas

@@ -1,0 +1,88 @@
+#include "atlas/isp.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "stats/rng.hpp"
+
+namespace shears::atlas {
+
+namespace {
+
+/// Operators per (tier, segment): tier 1 markets are competitive; tier 4
+/// markets are duopolies at best.
+int fixed_count(geo::ConnectivityTier tier) {
+  switch (tier) {
+    case geo::ConnectivityTier::kTier1: return 4;
+    case geo::ConnectivityTier::kTier2: return 3;
+    case geo::ConnectivityTier::kTier3: return 3;
+    case geo::ConnectivityTier::kTier4: return 2;
+  }
+  return 2;
+}
+
+int mobile_count(geo::ConnectivityTier tier) {
+  return tier == geo::ConnectivityTier::kTier1 ? 3 : 2;
+}
+
+/// Quality ladder: the incumbent is slightly better than the country
+/// baseline, later entrants get progressively worse, with the spread
+/// widening on poorer tiers.
+double quality_of(int rank, geo::ConnectivityTier tier,
+                  stats::Xoshiro256& rng) {
+  const double tier_spread =
+      0.08 * static_cast<double>(static_cast<int>(tier));
+  const double base = 0.88 + 0.14 * rank;
+  return base + rng.uniform(0.0, tier_spread);
+}
+
+std::vector<IspProfile> build_market(const geo::Country& country) {
+  std::vector<IspProfile> market;
+  stats::Xoshiro256 rng(
+      stats::fnv1a64(country.iso2.data(), country.iso2.size()) ^
+      0xa5a5a5a5ULL);
+
+  const auto add_segment = [&](bool mobile, int count, const char* stem) {
+    // Zipf-ish shares: 1, 1/2, 1/3, ... normalised.
+    double total = 0.0;
+    for (int i = 1; i <= count; ++i) total += 1.0 / i;
+    for (int i = 0; i < count; ++i) {
+      IspProfile isp;
+      isp.name = std::string(country.iso2) + "-" + stem +
+                 std::to_string(i + 1);
+      isp.asn = static_cast<std::uint32_t>(
+          64512 + (stats::fnv1a64(isp.name.data(), isp.name.size()) % 400000));
+      isp.market_share = (1.0 / (i + 1)) / total;
+      isp.quality = quality_of(i, country.tier, rng);
+      isp.mobile = mobile;
+      market.push_back(std::move(isp));
+    }
+  };
+  add_segment(false, fixed_count(country.tier), "NET");
+  add_segment(true, mobile_count(country.tier), "MOB");
+  return market;
+}
+
+}  // namespace
+
+const std::vector<IspProfile>& isp_market(const geo::Country& country) {
+  static std::map<std::string_view, std::vector<IspProfile>> cache;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(country.iso2);
+  if (it == cache.end()) {
+    it = cache.emplace(country.iso2, build_market(country)).first;
+  }
+  return it->second;
+}
+
+std::vector<const IspProfile*> isps_in_segment(const geo::Country& country,
+                                               bool mobile) {
+  std::vector<const IspProfile*> out;
+  for (const IspProfile& isp : isp_market(country)) {
+    if (isp.mobile == mobile) out.push_back(&isp);
+  }
+  return out;
+}
+
+}  // namespace shears::atlas

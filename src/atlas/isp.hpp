@@ -1,0 +1,42 @@
+// ISP markets: the network-operator dimension of the vantage points.
+//
+// §4.1 stresses that Atlas probes sit "in varying network environments";
+// a large share of that variance is the access ISP — incumbents with
+// dense peering vs budget carriers that trombone through transit. Each
+// country gets a deterministic synthetic ISP market (no real-world ASN
+// table is shipped): a handful of fixed-line and mobile operators with
+// Zipf-ish market shares and a quality multiplier on last-mile latency.
+// Probes are attributed to an operator at placement time, enabling
+// per-ASN analyses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/country.hpp"
+
+namespace shears::atlas {
+
+struct IspProfile {
+  std::string name;      ///< synthetic, stable: "DE-NET1", "DE-MOB1", ...
+  std::uint32_t asn;     ///< synthetic, stable, unique across the registry
+  double market_share;   ///< within (country, fixed/mobile segment)
+  /// Multiplier on the access-latency median: <1 = well-peered incumbent,
+  /// >1 = budget operator riding distant transit.
+  double quality;
+  bool mobile;           ///< mobile operators host the wireless probes
+};
+
+/// The deterministic ISP market of a country: richer tiers have more
+/// operators and a tighter quality spread; under-served tiers have fewer
+/// operators with worse and more variable quality. Pure function of the
+/// country (cached internally).
+[[nodiscard]] const std::vector<IspProfile>& isp_market(
+    const geo::Country& country);
+
+/// Operators of one segment (fixed or mobile), preserving order.
+[[nodiscard]] std::vector<const IspProfile*> isps_in_segment(
+    const geo::Country& country, bool mobile);
+
+}  // namespace shears::atlas

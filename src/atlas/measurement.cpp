@@ -1,0 +1,134 @@
+#include "atlas/measurement.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace shears::atlas {
+
+MeasurementDataset::MeasurementDataset(const ProbeFleet* fleet,
+                                       const topology::CloudRegistry* registry,
+                                       std::vector<Measurement> records)
+    : fleet_(fleet), registry_(registry), records_(std::move(records)) {
+  if (fleet_ == nullptr || registry_ == nullptr) {
+    throw std::invalid_argument("MeasurementDataset: null fleet or registry");
+  }
+}
+
+double MeasurementDataset::loss_fraction() const noexcept {
+  if (records_.empty()) return 0.0;
+  std::size_t lost = 0;
+  for (const Measurement& m : records_) {
+    if (m.lost()) ++lost;
+  }
+  return static_cast<double>(lost) / static_cast<double>(records_.size());
+}
+
+void MeasurementDataset::write_jsonl(std::ostream& os,
+                                     int interval_hours) const {
+  for (const Measurement& m : records_) {
+    const Probe& p = probe_of(m);
+    const topology::CloudRegion& r = region_of(m);
+    const long long timestamp =
+        static_cast<long long>(m.tick) * interval_hours * 3600;
+    os << "{\"type\":\"ping\",\"prb_id\":" << m.probe_id
+       << ",\"dst_name\":\"" << topology::to_string(r.provider) << '/'
+       << r.region_id << "\",\"timestamp\":" << timestamp
+       << ",\"sent\":" << static_cast<int>(m.sent)
+       << ",\"rcvd\":" << static_cast<int>(m.received);
+    if (m.lost()) {
+      os << ",\"min\":-1,\"avg\":-1,\"max\":-1";
+    } else {
+      os << ",\"min\":" << m.min_ms << ",\"avg\":" << m.avg_ms
+         << ",\"max\":" << m.max_ms;
+    }
+    os << ",\"country\":\"" << p.country->iso2 << "\",\"continent\":\""
+       << geo::to_code(p.country->continent) << "\",\"access\":\""
+       << net::to_string(p.endpoint.access) << "\"}\n";
+  }
+}
+
+MeasurementDataset MeasurementDataset::read_csv(
+    std::istream& is, const ProbeFleet* fleet,
+    const topology::CloudRegistry* registry) {
+  if (fleet == nullptr || registry == nullptr) {
+    throw std::invalid_argument("read_csv: null fleet or registry");
+  }
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("probe_id,", 0) != 0) {
+    throw std::runtime_error("read_csv: missing or unexpected header");
+  }
+
+  // (provider, region_id) -> registry index, built once.
+  const auto& regions = registry->regions();
+  auto region_index_of = [&regions](std::string_view provider,
+                                    std::string_view region_id) {
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      if (topology::to_string(regions[i]->provider) == provider &&
+          regions[i]->region_id == region_id) {
+        return i;
+      }
+    }
+    throw std::runtime_error("read_csv: unknown region " +
+                             std::string(provider) + "/" +
+                             std::string(region_id));
+  };
+
+  std::vector<Measurement> records;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string cell;
+    std::vector<std::string> row;
+    while (std::getline(fields, cell, ',')) row.push_back(cell);
+    if (row.size() != 12) {
+      throw std::runtime_error("read_csv: malformed row at line " +
+                               std::to_string(line_no));
+    }
+    Measurement m;
+    m.probe_id = static_cast<ProbeId>(std::stoul(row[0]));
+    if (m.probe_id >= fleet->size()) {
+      throw std::runtime_error("read_csv: probe id out of range at line " +
+                               std::to_string(line_no));
+    }
+    const Probe& probe = fleet->probe(m.probe_id);
+    if (probe.country->iso2 != row[1] ||
+        net::to_string(probe.endpoint.access) != row[3]) {
+      throw std::runtime_error(
+          "read_csv: row metadata does not match the fleet (wrong placement "
+          "seed?) at line " +
+          std::to_string(line_no));
+    }
+    m.region_index = static_cast<std::uint16_t>(region_index_of(row[4], row[5]));
+    m.tick = static_cast<std::uint32_t>(std::stoul(row[6]));
+    m.min_ms = std::stof(row[7]);
+    m.avg_ms = std::stof(row[8]);
+    m.max_ms = std::stof(row[9]);
+    m.sent = static_cast<std::uint8_t>(std::stoi(row[10]));
+    m.received = static_cast<std::uint8_t>(std::stoi(row[11]));
+    records.push_back(m);
+  }
+  return MeasurementDataset(fleet, registry, std::move(records));
+}
+
+void MeasurementDataset::write_csv(std::ostream& os) const {
+  os << "probe_id,country,continent,access,provider,region,tick,min_ms,avg_ms,"
+        "max_ms,sent,received\n";
+  for (const Measurement& m : records_) {
+    const Probe& p = probe_of(m);
+    const topology::CloudRegion& r = region_of(m);
+    os << m.probe_id << ',' << p.country->iso2 << ','
+       << geo::to_code(p.country->continent) << ','
+       << net::to_string(p.endpoint.access) << ','
+       << topology::to_string(r.provider) << ',' << r.region_id << ','
+       << m.tick << ',' << m.min_ms << ',' << m.avg_ms << ',' << m.max_ms
+       << ',' << static_cast<int>(m.sent) << ','
+       << static_cast<int>(m.received) << '\n';
+  }
+}
+
+}  // namespace shears::atlas

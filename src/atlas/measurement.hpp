@@ -1,0 +1,81 @@
+// Measurement records and the immutable campaign dataset.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "atlas/placement.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::atlas {
+
+/// One scheduled ping burst result, stored compactly: a nine-month
+/// campaign produces millions of these (the paper's dataset holds 3.2M).
+struct Measurement {
+  ProbeId probe_id = 0;
+  std::uint16_t region_index = 0;  ///< index into the registry's region list
+  std::uint32_t tick = 0;          ///< schedule tick (interval_hours apart)
+  float min_ms = 0.0f;             ///< valid only when received > 0
+  float avg_ms = 0.0f;
+  float max_ms = 0.0f;
+  std::uint8_t sent = 0;
+  std::uint8_t received = 0;
+
+  [[nodiscard]] bool lost() const noexcept { return received == 0; }
+};
+
+/// The dataset a campaign produces: records plus the fleet and footprint
+/// they refer to. Non-owning of fleet/registry — both must outlive it.
+class MeasurementDataset {
+ public:
+  MeasurementDataset(const ProbeFleet* fleet,
+                     const topology::CloudRegistry* registry,
+                     std::vector<Measurement> records);
+
+  [[nodiscard]] std::span<const Measurement> records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const ProbeFleet& fleet() const noexcept { return *fleet_; }
+  [[nodiscard]] const topology::CloudRegistry& registry() const noexcept {
+    return *registry_;
+  }
+
+  [[nodiscard]] const Probe& probe_of(const Measurement& m) const {
+    return fleet_->probe(m.probe_id);
+  }
+  [[nodiscard]] const topology::CloudRegion& region_of(
+      const Measurement& m) const {
+    return *registry_->regions().at(m.region_index);
+  }
+
+  /// Share of ping bursts that lost every packet.
+  [[nodiscard]] double loss_fraction() const noexcept;
+
+  /// Writes "probe_id,country,continent,access,provider,region,tick,
+  /// min_ms,avg_ms,max_ms,sent,received" rows; the public-dataset format.
+  void write_csv(std::ostream& os) const;
+
+  /// Writes one JSON object per line in the RIPE-Atlas result style
+  /// ("prb_id", "dst_name", "timestamp" in seconds from campaign start,
+  /// "min"/"avg"/"max", "sent"/"rcvd", plus probe metadata). Lost bursts
+  /// emit min/avg/max of -1 like the real API.
+  void write_jsonl(std::ostream& os, int interval_hours = 3) const;
+
+  /// Loads a dataset previously written by write_csv, resolving probe ids
+  /// against `fleet` and (provider, region) pairs against `registry`.
+  /// Consistency-checks each row's country/access metadata against the
+  /// fleet and throws std::runtime_error on mismatch or malformed input —
+  /// loading a dataset against the wrong fleet seed must fail loudly.
+  static MeasurementDataset read_csv(std::istream& is, const ProbeFleet* fleet,
+                                     const topology::CloudRegistry* registry);
+
+ private:
+  const ProbeFleet* fleet_;
+  const topology::CloudRegistry* registry_;
+  std::vector<Measurement> records_;
+};
+
+}  // namespace shears::atlas

@@ -1,0 +1,208 @@
+#include "atlas/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "geo/city.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace shears::atlas {
+
+namespace {
+
+using geo::ConnectivityTier;
+using net::AccessTechnology;
+
+/// Access-technology mix per connectivity tier. Columns follow
+/// kAllAccessTechnologies order: ethernet, fibre, cable, dsl, wifi, lte, 5g.
+/// RIPE Atlas probes are predominantly wired-attached; the wireless share
+/// grows where fixed broadband is scarce. 5G host uplinks existed only in
+/// tier-1 countries during the campaign window.
+constexpr double kAccessMix[4][net::kAccessTechnologyCount] = {
+    /* T1 */ {0.32, 0.24, 0.17, 0.12, 0.08, 0.05, 0.02},
+    /* T2 */ {0.26, 0.15, 0.15, 0.24, 0.10, 0.10, 0.00},
+    /* T3 */ {0.20, 0.08, 0.10, 0.30, 0.13, 0.19, 0.00},
+    /* T4 */ {0.15, 0.03, 0.05, 0.32, 0.16, 0.29, 0.00},
+};
+
+/// Environment mix (home, office, core, datacenter); the datacenter column
+/// is overridden by PlacementConfig::privileged_fraction.
+constexpr double kEnvMixBase[3] = {0.72, 0.18, 0.10};
+
+/// Largest-remainder apportionment of `total` probes over country weights,
+/// guaranteeing at least one probe per country when total allows.
+std::vector<std::size_t> apportion(std::span<const geo::Country> countries,
+                                   std::size_t total) {
+  const std::size_t n = countries.size();
+  if (total < n) {
+    throw std::invalid_argument(
+        "ProbeFleet: probe_count must cover every country at least once");
+  }
+  std::vector<std::size_t> counts(n, 1);
+  std::size_t remaining = total - n;
+
+  double weight_sum = 0.0;
+  for (const geo::Country& c : countries) weight_sum += c.probe_weight;
+
+  std::vector<double> remainders(n, 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double share =
+        static_cast<double>(remaining) * countries[i].probe_weight / weight_sum;
+    const auto whole = static_cast<std::size_t>(std::floor(share));
+    counts[i] += whole;
+    assigned += whole;
+    remainders[i] = share - std::floor(share);
+  }
+  // Hand out the leftovers to the largest remainders (ties by index for
+  // determinism).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return remainders[a] > remainders[b];
+  });
+  for (std::size_t k = 0; assigned < remaining; ++k) {
+    counts[order[k % n]] += 1;
+    ++assigned;
+  }
+  return counts;
+}
+
+/// Offsets a site by (dx, dy) kilometres; good enough at probe-placement
+/// scale and keeps coordinates valid.
+geo::GeoPoint scatter_around(const geo::GeoPoint& site, double sigma_km,
+                             stats::Xoshiro256& rng) {
+  const double dx = stats::sample_normal(rng, 0.0, sigma_km);
+  const double dy = stats::sample_normal(rng, 0.0, sigma_km);
+  constexpr double kKmPerDegLat = 111.32;
+  geo::GeoPoint p = site;
+  p.lat_deg += dy / kKmPerDegLat;
+  const double cos_lat = std::cos(geo::deg_to_rad(p.lat_deg));
+  p.lon_deg += cos_lat > 0.05 ? dx / (kKmPerDegLat * cos_lat) : 0.0;
+  p.lat_deg = std::clamp(p.lat_deg, -85.0, 85.0);
+  while (p.lon_deg > 180.0) p.lon_deg -= 360.0;
+  while (p.lon_deg < -180.0) p.lon_deg += 360.0;
+  return p;
+}
+
+AccessTechnology draw_access(ConnectivityTier tier, stats::Xoshiro256& rng) {
+  const auto row = static_cast<std::size_t>(tier) - 1;
+  const std::size_t idx = stats::sample_weighted(
+      rng, kAccessMix[row], net::kAccessTechnologyCount);
+  return net::kAllAccessTechnologies[idx];
+}
+
+Environment draw_environment(double privileged_fraction,
+                             stats::Xoshiro256& rng) {
+  if (rng.bernoulli(privileged_fraction)) return Environment::kDatacenter;
+  const std::size_t idx = stats::sample_weighted(rng, kEnvMixBase, 3);
+  switch (idx) {
+    case 0: return Environment::kHome;
+    case 1: return Environment::kOffice;
+    default: return Environment::kCoreNetwork;
+  }
+}
+
+}  // namespace
+
+ProbeFleet ProbeFleet::generate(const PlacementConfig& config) {
+  const auto countries = geo::all_countries();
+  const std::vector<std::size_t> counts =
+      apportion(countries, config.probe_count);
+
+  std::vector<Probe> probes;
+  probes.reserve(config.probe_count);
+  stats::Xoshiro256 root(config.seed);
+
+  ProbeId next_id = 0;
+  for (std::size_t ci = 0; ci < countries.size(); ++ci) {
+    const geo::Country& country = countries[ci];
+    // Per-country stream: fleets of different sizes keep per-country draws
+    // aligned as far as counts allow.
+    stats::Xoshiro256 rng = root.fork(
+        stats::fnv1a64(country.iso2.data(), country.iso2.size()));
+    // Urban placement candidates, weighted by metro population.
+    const std::vector<const geo::City*> cities =
+        geo::cities_in(country.iso2);
+    std::vector<double> city_weights;
+    city_weights.reserve(cities.size());
+    for (const geo::City* city : cities) {
+      city_weights.push_back(city->metro_population_m);
+    }
+    for (std::size_t k = 0; k < counts[ci]; ++k) {
+      Probe p;
+      p.id = next_id++;
+      p.country = &country;
+      if (!cities.empty() && rng.bernoulli(config.urban_fraction)) {
+        const std::size_t pick = stats::sample_weighted(
+            rng, city_weights.data(), city_weights.size());
+        p.endpoint.location = scatter_around(
+            cities[pick]->location, config.urban_scatter_km, rng);
+      } else {
+        p.endpoint.location =
+            scatter_around(country.site, country.scatter_km, rng);
+      }
+      p.endpoint.tier = country.tier;
+      p.environment = draw_environment(config.privileged_fraction, rng);
+      if (p.environment == Environment::kCoreNetwork ||
+          p.environment == Environment::kDatacenter) {
+        // Infrastructure probes hang off switch fabric, not consumer links.
+        p.endpoint.access = AccessTechnology::kEthernet;
+      } else {
+        p.endpoint.access = draw_access(country.tier, rng);
+      }
+      // Attribute the probe to an access operator (mobile operators host
+      // the cellular probes) and inherit its latency quality.
+      const auto segment =
+          isps_in_segment(country, net::is_wireless(p.endpoint.access) &&
+                                       p.endpoint.access !=
+                                           net::AccessTechnology::kWifi);
+      if (!segment.empty()) {
+        std::vector<double> shares;
+        shares.reserve(segment.size());
+        for (const IspProfile* isp : segment) {
+          shares.push_back(isp->market_share);
+        }
+        p.isp = segment[stats::sample_weighted(rng, shares.data(),
+                                               shares.size())];
+        p.endpoint.access_quality = p.isp->quality;
+      }
+      const bool tagged = rng.bernoulli(config.tagged_fraction);
+      p.tags = make_tags(p.endpoint.access, p.environment, tagged);
+      probes.push_back(std::move(p));
+    }
+  }
+  return ProbeFleet(std::move(probes));
+}
+
+ProbeFleet ProbeFleet::from_probes(std::vector<Probe> probes) {
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    if (probes[i].id != i) {
+      throw std::invalid_argument("ProbeFleet: probe ids must equal indices");
+    }
+    if (probes[i].country == nullptr) {
+      throw std::invalid_argument("ProbeFleet: probe without a country");
+    }
+  }
+  return ProbeFleet(std::move(probes));
+}
+
+std::vector<const Probe*> ProbeFleet::in_continent(geo::Continent c) const {
+  std::vector<const Probe*> out;
+  for (const Probe& p : probes_) {
+    if (p.country->continent == c) out.push_back(&p);
+  }
+  return out;
+}
+
+std::size_t ProbeFleet::country_count() const {
+  std::set<std::string_view> seen;
+  for (const Probe& p : probes_) seen.insert(p.country->iso2);
+  return seen.size();
+}
+
+}  // namespace shears::atlas

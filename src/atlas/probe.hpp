@@ -1,0 +1,44 @@
+// Probe model: identity + placement + network attachment + tags.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "atlas/isp.hpp"
+#include "atlas/tags.hpp"
+#include "geo/country.hpp"
+#include "net/endpoint.hpp"
+
+namespace shears::atlas {
+
+using ProbeId = std::uint32_t;
+
+struct Probe {
+  ProbeId id = 0;
+  const geo::Country* country = nullptr;  ///< never null in a valid fleet
+  net::Endpoint endpoint;                 ///< location, tier, access tech
+  Environment environment = Environment::kHome;
+  /// The access operator hosting this probe (nullptr only for hand-built
+  /// test probes); quality is mirrored into endpoint.access_quality.
+  const IspProfile* isp = nullptr;
+  std::vector<std::string_view> tags;
+
+  /// Privileged probes (datacentre / cloud placement) are filtered from
+  /// every analysis, as in §4.1.
+  [[nodiscard]] bool privileged() const noexcept {
+    return environment == Environment::kDatacenter ||
+           has_any_tag(tags, privileged_tags());
+  }
+
+  /// Fig. 7 split: a probe participates only when its tags carry a wired
+  /// or wireless keyword.
+  [[nodiscard]] bool tagged_wired() const noexcept {
+    return has_any_tag(tags, wired_tags());
+  }
+  [[nodiscard]] bool tagged_wireless() const noexcept {
+    return has_any_tag(tags, wireless_tags());
+  }
+};
+
+}  // namespace shears::atlas

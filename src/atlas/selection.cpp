@@ -1,0 +1,56 @@
+#include "atlas/selection.hpp"
+
+#include <algorithm>
+
+namespace shears::atlas {
+
+namespace {
+
+bool matches(const Probe& probe, const ProbeFilter& filter) {
+  if (filter.exclude_privileged && probe.privileged()) return false;
+  if (filter.continent && probe.country->continent != *filter.continent) {
+    return false;
+  }
+  if (filter.country_iso2 && probe.country->iso2 != *filter.country_iso2) {
+    return false;
+  }
+  for (const std::string_view tag : filter.require_tags) {
+    if (std::find(probe.tags.begin(), probe.tags.end(), tag) ==
+        probe.tags.end()) {
+      return false;
+    }
+  }
+  for (const std::string_view tag : filter.exclude_tags) {
+    if (std::find(probe.tags.begin(), probe.tags.end(), tag) !=
+        probe.tags.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<const Probe*> select_probes(const ProbeFleet& fleet,
+                                        const ProbeFilter& filter) {
+  std::vector<const Probe*> out;
+  for (const Probe& probe : fleet.probes()) {
+    if (!matches(probe, filter)) continue;
+    out.push_back(&probe);
+    if (filter.limit != 0 && out.size() >= filter.limit) break;
+  }
+  return out;
+}
+
+std::size_t count_probes(const ProbeFleet& fleet, const ProbeFilter& filter) {
+  std::size_t count = 0;
+  for (const Probe& probe : fleet.probes()) {
+    if (matches(probe, filter)) {
+      ++count;
+      if (filter.limit != 0 && count >= filter.limit) break;
+    }
+  }
+  return count;
+}
+
+}  // namespace shears::atlas

@@ -1,0 +1,38 @@
+// Probe selection — the query side of the RIPE Atlas API: measurements
+// are declared against probe filters (area, country, tags), not explicit
+// probe lists. §4.1/§4.3 use exactly these filters (continental scoping,
+// access-type tags, privileged-location exclusion).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "atlas/placement.hpp"
+#include "geo/continent.hpp"
+
+namespace shears::atlas {
+
+struct ProbeFilter {
+  std::optional<geo::Continent> continent;
+  std::optional<std::string> country_iso2;
+  /// Every listed tag must be present.
+  std::vector<std::string_view> require_tags;
+  /// No listed tag may be present.
+  std::vector<std::string_view> exclude_tags;
+  /// Drop datacentre/cloud probes (the study's default).
+  bool exclude_privileged = true;
+  /// Keep at most this many probes (0 = unlimited); selection is stable
+  /// (fleet order), like requesting N probes from an area.
+  std::size_t limit = 0;
+};
+
+/// Applies the filter over a fleet; stable order, no duplicates.
+[[nodiscard]] std::vector<const Probe*> select_probes(const ProbeFleet& fleet,
+                                                      const ProbeFilter& filter);
+
+/// Number of probes matching without materialising the selection.
+[[nodiscard]] std::size_t count_probes(const ProbeFleet& fleet,
+                                       const ProbeFilter& filter);
+
+}  // namespace shears::atlas

@@ -1,0 +1,65 @@
+#include "atlas/tags.hpp"
+
+#include <array>
+
+namespace shears::atlas {
+
+namespace {
+
+constexpr std::array<std::string_view, 3> kPrivileged = {"datacentre",
+                                                         "cloud", "hosting"};
+constexpr std::array<std::string_view, 5> kWired = {"ethernet", "broadband",
+                                                    "dsl", "cable", "fibre"};
+constexpr std::array<std::string_view, 4> kWireless = {"wifi", "wlan", "lte",
+                                                       "5g"};
+
+}  // namespace
+
+std::span<const std::string_view> privileged_tags() noexcept {
+  return kPrivileged;
+}
+std::span<const std::string_view> wired_tags() noexcept { return kWired; }
+std::span<const std::string_view> wireless_tags() noexcept { return kWireless; }
+
+std::string_view primary_tag_for(net::AccessTechnology t) noexcept {
+  switch (t) {
+    case net::AccessTechnology::kEthernet: return "ethernet";
+    case net::AccessTechnology::kFibre: return "fibre";
+    case net::AccessTechnology::kCable: return "cable";
+    case net::AccessTechnology::kDsl: return "dsl";
+    case net::AccessTechnology::kWifi: return "wifi";
+    case net::AccessTechnology::kLte: return "lte";
+    case net::AccessTechnology::kFiveG: return "5g";
+  }
+  return "unknown";
+}
+
+std::vector<std::string_view> make_tags(net::AccessTechnology access,
+                                        Environment env, bool tagged) {
+  std::vector<std::string_view> tags;
+  if (env == Environment::kDatacenter) tags.push_back("datacentre");
+  if (!tagged) return tags;
+  tags.push_back(primary_tag_for(access));
+  // Hosts tag generously: wired broadband flavours usually also carry the
+  // generic keyword, and WiFi probes frequently carry both spellings.
+  if (access == net::AccessTechnology::kDsl ||
+      access == net::AccessTechnology::kCable ||
+      access == net::AccessTechnology::kFibre) {
+    tags.push_back("broadband");
+  }
+  if (access == net::AccessTechnology::kWifi) tags.push_back("wlan");
+  tags.push_back(to_string(env));
+  return tags;
+}
+
+bool has_any_tag(std::span<const std::string_view> tags,
+                 std::span<const std::string_view> vocabulary) noexcept {
+  for (const std::string_view t : tags) {
+    for (const std::string_view v : vocabulary) {
+      if (t == v) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace shears::atlas

@@ -1,0 +1,61 @@
+// Probe tags, mirroring RIPE Atlas's user/system tag vocabulary (§4.1,
+// §4.3). The study uses tags for two filters:
+//   * dropping probes in privileged locations (datacentre / cloud tags),
+//   * splitting wired (ethernet, broadband, dsl, cable, fibre) from
+//     wireless (wifi, wlan, lte, 5g) last miles for Fig. 7.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "net/access.hpp"
+
+namespace shears::atlas {
+
+/// Where a probe is installed; drives the privileged-location filter and
+/// part of the tag set.
+enum class Environment : unsigned char {
+  kHome = 0,
+  kOffice,
+  kCoreNetwork,   ///< ISP core / IXP — well connected but not privileged
+  kDatacenter,    ///< privileged: inside a DC or cloud network
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Environment e) noexcept {
+  switch (e) {
+    case Environment::kHome: return "home";
+    case Environment::kOffice: return "office";
+    case Environment::kCoreNetwork: return "core";
+    case Environment::kDatacenter: return "datacentre";
+  }
+  return "unknown";
+}
+
+/// Tags that mark a probe as sitting in a privileged location; such probes
+/// are excluded from all §4 analyses.
+[[nodiscard]] std::span<const std::string_view> privileged_tags() noexcept;
+
+/// Tag keywords indicating a wired last mile.
+[[nodiscard]] std::span<const std::string_view> wired_tags() noexcept;
+
+/// Tag keywords indicating a wireless last mile.
+[[nodiscard]] std::span<const std::string_view> wireless_tags() noexcept;
+
+/// The tag a probe host would typically attach for an access technology
+/// (RIPE Atlas tag vocabulary: "ethernet", "dsl", "cable", "fibre",
+/// "wifi" / "wlan", "lte", "5g"; generic "broadband" also appears).
+[[nodiscard]] std::string_view primary_tag_for(net::AccessTechnology t) noexcept;
+
+/// Builds the full tag set of a probe. `tagged` models the reality that
+/// only part of the probe population carries useful user tags — untagged
+/// probes get an empty access vocabulary and drop out of Fig. 7 (but not
+/// of Figs. 4-6).
+[[nodiscard]] std::vector<std::string_view> make_tags(
+    net::AccessTechnology access, Environment env, bool tagged);
+
+/// True when any tag of `tags` appears in `vocabulary`.
+[[nodiscard]] bool has_any_tag(std::span<const std::string_view> tags,
+                               std::span<const std::string_view> vocabulary) noexcept;
+
+}  // namespace shears::atlas

@@ -1,0 +1,157 @@
+#include "config/ini.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace shears::config {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("ini: line " + std::to_string(line) + ": " +
+                           message);
+}
+
+}  // namespace
+
+IniFile IniFile::parse(std::istream& is) {
+  IniFile file;
+  std::string line;
+  std::string section;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments (naive: no quoted values in this dialect).
+    const auto comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line.erase(comment);
+    const std::string text = trim(line);
+    if (text.empty()) continue;
+    if (text.front() == '[') {
+      if (text.back() != ']' || text.size() < 3) {
+        fail(line_no, "malformed section header");
+      }
+      section = lower(trim(text.substr(1, text.size() - 2)));
+      continue;
+    }
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected key = value");
+    const std::string key = lower(trim(text.substr(0, eq)));
+    const std::string value = trim(text.substr(eq + 1));
+    if (key.empty()) fail(line_no, "empty key");
+    const std::string id = section.empty() ? key : section + "." + key;
+    if (!file.values_.emplace(id, value).second) {
+      fail(line_no, "duplicate key '" + id + "'");
+    }
+  }
+  return file;
+}
+
+IniFile IniFile::parse_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+std::optional<std::string> IniFile::raw(const std::string& section,
+                                        const std::string& key) const {
+  const std::string id =
+      section.empty() ? lower(key) : lower(section) + "." + lower(key);
+  const auto it = values_.find(id);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string IniFile::get_string(const std::string& section,
+                                const std::string& key,
+                                const std::string& fallback) const {
+  return raw(section, key).value_or(fallback);
+}
+
+double IniFile::get_double(const std::string& section, const std::string& key,
+                           double fallback) const {
+  const auto value = raw(section, key);
+  if (!value) return fallback;
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(*value, &used);
+    if (used != value->size()) throw std::invalid_argument("trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error("ini: key '" + section + "." + key +
+                             "' is not a number: " + *value);
+  }
+}
+
+long IniFile::get_int(const std::string& section, const std::string& key,
+                      long fallback) const {
+  const auto value = raw(section, key);
+  if (!value) return fallback;
+  try {
+    std::size_t used = 0;
+    const long parsed = std::stol(*value, &used);
+    if (used != value->size()) throw std::invalid_argument("trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error("ini: key '" + section + "." + key +
+                             "' is not an integer: " + *value);
+  }
+}
+
+bool IniFile::get_bool(const std::string& section, const std::string& key,
+                       bool fallback) const {
+  const auto value = raw(section, key);
+  if (!value) return fallback;
+  const std::string v = lower(*value);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  throw std::runtime_error("ini: key '" + section + "." + key +
+                           "' is not a boolean: " + *value);
+}
+
+std::vector<std::string> IniFile::get_list(const std::string& section,
+                                           const std::string& key) const {
+  std::vector<std::string> out;
+  const auto value = raw(section, key);
+  if (!value) return out;
+  std::istringstream is(*value);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const std::string trimmed = trim(item);
+    if (!trimmed.empty()) out.push_back(trimmed);
+  }
+  return out;
+}
+
+std::set<std::string> IniFile::keys() const {
+  std::set<std::string> out;
+  for (const auto& [id, value] : values_) out.insert(id);
+  return out;
+}
+
+void IniFile::require_only(const std::set<std::string>& allowed) const {
+  std::string unknown;
+  for (const auto& [id, value] : values_) {
+    if (allowed.count(id) == 0) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += id;
+    }
+  }
+  if (!unknown.empty()) {
+    throw std::runtime_error("ini: unknown keys: " + unknown);
+  }
+}
+
+}  // namespace shears::config

@@ -1,0 +1,56 @@
+// A minimal INI reader for scenario files — sections, `key = value`
+// pairs, `#`/`;` comments. Strict by design: scenario typos must fail
+// loudly, so consumers can enumerate the keys they understand and reject
+// the rest.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace shears::config {
+
+class IniFile {
+ public:
+  /// Parses INI text; throws std::runtime_error with a line number on
+  /// malformed input (unterminated section, missing '=', duplicate key).
+  static IniFile parse(std::istream& is);
+  static IniFile parse_string(const std::string& text);
+
+  /// Raw lookup; nullopt when absent. Keys are "section.key" with the
+  /// empty section spelled as just "key".
+  [[nodiscard]] std::optional<std::string> raw(const std::string& section,
+                                               const std::string& key) const;
+
+  /// Typed getters: return `fallback` when the key is absent, throw
+  /// std::runtime_error when present but unparsable.
+  [[nodiscard]] std::string get_string(const std::string& section,
+                                       const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& section,
+                                  const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] long get_int(const std::string& section,
+                             const std::string& key, long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& section,
+                              const std::string& key, bool fallback) const;
+
+  /// Comma-separated list value; empty when absent.
+  [[nodiscard]] std::vector<std::string> get_list(const std::string& section,
+                                                  const std::string& key) const;
+
+  /// All "section.key" identifiers present in the file.
+  [[nodiscard]] std::set<std::string> keys() const;
+
+  /// Throws std::runtime_error listing any present key not in `allowed`
+  /// ("section.key" spelling). Call after reading everything you accept.
+  void require_only(const std::set<std::string>& allowed) const;
+
+ private:
+  std::map<std::string, std::string> values_;  ///< "section.key" -> value
+};
+
+}  // namespace shears::config

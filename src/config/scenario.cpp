@@ -1,0 +1,184 @@
+#include "config/scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "config/ini.hpp"
+
+namespace shears::config {
+
+namespace {
+
+const std::set<std::string>& allowed_keys() {
+  static const std::set<std::string> keys = {
+      "name",
+      "fleet.probes", "fleet.seed", "fleet.tagged_fraction",
+      "fleet.privileged_fraction",
+      "campaign.days", "campaign.interval_hours", "campaign.packets",
+      "campaign.targets_per_tick", "campaign.uptime", "campaign.seed",
+      "campaign.threads",
+      "model.wireless_scale", "model.excess_fraction", "model.excess_spread",
+      "model.spike_probability", "model.core_loss_rate",
+      "model.diurnal_amplitude", "model.diurnal_peak_hour",
+      "path.fibre_us_per_km", "path.long_haul_stretch", "path.min_routed_km",
+      "path.per_hop_ms",
+      "footprint.year", "footprint.providers",
+  };
+  return keys;
+}
+
+void check_range(bool ok, const std::string& what) {
+  if (!ok) throw std::runtime_error("scenario: " + what + " out of range");
+}
+
+}  // namespace
+
+topology::CloudRegistry Scenario::make_registry() const {
+  if (!providers.empty()) {
+    // Provider subset first; then intersect with the year snapshot.
+    if (footprint_year == 0) {
+      return topology::CloudRegistry::for_providers(providers);
+    }
+    std::vector<const topology::CloudRegion*> regions;
+    for (const topology::CloudRegion& r : topology::all_regions()) {
+      if (r.launch_year > footprint_year) continue;
+      for (const topology::CloudProvider p : providers) {
+        if (r.provider == p) {
+          regions.push_back(&r);
+          break;
+        }
+      }
+    }
+    return topology::CloudRegistry(std::move(regions));
+  }
+  return footprint_year == 0
+             ? topology::CloudRegistry::campaign_footprint()
+             : topology::CloudRegistry::footprint_as_of(footprint_year);
+}
+
+Scenario parse_scenario(std::istream& is) {
+  const IniFile ini = IniFile::parse(is);
+  ini.require_only(allowed_keys());
+
+  Scenario s;
+  s.name = ini.get_string("", "name", s.name);
+
+  s.fleet.probe_count = static_cast<std::size_t>(
+      ini.get_int("fleet", "probes",
+                  static_cast<long>(s.fleet.probe_count)));
+  s.fleet.seed = static_cast<std::uint64_t>(
+      ini.get_int("fleet", "seed", static_cast<long>(s.fleet.seed)));
+  s.fleet.tagged_fraction =
+      ini.get_double("fleet", "tagged_fraction", s.fleet.tagged_fraction);
+  s.fleet.privileged_fraction = ini.get_double("fleet", "privileged_fraction",
+                                               s.fleet.privileged_fraction);
+  check_range(s.fleet.tagged_fraction >= 0.0 && s.fleet.tagged_fraction <= 1.0,
+              "fleet.tagged_fraction");
+  check_range(
+      s.fleet.privileged_fraction >= 0.0 && s.fleet.privileged_fraction <= 1.0,
+      "fleet.privileged_fraction");
+
+  s.campaign.duration_days = static_cast<int>(
+      ini.get_int("campaign", "days", s.campaign.duration_days));
+  s.campaign.interval_hours = static_cast<int>(
+      ini.get_int("campaign", "interval_hours", s.campaign.interval_hours));
+  s.campaign.packets_per_ping = static_cast<int>(
+      ini.get_int("campaign", "packets", s.campaign.packets_per_ping));
+  s.campaign.targets_per_tick = static_cast<int>(ini.get_int(
+      "campaign", "targets_per_tick", s.campaign.targets_per_tick));
+  s.campaign.probe_uptime =
+      ini.get_double("campaign", "uptime", s.campaign.probe_uptime);
+  s.campaign.seed = static_cast<std::uint64_t>(
+      ini.get_int("campaign", "seed", static_cast<long>(s.campaign.seed)));
+  s.campaign.threads = static_cast<unsigned>(
+      ini.get_int("campaign", "threads", s.campaign.threads));
+  check_range(s.campaign.duration_days > 0, "campaign.days");
+  check_range(s.campaign.interval_hours > 0 && s.campaign.interval_hours <= 24,
+              "campaign.interval_hours");
+  check_range(s.campaign.probe_uptime > 0.0 && s.campaign.probe_uptime <= 1.0,
+              "campaign.uptime");
+
+  s.model.wireless_latency_scale = ini.get_double(
+      "model", "wireless_scale", s.model.wireless_latency_scale);
+  s.model.excess_fraction =
+      ini.get_double("model", "excess_fraction", s.model.excess_fraction);
+  s.model.excess_spread =
+      ini.get_double("model", "excess_spread", s.model.excess_spread);
+  s.model.spike_probability =
+      ini.get_double("model", "spike_probability", s.model.spike_probability);
+  s.model.core_loss_rate =
+      ini.get_double("model", "core_loss_rate", s.model.core_loss_rate);
+  s.model.diurnal_amplitude =
+      ini.get_double("model", "diurnal_amplitude", s.model.diurnal_amplitude);
+  s.model.diurnal_peak_hour =
+      ini.get_double("model", "diurnal_peak_hour", s.model.diurnal_peak_hour);
+  check_range(s.model.wireless_latency_scale > 0.0, "model.wireless_scale");
+  check_range(s.model.core_loss_rate >= 0.0 && s.model.core_loss_rate < 1.0,
+              "model.core_loss_rate");
+
+  s.model.path.fibre_us_per_km = ini.get_double(
+      "path", "fibre_us_per_km", s.model.path.fibre_us_per_km);
+  s.model.path.long_haul_stretch = ini.get_double(
+      "path", "long_haul_stretch", s.model.path.long_haul_stretch);
+  s.model.path.min_routed_km =
+      ini.get_double("path", "min_routed_km", s.model.path.min_routed_km);
+  s.model.path.per_hop_ms =
+      ini.get_double("path", "per_hop_ms", s.model.path.per_hop_ms);
+  check_range(s.model.path.fibre_us_per_km > 3.3, "path.fibre_us_per_km");
+
+  s.footprint_year =
+      static_cast<int>(ini.get_int("footprint", "year", s.footprint_year));
+  for (const std::string& name : ini.get_list("footprint", "providers")) {
+    const auto provider = topology::provider_from_string(name);
+    if (!provider) {
+      throw std::runtime_error("scenario: unknown provider '" + name + "'");
+    }
+    s.providers.push_back(*provider);
+  }
+  return s;
+}
+
+Scenario parse_scenario_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_scenario(is);
+}
+
+std::string default_scenario_text() {
+  const Scenario s;
+  std::ostringstream out;
+  out << "# latency-shears scenario file (all keys optional)\n"
+      << "name = default\n\n"
+      << "[fleet]\n"
+      << "probes = " << s.fleet.probe_count << "\n"
+      << "seed = " << s.fleet.seed << "\n"
+      << "tagged_fraction = " << s.fleet.tagged_fraction << "\n"
+      << "privileged_fraction = " << s.fleet.privileged_fraction << "\n\n"
+      << "[campaign]\n"
+      << "days = " << s.campaign.duration_days << "\n"
+      << "interval_hours = " << s.campaign.interval_hours << "\n"
+      << "packets = " << s.campaign.packets_per_ping << "\n"
+      << "targets_per_tick = " << s.campaign.targets_per_tick << "\n"
+      << "uptime = " << s.campaign.probe_uptime << "\n"
+      << "seed = " << s.campaign.seed << "\n"
+      << "threads = " << s.campaign.threads << "  ; 0 = hardware\n\n"
+      << "[model]\n"
+      << "wireless_scale = " << s.model.wireless_latency_scale
+      << "  ; <1 = the 5G what-if\n"
+      << "excess_fraction = " << s.model.excess_fraction << "\n"
+      << "excess_spread = " << s.model.excess_spread << "\n"
+      << "spike_probability = " << s.model.spike_probability << "\n"
+      << "core_loss_rate = " << s.model.core_loss_rate << "\n"
+      << "diurnal_amplitude = " << s.model.diurnal_amplitude << "\n"
+      << "diurnal_peak_hour = " << s.model.diurnal_peak_hour << "\n\n"
+      << "[path]\n"
+      << "fibre_us_per_km = " << s.model.path.fibre_us_per_km << "\n"
+      << "long_haul_stretch = " << s.model.path.long_haul_stretch << "\n"
+      << "min_routed_km = " << s.model.path.min_routed_km << "\n"
+      << "per_hop_ms = " << s.model.path.per_hop_ms << "\n\n"
+      << "[footprint]\n"
+      << "year = 0        ; 0 = full 2019/2020 footprint\n"
+      << "# providers = Amazon, Google   ; default: all seven\n";
+  return out.str();
+}
+
+}  // namespace shears::config

@@ -1,0 +1,54 @@
+// Scenario files: one INI file describes a complete experiment — fleet,
+// schedule, latency-model knobs, and the cloud footprint — so studies can
+// be rerun and varied without recompiling. Strict parsing: any unknown
+// key aborts (catches typos in sweeps).
+//
+// Example:
+//   [fleet]
+//   probes = 3200
+//   seed = 42
+//   [campaign]
+//   days = 30
+//   interval_hours = 3
+//   uptime = 0.97
+//   [model]
+//   wireless_scale = 0.5      ; the 5G what-if
+//   diurnal_amplitude = 0.15
+//   [footprint]
+//   year = 2016               ; historical snapshot
+//   providers = Amazon, Google
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "atlas/campaign.hpp"
+#include "atlas/placement.hpp"
+#include "net/latency_model.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::config {
+
+struct Scenario {
+  std::string name = "default";
+  atlas::PlacementConfig fleet{};
+  atlas::CampaignConfig campaign{};
+  net::LatencyModelConfig model{};
+  /// Footprint snapshot year; 0 = the full campaign footprint.
+  int footprint_year = 0;
+  /// Provider subset; empty = all seven.
+  std::vector<topology::CloudProvider> providers{};
+
+  /// Materialises the registry described by year/providers.
+  [[nodiscard]] topology::CloudRegistry make_registry() const;
+};
+
+/// Parses a scenario file; throws std::runtime_error on malformed input,
+/// unknown keys, unknown provider names, or out-of-range values.
+[[nodiscard]] Scenario parse_scenario(std::istream& is);
+[[nodiscard]] Scenario parse_scenario_string(const std::string& text);
+
+/// The default scenario as a commented INI document (for --print-default).
+[[nodiscard]] std::string default_scenario_text();
+
+}  // namespace shears::config

@@ -1,0 +1,109 @@
+#include "core/access_comparison.hpp"
+
+#include <map>
+
+#include "core/analysis.hpp"
+#include "stats/ecdf.hpp"
+
+namespace shears::core {
+
+namespace {
+
+enum class Kind : unsigned char { kNone, kWired, kWireless };
+
+Kind kind_of(const atlas::Probe& probe) {
+  // A probe with contradictory tags (both vocabularies) is ambiguous and
+  // excluded, like in the paper's conservative filter.
+  const bool wired = probe.tagged_wired();
+  const bool wireless = probe.tagged_wireless();
+  if (wired == wireless) return Kind::kNone;
+  return wired ? Kind::kWired : Kind::kWireless;
+}
+
+std::vector<std::pair<double, double>> bucket_medians(
+    const std::map<std::uint32_t, std::vector<double>>& buckets) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(buckets.size());
+  for (const auto& [bucket, values] : buckets) {
+    out.emplace_back(static_cast<double>(bucket),
+                     stats::Ecdf(values).median());
+  }
+  return out;
+}
+
+}  // namespace
+
+AccessComparison compare_access(const atlas::MeasurementDataset& dataset,
+                                AccessComparisonOptions options) {
+  const AnalysisOptions analysis_options{options.exclude_privileged};
+  const std::vector<ProbeBest> best = per_probe_best(dataset, analysis_options);
+
+  // Pass 1: which countries host both wired- and wireless-tagged,
+  // non-privileged probes with at least one valid burst?
+  const auto countries = geo::all_countries();
+  std::vector<unsigned char> has_wired(countries.size(), 0);
+  std::vector<unsigned char> has_wireless(countries.size(), 0);
+  auto country_idx = [&](const geo::Country* c) {
+    return static_cast<std::size_t>(c - countries.data());
+  };
+  for (const atlas::Probe& probe : dataset.fleet().probes()) {
+    if (options.exclude_privileged && probe.privileged()) continue;
+    if (!best[probe.id].valid) continue;
+    switch (kind_of(probe)) {
+      case Kind::kWired: has_wired[country_idx(probe.country)] = 1; break;
+      case Kind::kWireless: has_wireless[country_idx(probe.country)] = 1; break;
+      case Kind::kNone: break;
+    }
+  }
+
+  auto comparable = [&](const atlas::Probe& probe) {
+    const std::size_t idx = country_idx(probe.country);
+    return has_wired[idx] != 0 && has_wireless[idx] != 0;
+  };
+
+  // Pass 2: collect bursts to each probe's best region.
+  AccessComparison result;
+  std::map<std::uint32_t, std::vector<double>> wired_buckets;
+  std::map<std::uint32_t, std::vector<double>> wireless_buckets;
+  std::vector<unsigned char> counted(dataset.fleet().size(), 0);
+
+  for (const atlas::Measurement& m : dataset.records()) {
+    if (m.lost()) continue;
+    const ProbeBest& b = best[m.probe_id];
+    if (!b.valid || m.region_index != b.region_index) continue;
+    const atlas::Probe& probe = dataset.probe_of(m);
+    if (options.exclude_privileged && probe.privileged()) continue;
+    const Kind kind = kind_of(probe);
+    if (kind == Kind::kNone || !comparable(probe)) continue;
+
+    const std::uint32_t bucket =
+        options.bucket_ticks > 0 ? m.tick / options.bucket_ticks : m.tick;
+    if (kind == Kind::kWired) {
+      result.wired.push_back(m.min_ms);
+      wired_buckets[bucket].push_back(m.min_ms);
+    } else {
+      result.wireless.push_back(m.min_ms);
+      wireless_buckets[bucket].push_back(m.min_ms);
+    }
+    if (!counted[m.probe_id]) {
+      counted[m.probe_id] = 1;
+      if (kind == Kind::kWired) {
+        ++result.wired_probe_count;
+      } else {
+        ++result.wireless_probe_count;
+      }
+    }
+  }
+
+  result.wired_over_time = bucket_medians(wired_buckets);
+  result.wireless_over_time = bucket_medians(wireless_buckets);
+  result.wired_median = stats::Ecdf(result.wired).median();
+  result.wireless_median = stats::Ecdf(result.wireless).median();
+  result.median_ratio = result.wired_median > 0.0
+                            ? result.wireless_median / result.wired_median
+                            : 0.0;
+  result.added_latency_ms = result.wireless_median - result.wired_median;
+  return result;
+}
+
+}  // namespace shears::core

@@ -1,0 +1,46 @@
+// Fig. 7 — wired vs wireless last-mile comparison.
+//
+// Mirrors the paper's filter chain: keep probes whose user tags identify
+// the access link (ethernet/broadband/dsl/cable/fibre vs wifi/wlan/lte/5g),
+// drop privileged probes, and keep only countries hosting *both* kinds so
+// the populations are regionally comparable. The compared quantity is each
+// burst's min RTT to the probe's best (nearest) cloud region, tracked over
+// campaign time and summarised as medians plus the wireless/wired ratio.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "atlas/measurement.hpp"
+
+namespace shears::core {
+
+struct AccessComparisonOptions {
+  /// Scheduler ticks per time bucket of the longitudinal series; 8 ticks
+  /// at the default 3 h interval = one day.
+  std::uint32_t bucket_ticks = 8;
+  bool exclude_privileged = true;
+};
+
+struct AccessComparison {
+  std::vector<double> wired;     ///< burst min RTTs, wired probes
+  std::vector<double> wireless;  ///< burst min RTTs, wireless probes
+  /// Median RTT per time bucket (x = bucket index), for the Fig. 7 curves.
+  std::vector<std::pair<double, double>> wired_over_time;
+  std::vector<std::pair<double, double>> wireless_over_time;
+  std::size_t wired_probe_count = 0;
+  std::size_t wireless_probe_count = 0;
+  double wired_median = 0.0;
+  double wireless_median = 0.0;
+  /// wireless_median / wired_median; the paper reports ~2.5x.
+  double median_ratio = 0.0;
+  /// wireless - wired median difference (the "10-40 ms added" claim).
+  double added_latency_ms = 0.0;
+};
+
+[[nodiscard]] AccessComparison compare_access(
+    const atlas::MeasurementDataset& dataset,
+    AccessComparisonOptions options = {});
+
+}  // namespace shears::core

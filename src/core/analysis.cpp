@@ -1,0 +1,288 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "apps/thresholds.hpp"
+#include "net/latency_model.hpp"
+#include "stats/ecdf.hpp"
+
+namespace shears::core {
+
+namespace {
+
+/// Index of a country inside the embedded registry (pointer arithmetic is
+/// valid: all Country objects live in one contiguous table).
+std::size_t country_index(const geo::Country* c) noexcept {
+  return static_cast<std::size_t>(c - geo::all_countries().data());
+}
+
+bool skip_probe(const atlas::Probe& probe, const AnalysisOptions& options) {
+  return options.exclude_privileged && probe.privileged();
+}
+
+}  // namespace
+
+std::vector<CountryMinLatency> country_min_latency(
+    const atlas::MeasurementDataset& dataset, AnalysisOptions options) {
+  const auto countries = geo::all_countries();
+  struct Acc {
+    double min = std::numeric_limits<double>::infinity();
+    const topology::CloudRegion* region = nullptr;
+    std::vector<bool> seen_probe;
+    std::size_t probes = 0;
+  };
+  std::vector<Acc> acc(countries.size());
+  for (auto& a : acc) a.seen_probe.assign(dataset.fleet().size(), false);
+
+  for (const atlas::Measurement& m : dataset.records()) {
+    const atlas::Probe& probe = dataset.probe_of(m);
+    if (skip_probe(probe, options)) continue;
+    Acc& a = acc[country_index(probe.country)];
+    if (!a.seen_probe[m.probe_id]) {
+      a.seen_probe[m.probe_id] = true;
+      ++a.probes;
+    }
+    if (m.lost()) continue;
+    if (m.min_ms < a.min) {
+      a.min = m.min_ms;
+      a.region = &dataset.region_of(m);
+    }
+  }
+
+  std::vector<CountryMinLatency> out;
+  for (std::size_t i = 0; i < countries.size(); ++i) {
+    if (acc[i].region == nullptr) continue;  // no successful measurement
+    out.push_back({&countries[i], acc[i].min, acc[i].region, acc[i].probes});
+  }
+  return out;
+}
+
+LatencyBands band_country_latencies(
+    const std::vector<CountryMinLatency>& rows) noexcept {
+  LatencyBands bands;
+  for (const CountryMinLatency& row : rows) {
+    if (row.min_rtt_ms < 10.0) {
+      ++bands.under_10;
+    } else if (row.min_rtt_ms < 20.0) {
+      ++bands.from_10_to_20;
+    } else if (row.min_rtt_ms < 50.0) {
+      ++bands.from_20_to_50;
+    } else if (row.min_rtt_ms < 100.0) {
+      ++bands.from_50_to_100;
+    } else {
+      ++bands.over_100;
+    }
+  }
+  return bands;
+}
+
+std::vector<ProbeBest> per_probe_best(const atlas::MeasurementDataset& dataset,
+                                      AnalysisOptions options) {
+  std::vector<ProbeBest> best(dataset.fleet().size());
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    best[i].probe_id = static_cast<atlas::ProbeId>(i);
+  }
+  for (const atlas::Measurement& m : dataset.records()) {
+    if (m.lost()) continue;
+    const atlas::Probe& probe = dataset.probe_of(m);
+    if (skip_probe(probe, options)) continue;
+    ProbeBest& b = best[m.probe_id];
+    if (!b.valid || m.min_ms < b.min_ms) {
+      b.valid = true;
+      b.min_ms = m.min_ms;
+      b.region_index = m.region_index;
+    }
+  }
+  return best;
+}
+
+std::array<std::vector<double>, geo::kContinentCount> min_rtt_by_continent(
+    const atlas::MeasurementDataset& dataset, AnalysisOptions options) {
+  std::array<std::vector<double>, geo::kContinentCount> out;
+  const std::vector<ProbeBest> best = per_probe_best(dataset, options);
+  for (const ProbeBest& b : best) {
+    if (!b.valid) continue;
+    const atlas::Probe& probe = dataset.fleet().probe(b.probe_id);
+    out[geo::index_of(probe.country->continent)].push_back(b.min_ms);
+  }
+  return out;
+}
+
+std::array<std::vector<double>, geo::kContinentCount>
+best_region_samples_by_continent(const atlas::MeasurementDataset& dataset,
+                                 AnalysisOptions options) {
+  std::array<std::vector<double>, geo::kContinentCount> out;
+  const std::vector<ProbeBest> best = per_probe_best(dataset, options);
+  for (const atlas::Measurement& m : dataset.records()) {
+    if (m.lost()) continue;
+    const ProbeBest& b = best[m.probe_id];
+    if (!b.valid || m.region_index != b.region_index) continue;
+    const atlas::Probe& probe = dataset.probe_of(m);
+    if (skip_probe(probe, options)) continue;
+    out[geo::index_of(probe.country->continent)].push_back(m.min_ms);
+  }
+  return out;
+}
+
+int DiurnalProfile::peak_hour() const noexcept {
+  int best = -1;
+  double best_median = -1.0;
+  for (int h = 0; h < 24; ++h) {
+    if (count[static_cast<std::size_t>(h)] == 0) continue;
+    if (median_ms[static_cast<std::size_t>(h)] > best_median) {
+      best_median = median_ms[static_cast<std::size_t>(h)];
+      best = h;
+    }
+  }
+  return best;
+}
+
+double DiurnalProfile::peak_to_trough() const noexcept {
+  double hi = -1.0;
+  double lo = std::numeric_limits<double>::infinity();
+  for (int h = 0; h < 24; ++h) {
+    if (count[static_cast<std::size_t>(h)] == 0) continue;
+    hi = std::max(hi, median_ms[static_cast<std::size_t>(h)]);
+    lo = std::min(lo, median_ms[static_cast<std::size_t>(h)]);
+  }
+  return (hi > 0.0 && lo > 0.0 && lo < hi) ? hi / lo : 1.0;
+}
+
+DiurnalProfile diurnal_profile(const atlas::MeasurementDataset& dataset,
+                               int interval_hours, AnalysisOptions options) {
+  std::array<std::vector<double>, 24> buckets;
+  const std::vector<ProbeBest> best = per_probe_best(dataset, options);
+  for (const atlas::Measurement& m : dataset.records()) {
+    if (m.lost()) continue;
+    const ProbeBest& b = best[m.probe_id];
+    if (!b.valid || m.region_index != b.region_index) continue;
+    const atlas::Probe& probe = dataset.probe_of(m);
+    if (skip_probe(probe, options)) continue;
+    const double utc_hour = static_cast<double>(
+        (static_cast<std::uint64_t>(m.tick) * interval_hours) % 24);
+    const double local =
+        net::local_hour_at(utc_hour, probe.endpoint.location.lon_deg);
+    auto hour = static_cast<std::size_t>(local);
+    if (hour >= 24) hour = 23;
+    buckets[hour].push_back(m.min_ms);
+  }
+  DiurnalProfile profile;
+  for (std::size_t h = 0; h < 24; ++h) {
+    profile.count[h] = buckets[h].size();
+    if (!buckets[h].empty()) {
+      profile.median_ms[h] = stats::Ecdf(std::move(buckets[h])).median();
+    }
+  }
+  return profile;
+}
+
+PopulationCoverage population_coverage(
+    const std::vector<CountryMinLatency>& rows) {
+  PopulationCoverage cov;
+  cov.world_population_m = geo::world_population_m();
+  double mtp = 0.0;
+  double pl = 0.0;
+  double hrt = 0.0;
+  for (const CountryMinLatency& row : rows) {
+    cov.measured_population_m += row.country->population_m;
+    if (row.min_rtt_ms <= apps::kMotionToPhotonMs) mtp += row.country->population_m;
+    if (row.min_rtt_ms <= apps::kPerceivableLatencyMs) pl += row.country->population_m;
+    if (row.min_rtt_ms <= apps::kHumanReactionTimeMs) hrt += row.country->population_m;
+  }
+  if (cov.world_population_m > 0.0) {
+    cov.under_mtp = mtp / cov.world_population_m;
+    cov.under_pl = pl / cov.world_population_m;
+    cov.under_hrt = hrt / cov.world_population_m;
+  }
+  return cov;
+}
+
+std::vector<RegionView> server_side_view(
+    const atlas::MeasurementDataset& dataset, AnalysisOptions options) {
+  const std::vector<ProbeBest> best = per_probe_best(dataset, options);
+  const auto& regions = dataset.registry().regions();
+  std::vector<std::vector<double>> samples(regions.size());
+  std::vector<std::vector<bool>> seen(regions.size());
+  for (auto& s : seen) s.assign(dataset.fleet().size(), false);
+  std::vector<std::size_t> clients(regions.size(), 0);
+
+  for (const atlas::Measurement& m : dataset.records()) {
+    if (m.lost()) continue;
+    const ProbeBest& b = best[m.probe_id];
+    if (!b.valid || m.region_index != b.region_index) continue;
+    const atlas::Probe& probe = dataset.probe_of(m);
+    if (skip_probe(probe, options)) continue;
+    samples[m.region_index].push_back(m.min_ms);
+    if (!seen[m.region_index][m.probe_id]) {
+      seen[m.region_index][m.probe_id] = true;
+      ++clients[m.region_index];
+    }
+  }
+
+  std::vector<RegionView> out;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    if (samples[i].empty()) continue;
+    RegionView view;
+    view.region = regions[i];
+    view.clients = clients[i];
+    view.samples = samples[i].size();
+    const stats::Ecdf ecdf(std::move(samples[i]));
+    view.median_ms = ecdf.median();
+    view.p90_ms = ecdf.percentile(90.0);
+    view.under_40ms = ecdf.fraction_at_or_below(40.0);
+    out.push_back(view);
+  }
+  std::sort(out.begin(), out.end(), [](const RegionView& a, const RegionView& b) {
+    return a.clients > b.clients;
+  });
+  return out;
+}
+
+std::vector<IspStats> isp_comparison(const atlas::MeasurementDataset& dataset,
+                                     std::string_view country_iso2,
+                                     AnalysisOptions options) {
+  const std::vector<ProbeBest> best = per_probe_best(dataset, options);
+  std::map<const atlas::IspProfile*, std::vector<double>> by_isp;
+  for (const atlas::Probe& probe : dataset.fleet().probes()) {
+    if (probe.country->iso2 != country_iso2 || probe.isp == nullptr) continue;
+    if (options.exclude_privileged && probe.privileged()) continue;
+    if (!best[probe.id].valid) continue;
+    by_isp[probe.isp].push_back(best[probe.id].min_ms);
+  }
+  std::vector<IspStats> out;
+  out.reserve(by_isp.size());
+  for (const auto& [isp, minima] : by_isp) {
+    IspStats stats;
+    stats.isp = isp;
+    stats.probe_count = minima.size();
+    stats.median_min_rtt_ms = stats::Ecdf(minima).median();
+    out.push_back(stats);
+  }
+  std::sort(out.begin(), out.end(), [](const IspStats& a, const IspStats& b) {
+    return a.median_min_rtt_ms < b.median_min_rtt_ms;
+  });
+  return out;
+}
+
+ThresholdCoverage coverage_of(const std::vector<double>& sample) {
+  ThresholdCoverage cov;
+  cov.n = sample.size();
+  if (sample.empty()) return cov;
+  std::size_t mtp = 0;
+  std::size_t pl = 0;
+  std::size_t hrt = 0;
+  for (const double v : sample) {
+    if (v <= apps::kMotionToPhotonMs) ++mtp;
+    if (v <= apps::kPerceivableLatencyMs) ++pl;
+    if (v <= apps::kHumanReactionTimeMs) ++hrt;
+  }
+  const auto n = static_cast<double>(sample.size());
+  cov.under_mtp = mtp / n;
+  cov.under_pl = pl / n;
+  cov.under_hrt = hrt / n;
+  return cov;
+}
+
+}  // namespace shears::core

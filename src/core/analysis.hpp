@@ -1,0 +1,168 @@
+// The §4 analyses over a campaign dataset:
+//   * Fig. 4 — minimum observed RTT per country (best probe, any DC),
+//     banded against the perception thresholds;
+//   * Fig. 5 — CDF of each probe's minimum RTT to its nearest (best)
+//     datacenter, grouped by continent;
+//   * Fig. 6 — CDF of *all* ping measurements from each probe to its
+//     closest datacenter, grouped by continent;
+//   * threshold-coverage summaries (share under MTP / PL / HRT).
+//
+// All analyses exclude probes in privileged locations (datacentre/cloud
+// tags), exactly as §4.1 does.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "atlas/measurement.hpp"
+#include "geo/continent.hpp"
+#include "geo/country.hpp"
+#include "topology/region.hpp"
+
+namespace shears::core {
+
+struct AnalysisOptions {
+  /// Drop datacentre/cloud-tagged probes (§4.1). On for every paper figure.
+  bool exclude_privileged = true;
+};
+
+/// Fig. 4 row: the least latency with which a country reaches any cloud
+/// datacenter (its best probe's best burst).
+struct CountryMinLatency {
+  const geo::Country* country = nullptr;
+  double min_rtt_ms = 0.0;
+  const topology::CloudRegion* best_region = nullptr;
+  std::size_t probe_count = 0;  ///< probes that contributed measurements
+};
+
+[[nodiscard]] std::vector<CountryMinLatency> country_min_latency(
+    const atlas::MeasurementDataset& dataset, AnalysisOptions options = {});
+
+/// Fig. 4 banding (the map's colour scale).
+struct LatencyBands {
+  std::size_t under_10 = 0;
+  std::size_t from_10_to_20 = 0;
+  std::size_t from_20_to_50 = 0;
+  std::size_t from_50_to_100 = 0;
+  std::size_t over_100 = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return under_10 + from_10_to_20 + from_20_to_50 + from_50_to_100 +
+           over_100;
+  }
+  [[nodiscard]] std::size_t under_100() const noexcept {
+    return total() - over_100;
+  }
+};
+
+[[nodiscard]] LatencyBands band_country_latencies(
+    const std::vector<CountryMinLatency>& rows) noexcept;
+
+/// A probe's best (nearest-in-latency) region over the whole campaign.
+struct ProbeBest {
+  atlas::ProbeId probe_id = 0;
+  std::uint16_t region_index = 0;
+  double min_ms = 0.0;
+  bool valid = false;  ///< probe produced at least one successful burst
+};
+
+/// Indexed by probe id. The "closest datacenter" every per-probe figure
+/// refers to — determined by measured latency, not geography.
+[[nodiscard]] std::vector<ProbeBest> per_probe_best(
+    const atlas::MeasurementDataset& dataset, AnalysisOptions options = {});
+
+/// Fig. 5 input: each probe's campaign-minimum RTT, grouped by the probe's
+/// continent.
+[[nodiscard]] std::array<std::vector<double>, geo::kContinentCount>
+min_rtt_by_continent(const atlas::MeasurementDataset& dataset,
+                     AnalysisOptions options = {});
+
+/// Fig. 6 input: every successful burst (its min RTT) from each probe to
+/// that probe's best region, grouped by continent.
+[[nodiscard]] std::array<std::vector<double>, geo::kContinentCount>
+best_region_samples_by_continent(const atlas::MeasurementDataset& dataset,
+                                 AnalysisOptions options = {});
+
+/// Population-weighted cloud proximity — the abstract's headline: "the
+/// cloud is already close enough for the majority of the world's
+/// population". Weights each country's Fig. 4 minimum by its population.
+struct PopulationCoverage {
+  double measured_population_m = 0.0;  ///< population of measured countries
+  double world_population_m = 0.0;     ///< whole registry
+  /// Shares of the *world* population living in countries whose best
+  /// cloud RTT meets each threshold (unmeasured countries count as not
+  /// meeting any).
+  double under_mtp = 0.0;   ///< <= 20 ms
+  double under_pl = 0.0;    ///< <= 100 ms
+  double under_hrt = 0.0;   ///< <= 250 ms
+};
+
+[[nodiscard]] PopulationCoverage population_coverage(
+    const std::vector<CountryMinLatency>& rows);
+
+/// Median RTT by local hour of day — the diurnal congestion cycle the
+/// three-hourly schedule samples. Buckets use each probe's solar local
+/// time (longitude-derived).
+struct DiurnalProfile {
+  std::array<double, 24> median_ms{};    ///< 0 where a bucket is empty
+  std::array<std::size_t, 24> count{};
+
+  /// Hour with the highest median among non-empty buckets; -1 when all
+  /// buckets are empty.
+  [[nodiscard]] int peak_hour() const noexcept;
+  /// Highest / lowest non-empty bucket median; 1 when degenerate.
+  [[nodiscard]] double peak_to_trough() const noexcept;
+};
+
+/// Builds the profile over each probe's bursts to its best region.
+/// `interval_hours` must match the campaign schedule that produced the
+/// dataset (it converts ticks back to UTC hours).
+[[nodiscard]] DiurnalProfile diurnal_profile(
+    const atlas::MeasurementDataset& dataset, int interval_hours,
+    AnalysisOptions options = {});
+
+/// The server-side view — what a cloud operator sees from its own edge,
+/// after Schlinker et al. ([60] in the paper): per region, the RTT
+/// distribution over the clients it actually serves (probes whose best
+/// region it is). §5 leans on their result that "clients rarely observe
+/// latencies above 40 ms".
+struct RegionView {
+  const topology::CloudRegion* region = nullptr;
+  std::size_t clients = 0;        ///< probes served (best region == this)
+  std::size_t samples = 0;        ///< bursts from those probes
+  double median_ms = 0.0;
+  double p90_ms = 0.0;
+  double under_40ms = 0.0;        ///< share of samples <= 40 ms
+};
+
+/// One row per region that serves at least one client, ordered by client
+/// count (descending).
+[[nodiscard]] std::vector<RegionView> server_side_view(
+    const atlas::MeasurementDataset& dataset, AnalysisOptions options = {});
+
+/// Per-operator reachability inside one country — the ISP dimension of
+/// "probes installed in varying network environments" (§4.1).
+struct IspStats {
+  const atlas::IspProfile* isp = nullptr;
+  std::size_t probe_count = 0;
+  double median_min_rtt_ms = 0.0;  ///< median over probes' campaign minima
+};
+
+/// Groups a country's probes by access operator; ordered by median RTT.
+/// Probes without ISP attribution (hand-built fleets) are skipped.
+[[nodiscard]] std::vector<IspStats> isp_comparison(
+    const atlas::MeasurementDataset& dataset, std::string_view country_iso2,
+    AnalysisOptions options = {});
+
+/// Fraction of a sample under each perception threshold.
+struct ThresholdCoverage {
+  std::size_t n = 0;
+  double under_mtp = 0.0;  ///< <= 20 ms
+  double under_pl = 0.0;   ///< <= 100 ms
+  double under_hrt = 0.0;  ///< <= 250 ms
+};
+
+[[nodiscard]] ThresholdCoverage coverage_of(const std::vector<double>& sample);
+
+}  // namespace shears::core

@@ -1,0 +1,68 @@
+#include "core/feasibility.hpp"
+
+namespace shears::core {
+
+bool in_feasibility_zone(const apps::Application& app,
+                         const FeasibilityConfig& config) {
+  // The whole requirements ellipse must sit inside the latency-gain band:
+  // even the *strictest* useful operating point must be deliverable over a
+  // wireless last mile (floor >= ~10 ms), and the binding requirement must
+  // be tighter than what the cloud already provides globally (<= HRT).
+  // This is how Fig. 8 excludes AR/VR and autonomous vehicles despite
+  // their heavy data: their ellipses dip below the wireless floor.
+  const bool latency_band = app.latency_floor_ms >= config.latency_floor_ms &&
+                            app.latency_ceiling_ms <= config.latency_ceiling_ms;
+  const bool bandwidth_band =
+      app.data_gb_per_entity_day >= config.bandwidth_threshold_gb;
+  return latency_band && bandwidth_band;
+}
+
+EdgeVerdict classify(const apps::Application& app, double measured_cloud_rtt_ms,
+                     const FeasibilityConfig& config) {
+  if (app.latency_ceiling_ms <= config.latency_floor_ms) {
+    return EdgeVerdict::kOnboardOnly;
+  }
+  if (measured_cloud_rtt_ms <= app.latency_ceiling_ms) {
+    return EdgeVerdict::kCloudSufficient;
+  }
+  if (in_feasibility_zone(app, config)) {
+    return EdgeVerdict::kEdgeFeasible;
+  }
+  if (app.data_gb_per_entity_day >= config.bandwidth_threshold_gb) {
+    return EdgeVerdict::kBandwidthAggregation;
+  }
+  return EdgeVerdict::kNoEdgeCase;
+}
+
+std::vector<FeasibilityRow> classify_catalog(
+    std::span<const apps::Application> catalog, double measured_cloud_rtt_ms,
+    const FeasibilityConfig& config) {
+  std::vector<FeasibilityRow> rows;
+  rows.reserve(catalog.size());
+  for (const apps::Application& app : catalog) {
+    rows.push_back({&app, in_feasibility_zone(app, config),
+                    classify(app, measured_cloud_rtt_ms, config)});
+  }
+  return rows;
+}
+
+MarketShareSummary market_share_summary(
+    std::span<const apps::Application> catalog,
+    const FeasibilityConfig& config) {
+  MarketShareSummary summary;
+  for (const apps::Application& app : catalog) {
+    if (in_feasibility_zone(app, config)) {
+      summary.in_zone_busd += app.market_2025_busd;
+      ++summary.in_zone_apps;
+      if (app.hyped_edge_driver) ++summary.hyped_in_zone_apps;
+    } else {
+      summary.out_of_zone_busd += app.market_2025_busd;
+      if (app.hyped_edge_driver) {
+        summary.hyped_out_of_zone_busd += app.market_2025_busd;
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace shears::core

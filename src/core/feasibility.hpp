@@ -1,0 +1,99 @@
+// The "latency shears" — Fig. 8's feasibility zone and the per-application
+// edge-vs-cloud verdicts of §5.
+//
+// The zone is the overlap of two reality boundaries derived from §4:
+//   * latency gains: edge can only help applications whose requirement
+//     sits between the wireless last-mile floor (~10 ms — tighter budgets
+//     are unreachable even from a basestation-colocated server) and the
+//     human reaction time (~250 ms — anything looser is already satisfied
+//     by the cloud almost globally);
+//   * bandwidth gains: aggregation pays off from ~1 GB/entity/day of
+//     generated data.
+// An application inside both bands is edge-feasible; everything else is
+// served by the cloud, must run on-device, or only has the (weak)
+// aggregation case.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "apps/application.hpp"
+
+namespace shears::core {
+
+struct FeasibilityConfig {
+  /// Wireless last-mile floor (ms): minimum achievable RTT even to an edge
+  /// server at the basestation (§5: "current wireless technologies do not
+  /// support access link latencies below 10 ms").
+  double latency_floor_ms = 10.0;
+  /// Upper latency bound: HRT, supported by the cloud almost globally.
+  double latency_ceiling_ms = apps::kHumanReactionTimeMs;
+  /// Bandwidth-gain threshold (GB generated per entity per day).
+  double bandwidth_threshold_gb = apps::kBandwidthGainThresholdGbPerDay;
+};
+
+/// Fig. 8 geometry: does the application's requirements ellipse fall in
+/// the feasibility zone?
+[[nodiscard]] bool in_feasibility_zone(const apps::Application& app,
+                                       const FeasibilityConfig& config = {});
+
+/// Deployment recommendation for an application given the cloud latency
+/// its users actually experience (e.g. a continent's median from §4).
+enum class EdgeVerdict : unsigned char {
+  kCloudSufficient,       ///< the measured cloud already meets the need
+  kEdgeFeasible,          ///< inside the FZ and the cloud falls short
+  kOnboardOnly,           ///< requirement below the wireless floor
+  kBandwidthAggregation,  ///< only the backhaul-offload case remains
+  kNoEdgeCase,            ///< relaxed latency, light data: nothing to gain
+};
+
+[[nodiscard]] constexpr std::string_view to_string(EdgeVerdict v) noexcept {
+  switch (v) {
+    case EdgeVerdict::kCloudSufficient: return "cloud-sufficient";
+    case EdgeVerdict::kEdgeFeasible: return "edge-feasible";
+    case EdgeVerdict::kOnboardOnly: return "onboard-only";
+    case EdgeVerdict::kBandwidthAggregation: return "bandwidth-aggregation";
+    case EdgeVerdict::kNoEdgeCase: return "no-edge-case";
+  }
+  return "unknown";
+}
+
+/// §5 logic, applied in order:
+///   1. requirement at or below the wireless floor → onboard-only;
+///   2. measured cloud RTT meets the requirement → cloud-sufficient
+///      (the paper's headline: the cloud is already "close enough");
+///   3. inside the FZ → edge-feasible;
+///   4. heavy data but relaxed latency → bandwidth-aggregation;
+///   5. otherwise → no edge case.
+[[nodiscard]] EdgeVerdict classify(const apps::Application& app,
+                                   double measured_cloud_rtt_ms,
+                                   const FeasibilityConfig& config = {});
+
+/// One Fig. 8 table row.
+struct FeasibilityRow {
+  const apps::Application* app = nullptr;
+  bool in_zone = false;
+  EdgeVerdict verdict = EdgeVerdict::kNoEdgeCase;
+};
+
+/// Classifies a whole catalog against one measured cloud RTT.
+[[nodiscard]] std::vector<FeasibilityRow> classify_catalog(
+    std::span<const apps::Application> catalog, double measured_cloud_rtt_ms,
+    const FeasibilityConfig& config = {});
+
+/// §5's market-share contrast: the FZ's combined 2025 market "pales
+/// compared to" the out-of-zone hype drivers.
+struct MarketShareSummary {
+  double in_zone_busd = 0.0;
+  double out_of_zone_busd = 0.0;
+  double hyped_out_of_zone_busd = 0.0;  ///< hype drivers outside the FZ
+  std::size_t in_zone_apps = 0;
+  std::size_t hyped_in_zone_apps = 0;
+};
+
+[[nodiscard]] MarketShareSummary market_share_summary(
+    std::span<const apps::Application> catalog,
+    const FeasibilityConfig& config = {});
+
+}  // namespace shears::core

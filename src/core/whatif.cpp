@@ -1,0 +1,77 @@
+#include "core/whatif.hpp"
+
+#include <limits>
+
+#include "core/access_comparison.hpp"
+#include "geo/country.hpp"
+#include "stats/ecdf.hpp"
+
+namespace shears::core {
+
+std::vector<ExpansionPoint> expansion_sweep(const std::vector<int>& years,
+                                            const net::LatencyModel& model) {
+  std::vector<ExpansionPoint> out;
+  out.reserve(years.size());
+  for (const int year : years) {
+    const topology::CloudRegistry snapshot =
+        topology::CloudRegistry::footprint_as_of(year);
+    ExpansionPoint point;
+    point.year = year;
+    point.region_count = snapshot.size();
+    point.hosting_countries = snapshot.hosting_countries().size();
+
+    std::vector<double> best_rtts;
+    for (const geo::Country& country : geo::all_countries()) {
+      // The country's best realistic vantage point: a wired probe at the
+      // national hub on the country's infrastructure tier.
+      const net::Endpoint vantage{country.site, country.tier,
+                                  net::AccessTechnology::kEthernet};
+      // Targets per the §4.1 rule: own continent plus fallback.
+      double best = std::numeric_limits<double>::infinity();
+      for (const topology::CloudRegion* region : snapshot.regions()) {
+        const geo::Continent rc = topology::region_continent(*region);
+        const bool in_scope =
+            rc == country.continent ||
+            geo::measurement_fallback(country.continent) == rc;
+        if (!in_scope) continue;
+        best = std::min(best, model.baseline_rtt_ms(vantage, *region));
+      }
+      if (best == std::numeric_limits<double>::infinity()) continue;
+      best_rtts.push_back(best);
+      if (best < 10.0) ++point.countries_under_10ms;
+      if (best < 20.0) ++point.countries_under_20ms;
+      if (best < 100.0) ++point.countries_under_100ms;
+    }
+    point.median_best_rtt_ms = stats::Ecdf(best_rtts).median();
+    out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<WirelessImprovementPoint> wireless_improvement_sweep(
+    const std::vector<double>& scales, const atlas::ProbeFleet& fleet,
+    const topology::CloudRegistry& registry,
+    const net::LatencyModelConfig& base_model,
+    const atlas::CampaignConfig& campaign_config) {
+  std::vector<WirelessImprovementPoint> out;
+  out.reserve(scales.size());
+  for (const double scale : scales) {
+    net::LatencyModelConfig config = base_model;
+    config.wireless_latency_scale = scale;
+    const net::LatencyModel model(config);
+    const atlas::Campaign campaign(fleet, registry, model, campaign_config);
+    const atlas::MeasurementDataset dataset = campaign.run();
+    const AccessComparison comparison = compare_access(dataset);
+
+    WirelessImprovementPoint point;
+    point.wireless_scale = scale;
+    point.wired_median_ms = comparison.wired_median;
+    point.wireless_median_ms = comparison.wireless_median;
+    point.median_ratio = comparison.median_ratio;
+    point.added_latency_ms = comparison.added_latency_ms;
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace shears::core

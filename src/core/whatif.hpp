@@ -1,0 +1,58 @@
+// What-if engines for the §5/§6 discussion and the ablation benches:
+//   * cloud-expansion sweep (A1): how country-level cloud proximity
+//     evolved as the footprint grew from the 2010 handful of regions to
+//     the 2020 set — the trend that "pruned" the latency argument;
+//   * wireless-improvement sweep (A2): how the Fig. 7 wireless/wired gap
+//     closes as last-mile wireless latency approaches the 5G promise.
+//
+// The expansion sweep is deterministic: it evaluates the congestion-free
+// baseline RTT of each country's best realistic vantage point (a wired,
+// well-connected probe at the national hub) against a historical footprint
+// snapshot. The wireless sweep re-runs a (small) campaign per scale point.
+#pragma once
+
+#include <vector>
+
+#include "atlas/campaign.hpp"
+#include "net/latency_model.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::core {
+
+/// One row of the expansion sweep.
+struct ExpansionPoint {
+  int year = 0;
+  std::size_t region_count = 0;
+  std::size_t hosting_countries = 0;
+  std::size_t countries_under_10ms = 0;
+  std::size_t countries_under_20ms = 0;
+  std::size_t countries_under_100ms = 0;
+  double median_best_rtt_ms = 0.0;  ///< median over countries
+};
+
+/// Evaluates footprint snapshots at each year. Countries with no reachable
+/// region in a snapshot (counting the §4.1 continental fallbacks as
+/// reachable) count as not meeting any threshold.
+[[nodiscard]] std::vector<ExpansionPoint> expansion_sweep(
+    const std::vector<int>& years, const net::LatencyModel& model);
+
+/// One row of the wireless-improvement sweep.
+struct WirelessImprovementPoint {
+  double wireless_scale = 1.0;  ///< multiplier on wireless access medians
+  double wired_median_ms = 0.0;
+  double wireless_median_ms = 0.0;
+  double median_ratio = 0.0;
+  double added_latency_ms = 0.0;
+};
+
+/// Re-runs the campaign with the wireless medians scaled by each factor
+/// and reports the Fig. 7 statistics. The fleet/registry/config should be
+/// kept small (hundreds of probes, weeks not months) — one campaign runs
+/// per scale point.
+[[nodiscard]] std::vector<WirelessImprovementPoint> wireless_improvement_sweep(
+    const std::vector<double>& scales, const atlas::ProbeFleet& fleet,
+    const topology::CloudRegistry& registry,
+    const net::LatencyModelConfig& base_model,
+    const atlas::CampaignConfig& campaign_config);
+
+}  // namespace shears::core

@@ -1,0 +1,148 @@
+#include "edge/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/access.hpp"
+
+namespace shears::edge {
+
+double placement_backhaul_ms(EdgePlacement p) noexcept {
+  // Round-trip access-node→server figures for a tier-1 network; deeper
+  // placements cost less backhaul but need many more sites.
+  switch (p) {
+    case EdgePlacement::kBasestation: return 0.5;
+    case EdgePlacement::kCentralOffice: return 1.5;
+    case EdgePlacement::kMetroPop: return 4.0;
+    case EdgePlacement::kRegionalSite: return 9.0;
+  }
+  return 0.0;
+}
+
+double edge_baseline_rtt_ms(const net::LatencyModel& model,
+                            const net::Endpoint& user,
+                            EdgePlacement placement) noexcept {
+  const double access = model.access_profile_of(user).median_ms;
+  return access + placement_backhaul_ms(placement) *
+                      net::tier_latency_multiplier(user.tier);
+}
+
+EdgeGain analyze_gain(const net::LatencyModel& model,
+                      const geo::Country& country,
+                      net::AccessTechnology access,
+                      const topology::CloudRegistry& cloud,
+                      EdgePlacement placement) {
+  const net::Endpoint user{country.site, country.tier, access};
+  EdgeGain gain;
+  gain.edge_rtt_ms = edge_baseline_rtt_ms(model, user, placement);
+
+  double best = 0.0;
+  for (const topology::CloudRegion* region : cloud.regions()) {
+    const geo::Continent rc = topology::region_continent(*region);
+    if (rc != country.continent &&
+        geo::measurement_fallback(country.continent) != rc) {
+      continue;
+    }
+    const double rtt = model.baseline_rtt_ms(user, *region);
+    if (gain.nearest_region == nullptr || rtt < best) {
+      gain.nearest_region = region;
+      best = rtt;
+    }
+  }
+  if (gain.nearest_region == nullptr) {
+    // No reachable cloud under the campaign scoping: the gain is the
+    // whole cloud RTT, reported as unbounded via a zero-cloud sentinel.
+    gain.cloud_rtt_ms = 0.0;
+    return gain;
+  }
+  gain.cloud_rtt_ms = best;
+  gain.absolute_gain_ms = gain.cloud_rtt_ms - gain.edge_rtt_ms;
+  gain.relative_gain =
+      gain.cloud_rtt_ms > 0.0 ? gain.absolute_gain_ms / gain.cloud_rtt_ms : 0.0;
+  return gain;
+}
+
+std::vector<SiteEstimate> sites_for_target(const net::LatencyModel& model,
+                                           double target_rtt_ms,
+                                           net::AccessTechnology access,
+                                           EdgePlacement placement) {
+  std::vector<SiteEstimate> out;
+  const double fibre_us_per_km = model.config().path.fibre_us_per_km;
+  for (const geo::Country& country : geo::all_countries()) {
+    const net::Endpoint user{country.site, country.tier, access};
+    SiteEstimate estimate;
+    estimate.country = &country;
+
+    // Budget left for metro propagation after the access link and the
+    // placement backhaul.
+    const double fixed = edge_baseline_rtt_ms(model, user, placement);
+    const double budget_ms = target_rtt_ms - fixed;
+    if (budget_ms <= 0.0) {
+      out.push_back(estimate);  // infeasible: the access link eats it all
+      continue;
+    }
+    estimate.feasible = true;
+    // Round-trip budget → one-way serviceable radius, with the country's
+    // regional stretch applied (edge traffic rides the same metro fibre).
+    const double stretch = net::stretch_for(
+        model.config().path, country.tier, topology::BackboneClass::kPublic);
+    estimate.radius_km =
+        budget_ms * 1000.0 / (2.0 * fibre_us_per_km * stretch);
+
+    // Populated-area proxy: a disc of two scatter radii around the hub.
+    const double populated_radius_km = 2.0 * country.scatter_km;
+    const double ratio = populated_radius_km / estimate.radius_km;
+    estimate.sites = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(ratio * ratio)));
+    out.push_back(estimate);
+  }
+  return out;
+}
+
+EdgeCampaignResult simulate_edge_campaign(const atlas::ProbeFleet& fleet,
+                                          const net::LatencyModel& model,
+                                          EdgePlacement placement,
+                                          int bursts_per_probe,
+                                          std::uint64_t seed) {
+  EdgeCampaignResult result;
+  stats::Xoshiro256 root(seed);
+  for (const atlas::Probe& probe : fleet.probes()) {
+    if (probe.privileged()) continue;
+    stats::Xoshiro256 rng = root.fork(probe.id);
+    const double backhaul = placement_backhaul_ms(placement) *
+                            net::tier_latency_multiplier(probe.endpoint.tier);
+    const net::AccessProfile profile =
+        model.access_profile_of(probe.endpoint);
+    const auto continent = geo::index_of(probe.country->continent);
+    double best = 0.0;
+    bool any = false;
+    for (int burst = 0; burst < bursts_per_probe; ++burst) {
+      // An edge ping crosses only the last mile and the placement
+      // backhaul — there is no wide-area path to queue on.
+      const double rtt =
+          net::sample_access_latency(profile, rng) + backhaul;
+      result.samples[continent].push_back(rtt);
+      if (!any || rtt < best) {
+        best = rtt;
+        any = true;
+      }
+    }
+    if (any) result.minima[continent].push_back(best);
+  }
+  return result;
+}
+
+std::optional<std::size_t> total_sites(
+    const std::vector<SiteEstimate>& estimates) noexcept {
+  std::size_t total = 0;
+  bool any = false;
+  for (const SiteEstimate& e : estimates) {
+    if (!e.feasible) continue;
+    any = true;
+    total += e.sites;
+  }
+  if (!any) return std::nullopt;
+  return total;
+}
+
+}  // namespace shears::edge

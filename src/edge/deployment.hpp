@@ -1,0 +1,115 @@
+// Edge-deployment modelling — the other side of the paper's comparison.
+//
+// §5 leans on two published reality checks: Hadzic et al. and Cartas et
+// al. found that an edge server colocated with an LTE basestation gains
+// little over a datacenter ~1000 km away, because the (wireless) last
+// mile dominates. §5's "Economies of scale" further argues that edge
+// latency gains require a wide, expensive deployment. This module makes
+// both arguments computable:
+//   * edge RTT for a user, by placement tier (basestation / central
+//     office / metro PoP / regional site),
+//   * the gain analysis edge-vs-nearest-cloud for any endpoint, and
+//   * a site-count estimator: how many edge sites a country needs so its
+//     users meet a latency target, and whether the target is reachable
+//     at all over a given access technology.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "atlas/placement.hpp"
+#include "geo/country.hpp"
+#include "net/latency_model.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::edge {
+
+/// Where the edge server sits, from deepest (basestation) to shallowest.
+enum class EdgePlacement : unsigned char {
+  kBasestation = 0,   ///< colocated with the cell site / access node
+  kCentralOffice,     ///< the access ISP's CO / aggregation site
+  kMetroPop,          ///< a metro exchange point
+  kRegionalSite,      ///< a regional mini-datacenter
+};
+
+inline constexpr std::size_t kEdgePlacementCount = 4;
+
+[[nodiscard]] constexpr std::string_view to_string(EdgePlacement p) noexcept {
+  switch (p) {
+    case EdgePlacement::kBasestation: return "basestation";
+    case EdgePlacement::kCentralOffice: return "central-office";
+    case EdgePlacement::kMetroPop: return "metro-pop";
+    case EdgePlacement::kRegionalSite: return "regional-site";
+  }
+  return "unknown";
+}
+
+/// Network RTT between the access node and the edge server for a
+/// placement, excluding the last mile itself (ms, tier-1 baseline —
+/// scaled by the country tier like everything else).
+[[nodiscard]] double placement_backhaul_ms(EdgePlacement p) noexcept;
+
+/// Expected (congestion-free) RTT from a user to an edge server at the
+/// given placement: last-mile median + placement backhaul, tier-scaled.
+[[nodiscard]] double edge_baseline_rtt_ms(const net::LatencyModel& model,
+                                          const net::Endpoint& user,
+                                          EdgePlacement placement) noexcept;
+
+/// The Hadzic/Cartas comparison for one endpoint.
+struct EdgeGain {
+  double edge_rtt_ms = 0.0;
+  double cloud_rtt_ms = 0.0;       ///< nearest region, §4.1 continent rule
+  double absolute_gain_ms = 0.0;   ///< cloud - edge
+  double relative_gain = 0.0;      ///< absolute / cloud, in [0, 1] if gain
+  const topology::CloudRegion* nearest_region = nullptr;
+};
+
+/// Gain of a basestation-grade edge over the nearest cloud region for a
+/// user in `country` on `access`. Cloud candidates follow the same
+/// continent(+fallback) scoping as the measurement campaign.
+[[nodiscard]] EdgeGain analyze_gain(const net::LatencyModel& model,
+                                    const geo::Country& country,
+                                    net::AccessTechnology access,
+                                    const topology::CloudRegistry& cloud,
+                                    EdgePlacement placement);
+
+/// Site-count estimate for one country at a latency target.
+struct SiteEstimate {
+  const geo::Country* country = nullptr;
+  bool feasible = false;      ///< the access link alone may exceed the target
+  double radius_km = 0.0;     ///< serviceable radius per site
+  std::size_t sites = 0;      ///< sites to cover the country's populated area
+};
+
+/// Estimates, per country, how many edge sites of the given placement are
+/// needed so a user on `access` meets `target_rtt_ms`. The populated area
+/// is approximated from the probe-scatter radius (2 sigma). Infeasible
+/// countries (access latency alone exceeds the target) report 0 sites.
+[[nodiscard]] std::vector<SiteEstimate> sites_for_target(
+    const net::LatencyModel& model, double target_rtt_ms,
+    net::AccessTechnology access, EdgePlacement placement);
+
+/// Sum of sites over all feasible countries; nullopt when *no* country is
+/// feasible at this target/access combination.
+[[nodiscard]] std::optional<std::size_t> total_sites(
+    const std::vector<SiteEstimate>& estimates) noexcept;
+
+/// The counterfactual campaign: what Figs. 5/6 would look like in an
+/// edge-deployed world. Every probe pings its (ubiquitous) edge server at
+/// the given placement instead of the cloud; samples group by continent.
+struct EdgeCampaignResult {
+  /// Per-burst RTT samples by probe continent.
+  std::array<std::vector<double>, geo::kContinentCount> samples;
+  /// Per-probe campaign minima by continent (the Fig. 5 analogue).
+  std::array<std::vector<double>, geo::kContinentCount> minima;
+};
+
+/// Simulates `bursts_per_probe` edge pings per non-privileged probe.
+/// Deterministic for a given seed.
+[[nodiscard]] EdgeCampaignResult simulate_edge_campaign(
+    const atlas::ProbeFleet& fleet, const net::LatencyModel& model,
+    EdgePlacement placement, int bursts_per_probe, std::uint64_t seed);
+
+}  // namespace shears::edge

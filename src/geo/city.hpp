@@ -1,0 +1,34 @@
+// City registry: urban population centres used for probe placement.
+//
+// RIPE Atlas probes sit overwhelmingly in cities. Placement draws each
+// urban probe's location from its country's cities (weighted by metro
+// population) instead of a purely Gaussian scatter around the national
+// hub; countries without listed cities fall back to the scatter model.
+// The table covers every country whose geography is large enough for the
+// difference to matter.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "geo/coordinates.hpp"
+
+namespace shears::geo {
+
+struct City {
+  std::string_view name;
+  std::string_view country_iso2;
+  GeoPoint location;
+  double metro_population_m;  ///< metropolitan population, millions (~2020)
+};
+
+/// All embedded cities, grouped by country.
+[[nodiscard]] std::span<const City> all_cities() noexcept;
+
+/// Cities of one country (registry order); empty when none are listed.
+[[nodiscard]] std::vector<const City*> cities_in(std::string_view iso2);
+
+[[nodiscard]] std::size_t city_count() noexcept;
+
+}  // namespace shears::geo

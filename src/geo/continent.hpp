@@ -1,0 +1,81 @@
+// Continents and the adjacent-continent measurement rule.
+//
+// The paper schedules probes to datacenters "within the same continent",
+// except for Africa and South America (low datacenter density), whose
+// probes additionally measure to Europe and North America respectively
+// (§4.1). That adjacency is encoded here.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace shears::geo {
+
+enum class Continent : unsigned char {
+  kAfrica = 0,
+  kAsia,
+  kEurope,
+  kNorthAmerica,
+  kSouthAmerica,
+  kOceania,
+};
+
+inline constexpr std::size_t kContinentCount = 6;
+
+inline constexpr std::array<Continent, kContinentCount> kAllContinents = {
+    Continent::kAfrica,       Continent::kAsia,
+    Continent::kEurope,       Continent::kNorthAmerica,
+    Continent::kSouthAmerica, Continent::kOceania,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Continent c) noexcept {
+  switch (c) {
+    case Continent::kAfrica: return "Africa";
+    case Continent::kAsia: return "Asia";
+    case Continent::kEurope: return "Europe";
+    case Continent::kNorthAmerica: return "North America";
+    case Continent::kSouthAmerica: return "South America";
+    case Continent::kOceania: return "Oceania";
+  }
+  return "Unknown";
+}
+
+/// Short code used in dataset exports ("AF", "AS", "EU", "NA", "SA", "OC").
+[[nodiscard]] constexpr std::string_view to_code(Continent c) noexcept {
+  switch (c) {
+    case Continent::kAfrica: return "AF";
+    case Continent::kAsia: return "AS";
+    case Continent::kEurope: return "EU";
+    case Continent::kNorthAmerica: return "NA";
+    case Continent::kSouthAmerica: return "SA";
+    case Continent::kOceania: return "OC";
+  }
+  return "??";
+}
+
+[[nodiscard]] constexpr std::optional<Continent> continent_from_code(
+    std::string_view code) noexcept {
+  for (const Continent c : kAllContinents) {
+    if (to_code(c) == code) return c;
+  }
+  return std::nullopt;
+}
+
+/// The continent whose datacenters under-served probes also target
+/// (the paper's Africa→Europe, South America→North America rule), or
+/// nullopt when in-continent coverage suffices.
+[[nodiscard]] constexpr std::optional<Continent> measurement_fallback(
+    Continent c) noexcept {
+  switch (c) {
+    case Continent::kAfrica: return Continent::kEurope;
+    case Continent::kSouthAmerica: return Continent::kNorthAmerica;
+    default: return std::nullopt;
+  }
+}
+
+[[nodiscard]] constexpr std::size_t index_of(Continent c) noexcept {
+  return static_cast<std::size_t>(c);
+}
+
+}  // namespace shears::geo

@@ -1,0 +1,18 @@
+#include "geo/coordinates.hpp"
+
+namespace shears::geo {
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  // Clamp guards against floating error for near-antipodal points.
+  const double hc = h > 1.0 ? 1.0 : (h < 0.0 ? 0.0 : h);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(hc));
+}
+
+}  // namespace shears::geo

@@ -1,0 +1,43 @@
+// Geographic primitives: WGS-84 points and great-circle distance.
+//
+// Propagation delay in the latency model is driven by the geodesic
+// (haversine) distance between a vantage point and a datacenter, multiplied
+// by an infrastructure-dependent path-stretch factor (fibre does not follow
+// great circles).
+#pragma once
+
+#include <cmath>
+
+namespace shears::geo {
+
+/// Mean Earth radius in kilometres (IUGG).
+inline constexpr double kEarthRadiusKm = 6371.0088;
+
+/// A point on the Earth's surface in decimal degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;  ///< latitude, [-90, 90]
+  double lon_deg = 0.0;  ///< longitude, [-180, 180]
+
+  friend constexpr bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// True when the point lies within the valid WGS-84 ranges.
+[[nodiscard]] constexpr bool is_valid(const GeoPoint& p) noexcept {
+  return p.lat_deg >= -90.0 && p.lat_deg <= 90.0 && p.lon_deg >= -180.0 &&
+         p.lon_deg <= 180.0;
+}
+
+[[nodiscard]] constexpr double deg_to_rad(double deg) noexcept {
+  return deg * 3.14159265358979323846 / 180.0;
+}
+
+/// Great-circle distance (haversine) in kilometres. Accurate to ~0.5% of
+/// the true geodesic, far below the path-stretch uncertainty it feeds.
+[[nodiscard]] double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Antipodal upper bound on any great-circle distance (km): half the mean
+/// circumference, pi * R.
+inline constexpr double kMaxSurfaceDistanceKm =
+    3.14159265358979323846 * kEarthRadiusKm;
+
+}  // namespace shears::geo

@@ -1,0 +1,62 @@
+// Country registry: the vantage-point universe of the study.
+//
+// The paper's probes sit in 166 countries; each analysis in §4 aggregates
+// by country (Fig. 4) or by continent (Figs. 5-6). We embed a registry of
+// countries with:
+//   * a representative coordinate (the primary population centre, since
+//     RIPE Atlas probes cluster in cities),
+//   * a connectivity tier capturing national network-infrastructure
+//     quality (drives path stretch and last-mile quality in `net`), and
+//   * a probe-density weight reproducing RIPE Atlas's strong Europe/North
+//     America skew (§4.1, Fig. 3b).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "geo/continent.hpp"
+#include "geo/coordinates.hpp"
+
+namespace shears::geo {
+
+/// National network-infrastructure quality. Calibrated against published
+/// measurement literature: tier 1 ~ dense fibre + rich IXP fabric, tier 4 ~
+/// severely under-served (the paper's "Africa ... severely under-served,
+/// both in cloud presence and network infrastructure").
+enum class ConnectivityTier : unsigned char {
+  kTier1 = 1,  ///< dense fibre, major IXPs, direct provider peering
+  kTier2 = 2,  ///< good national backbone, some transit detours
+  kTier3 = 3,  ///< developing backbone, significant transit detours
+  kTier4 = 4,  ///< under-served; traffic frequently trombones abroad
+};
+
+struct Country {
+  std::string_view iso2;       ///< ISO-3166-1 alpha-2 code
+  std::string_view name;
+  Continent continent;
+  GeoPoint site;               ///< primary population centre
+  ConnectivityTier tier;
+  double probe_weight;         ///< relative RIPE-Atlas probe density (>0)
+  double scatter_km;           ///< dispersion of probe placement around site
+  double population_m;         ///< population, millions (~2020)
+};
+
+/// Sum of `population_m` across the registry (~7.7B for the 2020 table).
+[[nodiscard]] double world_population_m() noexcept;
+
+/// All embedded countries, grouped by continent in a stable order. The
+/// table is the dataset, not a cache.
+[[nodiscard]] std::span<const Country> all_countries() noexcept;
+
+/// Lookup by ISO-2 code (case-sensitive, upper-case).
+[[nodiscard]] const Country* find_country(std::string_view iso2) noexcept;
+
+/// Countries of one continent, in registry order.
+[[nodiscard]] std::vector<const Country*> countries_in(Continent c);
+
+/// Number of embedded countries.
+[[nodiscard]] std::size_t country_count() noexcept;
+
+}  // namespace shears::geo

@@ -1,0 +1,237 @@
+// Embedded country dataset.
+//
+// Coordinates are the primary population centre (usually the capital or the
+// largest connectivity hub), which is where RIPE Atlas probes cluster.
+// Connectivity tiers follow published broadband/transit measurement
+// literature circa 2019-2020; probe weights approximate the real RIPE Atlas
+// density skew (Fig. 3b of the paper: dense in EU/NA, sparse elsewhere).
+// scatter_km spreads generated probes around the site roughly with national
+// geography so that large countries produce wide latency spreads.
+#include "geo/country.hpp"
+
+#include <array>
+
+namespace shears::geo {
+
+namespace {
+
+using enum Continent;
+constexpr ConnectivityTier T1 = ConnectivityTier::kTier1;
+constexpr ConnectivityTier T2 = ConnectivityTier::kTier2;
+constexpr ConnectivityTier T3 = ConnectivityTier::kTier3;
+constexpr ConnectivityTier T4 = ConnectivityTier::kTier4;
+
+constexpr std::array kCountries = {
+    // ---------------------------------------------------------- Europe --
+    Country{"AD", "Andorra", kEurope, {42.51, 1.52}, T1, 1, 20, 0.08},
+    Country{"AL", "Albania", kEurope, {41.33, 19.82}, T2, 2, 80, 2.9},
+    Country{"AT", "Austria", kEurope, {48.21, 16.37}, T1, 25, 200, 8.9},
+    Country{"BA", "Bosnia and Herzegovina", kEurope, {43.86, 18.41}, T2, 3, 120, 3.3},
+    Country{"BE", "Belgium", kEurope, {50.85, 4.35}, T1, 30, 100, 11.5},
+    Country{"BG", "Bulgaria", kEurope, {42.70, 23.32}, T2, 12, 180, 6.9},
+    Country{"BY", "Belarus", kEurope, {53.90, 27.57}, T2, 4, 250, 9.4},
+    Country{"CH", "Switzerland", kEurope, {47.38, 8.54}, T1, 35, 120, 8.6},
+    Country{"CY", "Cyprus", kEurope, {35.19, 33.38}, T2, 4, 60, 1.2},
+    Country{"CZ", "Czechia", kEurope, {50.08, 14.44}, T1, 25, 150, 10.7},
+    Country{"DE", "Germany", kEurope, {50.11, 8.68}, T1, 170, 350, 83.2},
+    Country{"DK", "Denmark", kEurope, {55.68, 12.57}, T1, 20, 150, 5.8},
+    Country{"EE", "Estonia", kEurope, {59.44, 24.75}, T1, 6, 100, 1.3},
+    Country{"ES", "Spain", kEurope, {40.42, -3.70}, T1, 35, 400, 47.4},
+    Country{"FI", "Finland", kEurope, {60.17, 24.94}, T1, 18, 350, 5.5},
+    Country{"FR", "France", kEurope, {48.86, 2.35}, T1, 90, 400, 67.4},
+    Country{"GB", "United Kingdom", kEurope, {51.51, -0.13}, T1, 80, 300, 67.2},
+    Country{"GR", "Greece", kEurope, {37.98, 23.73}, T2, 12, 250, 10.7},
+    Country{"HR", "Croatia", kEurope, {45.81, 15.98}, T2, 6, 150, 4.0},
+    Country{"HU", "Hungary", kEurope, {47.50, 19.04}, T2, 10, 150, 9.7},
+    Country{"IE", "Ireland", kEurope, {53.35, -6.26}, T1, 15, 150, 5.0},
+    Country{"IS", "Iceland", kEurope, {64.15, -21.94}, T1, 4, 80, 0.37},
+    Country{"IT", "Italy", kEurope, {45.46, 9.19}, T1, 45, 450, 59.6},
+    Country{"LI", "Liechtenstein", kEurope, {47.14, 9.52}, T1, 1, 10, 0.04},
+    Country{"LT", "Lithuania", kEurope, {54.69, 25.28}, T1, 6, 120, 2.8},
+    Country{"LU", "Luxembourg", kEurope, {49.61, 6.13}, T1, 6, 30, 0.63},
+    Country{"LV", "Latvia", kEurope, {56.95, 24.11}, T1, 5, 120, 1.9},
+    Country{"MD", "Moldova", kEurope, {47.01, 28.86}, T2, 3, 100, 2.6},
+    Country{"ME", "Montenegro", kEurope, {42.44, 19.26}, T2, 1, 60, 0.62},
+    Country{"MK", "North Macedonia", kEurope, {41.99, 21.43}, T2, 2, 70, 2.1},
+    Country{"MT", "Malta", kEurope, {35.90, 14.51}, T2, 2, 15, 0.52},
+    Country{"NL", "Netherlands", kEurope, {52.37, 4.90}, T1, 70, 100, 17.4},
+    Country{"NO", "Norway", kEurope, {59.91, 10.75}, T1, 18, 400, 5.4},
+    Country{"PL", "Poland", kEurope, {52.23, 21.01}, T2, 30, 300, 38.0},
+    Country{"PT", "Portugal", kEurope, {38.72, -9.14}, T1, 12, 250, 10.3},
+    Country{"RO", "Romania", kEurope, {44.43, 26.10}, T2, 15, 280, 19.3},
+    Country{"RS", "Serbia", kEurope, {44.79, 20.45}, T2, 6, 150, 6.9},
+    Country{"RU", "Russia", kEurope, {55.76, 37.62}, T2, 50, 1000, 144.1},
+    Country{"SE", "Sweden", kEurope, {59.33, 18.07}, T1, 30, 400, 10.4},
+    Country{"SI", "Slovenia", kEurope, {46.05, 14.51}, T1, 5, 80, 2.1},
+    Country{"SK", "Slovakia", kEurope, {48.15, 17.11}, T2, 6, 150, 5.5},
+    Country{"UA", "Ukraine", kEurope, {50.45, 30.52}, T2, 20, 400, 44.1},
+    // --------------------------------------------------- North America --
+    Country{"US", "United States", kNorthAmerica, {39.10, -94.58}, T1, 160, 900, 331.0},
+    Country{"CA", "Canada", kNorthAmerica, {43.65, -79.38}, T1, 40, 600, 38.0},
+    Country{"MX", "Mexico", kNorthAmerica, {19.43, -99.13}, T2, 8, 450, 128.9},
+    Country{"GT", "Guatemala", kNorthAmerica, {14.63, -90.51}, T3, 0.5, 120, 16.9},
+    Country{"HN", "Honduras", kNorthAmerica, {14.07, -87.19}, T3, 0.4, 120, 9.9},
+    Country{"SV", "El Salvador", kNorthAmerica, {13.69, -89.19}, T3, 0.4, 60, 6.5},
+    Country{"NI", "Nicaragua", kNorthAmerica, {12.11, -86.24}, T3, 0.4, 120, 6.6},
+    Country{"CR", "Costa Rica", kNorthAmerica, {9.93, -84.08}, T2, 1, 100, 5.1},
+    Country{"PA", "Panama", kNorthAmerica, {8.98, -79.52}, T2, 0.8, 100, 4.3},
+    Country{"CU", "Cuba", kNorthAmerica, {23.11, -82.37}, T4, 0.4, 250, 11.3},
+    Country{"DO", "Dominican Republic", kNorthAmerica, {18.47, -69.89}, T3, 0.6, 120, 10.8},
+    Country{"HT", "Haiti", kNorthAmerica, {18.54, -72.34}, T4, 0.3, 80, 11.4},
+    Country{"JM", "Jamaica", kNorthAmerica, {17.97, -76.79}, T3, 0.4, 60, 3.0},
+    Country{"TT", "Trinidad and Tobago", kNorthAmerica, {10.65, -61.51}, T3, 0.4, 40, 1.4},
+    Country{"BS", "Bahamas", kNorthAmerica, {25.04, -77.35}, T3, 0.3, 80, 0.39},
+    Country{"BB", "Barbados", kNorthAmerica, {13.10, -59.62}, T3, 0.3, 20, 0.29},
+    Country{"BZ", "Belize", kNorthAmerica, {17.25, -88.77}, T3, 0.3, 80, 0.4},
+    Country{"PR", "Puerto Rico", kNorthAmerica, {18.47, -66.11}, T2, 0.8, 50, 3.2},
+    // --------------------------------------------------- South America --
+    Country{"AR", "Argentina", kSouthAmerica, {-34.60, -58.38}, T2, 10, 700, 45.4},
+    Country{"BO", "Bolivia", kSouthAmerica, {-16.49, -68.12}, T3, 1, 300, 11.7},
+    Country{"BR", "Brazil", kSouthAmerica, {-23.55, -46.63}, T2, 20, 800, 212.6},
+    Country{"CL", "Chile", kSouthAmerica, {-33.45, -70.67}, T2, 8, 600, 19.1},
+    Country{"CO", "Colombia", kSouthAmerica, {4.71, -74.07}, T3, 5, 400, 50.9},
+    Country{"EC", "Ecuador", kSouthAmerica, {-0.18, -78.47}, T3, 2, 200, 17.6},
+    Country{"GY", "Guyana", kSouthAmerica, {6.80, -58.16}, T3, 1, 120, 0.79},
+    Country{"PY", "Paraguay", kSouthAmerica, {-25.26, -57.58}, T3, 1, 200, 7.1},
+    Country{"PE", "Peru", kSouthAmerica, {-12.05, -77.04}, T3, 3, 400, 32.9},
+    Country{"SR", "Suriname", kSouthAmerica, {5.85, -55.20}, T3, 1, 80, 0.59},
+    Country{"UY", "Uruguay", kSouthAmerica, {-34.90, -56.16}, T2, 3, 150, 3.5},
+    Country{"VE", "Venezuela", kSouthAmerica, {10.48, -66.90}, T4, 2, 350, 28.4},
+    // ------------------------------------------------------------- Asia --
+    Country{"AE", "United Arab Emirates", kAsia, {25.20, 55.27}, T1, 8, 120, 9.9},
+    Country{"AF", "Afghanistan", kAsia, {34.56, 69.21}, T4, 1, 300, 38.9},
+    Country{"AM", "Armenia", kAsia, {40.18, 44.51}, T2, 2, 80, 3.0},
+    Country{"AZ", "Azerbaijan", kAsia, {40.41, 49.87}, T3, 2, 150, 10.1},
+    Country{"BD", "Bangladesh", kAsia, {23.81, 90.41}, T3, 2, 200, 164.7},
+    Country{"BH", "Bahrain", kAsia, {26.23, 50.59}, T3, 2, 20, 1.7},
+    Country{"BN", "Brunei", kAsia, {4.94, 114.95}, T2, 1, 40, 0.44},
+    Country{"BT", "Bhutan", kAsia, {27.47, 89.64}, T3, 1, 60, 0.77},
+    Country{"CN", "China", kAsia, {32.00, 114.00}, T2, 15, 800, 1411.0},
+    Country{"GE", "Georgia", kAsia, {41.72, 44.83}, T2, 3, 120, 3.7},
+    Country{"HK", "Hong Kong", kAsia, {22.32, 114.17}, T1, 10, 30, 7.5},
+    Country{"ID", "Indonesia", kAsia, {-6.21, 106.85}, T3, 8, 600, 273.5},
+    Country{"IL", "Israel", kAsia, {32.09, 34.78}, T1, 10, 80, 9.2},
+    Country{"IN", "India", kAsia, {19.08, 72.88}, T3, 20, 700, 1380.0},
+    Country{"IQ", "Iraq", kAsia, {33.31, 44.37}, T4, 1, 250, 40.2},
+    Country{"IR", "Iran", kAsia, {35.69, 51.39}, T3, 4, 500, 84.0},
+    Country{"JO", "Jordan", kAsia, {31.95, 35.93}, T3, 2, 80, 10.2},
+    Country{"JP", "Japan", kAsia, {35.68, 139.69}, T1, 35, 350, 125.8},
+    Country{"KG", "Kyrgyzstan", kAsia, {42.87, 74.59}, T3, 1, 150, 6.6},
+    Country{"KH", "Cambodia", kAsia, {11.56, 104.92}, T3, 1, 150, 16.7},
+    Country{"KR", "South Korea", kAsia, {37.57, 126.98}, T1, 15, 150, 51.8},
+    Country{"KW", "Kuwait", kAsia, {29.38, 47.99}, T3, 2, 40, 4.3},
+    Country{"KZ", "Kazakhstan", kAsia, {43.24, 76.89}, T3, 3, 600, 18.8},
+    Country{"LA", "Laos", kAsia, {17.96, 102.61}, T3, 1, 150, 7.3},
+    Country{"LB", "Lebanon", kAsia, {33.89, 35.50}, T3, 1, 40, 6.8},
+    Country{"LK", "Sri Lanka", kAsia, {6.93, 79.85}, T3, 2, 120, 21.9},
+    Country{"MM", "Myanmar", kAsia, {16.87, 96.20}, T4, 1, 300, 54.4},
+    Country{"MN", "Mongolia", kAsia, {47.89, 106.91}, T3, 1, 400, 3.3},
+    Country{"MO", "Macau", kAsia, {22.20, 113.55}, T2, 1, 10, 0.68},
+    Country{"MV", "Maldives", kAsia, {4.18, 73.51}, T3, 1, 40, 0.54},
+    Country{"MY", "Malaysia", kAsia, {3.14, 101.69}, T2, 8, 350, 32.4},
+    Country{"NP", "Nepal", kAsia, {27.72, 85.32}, T3, 1, 150, 29.1},
+    Country{"OM", "Oman", kAsia, {23.59, 58.41}, T3, 2, 200, 5.1},
+    Country{"PH", "Philippines", kAsia, {14.60, 120.98}, T3, 5, 400, 109.6},
+    Country{"PK", "Pakistan", kAsia, {24.86, 67.01}, T3, 3, 500, 220.9},
+    Country{"QA", "Qatar", kAsia, {25.29, 51.53}, T3, 3, 30, 2.9},
+    Country{"SA", "Saudi Arabia", kAsia, {24.71, 46.68}, T2, 5, 500, 34.8},
+    Country{"SG", "Singapore", kAsia, {1.35, 103.82}, T1, 20, 20, 5.7},
+    Country{"SY", "Syria", kAsia, {33.51, 36.29}, T4, 1, 120, 17.5},
+    Country{"TH", "Thailand", kAsia, {13.76, 100.50}, T2, 8, 350, 69.8},
+    Country{"TJ", "Tajikistan", kAsia, {38.56, 68.79}, T4, 1, 150, 9.5},
+    Country{"TM", "Turkmenistan", kAsia, {37.96, 58.33}, T4, 1, 200, 6.0},
+    Country{"TR", "Turkey", kAsia, {41.01, 28.98}, T2, 12, 550, 84.3},
+    Country{"TW", "Taiwan", kAsia, {25.03, 121.57}, T1, 10, 120, 23.6},
+    Country{"UZ", "Uzbekistan", kAsia, {41.30, 69.24}, T3, 2, 300, 34.2},
+    Country{"VN", "Vietnam", kAsia, {21.03, 105.85}, T3, 4, 500, 97.3},
+    Country{"YE", "Yemen", kAsia, {15.37, 44.19}, T4, 1, 200, 29.8},
+    // ---------------------------------------------------------- Oceania --
+    Country{"AU", "Australia", kOceania, {-33.87, 151.21}, T1, 25, 600, 25.7},
+    Country{"NZ", "New Zealand", kOceania, {-36.85, 174.76}, T1, 10, 350, 5.1},
+    Country{"FJ", "Fiji", kOceania, {-18.14, 178.44}, T3, 0.2, 60, 0.9},
+    Country{"PG", "Papua New Guinea", kOceania, {-9.44, 147.18}, T4, 0.2, 250, 8.9},
+    Country{"NC", "New Caledonia", kOceania, {-22.26, 166.45}, T2, 0.2, 60, 0.27},
+    Country{"PF", "French Polynesia", kOceania, {-17.54, -149.57}, T3, 0.2, 60, 0.28},
+    Country{"WS", "Samoa", kOceania, {-13.83, -171.77}, T4, 0.2, 30, 0.2},
+    Country{"TO", "Tonga", kOceania, {-21.14, -175.20}, T4, 0.2, 30, 0.11},
+    Country{"VU", "Vanuatu", kOceania, {-17.73, 168.32}, T4, 0.2, 60, 0.31},
+    Country{"SB", "Solomon Islands", kOceania, {-9.43, 159.95}, T4, 0.2, 80, 0.69},
+    // ----------------------------------------------------------- Africa --
+    Country{"AO", "Angola", kAfrica, {-8.84, 13.23}, T4, 1, 400, 32.9},
+    Country{"BF", "Burkina Faso", kAfrica, {12.37, -1.52}, T4, 1, 200, 20.9},
+    Country{"BI", "Burundi", kAfrica, {-3.38, 29.36}, T4, 1, 60, 11.9},
+    Country{"BJ", "Benin", kAfrica, {6.37, 2.39}, T4, 1, 150, 12.1},
+    Country{"BW", "Botswana", kAfrica, {-24.65, 25.91}, T3, 1, 250, 2.4},
+    Country{"CD", "DR Congo", kAfrica, {-4.44, 15.27}, T4, 1, 600, 89.6},
+    Country{"CG", "Congo", kAfrica, {-4.26, 15.24}, T4, 1, 200, 5.5},
+    Country{"CI", "Ivory Coast", kAfrica, {5.36, -4.01}, T3, 2, 200, 26.4},
+    Country{"CM", "Cameroon", kAfrica, {4.05, 9.70}, T4, 1, 250, 26.5},
+    Country{"CV", "Cape Verde", kAfrica, {14.93, -23.51}, T3, 1, 40, 0.56},
+    Country{"DJ", "Djibouti", kAfrica, {11.59, 43.15}, T3, 1, 40, 0.99},
+    Country{"DZ", "Algeria", kAfrica, {36.75, 3.06}, T3, 3, 400, 43.9},
+    Country{"EG", "Egypt", kAfrica, {30.04, 31.24}, T3, 5, 300, 102.3},
+    Country{"ET", "Ethiopia", kAfrica, {9.03, 38.74}, T4, 1, 300, 115.0},
+    Country{"GA", "Gabon", kAfrica, {0.42, 9.47}, T4, 1, 150, 2.2},
+    Country{"GH", "Ghana", kAfrica, {5.60, -0.19}, T3, 2, 200, 31.1},
+    Country{"GM", "Gambia", kAfrica, {13.45, -16.58}, T4, 1, 40, 2.4},
+    Country{"GN", "Guinea", kAfrica, {9.64, -13.58}, T4, 1, 150, 13.1},
+    Country{"KE", "Kenya", kAfrica, {-1.29, 36.82}, T3, 4, 250, 53.8},
+    Country{"LR", "Liberia", kAfrica, {6.30, -10.80}, T4, 1, 100, 5.1},
+    Country{"LS", "Lesotho", kAfrica, {-29.32, 27.48}, T4, 1, 60, 2.1},
+    Country{"LY", "Libya", kAfrica, {32.89, 13.19}, T4, 1, 300, 6.9},
+    Country{"MA", "Morocco", kAfrica, {33.57, -7.59}, T3, 4, 300, 36.9},
+    Country{"MG", "Madagascar", kAfrica, {-18.88, 47.51}, T4, 1, 300, 27.7},
+    Country{"ML", "Mali", kAfrica, {12.64, -8.00}, T4, 1, 300, 20.3},
+    Country{"MR", "Mauritania", kAfrica, {18.08, -15.98}, T4, 1, 250, 4.6},
+    Country{"MU", "Mauritius", kAfrica, {-20.16, 57.50}, T2, 2, 20, 1.3},
+    Country{"MW", "Malawi", kAfrica, {-13.96, 33.77}, T4, 1, 150, 19.1},
+    Country{"MZ", "Mozambique", kAfrica, {-25.97, 32.57}, T4, 1, 400, 31.3},
+    Country{"NA", "Namibia", kAfrica, {-22.56, 17.08}, T3, 1, 300, 2.5},
+    Country{"NE", "Niger", kAfrica, {13.51, 2.11}, T4, 1, 250, 24.2},
+    Country{"NG", "Nigeria", kAfrica, {6.52, 3.38}, T3, 3, 400, 206.1},
+    Country{"RW", "Rwanda", kAfrica, {-1.94, 30.06}, T3, 1, 60, 13.0},
+    Country{"SC", "Seychelles", kAfrica, {-4.62, 55.45}, T3, 1, 20, 0.1},
+    Country{"SD", "Sudan", kAfrica, {15.50, 32.56}, T4, 1, 350, 43.8},
+    Country{"SL", "Sierra Leone", kAfrica, {8.47, -13.23}, T4, 1, 100, 8.0},
+    Country{"SN", "Senegal", kAfrica, {14.72, -17.47}, T3, 2, 150, 16.7},
+    Country{"SO", "Somalia", kAfrica, {2.05, 45.32}, T4, 1, 250, 15.9},
+    Country{"SS", "South Sudan", kAfrica, {4.86, 31.57}, T4, 1, 200, 11.2},
+    Country{"SZ", "Eswatini", kAfrica, {-26.31, 31.14}, T4, 1, 50, 1.2},
+    Country{"TD", "Chad", kAfrica, {12.13, 15.06}, T4, 1, 300, 16.4},
+    Country{"TG", "Togo", kAfrica, {6.13, 1.22}, T4, 1, 120, 8.3},
+    Country{"TN", "Tunisia", kAfrica, {36.81, 10.18}, T3, 2, 150, 11.8},
+    Country{"TZ", "Tanzania", kAfrica, {-6.79, 39.21}, T3, 2, 300, 59.7},
+    Country{"UG", "Uganda", kAfrica, {0.35, 32.58}, T3, 1, 150, 45.7},
+    Country{"ZA", "South Africa", kAfrica, {-26.20, 28.05}, T2, 8, 500, 59.3},
+    Country{"ZM", "Zambia", kAfrica, {-15.39, 28.32}, T4, 1, 300, 18.4},
+    Country{"ZW", "Zimbabwe", kAfrica, {-17.83, 31.05}, T4, 1, 250, 14.9},
+};
+
+}  // namespace
+
+std::span<const Country> all_countries() noexcept { return kCountries; }
+
+const Country* find_country(std::string_view iso2) noexcept {
+  for (const Country& c : kCountries) {
+    if (c.iso2 == iso2) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const Country*> countries_in(Continent continent) {
+  std::vector<const Country*> out;
+  for (const Country& c : kCountries) {
+    if (c.continent == continent) out.push_back(&c);
+  }
+  return out;
+}
+
+std::size_t country_count() noexcept { return kCountries.size(); }
+
+double world_population_m() noexcept {
+  double total = 0.0;
+  for (const Country& c : kCountries) total += c.population_m;
+  return total;
+}
+
+}  // namespace shears::geo

@@ -1,0 +1,21 @@
+// A measurement vantage point as the network sees it.
+#pragma once
+
+#include "geo/country.hpp"
+#include "geo/coordinates.hpp"
+#include "net/access.hpp"
+
+namespace shears::net {
+
+/// Where a probe sits and how it reaches the Internet. The `atlas` module
+/// attaches identity and tags; the latency model only needs this.
+struct Endpoint {
+  geo::GeoPoint location;
+  geo::ConnectivityTier tier = geo::ConnectivityTier::kTier1;
+  AccessTechnology access = AccessTechnology::kEthernet;
+  /// Operator-quality multiplier on the access-latency median: <1 for a
+  /// well-peered incumbent ISP, >1 for a budget carrier (see atlas::isp).
+  double access_quality = 1.0;
+};
+
+}  // namespace shears::net

@@ -1,0 +1,55 @@
+#include "net/path.hpp"
+
+#include <algorithm>
+
+namespace shears::net {
+
+double stretch_for(const PathModelConfig& config, geo::ConnectivityTier tier,
+                   topology::BackboneClass backbone) noexcept {
+  const auto idx = static_cast<std::size_t>(tier) - 1;  // tiers are 1-based
+  return backbone == topology::BackboneClass::kPrivate
+             ? config.stretch_private[idx]
+             : config.stretch_public[idx];
+}
+
+double effective_stretch(const PathModelConfig& config,
+                         geo::ConnectivityTier tier,
+                         topology::BackboneClass backbone,
+                         double geodesic_km) noexcept {
+  const double regional = stretch_for(config, tier, backbone);
+  if (regional <= config.long_haul_stretch) return regional;
+  const double k =
+      config.stretch_decay_km[static_cast<std::size_t>(tier) - 1];
+  return config.long_haul_stretch +
+         (regional - config.long_haul_stretch) * k / (k + geodesic_km);
+}
+
+PathCharacteristics characterize_path_with_routed(
+    const PathModelConfig& config, double geodesic_km, double routed_km,
+    topology::BackboneClass backbone) noexcept {
+  PathCharacteristics path;
+  path.geodesic_km = geodesic_km;
+  path.routed_km = std::max(routed_km, config.min_routed_km);
+  // Round-trip propagation: twice the one-way routed distance.
+  path.propagation_ms = 2.0 * path.routed_km * config.fibre_us_per_km / 1000.0;
+  path.hop_count = config.base_hops + path.routed_km / config.km_per_hop +
+                   (backbone == topology::BackboneClass::kPublic
+                        ? config.extra_public_hops
+                        : 0.0);
+  path.processing_ms = path.hop_count * config.per_hop_ms;
+  return path;
+}
+
+PathCharacteristics characterize_path(const PathModelConfig& config,
+                                      const geo::GeoPoint& src,
+                                      geo::ConnectivityTier src_tier,
+                                      const geo::GeoPoint& dst,
+                                      topology::BackboneClass backbone) noexcept {
+  const double geodesic_km = geo::haversine_km(src, dst);
+  const double stretch =
+      effective_stretch(config, src_tier, backbone, geodesic_km);
+  return characterize_path_with_routed(config, geodesic_km,
+                                       geodesic_km * stretch, backbone);
+}
+
+}  // namespace shears::net

@@ -1,0 +1,112 @@
+// Wide-area path model: propagation, path stretch, and transit hops.
+//
+// The dominant deterministic component of a cloud RTT is light-in-fibre
+// propagation over the *routed* path, which exceeds the geodesic by a
+// path-stretch factor that shrinks with infrastructure quality (dense
+// fibre + IXPs → near-geodesic routes; under-served regions trombone
+// through remote exchange points). On top of that sit per-hop processing
+// and queueing. Providers with private backbones (§4.1) carry traffic on
+// their own WAN from a nearby edge PoP, reducing both stretch and hop
+// queueing relative to public-transit providers.
+#pragma once
+
+#include "geo/country.hpp"
+#include "geo/coordinates.hpp"
+#include "topology/provider.hpp"
+
+namespace shears::net {
+
+/// Tunable constants of the path model. Defaults reproduce the calibration
+/// anchors in DESIGN.md §4; ablations perturb individual fields.
+struct PathModelConfig {
+  /// One-way propagation in fibre, microseconds per kilometre
+  /// (speed of light / refractive index ~1.468).
+  double fibre_us_per_km = 4.9;
+
+  /// Geodesic→routed stretch per connectivity tier, public transit, for
+  /// *regional* (short) paths where tromboning through distant exchange
+  /// points dominates.
+  double stretch_public[4] = {1.80, 2.60, 3.40, 4.50};
+  /// Same, when the destination provider operates a private backbone that
+  /// picks traffic up at a nearby edge PoP.
+  double stretch_private[4] = {1.55, 2.20, 2.80, 3.60};
+
+  /// Long-haul asymptote: submarine cables and transcontinental fibre are
+  /// comparatively direct, so effective stretch decays from the tier value
+  /// toward this as geodesic distance grows (never below the tier value
+  /// when the tier is already better).
+  double long_haul_stretch = 1.5;
+  /// Decay scale per tier (km): effective = long + (tier - long) *
+  /// k / (k + d). Under-served networks keep their detours much longer —
+  /// a landlocked tier-4 country trombones even on intercontinental paths
+  /// (reaching the cable landing is the bottleneck).
+  double stretch_decay_km[4] = {1500.0, 2000.0, 3000.0, 4000.0};
+
+  /// Minimum effective routed distance (km): metro rings, CO backhaul and
+  /// peering detours dominate very short paths.
+  double min_routed_km = 80.0;
+
+  /// Router hops: base plus one per `km_per_hop` of routed distance.
+  double base_hops = 4.0;
+  double km_per_hop = 600.0;
+  /// Extra hops on public transit paths (more AS boundaries).
+  double extra_public_hops = 3.0;
+
+  /// Mean per-hop processing + serialisation cost (ms, round trip).
+  double per_hop_ms = 0.10;
+};
+
+/// Deterministic description of one source→region path.
+struct PathCharacteristics {
+  double geodesic_km = 0.0;    ///< great-circle distance
+  double routed_km = 0.0;      ///< after stretch and the metro floor
+  double hop_count = 0.0;      ///< modelled router hops (fractional)
+  double propagation_ms = 0.0; ///< round-trip light-in-fibre time
+  double processing_ms = 0.0;  ///< round-trip per-hop processing budget
+  /// Propagation + processing: the congestion-free path RTT, excluding
+  /// the last mile.
+  [[nodiscard]] double base_rtt_ms() const noexcept {
+    return propagation_ms + processing_ms;
+  }
+};
+
+/// Pluggable source of routed distance. The default path model derives
+/// routed km from a tier/backbone stretch of the geodesic; an alternative
+/// provider (e.g. the explicit transport graph in shears::route) can
+/// supply measured/graph-routed distances instead.
+class PathProvider {
+ public:
+  virtual ~PathProvider() = default;
+  /// Routed distance in km for one source→destination pair.
+  [[nodiscard]] virtual double routed_km(
+      const geo::GeoPoint& src, geo::ConnectivityTier src_tier,
+      const geo::GeoPoint& dst,
+      topology::BackboneClass backbone) const = 0;
+};
+
+/// Computes the deterministic path between a vantage point in a country of
+/// the given tier and a datacenter reached through the given backbone.
+[[nodiscard]] PathCharacteristics characterize_path(
+    const PathModelConfig& config, const geo::GeoPoint& src,
+    geo::ConnectivityTier src_tier, const geo::GeoPoint& dst,
+    topology::BackboneClass backbone) noexcept;
+
+/// Same, but with the routed distance supplied externally (a PathProvider)
+/// rather than derived via stretch. The metro floor still applies.
+[[nodiscard]] PathCharacteristics characterize_path_with_routed(
+    const PathModelConfig& config, double geodesic_km, double routed_km,
+    topology::BackboneClass backbone) noexcept;
+
+/// Regional (short-path) stretch factor for a tier/backbone combination.
+[[nodiscard]] double stretch_for(const PathModelConfig& config,
+                                 geo::ConnectivityTier tier,
+                                 topology::BackboneClass backbone) noexcept;
+
+/// Distance-aware effective stretch: decays from the regional value toward
+/// the long-haul asymptote as the geodesic grows.
+[[nodiscard]] double effective_stretch(const PathModelConfig& config,
+                                       geo::ConnectivityTier tier,
+                                       topology::BackboneClass backbone,
+                                       double geodesic_km) noexcept;
+
+}  // namespace shears::net

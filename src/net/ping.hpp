@@ -1,0 +1,31 @@
+// ICMP-echo measurement semantics, mirroring RIPE Atlas built-in pings:
+// a small burst of packets per scheduled measurement, reported as
+// min / avg / max over the received replies plus a loss count.
+#pragma once
+
+namespace shears::net {
+
+/// One echo request/reply observation.
+struct PingObservation {
+  bool lost = false;
+  double rtt_ms = 0.0;  ///< valid only when !lost
+};
+
+/// Aggregate of one scheduled ping burst.
+struct PingResult {
+  int sent = 0;
+  int received = 0;
+  double min_ms = 0.0;  ///< valid only when received > 0
+  double avg_ms = 0.0;
+  double max_ms = 0.0;
+
+  [[nodiscard]] bool all_lost() const noexcept { return received == 0; }
+  [[nodiscard]] double loss_rate() const noexcept {
+    return sent > 0 ? 1.0 - static_cast<double>(received) / sent : 0.0;
+  }
+};
+
+/// RIPE Atlas built-in pings send three packets per measurement.
+inline constexpr int kDefaultPacketsPerPing = 3;
+
+}  // namespace shears::net

@@ -1,0 +1,114 @@
+#include "net/segments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.hpp"
+
+namespace shears::net {
+
+namespace {
+
+/// Hops attributed to the metro/aggregation part of the path.
+constexpr double kMetroHops = 3.0;
+/// Hops attributed to the datacenter edge + fabric.
+constexpr double kDatacenterHops = 1.0;
+
+}  // namespace
+
+SegmentBreakdown decompose_path(const LatencyModel& model, const Endpoint& src,
+                                const topology::CloudRegion& dst) {
+  const PathCharacteristics path = model.path_to(src, dst);
+  const PathModelConfig& config = model.config().path;
+
+  SegmentBreakdown breakdown;
+  breakdown[PathSegment::kLastMile] = model.access_profile_of(src).median_ms;
+
+  // Propagation split: the first `min_routed_km` of the routed path are
+  // metro/aggregation; the rest is long-haul transit.
+  const double metro_km = std::min(path.routed_km, config.min_routed_km);
+  const double metro_prop = 2.0 * metro_km * config.fibre_us_per_km / 1000.0;
+  const double transit_prop = path.propagation_ms - metro_prop;
+
+  // Processing split mirrors the hop model: base hops are metro + DC,
+  // distance hops ride the transit, the public-transit surcharge is the
+  // peering hand-offs.
+  const double distance_hops = path.routed_km / config.km_per_hop;
+  const double peering_hops =
+      topology::backbone_class(dst.provider) == topology::BackboneClass::kPublic
+          ? config.extra_public_hops
+          : 0.0;
+
+  breakdown[PathSegment::kAccessNetwork] =
+      metro_prop + kMetroHops * config.per_hop_ms;
+  breakdown[PathSegment::kTransit] =
+      transit_prop + distance_hops * config.per_hop_ms;
+  breakdown[PathSegment::kPeeringOrBackbone] =
+      peering_hops * config.per_hop_ms;
+  breakdown[PathSegment::kDatacenter] = kDatacenterHops * config.per_hop_ms;
+  return breakdown;
+}
+
+std::vector<TracerouteHop> traceroute(const LatencyModel& model,
+                                      const Endpoint& src,
+                                      const topology::CloudRegion& dst,
+                                      stats::Xoshiro256& rng) {
+  const SegmentBreakdown breakdown = decompose_path(model, src, dst);
+  const PathCharacteristics path = model.path_to(src, dst);
+  const PathModelConfig& config = model.config().path;
+
+  // Hop plan: (segment, count, label stem). Counts follow the hop model,
+  // with at least one hop per non-empty segment.
+  struct SegmentPlan {
+    PathSegment segment;
+    int hops;
+    const char* stem;
+  };
+  const int transit_hops = std::max(
+      1, static_cast<int>(std::lround(path.routed_km / config.km_per_hop)));
+  const int peering_hops =
+      breakdown[PathSegment::kPeeringOrBackbone] > 0.0
+          ? static_cast<int>(config.extra_public_hops)
+          : 1;  // private backbones still show one hand-off hop
+  const SegmentPlan plan[] = {
+      {PathSegment::kLastMile, 1, "cpe"},
+      {PathSegment::kAccessNetwork, 3, "metro"},
+      {PathSegment::kTransit, transit_hops, "transit"},
+      {PathSegment::kPeeringOrBackbone, peering_hops, "peer"},
+      {PathSegment::kDatacenter, 1, "dc"},
+  };
+
+  std::vector<TracerouteHop> hops;
+  int ttl = 0;
+  double expected_cum = 0.0;
+  double observed_floor = 0.0;
+  for (const SegmentPlan& seg : plan) {
+    const double budget = breakdown[seg.segment];
+    for (int i = 0; i < seg.hops; ++i) {
+      ++ttl;
+      expected_cum += budget / seg.hops;
+      TracerouteHop hop;
+      hop.ttl = ttl;
+      hop.segment = seg.segment;
+      hop.label = std::string(seg.stem) + std::to_string(i + 1) + "." +
+                  std::string(seg.segment == PathSegment::kDatacenter
+                                  ? dst.region_id
+                                  : "as");
+      // TTL-expired responses occasionally go unanswered (rate limiting).
+      hop.responded = !rng.bernoulli(0.08);
+      if (hop.responded) {
+        const double sample =
+            stats::sample_lognormal_median(rng, expected_cum, 1.12);
+        // Per-hop RTTs are individually jittered but a traceroute's
+        // cumulative reading rarely decreases; enforce the usual monotone
+        // presentation.
+        hop.rtt_ms = std::max(sample, observed_floor);
+        observed_floor = hop.rtt_ms;
+      }
+      hops.push_back(std::move(hop));
+    }
+  }
+  return hops;
+}
+
+}  // namespace shears::net

@@ -1,0 +1,88 @@
+// Path-segment decomposition and traceroute semantics — the machinery
+// behind §4.3's "Where is the Delay?".
+//
+// An end-to-end RTT decomposes into: the last mile (access technology),
+// the access/metro network, long-haul transit, the peering hand-off or
+// provider backbone, and the datacenter fabric. The paper's two §4.3
+// findings map onto this decomposition directly:
+//   * insufficient infrastructure → the transit share dominates in
+//     under-served regions (long stretched paths to remote DCs);
+//   * the wireless last mile → the last-mile share dominates for
+//     wireless users in well-served regions.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/latency_model.hpp"
+
+namespace shears::net {
+
+enum class PathSegment : unsigned char {
+  kLastMile = 0,       ///< the access link (DSL/LTE/...)
+  kAccessNetwork,      ///< aggregation + metro ring of the access ISP
+  kTransit,            ///< long-haul propagation
+  kPeeringOrBackbone,  ///< AS hand-offs / provider WAN
+  kDatacenter,         ///< provider edge + DC fabric
+};
+
+inline constexpr std::size_t kPathSegmentCount = 5;
+
+[[nodiscard]] constexpr std::string_view to_string(PathSegment s) noexcept {
+  switch (s) {
+    case PathSegment::kLastMile: return "last-mile";
+    case PathSegment::kAccessNetwork: return "access-network";
+    case PathSegment::kTransit: return "transit";
+    case PathSegment::kPeeringOrBackbone: return "peering/backbone";
+    case PathSegment::kDatacenter: return "datacenter";
+  }
+  return "unknown";
+}
+
+/// Median (congestion-free) RTT contribution of each segment, ms.
+struct SegmentBreakdown {
+  std::array<double, kPathSegmentCount> ms{};
+
+  [[nodiscard]] double total() const noexcept {
+    double sum = 0.0;
+    for (const double v : ms) sum += v;
+    return sum;
+  }
+  [[nodiscard]] double share(PathSegment s) const noexcept {
+    const double t = total();
+    return t > 0.0 ? ms[static_cast<std::size_t>(s)] / t : 0.0;
+  }
+  [[nodiscard]] double& operator[](PathSegment s) noexcept {
+    return ms[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double operator[](PathSegment s) const noexcept {
+    return ms[static_cast<std::size_t>(s)];
+  }
+};
+
+/// Deterministic decomposition of the expected RTT between an endpoint
+/// and a region. Consistent with the latency model:
+/// total() == baseline_rtt_ms(src, dst) up to floating rounding.
+[[nodiscard]] SegmentBreakdown decompose_path(const LatencyModel& model,
+                                              const Endpoint& src,
+                                              const topology::CloudRegion& dst);
+
+/// One hop of a simulated traceroute.
+struct TracerouteHop {
+  int ttl = 0;                 ///< 1-based hop index
+  PathSegment segment = PathSegment::kLastMile;
+  double rtt_ms = 0.0;         ///< cumulative RTT observed at this hop
+  bool responded = true;       ///< hops occasionally drop TTL-expired probes
+  std::string label;           ///< synthetic router name, e.g. "transit3.as"
+};
+
+/// Samples a traceroute: hop labels/segments follow the decomposition,
+/// cumulative RTTs are sampled consistently with ping_once (monotone in
+/// expectation, jittered per hop; silent hops happen).
+[[nodiscard]] std::vector<TracerouteHop> traceroute(
+    const LatencyModel& model, const Endpoint& src,
+    const topology::CloudRegion& dst, stats::Xoshiro256& rng);
+
+}  // namespace shears::net

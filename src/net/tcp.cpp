@@ -1,0 +1,50 @@
+#include "net/tcp.hpp"
+
+#include "stats/distributions.hpp"
+
+namespace shears::net {
+
+TcpConnectResult tcp_connect(const LatencyModel& model, const Endpoint& src,
+                             const topology::CloudRegion& dst,
+                             stats::Xoshiro256& rng,
+                             const TcpProbeConfig& config) {
+  TcpConnectResult result;
+  double waited = 0.0;
+  double rto = config.initial_rto_ms;
+  for (int attempt = 0; attempt < config.max_syn_attempts; ++attempt) {
+    ++result.syn_attempts;
+    // A handshake needs the SYN and the SYN-ACK to survive — two one-way
+    // trips, modelled as one ping observation (same loss process).
+    const PingObservation obs = model.ping_once(src, dst, rng);
+    if (!obs.lost) {
+      result.connected = true;
+      result.connect_ms = waited + obs.rtt_ms + config.stack_overhead_ms;
+      return result;
+    }
+    waited += rto;
+    rto *= 2.0;  // RFC 6298 exponential back-off
+  }
+  result.connect_ms = waited;
+  return result;
+}
+
+HttpProbeResult http_ttfb(const LatencyModel& model, const Endpoint& src,
+                          const topology::CloudRegion& dst,
+                          stats::Xoshiro256& rng,
+                          const TcpProbeConfig& config) {
+  HttpProbeResult result;
+  const TcpConnectResult connect = tcp_connect(model, src, dst, rng, config);
+  if (!connect.connected) return result;
+  result.connect_ms = connect.connect_ms;
+
+  // Request + first response byte: one more round trip plus server time.
+  const PingObservation request = model.ping_once(src, dst, rng);
+  if (request.lost) return result;  // treat as probe failure, not retry
+  const double server_ms = stats::sample_lognormal_median(
+      rng, config.server_time_median_ms, config.server_time_spread);
+  result.ok = true;
+  result.ttfb_ms = connect.connect_ms + request.rtt_ms + server_ms;
+  return result;
+}
+
+}  // namespace shears::net

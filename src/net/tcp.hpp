@@ -1,0 +1,58 @@
+// TCP-based probing — the measurement extension the paper plans in §5
+// ("we plan to extend our measurements to include TCP-based probing
+// techniques that may better reflect behavior of application traffic").
+//
+// Models the latency application traffic actually observes:
+//   * TCP connect time: one handshake RTT plus stack overhead, with
+//     SYN-retransmission semantics (exponential RTO back-off) on loss;
+//   * HTTP time-to-first-byte: connect + request round trip + server
+//     processing.
+// The shape claim these probes support: TCP-measured latencies track
+// ICMP plus a small additive overhead, so ping-based conclusions carry
+// over to application traffic.
+#pragma once
+
+#include "net/latency_model.hpp"
+
+namespace shears::net {
+
+struct TcpProbeConfig {
+  /// Kernel + NIC overhead added to the handshake RTT (ms).
+  double stack_overhead_ms = 0.3;
+  /// Initial retransmission timeout (RFC 6298 initial RTO), ms.
+  double initial_rto_ms = 1000.0;
+  /// Give up after this many SYN attempts.
+  int max_syn_attempts = 4;
+  /// Median server processing time for the first byte (ms) and its
+  /// log-normal spread.
+  double server_time_median_ms = 8.0;
+  double server_time_spread = 1.8;
+};
+
+struct TcpConnectResult {
+  bool connected = false;
+  double connect_ms = 0.0;  ///< includes retransmission waits
+  int syn_attempts = 0;
+};
+
+/// Samples one TCP connection establishment.
+[[nodiscard]] TcpConnectResult tcp_connect(const LatencyModel& model,
+                                           const Endpoint& src,
+                                           const topology::CloudRegion& dst,
+                                           stats::Xoshiro256& rng,
+                                           const TcpProbeConfig& config = {});
+
+struct HttpProbeResult {
+  bool ok = false;
+  double connect_ms = 0.0;
+  double ttfb_ms = 0.0;  ///< connect + request RTT + server processing
+};
+
+/// Samples one HTTP request's time-to-first-byte over a fresh connection.
+[[nodiscard]] HttpProbeResult http_ttfb(const LatencyModel& model,
+                                        const Endpoint& src,
+                                        const topology::CloudRegion& dst,
+                                        stats::Xoshiro256& rng,
+                                        const TcpProbeConfig& config = {});
+
+}  // namespace shears::net

@@ -1,0 +1,126 @@
+#include "report/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "report/table.hpp"
+
+namespace shears::report {
+
+namespace {
+
+constexpr const char kGlyphs[] = "*o+x#@%&";
+
+double transform(double x, bool log_x) {
+  return log_x ? std::log10(std::max(x, 1e-9)) : x;
+}
+
+}  // namespace
+
+std::string render_cdf_plot(const std::vector<Series>& series,
+                            const std::vector<Marker>& markers,
+                            const CdfPlotOptions& options) {
+  const int w = std::max(options.width, 16);
+  const int h = std::max(options.height, 6);
+
+  // X range: explicit or from the data.
+  double x_min = options.x_min;
+  double x_max = options.x_max;
+  if (x_min == 0.0 && x_max == 0.0) {
+    bool any = false;
+    for (const Series& s : series) {
+      for (const auto& [x, y] : s.points) {
+        if (!any) {
+          x_min = x_max = x;
+          any = true;
+        } else {
+          x_min = std::min(x_min, x);
+          x_max = std::max(x_max, x);
+        }
+      }
+    }
+    if (!any) return "(empty plot)\n";
+  }
+  if (options.log_x) x_min = std::max(x_min, 0.1);
+  const double t0 = transform(x_min, options.log_x);
+  const double t1 = transform(x_max, options.log_x);
+  const double span = t1 > t0 ? t1 - t0 : 1.0;
+
+  auto col_of = [&](double x) {
+    const double t = transform(x, options.log_x);
+    const int c = static_cast<int>(std::round((t - t0) / span * (w - 1)));
+    return std::clamp(c, 0, w - 1);
+  };
+  auto row_of = [&](double y) {
+    const int r = static_cast<int>(std::round((1.0 - y) * (h - 1)));
+    return std::clamp(r, 0, h - 1);
+  };
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  // Markers first so curves draw over them.
+  std::string marker_line(static_cast<std::size_t>(w), ' ');
+  for (const Marker& m : markers) {
+    if (m.x < x_min || m.x > x_max) continue;
+    const int c = col_of(m.x);
+    for (auto& row : grid) row[static_cast<std::size_t>(c)] = '|';
+    // Stamp the label onto the marker line (clipped, right-shifted on
+    // collision).
+    std::size_t pos = static_cast<std::size_t>(c);
+    for (std::size_t i = 0; i < m.label.size() && pos + i < marker_line.size();
+         ++i) {
+      marker_line[pos + i] = m.label[i];
+    }
+  }
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    for (const auto& [x, y] : series[si].points) {
+      if (x < x_min || x > x_max) continue;
+      grid[static_cast<std::size_t>(row_of(y))]
+          [static_cast<std::size_t>(col_of(x))] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  out << "      " << marker_line << '\n';
+  for (int r = 0; r < h; ++r) {
+    const double y = 1.0 - static_cast<double>(r) / (h - 1);
+    out << (r % 3 == 0 ? fmt(y, 2) : std::string(4, ' ')) << " |"
+        << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << "     +" << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  out << "      " << fmt(x_min, 0) << std::string(static_cast<std::size_t>(
+                        std::max(1, w - 12)), ' ')
+      << fmt(x_max, 0) << "  " << options.x_label
+      << (options.log_x ? " [log]" : "") << '\n';
+  out << "      legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << ' ' << kGlyphs[si % (sizeof(kGlyphs) - 1)] << '=' << series[si].name;
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::string render_bars(
+    const std::vector<std::pair<std::string, double>>& values, int width) {
+  double max_v = 0.0;
+  std::size_t max_label = 0;
+  for (const auto& [label, v] : values) {
+    max_v = std::max(max_v, v);
+    max_label = std::max(max_label, label.size());
+  }
+  std::ostringstream out;
+  for (const auto& [label, v] : values) {
+    const int len = max_v > 0.0
+                        ? static_cast<int>(std::round(v / max_v * width))
+                        : 0;
+    out << label << std::string(max_label - label.size(), ' ') << " | "
+        << std::string(static_cast<std::size_t>(std::max(len, 0)), '#') << ' '
+        << fmt(v, 1) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace shears::report

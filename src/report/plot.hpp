@@ -1,0 +1,44 @@
+// ASCII plot rendering for the figure benches: multi-series CDF plots with
+// threshold markers (MTP / PL / HRT vertical rules), and horizontal bar
+// charts for banded counts. Pure text; the series data is also emitted as
+// CSV so real plots can be regenerated offline.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace shears::report {
+
+/// One named (x, y) series, y in [0, 1] for CDFs.
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// A labelled vertical marker (e.g. "MTP" at x = 20).
+struct Marker {
+  std::string label;
+  double x = 0.0;
+};
+
+struct CdfPlotOptions {
+  int width = 72;        ///< plot area columns
+  int height = 18;       ///< plot area rows
+  bool log_x = false;    ///< logarithmic x axis (requires positive xs)
+  double x_min = 0.0;    ///< 0/0 = auto range from data
+  double x_max = 0.0;
+  std::string x_label = "RTT (ms)";
+};
+
+/// Renders CDF curves (y in [0,1]) as a character grid; each series uses a
+/// distinct glyph, markers draw as vertical '|' rules with labels on top.
+[[nodiscard]] std::string render_cdf_plot(const std::vector<Series>& series,
+                                          const std::vector<Marker>& markers,
+                                          const CdfPlotOptions& options = {});
+
+/// Renders a horizontal bar chart: one row per (label, value).
+[[nodiscard]] std::string render_bars(
+    const std::vector<std::pair<std::string, double>>& values, int width = 50);
+
+}  // namespace shears::report

@@ -1,0 +1,276 @@
+#include "report/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "report/table.hpp"
+
+namespace shears::report {
+
+namespace {
+
+/// Colour-blind-safe categorical palette (Okabe-Ito).
+constexpr const char* kPalette[] = {
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7",
+    "#E69F00", "#56B4E9", "#F0E442", "#000000",
+};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+constexpr int kMarginLeft = 64;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 36;
+constexpr int kMarginBottom = 48;
+
+double transform(double x, bool log_x) {
+  return log_x ? std::log10(std::max(x, 1e-9)) : x;
+}
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_svg_cdf(const std::vector<Series>& series,
+                           const std::vector<Marker>& markers,
+                           const SvgPlotOptions& options) {
+  double x_min = options.x_min;
+  double x_max = options.x_max;
+  if (x_min == 0.0 && x_max == 0.0) {
+    bool any = false;
+    for (const Series& s : series) {
+      for (const auto& [x, y] : s.points) {
+        if (!any) {
+          x_min = x_max = x;
+          any = true;
+        } else {
+          x_min = std::min(x_min, x);
+          x_max = std::max(x_max, x);
+        }
+      }
+    }
+    if (!any) {
+      x_min = 0.0;
+      x_max = 1.0;
+    }
+  }
+  if (options.log_x) x_min = std::max(x_min, 0.1);
+  const double t0 = transform(x_min, options.log_x);
+  const double t1 = transform(x_max, options.log_x);
+  const double t_span = t1 > t0 ? t1 - t0 : 1.0;
+
+  const int plot_w = options.width - kMarginLeft - kMarginRight;
+  const int plot_h = options.height - kMarginTop - kMarginBottom;
+  auto px = [&](double x) {
+    return kMarginLeft +
+           (transform(x, options.log_x) - t0) / t_span * plot_w;
+  };
+  auto py = [&](double y) { return kMarginTop + (1.0 - y) * plot_h; };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+      << "\" height=\"" << options.height << "\" font-family=\"sans-serif\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  if (!options.title.empty()) {
+    svg << "<text x=\"" << options.width / 2 << "\" y=\"20\" "
+        << "text-anchor=\"middle\" font-size=\"14\" font-weight=\"bold\">"
+        << escape_xml(options.title) << "</text>\n";
+  }
+
+  // Frame and y grid.
+  svg << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop << "\" width=\""
+      << plot_w << "\" height=\"" << plot_h
+      << "\" fill=\"none\" stroke=\"#444\"/>\n";
+  for (int i = 0; i <= 4; ++i) {
+    const double y = i / 4.0;
+    svg << "<line x1=\"" << kMarginLeft << "\" y1=\"" << py(y) << "\" x2=\""
+        << kMarginLeft + plot_w << "\" y2=\"" << py(y)
+        << "\" stroke=\"#ddd\"/>\n"
+        << "<text x=\"" << kMarginLeft - 6 << "\" y=\"" << py(y) + 4
+        << "\" text-anchor=\"end\" font-size=\"11\">" << fmt(y, 2)
+        << "</text>\n";
+  }
+  // X ticks: decades when log, else 5 linear ticks.
+  if (options.log_x) {
+    for (double decade = std::pow(10.0, std::floor(std::log10(x_min)));
+         decade <= x_max * 1.0001; decade *= 10.0) {
+      if (decade < x_min) continue;
+      svg << "<line x1=\"" << px(decade) << "\" y1=\"" << kMarginTop
+          << "\" x2=\"" << px(decade) << "\" y2=\"" << kMarginTop + plot_h
+          << "\" stroke=\"#eee\"/>\n"
+          << "<text x=\"" << px(decade) << "\" y=\""
+          << kMarginTop + plot_h + 16 << "\" text-anchor=\"middle\" "
+          << "font-size=\"11\">" << fmt(decade, 0) << "</text>\n";
+    }
+  } else {
+    for (int i = 0; i <= 5; ++i) {
+      const double x = x_min + (x_max - x_min) * i / 5.0;
+      svg << "<text x=\"" << px(x) << "\" y=\"" << kMarginTop + plot_h + 16
+          << "\" text-anchor=\"middle\" font-size=\"11\">" << fmt(x, 0)
+          << "</text>\n";
+    }
+  }
+  svg << "<text x=\"" << kMarginLeft + plot_w / 2 << "\" y=\""
+      << options.height - 10 << "\" text-anchor=\"middle\" font-size=\"12\">"
+      << escape_xml(options.x_label) << "</text>\n";
+
+  // Markers.
+  for (const Marker& m : markers) {
+    if (m.x < x_min || m.x > x_max) continue;
+    svg << "<line x1=\"" << px(m.x) << "\" y1=\"" << kMarginTop << "\" x2=\""
+        << px(m.x) << "\" y2=\"" << kMarginTop + plot_h
+        << "\" stroke=\"#999\" stroke-dasharray=\"4 3\"/>\n"
+        << "<text x=\"" << px(m.x) + 3 << "\" y=\"" << kMarginTop + 12
+        << "\" font-size=\"11\" fill=\"#666\">" << escape_xml(m.label)
+        << "</text>\n";
+  }
+
+  // Series.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char* colour = kPalette[si % kPaletteSize];
+    std::ostringstream path;
+    bool first = true;
+    for (const auto& [x, y] : series[si].points) {
+      if (x < x_min || x > x_max) continue;
+      path << (first ? "M" : "L") << fmt(px(x), 1) << ',' << fmt(py(y), 1)
+           << ' ';
+      first = false;
+    }
+    svg << "<path d=\"" << path.str() << "\" fill=\"none\" stroke=\"" << colour
+        << "\" stroke-width=\"1.8\"/>\n";
+    // Legend swatch.
+    const int lx = kMarginLeft + 10;
+    const int ly = kMarginTop + 14 + static_cast<int>(si) * 16;
+    svg << "<rect x=\"" << lx << "\" y=\"" << ly - 9
+        << "\" width=\"12\" height=\"4\" fill=\"" << colour << "\"/>\n"
+        << "<text x=\"" << lx + 18 << "\" y=\"" << ly
+        << "\" font-size=\"11\">" << escape_xml(series[si].name)
+        << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string render_svg_bars(
+    const std::vector<std::pair<std::string, double>>& values,
+    const std::string& title, const std::string& unit) {
+  const int row_h = 22;
+  const int width = 720;
+  const int label_w = 180;
+  const int top = title.empty() ? 10 : 34;
+  const int height = top + static_cast<int>(values.size()) * row_h + 12;
+
+  double max_v = 0.0;
+  for (const auto& [label, v] : values) max_v = std::max(max_v, v);
+  if (max_v <= 0.0) max_v = 1.0;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" font-family=\"sans-serif\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!title.empty()) {
+    svg << "<text x=\"" << width / 2 << "\" y=\"20\" text-anchor=\"middle\" "
+        << "font-size=\"14\" font-weight=\"bold\">" << escape_xml(title)
+        << "</text>\n";
+  }
+  const int bar_area = width - label_w - 90;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const int y = top + static_cast<int>(i) * row_h;
+    const double w = values[i].second / max_v * bar_area;
+    svg << "<text x=\"" << label_w - 8 << "\" y=\"" << y + 14
+        << "\" text-anchor=\"end\" font-size=\"12\">"
+        << escape_xml(values[i].first) << "</text>\n"
+        << "<rect x=\"" << label_w << "\" y=\"" << y + 3 << "\" width=\""
+        << fmt(std::max(w, 1.0), 1) << "\" height=\"14\" fill=\""
+        << kPalette[0] << "\"/>\n"
+        << "<text x=\"" << label_w + w + 6 << "\" y=\"" << y + 14
+        << "\" font-size=\"11\">" << fmt(values[i].second, 1) << ' '
+        << escape_xml(unit) << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string render_svg_map(const std::vector<MapLayer>& layers,
+                           const std::string& title, int width) {
+  const int map_h = width / 2;  // equirectangular aspect
+  const int top = title.empty() ? 8 : 30;
+  const int legend_h = 18 * static_cast<int>(layers.size());
+  const int height = top + map_h + legend_h + 10;
+  auto px = [&](double lon) { return (lon + 180.0) / 360.0 * width; };
+  auto py = [&](double lat) { return top + (90.0 - lat) / 180.0 * map_h; };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" font-family=\"sans-serif\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!title.empty()) {
+    svg << "<text x=\"" << width / 2 << "\" y=\"20\" text-anchor=\"middle\" "
+        << "font-size=\"14\" font-weight=\"bold\">" << escape_xml(title)
+        << "</text>\n";
+  }
+  svg << "<rect x=\"0\" y=\"" << top << "\" width=\"" << width
+      << "\" height=\"" << map_h << "\" fill=\"#f7fbff\" stroke=\"#999\"/>\n";
+  // Graticule.
+  for (int lon = -150; lon <= 150; lon += 30) {
+    svg << "<line x1=\"" << px(lon) << "\" y1=\"" << top << "\" x2=\""
+        << px(lon) << "\" y2=\"" << top + map_h
+        << "\" stroke=\"#e0e8f0\"/>\n";
+  }
+  for (int lat = -60; lat <= 60; lat += 30) {
+    svg << "<line x1=\"0\" y1=\"" << py(lat) << "\" x2=\"" << width
+        << "\" y2=\"" << py(lat) << "\" stroke=\"#e0e8f0\"/>\n";
+  }
+
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const MapLayer& layer = layers[li];
+    const std::string colour =
+        layer.colour.empty() ? kPalette[li % kPaletteSize] : layer.colour;
+    for (const auto& [lon, lat] : layer.lon_lat) {
+      const double x = px(lon);
+      const double y = py(lat);
+      if (layer.diamond) {
+        const double r = layer.radius * 2.2;
+        svg << "<polygon points=\"" << fmt(x, 1) << ',' << fmt(y - r, 1) << ' '
+            << fmt(x + r, 1) << ',' << fmt(y, 1) << ' ' << fmt(x, 1) << ','
+            << fmt(y + r, 1) << ' ' << fmt(x - r, 1) << ',' << fmt(y, 1)
+            << "\" fill=\"" << colour << "\"/>\n";
+      } else {
+        svg << "<circle cx=\"" << fmt(x, 1) << "\" cy=\"" << fmt(y, 1)
+            << "\" r=\"" << fmt(layer.radius, 1) << "\" fill=\"" << colour
+            << "\" fill-opacity=\"0.55\"/>\n";
+      }
+    }
+    const int ly = top + map_h + 14 + static_cast<int>(li) * 18;
+    svg << "<circle cx=\"12\" cy=\"" << ly - 4 << "\" r=\"4\" fill=\""
+        << colour << "\"/>\n"
+        << "<text x=\"22\" y=\"" << ly << "\" font-size=\"12\">"
+        << escape_xml(layer.name) << " (" << layer.lon_lat.size()
+        << ")</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace shears::report

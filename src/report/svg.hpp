@@ -1,0 +1,56 @@
+// Self-contained SVG rendering of the figure data — the publication-
+// quality counterpart of the ASCII plots. No dependencies: the writer
+// emits plain SVG 1.1 with inline styling, one file per figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/plot.hpp"
+
+namespace shears::report {
+
+struct SvgPlotOptions {
+  int width = 760;           ///< pixel width of the whole image
+  int height = 420;
+  bool log_x = false;
+  double x_min = 0.0;        ///< 0/0 = auto from the data
+  double x_max = 0.0;
+  std::string title;
+  std::string x_label = "RTT (ms)";
+  std::string y_label = "CDF";
+};
+
+/// Renders CDF-style series (y in [0, 1]) with threshold markers as an
+/// SVG document string. Each series gets a distinct colour and a legend
+/// entry; markers draw as labelled dashed verticals.
+[[nodiscard]] std::string render_svg_cdf(const std::vector<Series>& series,
+                                         const std::vector<Marker>& markers,
+                                         const SvgPlotOptions& options = {});
+
+/// Renders a horizontal bar chart as SVG.
+[[nodiscard]] std::string render_svg_bars(
+    const std::vector<std::pair<std::string, double>>& values,
+    const std::string& title, const std::string& unit = "ms");
+
+/// One layer of a world scatter map. Points are (lon, lat) degrees; the
+/// renderer applies an equirectangular projection. Used for the Fig. 3
+/// infrastructure map (probes as dots, regions as diamonds).
+struct MapLayer {
+  std::string name;
+  std::vector<std::pair<double, double>> lon_lat;
+  double radius = 1.5;            ///< marker size in px
+  bool diamond = false;           ///< diamonds instead of circles
+  std::string colour;             ///< empty = palette colour by index
+};
+
+/// Renders layered world scatter as SVG (graticule every 30 degrees).
+[[nodiscard]] std::string render_svg_map(const std::vector<MapLayer>& layers,
+                                         const std::string& title,
+                                         int width = 880);
+
+/// Writes a string to a file; returns false (and leaves no partial file
+/// guarantees) on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace shears::report

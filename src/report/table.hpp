@@ -1,0 +1,39 @@
+// Plain-text table rendering shared by the bench binaries: every "table"
+// of the paper (and each figure's underlying series) is printed as an
+// aligned text table plus an optional CSV dump.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace shears::report {
+
+class TextTable {
+ public:
+  /// Sets the header row; resets column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity when a header is set.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with padded columns, a rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes RFC-4180-ish CSV (values with commas/quotes get quoted).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed decimals (locale-independent).
+[[nodiscard]] std::string fmt(double value, int decimals = 1);
+
+/// Formats a fraction as a percentage string, e.g. 0.753 -> "75.3%".
+[[nodiscard]] std::string fmt_percent(double fraction, int decimals = 1);
+
+}  // namespace shears::report

@@ -1,0 +1,157 @@
+#include "route/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace shears::route {
+
+namespace detail {
+std::span<const TransportNode> nodes();
+std::vector<std::pair<std::uint16_t, std::uint16_t>> cable_indices();
+}  // namespace detail
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+TransportGraph::TransportGraph(Options options) : options_(options) {
+  const auto nodes = detail::nodes();
+  adjacency_.resize(nodes.size());
+
+  // Submarine cables: explicit edges.
+  for (const auto& [a, b] : detail::cable_indices()) {
+    if (a == 0xFFFF || b == 0xFFFF) {
+      throw std::logic_error("cable references unknown node");
+    }
+    TransportLink link;
+    link.a = a;
+    link.b = b;
+    link.submarine = true;
+    link.length_km = geo::haversine_km(nodes[a].location, nodes[b].location) *
+                     options_.submarine_detour;
+    links_.push_back(link);
+  }
+
+  // Terrestrial mesh: every same-continent pair within reach.
+  for (std::uint16_t i = 0; i < nodes.size(); ++i) {
+    for (std::uint16_t j = static_cast<std::uint16_t>(i + 1); j < nodes.size();
+         ++j) {
+      if (nodes[i].continent != nodes[j].continent) continue;
+      const double d = geo::haversine_km(nodes[i].location, nodes[j].location);
+      if (d > options_.terrestrial_reach_km) continue;
+      TransportLink link;
+      link.a = i;
+      link.b = j;
+      link.submarine = false;
+      link.length_km = d * options_.terrestrial_detour;
+      links_.push_back(link);
+    }
+  }
+
+  for (const TransportLink& link : links_) {
+    adjacency_[link.a].emplace_back(link.b, link.length_km);
+    adjacency_[link.b].emplace_back(link.a, link.length_km);
+  }
+}
+
+const TransportGraph& TransportGraph::instance() {
+  static const TransportGraph graph{Options{}};
+  return graph;
+}
+
+std::span<const TransportNode> TransportGraph::nodes() const noexcept {
+  return detail::nodes();
+}
+
+std::optional<std::uint16_t> TransportGraph::nearest_node(
+    const geo::GeoPoint& point, std::optional<geo::Continent> continent) const {
+  const auto all = nodes();
+  std::optional<std::uint16_t> best;
+  double best_d = kInf;
+  for (std::uint16_t i = 0; i < all.size(); ++i) {
+    if (continent && all[i].continent != *continent) continue;
+    const double d = geo::haversine_km(point, all[i].location);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double TransportGraph::shortest_km(std::uint16_t from, std::uint16_t to) const {
+  if (from == to) return 0.0;
+  // Dijkstra; the graph is tiny (~75 nodes), no need for anything fancier.
+  std::vector<double> dist(adjacency_.size(), kInf);
+  using Entry = std::pair<double, std::uint16_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  dist[from] = 0.0;
+  queue.emplace(0.0, from);
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == to) return d;
+    for (const auto& [v, w] : adjacency_[u]) {
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        queue.emplace(dist[v], v);
+      }
+    }
+  }
+  return dist[to];
+}
+
+std::vector<std::uint16_t> TransportGraph::shortest_path(
+    std::uint16_t from, std::uint16_t to) const {
+  std::vector<double> dist(adjacency_.size(), kInf);
+  std::vector<std::uint16_t> prev(adjacency_.size(), 0xFFFF);
+  using Entry = std::pair<double, std::uint16_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  dist[from] = 0.0;
+  queue.emplace(0.0, from);
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    for (const auto& [v, w] : adjacency_[u]) {
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        prev[v] = u;
+        queue.emplace(dist[v], v);
+      }
+    }
+  }
+  std::vector<std::uint16_t> path;
+  if (dist[to] == kInf) return path;
+  for (std::uint16_t at = to; at != 0xFFFF; at = prev[at]) {
+    path.push_back(at);
+    if (at == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double TransportGraph::routed_km(const geo::GeoPoint& src,
+                                 const geo::GeoPoint& dst) const {
+  const double geodesic = geo::haversine_km(src, dst);
+  const auto a = nearest_node(src);
+  const auto b = nearest_node(dst);
+  if (!a || !b) return geodesic;
+  const auto all = nodes();
+  const double tail_src =
+      geo::haversine_km(src, all[*a].location) * options_.terrestrial_detour;
+  const double tail_dst =
+      geo::haversine_km(dst, all[*b].location) * options_.terrestrial_detour;
+  const double via_graph = tail_src + shortest_km(*a, *b) + tail_dst;
+  // A routed path can never beat the geodesic; and if the graph offers no
+  // sane route (disconnected), fall back to a heavily detoured geodesic.
+  if (via_graph == kInf) return geodesic * 2.0;
+  return std::max(geodesic, via_graph);
+}
+
+}  // namespace shears::route

@@ -1,0 +1,103 @@
+// The routed-path engine: an explicit model of the Internet's physical
+// transport fabric — major exchange points and the submarine-cable map
+// the paper cites ([68]) — with shortest-path routing over it.
+//
+// The default latency model abstracts routing as a tier-dependent
+// geodesic stretch. This module makes the abstraction checkable and
+// replaceable: Dijkstra over real exchange/cable geography yields a
+// routed distance per (vantage, datacenter) pair, which can (a) validate
+// the stretch model (ablation A6) and (b) drive campaigns directly via
+// LatencyModel's path override.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "geo/continent.hpp"
+#include "geo/coordinates.hpp"
+
+namespace shears::route {
+
+enum class NodeType : unsigned char {
+  kExchangePoint = 0,  ///< a metro IXP / carrier hotel
+  kCableLanding,       ///< a submarine-cable landing station
+};
+
+struct TransportNode {
+  std::string_view id;    ///< short slug, e.g. "fra" or "mrs-landing"
+  std::string_view name;
+  NodeType type;
+  geo::Continent continent;
+  geo::GeoPoint location;
+};
+
+/// A physical link between two nodes. Submarine edges carry their cable
+/// route length; terrestrial edges are generated between nearby nodes.
+struct TransportLink {
+  std::uint16_t a = 0;  ///< node indices
+  std::uint16_t b = 0;
+  double length_km = 0.0;
+  bool submarine = false;
+};
+
+/// The embedded node registry (~70 exchange points and landings).
+[[nodiscard]] std::span<const TransportNode> transport_nodes() noexcept;
+
+/// Lookup by slug; nullptr when absent.
+[[nodiscard]] const TransportNode* find_node(std::string_view id) noexcept;
+
+/// The transport graph: embedded submarine cables plus generated
+/// terrestrial links (each node connects to its nearby same-continent
+/// neighbours with a routing-inefficiency factor applied).
+class TransportGraph {
+ public:
+  struct Options {
+    /// Terrestrial links connect node pairs within this geodesic range.
+    double terrestrial_reach_km = 3500.0;
+    /// Terrestrial fibre follows roads/rails, not great circles.
+    double terrestrial_detour = 1.25;
+    /// Submarine cables follow sea routes; slack vs geodesic.
+    double submarine_detour = 1.15;
+  };
+
+  /// Builds the default graph (nodes + cables embedded, terrestrial links
+  /// generated). Deterministic.
+  static const TransportGraph& instance();
+
+  explicit TransportGraph(Options options);
+
+  [[nodiscard]] std::span<const TransportNode> nodes() const noexcept;
+  [[nodiscard]] const std::vector<TransportLink>& links() const noexcept {
+    return links_;
+  }
+
+  /// Index of the node nearest to a point (optionally restricted to a
+  /// continent); nullopt if the restriction empties the candidate set.
+  [[nodiscard]] std::optional<std::uint16_t> nearest_node(
+      const geo::GeoPoint& point,
+      std::optional<geo::Continent> continent = std::nullopt) const;
+
+  /// Shortest on-graph distance between two nodes (km); +inf when
+  /// disconnected.
+  [[nodiscard]] double shortest_km(std::uint16_t from, std::uint16_t to) const;
+
+  /// End-to-end routed distance between arbitrary points: haul from each
+  /// endpoint to its nearest node (with the terrestrial detour), plus the
+  /// on-graph shortest path. Never reported below the geodesic.
+  [[nodiscard]] double routed_km(const geo::GeoPoint& src,
+                                 const geo::GeoPoint& dst) const;
+
+  /// The node sequence of the shortest path (for display/tests).
+  [[nodiscard]] std::vector<std::uint16_t> shortest_path(
+      std::uint16_t from, std::uint16_t to) const;
+
+ private:
+  Options options_;
+  std::vector<TransportLink> links_;
+  std::vector<std::vector<std::pair<std::uint16_t, double>>> adjacency_;
+};
+
+}  // namespace shears::route

@@ -1,0 +1,174 @@
+// Embedded transport-fabric dataset: ~75 major exchange points and
+// submarine-cable landing stations, plus the principal submarine cable
+// routes connecting them (after the public submarine cable map the paper
+// cites [68]). Terrestrial links are generated, not listed.
+#include "route/graph.hpp"
+
+#include <array>
+
+namespace shears::route {
+
+namespace {
+
+using enum geo::Continent;
+constexpr NodeType IXP = NodeType::kExchangePoint;
+constexpr NodeType LND = NodeType::kCableLanding;
+
+constexpr std::array kNodes = {
+    // ---------------------------------------------------------- Europe --
+    TransportNode{"fra", "Frankfurt (DE-CIX)", IXP, kEurope, {50.11, 8.68}},
+    TransportNode{"ams", "Amsterdam (AMS-IX)", IXP, kEurope, {52.37, 4.90}},
+    TransportNode{"lon", "London (LINX)", IXP, kEurope, {51.51, -0.13}},
+    TransportNode{"par", "Paris (France-IX)", IXP, kEurope, {48.86, 2.35}},
+    TransportNode{"mad", "Madrid (ESpanix)", IXP, kEurope, {40.42, -3.70}},
+    TransportNode{"mil", "Milan (MIX)", IXP, kEurope, {45.46, 9.19}},
+    TransportNode{"vie", "Vienna (VIX)", IXP, kEurope, {48.21, 16.37}},
+    TransportNode{"waw", "Warsaw (PLIX)", IXP, kEurope, {52.23, 21.01}},
+    TransportNode{"sto", "Stockholm (Netnod)", IXP, kEurope, {59.33, 18.07}},
+    TransportNode{"cph", "Copenhagen", IXP, kEurope, {55.68, 12.57}},
+    TransportNode{"mos", "Moscow (MSK-IX)", IXP, kEurope, {55.76, 37.62}},
+    TransportNode{"ist", "Istanbul", IXP, kEurope, {41.01, 28.98}},
+    TransportNode{"lis", "Lisbon", IXP, kEurope, {38.72, -9.14}},
+    TransportNode{"dub", "Dublin (INEX)", IXP, kEurope, {53.35, -6.26}},
+    TransportNode{"prg", "Prague (NIX.CZ)", IXP, kEurope, {50.08, 14.44}},
+    TransportNode{"bud", "Budapest (BIX)", IXP, kEurope, {47.50, 19.04}},
+    TransportNode{"buh", "Bucharest", IXP, kEurope, {44.43, 26.10}},
+    TransportNode{"kie", "Kyiv (UA-IX)", IXP, kEurope, {50.45, 30.52}},
+    TransportNode{"mrs", "Marseille landing", LND, kEurope, {43.30, 5.37}},
+    // --------------------------------------------------- North America --
+    TransportNode{"nyc", "New York", IXP, kNorthAmerica, {40.71, -74.01}},
+    TransportNode{"ash", "Ashburn (Equinix)", IXP, kNorthAmerica, {39.04, -77.49}},
+    TransportNode{"mia", "Miami (NOTA)", LND, kNorthAmerica, {25.76, -80.19}},
+    TransportNode{"chi", "Chicago", IXP, kNorthAmerica, {41.88, -87.63}},
+    TransportNode{"dal", "Dallas", IXP, kNorthAmerica, {32.78, -96.80}},
+    TransportNode{"den", "Denver", IXP, kNorthAmerica, {39.74, -104.99}},
+    TransportNode{"atl", "Atlanta", IXP, kNorthAmerica, {33.75, -84.39}},
+    TransportNode{"lax", "Los Angeles", LND, kNorthAmerica, {34.05, -118.24}},
+    TransportNode{"sjc", "San Jose", IXP, kNorthAmerica, {37.35, -121.96}},
+    TransportNode{"sea", "Seattle", LND, kNorthAmerica, {47.61, -122.33}},
+    TransportNode{"tor", "Toronto (TorIX)", IXP, kNorthAmerica, {43.65, -79.38}},
+    TransportNode{"mex", "Mexico City", IXP, kNorthAmerica, {19.43, -99.13}},
+    // --------------------------------------------------- South America --
+    TransportNode{"gru", "Sao Paulo (IX.br)", IXP, kSouthAmerica, {-23.55, -46.63}},
+    TransportNode{"for", "Fortaleza landing", LND, kSouthAmerica, {-3.72, -38.54}},
+    TransportNode{"eze", "Buenos Aires", IXP, kSouthAmerica, {-34.60, -58.38}},
+    TransportNode{"scl", "Santiago", IXP, kSouthAmerica, {-33.45, -70.67}},
+    TransportNode{"bog", "Bogota", IXP, kSouthAmerica, {4.71, -74.07}},
+    TransportNode{"lim", "Lima", LND, kSouthAmerica, {-12.05, -77.04}},
+    TransportNode{"ccs", "Caracas landing", LND, kSouthAmerica, {10.48, -66.90}},
+    // ------------------------------------------------------------- Asia --
+    TransportNode{"sin", "Singapore (Equinix)", LND, kAsia, {1.35, 103.82}},
+    TransportNode{"hkg", "Hong Kong (HKIX)", LND, kAsia, {22.32, 114.17}},
+    TransportNode{"tyo", "Tokyo (JPNAP)", LND, kAsia, {35.68, 139.69}},
+    TransportNode{"sel", "Seoul (KINX)", IXP, kAsia, {37.57, 126.98}},
+    TransportNode{"tpe", "Taipei", LND, kAsia, {25.03, 121.57}},
+    TransportNode{"sha", "Shanghai landing", LND, kAsia, {31.23, 121.47}},
+    TransportNode{"pek", "Beijing", IXP, kAsia, {39.90, 116.41}},
+    TransportNode{"bom", "Mumbai landing", LND, kAsia, {19.08, 72.88}},
+    TransportNode{"maa", "Chennai landing", LND, kAsia, {13.08, 80.27}},
+    TransportNode{"del", "Delhi (NIXI)", IXP, kAsia, {28.61, 77.21}},
+    TransportNode{"kul", "Kuala Lumpur", IXP, kAsia, {3.14, 101.69}},
+    TransportNode{"cgk", "Jakarta", LND, kAsia, {-6.21, 106.85}},
+    TransportNode{"bkk", "Bangkok", IXP, kAsia, {13.76, 100.50}},
+    TransportNode{"dxb", "Dubai (UAE-IX)", IXP, kAsia, {25.20, 55.27}},
+    TransportNode{"fjr", "Fujairah landing", LND, kAsia, {25.12, 56.34}},
+    TransportNode{"tlv", "Tel Aviv landing", LND, kAsia, {32.09, 34.78}},
+    TransportNode{"khi", "Karachi landing", LND, kAsia, {24.86, 67.01}},
+    TransportNode{"han", "Hanoi", IXP, kAsia, {21.03, 105.85}},
+    TransportNode{"mnl", "Manila landing", LND, kAsia, {14.60, 120.98}},
+    // ---------------------------------------------------------- Oceania --
+    TransportNode{"syd", "Sydney landing", LND, kOceania, {-33.87, 151.21}},
+    TransportNode{"akl", "Auckland landing", LND, kOceania, {-36.85, 174.76}},
+    TransportNode{"per", "Perth landing", LND, kOceania, {-31.95, 115.86}},
+    TransportNode{"gum", "Guam landing", LND, kOceania, {13.44, 144.79}},
+    // ----------------------------------------------------------- Africa --
+    TransportNode{"jnb", "Johannesburg (NAPAfrica)", IXP, kAfrica, {-26.20, 28.05}},
+    TransportNode{"cpt", "Cape Town landing", LND, kAfrica, {-33.92, 18.42}},
+    TransportNode{"lag", "Lagos landing", LND, kAfrica, {6.52, 3.38}},
+    TransportNode{"nbo", "Nairobi (KIXP)", IXP, kAfrica, {-1.29, 36.82}},
+    TransportNode{"mba", "Mombasa landing", LND, kAfrica, {-4.04, 39.67}},
+    TransportNode{"cai", "Cairo", IXP, kAfrica, {30.04, 31.24}},
+    TransportNode{"alx", "Alexandria landing", LND, kAfrica, {31.20, 29.92}},
+    TransportNode{"cas", "Casablanca landing", LND, kAfrica, {33.57, -7.59}},
+    TransportNode{"dkr", "Dakar landing", LND, kAfrica, {14.72, -17.47}},
+    TransportNode{"dji", "Djibouti landing", LND, kAfrica, {11.59, 43.15}},
+    TransportNode{"acc", "Accra landing", LND, kAfrica, {5.60, -0.19}},
+    TransportNode{"tun", "Tunis landing", LND, kAfrica, {36.81, 10.18}},
+    TransportNode{"mpm", "Maputo landing", LND, kAfrica, {-25.97, 32.57}},
+    TransportNode{"lad", "Luanda landing", LND, kAfrica, {-8.84, 13.23}},
+};
+
+/// Submarine cable routes as node-slug pairs. Route length is the
+/// geodesic times the submarine detour factor (cables hug sea lanes).
+struct CableRoute {
+  std::string_view a;
+  std::string_view b;
+};
+
+constexpr std::array kCables = {
+    // Transatlantic
+    CableRoute{"lon", "nyc"}, CableRoute{"par", "nyc"},
+    CableRoute{"lis", "for"}, CableRoute{"dkr", "for"},
+    // Mediterranean + Atlantic Africa/Europe
+    CableRoute{"mrs", "alx"}, CableRoute{"mrs", "tun"},
+    CableRoute{"mrs", "tlv"}, CableRoute{"lis", "cas"},
+    CableRoute{"cas", "dkr"}, CableRoute{"dkr", "acc"},
+    CableRoute{"acc", "lag"}, CableRoute{"lag", "lad"},
+    CableRoute{"lad", "cpt"},
+    // Red Sea / Indian Ocean (SEA-ME-WE family)
+    CableRoute{"alx", "dji"}, CableRoute{"dji", "fjr"},
+    CableRoute{"dji", "bom"}, CableRoute{"fjr", "bom"},
+    CableRoute{"fjr", "khi"}, CableRoute{"dji", "mba"},
+    CableRoute{"mba", "mpm"},
+    // India / Southeast Asia / East Asia
+    CableRoute{"bom", "maa"}, CableRoute{"maa", "sin"},
+    CableRoute{"sin", "cgk"}, CableRoute{"sin", "hkg"},
+    CableRoute{"hkg", "mnl"}, CableRoute{"hkg", "tpe"},
+    CableRoute{"tpe", "tyo"}, CableRoute{"sha", "tyo"},
+    CableRoute{"sel", "tyo"}, CableRoute{"hkg", "tyo"},
+    // Australia / Pacific
+    CableRoute{"sin", "per"}, CableRoute{"syd", "akl"},
+    CableRoute{"syd", "gum"}, CableRoute{"gum", "tyo"},
+    CableRoute{"gum", "mnl"}, CableRoute{"akl", "lax"},
+    CableRoute{"syd", "lax"},
+    // Transpacific north
+    CableRoute{"tyo", "sea"}, CableRoute{"tyo", "lax"},
+    // Americas
+    CableRoute{"mia", "for"}, CableRoute{"mia", "ccs"},
+    CableRoute{"mia", "bog"}, CableRoute{"ccs", "for"},
+};
+
+}  // namespace
+
+std::span<const TransportNode> transport_nodes() noexcept { return kNodes; }
+
+const TransportNode* find_node(std::string_view id) noexcept {
+  for (const TransportNode& n : kNodes) {
+    if (n.id == id) return &n;
+  }
+  return nullptr;
+}
+
+namespace detail {
+
+// Exposed to graph.cpp only.
+std::span<const TransportNode> nodes() { return kNodes; }
+
+std::vector<std::pair<std::uint16_t, std::uint16_t>> cable_indices() {
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> out;
+  out.reserve(kCables.size());
+  for (const CableRoute& cable : kCables) {
+    std::uint16_t ia = 0xFFFF;
+    std::uint16_t ib = 0xFFFF;
+    for (std::size_t i = 0; i < kNodes.size(); ++i) {
+      if (kNodes[i].id == cable.a) ia = static_cast<std::uint16_t>(i);
+      if (kNodes[i].id == cable.b) ib = static_cast<std::uint16_t>(i);
+    }
+    out.emplace_back(ia, ib);
+  }
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace shears::route

@@ -1,0 +1,51 @@
+// Adapter: drive the latency model's path with the transport graph.
+#pragma once
+
+#include "net/access.hpp"
+#include "net/path.hpp"
+#include "route/graph.hpp"
+
+namespace shears::route {
+
+/// net::PathProvider backed by the explicit exchange/cable graph.
+/// Distances route over the fabric; tier and backbone are applied as
+/// multiplicative corrections on top:
+///   * national-infrastructure tier inflates the domestic haul (poor
+///     national backbones do not reach the exchange point directly);
+///   * private provider backbones shave a little distance (traffic leaves
+///     the public fabric at the provider's nearest PoP).
+struct GraphProviderOptions {
+  /// Fraction of the tier latency multiplier applied to the routed
+  /// distance (0 = ignore tier, 1 = full multiplier).
+  double tier_weight = 0.35;
+  /// Distance factor for private-backbone destinations.
+  double private_backbone_factor = 0.93;
+};
+
+class GraphPathProvider final : public net::PathProvider {
+ public:
+  using Options = GraphProviderOptions;
+
+  explicit GraphPathProvider(const TransportGraph& graph,
+                             Options options = {}) noexcept
+      : graph_(&graph), options_(options) {}
+
+  [[nodiscard]] double routed_km(
+      const geo::GeoPoint& src, geo::ConnectivityTier src_tier,
+      const geo::GeoPoint& dst,
+      topology::BackboneClass backbone) const override {
+    double km = graph_->routed_km(src, dst);
+    const double tier_mult = net::tier_latency_multiplier(src_tier);
+    km *= 1.0 + (tier_mult - 1.0) * options_.tier_weight;
+    if (backbone == topology::BackboneClass::kPrivate) {
+      km *= options_.private_backbone_factor;
+    }
+    return km;
+  }
+
+ private:
+  const TransportGraph* graph_;
+  Options options_;
+};
+
+}  // namespace shears::route

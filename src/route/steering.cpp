@@ -1,0 +1,108 @@
+#include "route/steering.hpp"
+
+#include <algorithm>
+
+#include "geo/country.hpp"
+#include "stats/ecdf.hpp"
+
+namespace shears::route {
+
+namespace {
+
+/// Regions in the user's measurement scope (own continent + fallback),
+/// ranked ascending by baseline RTT.
+std::vector<const topology::CloudRegion*> ranked_in_scope(
+    const net::LatencyModel& model, const net::Endpoint& user,
+    geo::Continent user_continent, const topology::CloudRegistry& cloud) {
+  std::vector<std::pair<double, const topology::CloudRegion*>> ranked;
+  for (const topology::CloudRegion* region : cloud.regions()) {
+    const geo::Continent rc = topology::region_continent(*region);
+    if (rc != user_continent &&
+        geo::measurement_fallback(user_continent) != rc) {
+      continue;
+    }
+    ranked.emplace_back(model.baseline_rtt_ms(user, *region), region);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<const topology::CloudRegion*> out;
+  out.reserve(ranked.size());
+  for (const auto& [rtt, region] : ranked) out.push_back(region);
+  return out;
+}
+
+}  // namespace
+
+const topology::CloudRegion* steer(const net::LatencyModel& model,
+                                   const net::Endpoint& user,
+                                   geo::Continent user_continent,
+                                   const topology::CloudRegistry& cloud,
+                                   SteeringPolicy policy,
+                                   const SteeringConfig& config,
+                                   stats::Xoshiro256& rng) {
+  const auto ranked = ranked_in_scope(model, user, user_continent, cloud);
+  if (ranked.empty()) return nullptr;
+
+  switch (policy) {
+    case SteeringPolicy::kMeasuredBest:
+      return ranked.front();
+    case SteeringPolicy::kGeoNearest: {
+      const topology::CloudRegion* nearest = nullptr;
+      double best_km = 0.0;
+      for (const topology::CloudRegion* region : ranked) {
+        const double km = geo::haversine_km(user.location, region->location);
+        if (nearest == nullptr || km < best_km) {
+          nearest = region;
+          best_km = km;
+        }
+      }
+      return nearest;
+    }
+    case SteeringPolicy::kAnycast: {
+      if (!rng.bernoulli(config.anycast_misroute_rate) || ranked.size() == 1) {
+        return ranked.front();
+      }
+      const auto depth = static_cast<std::size_t>(
+          std::max(1, config.anycast_detour_depth));
+      const std::size_t rank =
+          1 + rng.bounded(std::min(depth, ranked.size() - 1));
+      return ranked[rank];
+    }
+  }
+  return ranked.front();
+}
+
+SteeringPenalty evaluate_steering(const net::LatencyModel& model,
+                                  const topology::CloudRegistry& cloud,
+                                  SteeringPolicy policy,
+                                  const SteeringConfig& config,
+                                  std::uint64_t seed) {
+  SteeringPenalty summary;
+  summary.policy = policy;
+  stats::Xoshiro256 rng(seed);
+  std::vector<double> penalties;
+  for (const geo::Country& country : geo::all_countries()) {
+    const net::Endpoint user{country.site, country.tier,
+                             net::AccessTechnology::kFibre};
+    const auto ranked = ranked_in_scope(model, user, country.continent, cloud);
+    if (ranked.empty()) continue;
+    const topology::CloudRegion* chosen = steer(
+        model, user, country.continent, cloud, policy, config, rng);
+    ++summary.users;
+    const double best = model.baseline_rtt_ms(user, *ranked.front());
+    const double got = model.baseline_rtt_ms(user, *chosen);
+    const double penalty = got - best;
+    penalties.push_back(penalty);
+    if (chosen != ranked.front()) ++summary.misrouted;
+  }
+  if (!penalties.empty()) {
+    double sum = 0.0;
+    for (const double p : penalties) sum += p;
+    summary.mean_penalty_ms = sum / static_cast<double>(penalties.size());
+    const stats::Ecdf ecdf(std::move(penalties));
+    summary.p90_penalty_ms = ecdf.percentile(90.0);
+    summary.worst_penalty_ms = ecdf.max();
+  }
+  return summary;
+}
+
+}  // namespace shears::route

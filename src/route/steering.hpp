@@ -1,0 +1,70 @@
+// Client-to-region steering — how users actually *find* a region.
+//
+// The campaign measures every in-scope region and takes minima; a real
+// application gets one region chosen by a steering layer (DNS geo-mapping
+// or BGP anycast), and that choice is imperfect: Jin et al. (SIGCOMM'19,
+// [36] in the paper — the study closest to this one) show a tail of
+// clients landing in the wrong catchment. This module models the three
+// policies and quantifies the steering penalty: the latency a user loses
+// versus the measured-best region.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "net/latency_model.hpp"
+#include "stats/rng.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::route {
+
+enum class SteeringPolicy : unsigned char {
+  kMeasuredBest = 0,  ///< oracle: the lowest-baseline region (campaign minima)
+  kGeoNearest,        ///< DNS geo-mapping: great-circle nearest region
+  kAnycast,           ///< BGP catchments: usually right, sometimes a detour
+};
+
+[[nodiscard]] constexpr std::string_view to_string(SteeringPolicy p) noexcept {
+  switch (p) {
+    case SteeringPolicy::kMeasuredBest: return "measured-best";
+    case SteeringPolicy::kGeoNearest: return "geo-nearest";
+    case SteeringPolicy::kAnycast: return "anycast";
+  }
+  return "unknown";
+}
+
+struct SteeringConfig {
+  /// Probability an anycast catchment misroutes a client past its best
+  /// region (Jin et al. observe a noticeable minority of such clients).
+  double anycast_misroute_rate = 0.12;
+  /// When misrouted, the client lands on the k-th best region instead;
+  /// drawn uniformly from ranks [2, 1 + anycast_detour_depth].
+  int anycast_detour_depth = 3;
+};
+
+/// Chooses the region a client is steered to under a policy. `rng` is
+/// consulted only by the anycast policy. Returns nullptr when the
+/// registry has no region in the user's measurement scope.
+[[nodiscard]] const topology::CloudRegion* steer(
+    const net::LatencyModel& model, const net::Endpoint& user,
+    geo::Continent user_continent, const topology::CloudRegistry& cloud,
+    SteeringPolicy policy, const SteeringConfig& config,
+    stats::Xoshiro256& rng);
+
+/// Steering-penalty summary over a set of users.
+struct SteeringPenalty {
+  SteeringPolicy policy{};
+  std::size_t users = 0;
+  std::size_t misrouted = 0;      ///< steered past the measured best
+  double mean_penalty_ms = 0.0;   ///< RTT(steered) - RTT(best), mean
+  double p90_penalty_ms = 0.0;
+  double worst_penalty_ms = 0.0;
+};
+
+/// Evaluates a policy over one user endpoint per country (wired,
+/// tier-appropriate), comparing against the measured-best oracle.
+[[nodiscard]] SteeringPenalty evaluate_steering(
+    const net::LatencyModel& model, const topology::CloudRegistry& cloud,
+    SteeringPolicy policy, const SteeringConfig& config, std::uint64_t seed);
+
+}  // namespace shears::route

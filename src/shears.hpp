@@ -1,0 +1,74 @@
+// latency-shears — umbrella header.
+//
+// Reproduction of "Pruning Edge Research with Latency Shears" (HotNets '20).
+// Pulls in the whole public API:
+//
+//   shears::geo       — coordinates, continents, the country registry
+//   shears::stats     — RNG, distributions, ECDFs, summaries, bootstrap
+//   shears::topology  — the seven providers and 101 cloud regions
+//   shears::net       — the Internet latency model (paths + last mile)
+//   shears::atlas     — probe fleet, scheduler, campaign engine, dataset
+//   shears::apps      — perception thresholds and the Fig. 2 app catalog
+//   shears::trends    — the Fig. 1 zeitgeist series and era analytics
+//   shears::core      — the §4 analyses and the Fig. 8 feasibility zone
+//   shears::report    — text tables and ASCII plots
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto fleet    = shears::atlas::ProbeFleet::generate({});
+//   auto registry = shears::topology::CloudRegistry::campaign_footprint();
+//   shears::net::LatencyModel model;
+//   shears::atlas::Campaign campaign(fleet, registry, model, {});
+//   auto dataset  = campaign.run();
+//   auto bands    = shears::core::band_country_latencies(
+//       shears::core::country_min_latency(dataset));
+#pragma once
+
+#include "apps/application.hpp"
+#include "apps/thresholds.hpp"
+#include "atlas/campaign.hpp"
+#include "atlas/credits.hpp"
+#include "atlas/isp.hpp"
+#include "atlas/measurement.hpp"
+#include "atlas/placement.hpp"
+#include "atlas/probe.hpp"
+#include "atlas/selection.hpp"
+#include "atlas/tags.hpp"
+#include "core/access_comparison.hpp"
+#include "core/analysis.hpp"
+#include "core/feasibility.hpp"
+#include "config/ini.hpp"
+#include "config/scenario.hpp"
+#include "core/whatif.hpp"
+#include "edge/deployment.hpp"
+#include "geo/city.hpp"
+#include "geo/continent.hpp"
+#include "geo/coordinates.hpp"
+#include "geo/country.hpp"
+#include "net/access.hpp"
+#include "net/endpoint.hpp"
+#include "net/latency_model.hpp"
+#include "net/path.hpp"
+#include "net/ping.hpp"
+#include "net/segments.hpp"
+#include "net/tcp.hpp"
+#include "report/plot.hpp"
+#include "report/svg.hpp"
+#include "report/table.hpp"
+#include "route/graph.hpp"
+#include "route/path_provider.hpp"
+#include "route/steering.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/distributions.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/p2_quantile.hpp"
+#include "stats/ranktest.hpp"
+#include "stats/regression.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+#include "topology/provider.hpp"
+#include "topology/region.hpp"
+#include "topology/registry.hpp"
+#include "trends/crawler.hpp"
+#include "trends/trends.hpp"

@@ -1,0 +1,63 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/ecdf.hpp"
+
+namespace shears::stats {
+
+namespace {
+
+std::vector<double> resample(const std::vector<double>& sample,
+                             Xoshiro256& rng) {
+  std::vector<double> out(sample.size());
+  for (auto& v : out) v = sample[rng.bounded(sample.size())];
+  return out;
+}
+
+BootstrapInterval interval_from(std::vector<double> replicas, double point,
+                                double level) {
+  Ecdf dist(std::move(replicas));
+  const double alpha = (1.0 - level) / 2.0;
+  return {point, dist.quantile(alpha), dist.quantile(1.0 - alpha), level};
+}
+
+}  // namespace
+
+BootstrapInterval bootstrap_ci(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    double level, std::size_t replicates, Xoshiro256& rng) {
+  if (sample.empty() || replicates == 0) {
+    throw std::invalid_argument("bootstrap_ci: empty sample or no replicates");
+  }
+  std::vector<double> replicas;
+  replicas.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    replicas.push_back(statistic(resample(sample, rng)));
+  }
+  return interval_from(std::move(replicas), statistic(sample), level);
+}
+
+BootstrapInterval bootstrap_ratio_ci(
+    const std::vector<double>& numerator,
+    const std::vector<double>& denominator,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    double level, std::size_t replicates, Xoshiro256& rng) {
+  if (numerator.empty() || denominator.empty() || replicates == 0) {
+    throw std::invalid_argument("bootstrap_ratio_ci: empty sample");
+  }
+  std::vector<double> replicas;
+  replicas.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    const double num = statistic(resample(numerator, rng));
+    const double den = statistic(resample(denominator, rng));
+    replicas.push_back(den != 0.0 ? num / den : 0.0);
+  }
+  const double den0 = statistic(denominator);
+  const double point = den0 != 0.0 ? statistic(numerator) / den0 : 0.0;
+  return interval_from(std::move(replicas), point, level);
+}
+
+}  // namespace shears::stats

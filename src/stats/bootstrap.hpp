@@ -1,0 +1,37 @@
+// Non-parametric bootstrap confidence intervals, used to attach uncertainty
+// to figure-level statistics (e.g. the wireless/wired ratio of Fig. 7).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace shears::stats {
+
+/// A two-sided percentile bootstrap confidence interval.
+struct BootstrapInterval {
+  double point = 0.0;  ///< statistic on the original sample
+  double lower = 0.0;
+  double upper = 0.0;
+  double level = 0.0;  ///< e.g. 0.95
+};
+
+/// Percentile bootstrap for a statistic of one sample. `statistic` receives
+/// a resampled vector of the same size as `sample`. Deterministic given the
+/// RNG state. `replicates` resamples are drawn (>= 1).
+BootstrapInterval bootstrap_ci(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    double level, std::size_t replicates, Xoshiro256& rng);
+
+/// Bootstrap CI for the ratio statistic(sample_a) / statistic(sample_b),
+/// resampling both sides independently — matches the Fig. 7 wireless/wired
+/// median-ratio construction.
+BootstrapInterval bootstrap_ratio_ci(
+    const std::vector<double>& numerator,
+    const std::vector<double>& denominator,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    double level, std::size_t replicates, Xoshiro256& rng);
+
+}  // namespace shears::stats

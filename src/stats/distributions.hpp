@@ -1,0 +1,56 @@
+// Sampling routines for the latency model's noise processes.
+//
+// The network simulator composes three stochastic ingredients:
+//   * log-normal jitter around a per-path baseline (the canonical model for
+//     Internet RTT variability),
+//   * Weibull-distributed bufferbloat episode durations (heavy-ish tail,
+//     bounded below), and
+//   * Pareto tails for rare routing events (route flaps, handovers).
+// All samplers are implemented directly against Xoshiro256 instead of
+// std::*_distribution for cross-platform determinism (see rng.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "stats/rng.hpp"
+
+namespace shears::stats {
+
+/// Standard normal via the polar (Marsaglia) method.
+double sample_standard_normal(Xoshiro256& rng) noexcept;
+
+/// Normal with the given mean and standard deviation (sigma >= 0).
+double sample_normal(Xoshiro256& rng, double mean, double sigma) noexcept;
+
+/// Log-normal parameterised by the *location/scale of the underlying
+/// normal*: exp(N(mu, sigma)).
+double sample_lognormal(Xoshiro256& rng, double mu, double sigma) noexcept;
+
+/// Log-normal parameterised by its own median and a multiplicative spread
+/// factor: median * exp(N(0, ln(spread))). spread == 1 degenerates to the
+/// median. Convenient for "RTT is median m, occasionally 2-3x" modelling.
+double sample_lognormal_median(Xoshiro256& rng, double median,
+                               double spread) noexcept;
+
+/// Exponential with the given mean (mean > 0).
+double sample_exponential(Xoshiro256& rng, double mean) noexcept;
+
+/// Weibull with shape k and scale lambda (both > 0).
+double sample_weibull(Xoshiro256& rng, double shape, double scale) noexcept;
+
+/// Pareto (type I) with scale x_m > 0 and tail index alpha > 0; support
+/// [x_m, inf).
+double sample_pareto(Xoshiro256& rng, double x_min, double alpha) noexcept;
+
+/// Samples from a discrete distribution given non-negative weights.
+/// Returns an index in [0, n). A zero total weight yields index 0.
+std::size_t sample_weighted(Xoshiro256& rng, const double* weights,
+                            std::size_t n) noexcept;
+
+/// Clamps a sample into [lo, hi]; used to keep pathological tail draws from
+/// destabilising calibration while preserving the distribution body.
+constexpr double clamp_sample(double x, double lo, double hi) noexcept {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace shears::stats

@@ -1,0 +1,87 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace shears::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t n_bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(n_bins)),
+      counts_(n_bins, 0) {
+  if (!(hi > lo) || n_bins == 0) {
+    throw std::invalid_argument("Histogram: require hi > lo and n_bins > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // float-edge guard
+  ++counts_[idx];
+}
+
+std::vector<HistogramBin> Histogram::bins() const {
+  std::vector<HistogramBin> out;
+  out.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out.push_back({lo_ + width_ * static_cast<double>(i),
+                   lo_ + width_ * static_cast<double>(i + 1), counts_[i]});
+  }
+  return out;
+}
+
+std::size_t Histogram::mode_bin() const noexcept {
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  return it == counts_.end() ? 0
+                             : static_cast<std::size_t>(it - counts_.begin());
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade)
+    : log_lo_(std::log10(lo)), log_hi_(std::log10(hi)),
+      inv_width_(static_cast<double>(bins_per_decade)) {
+  if (!(lo > 0.0) || !(hi > lo) || bins_per_decade == 0) {
+    throw std::invalid_argument(
+        "LogHistogram: require hi > lo > 0 and bins_per_decade > 0");
+  }
+  const auto n = static_cast<std::size_t>(
+      std::ceil((log_hi_ - log_lo_) * inv_width_));
+  counts_.assign(n > 0 ? n : 1, 0);
+}
+
+void LogHistogram::add(double x) noexcept {
+  ++total_;
+  if (!(x > 0.0) || std::log10(x) < log_lo_) {
+    ++underflow_;
+    return;
+  }
+  const double lx = std::log10(x);
+  if (lx >= log_hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((lx - log_lo_) * inv_width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+}
+
+std::vector<HistogramBin> LogHistogram::bins() const {
+  std::vector<HistogramBin> out;
+  out.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double l0 = log_lo_ + static_cast<double>(i) / inv_width_;
+    const double l1 = log_lo_ + static_cast<double>(i + 1) / inv_width_;
+    out.push_back({std::pow(10.0, l0), std::pow(10.0, l1), counts_[i]});
+  }
+  return out;
+}
+
+}  // namespace shears::stats

@@ -1,0 +1,66 @@
+// Fixed-width and logarithmic histograms for latency distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shears::stats {
+
+/// One rendered histogram bin.
+struct HistogramBin {
+  double lower = 0.0;   ///< inclusive lower edge
+  double upper = 0.0;   ///< exclusive upper edge (inclusive for the last bin)
+  std::uint64_t count = 0;
+};
+
+/// Linear-bin histogram over [lo, hi) with overflow/underflow tracking.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t n_bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+
+  [[nodiscard]] std::vector<HistogramBin> bins() const;
+
+  /// Index of the fullest bin; 0 if empty.
+  [[nodiscard]] std::size_t mode_bin() const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Log-spaced histogram (base-10) for RTTs spanning 1–1000 ms.
+class LogHistogram {
+ public:
+  /// Bins per decade must be >= 1; range [lo, hi) with lo > 0.
+  LogHistogram(double lo, double hi, std::size_t bins_per_decade);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::vector<HistogramBin> bins() const;
+
+ private:
+  double log_lo_;
+  double log_hi_;
+  double inv_width_;  ///< bins per unit of log10(x)
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace shears::stats

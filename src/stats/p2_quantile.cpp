@@ -1,0 +1,108 @@
+#include "stats/p2_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace shears::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0) || !(q < 1.0)) {
+    throw std::invalid_argument("P2Quantile: q must be in (0, 1)");
+  }
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+void P2Quantile::insert_initial(double x) noexcept {
+  heights_[count_] = x;
+  ++count_;
+  if (count_ == 5) {
+    std::sort(heights_.begin(), heights_.end());
+  }
+}
+
+double P2Quantile::parabolic(int i, int d) const noexcept {
+  const double np = positions_[static_cast<std::size_t>(i + 1)];
+  const double nm = positions_[static_cast<std::size_t>(i - 1)];
+  const double n = positions_[static_cast<std::size_t>(i)];
+  const double hp = heights_[static_cast<std::size_t>(i + 1)];
+  const double hm = heights_[static_cast<std::size_t>(i - 1)];
+  const double h = heights_[static_cast<std::size_t>(i)];
+  return h + d / (np - nm) *
+                 ((n - nm + d) * (hp - h) / (np - n) +
+                  (np - n - d) * (h - hm) / (n - nm));
+}
+
+double P2Quantile::linear(int i, int d) const noexcept {
+  const auto idx = static_cast<std::size_t>(i);
+  const auto next = static_cast<std::size_t>(i + d);
+  return heights_[idx] + d * (heights_[next] - heights_[idx]) /
+                             (positions_[next] - positions_[idx]);
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (count_ < 5) {
+    insert_initial(x);
+    return;
+  }
+
+  // Locate the cell and clamp the extremes.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x < heights_[1]) {
+    k = 0;
+  } else if (x < heights_[2]) {
+    k = 1;
+  } else if (x < heights_[3]) {
+    k = 2;
+  } else if (x <= heights_[4]) {
+    k = 3;
+  } else {
+    heights_[4] = x;
+    k = 3;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[static_cast<std::size_t>(i)] += 1.0;
+  for (int i = 0; i < 5; ++i) {
+    desired_[static_cast<std::size_t>(i)] +=
+        increments_[static_cast<std::size_t>(i)];
+  }
+
+  // Adjust the three interior markers.
+  for (int i = 1; i <= 3; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double d = desired_[idx] - positions_[idx];
+    if ((d >= 1.0 && positions_[idx + 1] - positions_[idx] > 1.0) ||
+        (d <= -1.0 && positions_[idx - 1] - positions_[idx] < -1.0)) {
+      const int sign = d >= 0.0 ? 1 : -1;
+      double candidate = parabolic(i, sign);
+      if (heights_[idx - 1] < candidate && candidate < heights_[idx + 1]) {
+        heights_[idx] = candidate;
+      } else {
+        heights_[idx] = linear(i, sign);
+      }
+      positions_[idx] += sign;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile (nearest-rank on the sorted prefix).
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+    const auto rank = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(count_ - 1),
+                         std::floor(q_ * static_cast<double>(count_))));
+    return sorted[rank];
+  }
+  return heights_[2];
+}
+
+}  // namespace shears::stats

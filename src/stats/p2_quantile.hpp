@@ -1,0 +1,38 @@
+// P² (piecewise-parabolic) streaming quantile estimation — Jain & Chlamtac
+// 1985. Tracks a single quantile in O(1) memory; the full nine-month
+// campaign produces tens of millions of samples per analysis cell, and
+// P² lets dashboards track medians/percentiles without retaining them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace shears::stats {
+
+class P2Quantile {
+ public:
+  /// q in (0, 1): the quantile to track.
+  explicit P2Quantile(double q);
+
+  void add(double x) noexcept;
+
+  /// Current estimate. Exact while fewer than 5 samples were seen;
+  /// undefined (0) before the first sample.
+  [[nodiscard]] double value() const noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  void insert_initial(double x) noexcept;
+  [[nodiscard]] double parabolic(int i, int d) const noexcept;
+  [[nodiscard]] double linear(int i, int d) const noexcept;
+
+  double q_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};    ///< marker heights
+  std::array<double, 5> positions_{};  ///< actual marker positions
+  std::array<double, 5> desired_{};    ///< desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace shears::stats

@@ -1,0 +1,43 @@
+// Mann-Whitney U (Wilcoxon rank-sum) test — used to attach significance
+// to the Fig. 7 wired-vs-wireless comparison instead of eyeballing two
+// medians. Normal approximation with tie correction; exact for the
+// sample sizes the campaign produces (thousands of bursts).
+#pragma once
+
+#include <vector>
+
+namespace shears::stats {
+
+struct RankSumResult {
+  double u_statistic = 0.0;   ///< U for the first sample
+  double z_score = 0.0;       ///< normal-approximation z (tie-corrected)
+  double p_two_sided = 1.0;   ///< two-sided p-value
+  /// Common-language effect size: P(a > b) + 0.5 P(a == b). 0.5 = no
+  /// effect; 1.0 = every a exceeds every b.
+  double effect_size = 0.5;
+  std::size_t n_a = 0;
+  std::size_t n_b = 0;
+};
+
+/// Tests whether samples `a` and `b` come from the same distribution
+/// against a location shift. Throws std::invalid_argument when either
+/// sample is empty.
+[[nodiscard]] RankSumResult mann_whitney_u(const std::vector<double>& a,
+                                           const std::vector<double>& b);
+
+struct KsResult {
+  double statistic = 0.0;   ///< sup |F_a - F_b|
+  double p_value = 1.0;     ///< asymptotic two-sample p
+  std::size_t n_a = 0;
+  std::size_t n_b = 0;
+};
+
+/// Two-sample Kolmogorov-Smirnov test: maximum CDF distance plus the
+/// asymptotic Kolmogorov p-value. Sensitive to any distributional
+/// difference, not just location — used to compare whole latency
+/// distributions (e.g. the two path engines in ablation A6).
+/// Throws std::invalid_argument when either sample is empty.
+[[nodiscard]] KsResult kolmogorov_smirnov(const std::vector<double>& a,
+                                          const std::vector<double>& b);
+
+}  // namespace shears::stats

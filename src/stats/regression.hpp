@@ -1,0 +1,36 @@
+// Ordinary least squares on (x, y) pairs — used by the trends module to
+// quantify the growth of "edge computing" publications (Fig. 1) and by the
+// calibration tests to check latency-vs-distance linearity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace shears::stats {
+
+/// Result of a simple linear regression y ~ intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination in [0, 1]
+  std::size_t n = 0;
+
+  [[nodiscard]] double predict(double x) const noexcept {
+    return intercept + slope * x;
+  }
+};
+
+/// Fits OLS over parallel vectors (must be the same length; n >= 2 for a
+/// meaningful slope — with fewer points slope/r² are 0).
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Pearson correlation coefficient; 0 when undefined (constant input).
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson over mid-ranks); robust to the
+/// monotone-but-nonlinear relations the path engines exhibit. 0 when
+/// undefined.
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace shears::stats

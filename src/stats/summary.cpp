@@ -1,0 +1,13 @@
+#include "stats/summary.hpp"
+
+#include <cmath>
+
+namespace shears::stats {
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Summary::sample_stddev() const noexcept {
+  return std::sqrt(sample_variance());
+}
+
+}  // namespace shears::stats

@@ -1,0 +1,74 @@
+// Streaming summary statistics (Welford) used throughout the analysis
+// pipeline wherever a full sample vector is not required.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace shears::stats {
+
+/// Single-pass accumulator for count / mean / variance / min / max.
+/// Numerically stable (Welford's algorithm); merging two summaries is
+/// exact, which lets campaign shards be aggregated in parallel.
+class Summary {
+ public:
+  constexpr Summary() noexcept = default;
+
+  constexpr void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merges another summary into this one (Chan's parallel update).
+  constexpr void merge(const Summary& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] constexpr double mean() const noexcept {
+    return count_ ? mean_ : 0.0;
+  }
+  [[nodiscard]] constexpr double min() const noexcept {
+    return count_ ? min_ : 0.0;
+  }
+  [[nodiscard]] constexpr double max() const noexcept {
+    return count_ ? max_ : 0.0;
+  }
+  /// Population variance; 0 for fewer than two samples.
+  [[nodiscard]] constexpr double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] constexpr double sample_variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sample_stddev() const noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace shears::stats

@@ -1,0 +1,81 @@
+// The seven cloud providers of the study (§4.1) and their network class.
+//
+// The paper distinguishes providers with *private* wide-area backbones and
+// wide ISP peering (Amazon, Google, Microsoft — and Alibaba within Asia)
+// from providers that "largely rely on the public Internet for
+// connectivity" (Linode, Digital Ocean, Vultr). The backbone class feeds
+// the path model: private backbones shave path stretch and per-hop
+// queueing once traffic enters the provider edge.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace shears::topology {
+
+enum class CloudProvider : unsigned char {
+  kAmazon = 0,
+  kGoogle,
+  kAzure,
+  kDigitalOcean,
+  kLinode,
+  kAlibaba,
+  kVultr,
+};
+
+inline constexpr std::size_t kProviderCount = 7;
+
+inline constexpr std::array<CloudProvider, kProviderCount> kAllProviders = {
+    CloudProvider::kAmazon,       CloudProvider::kGoogle,
+    CloudProvider::kAzure,        CloudProvider::kDigitalOcean,
+    CloudProvider::kLinode,       CloudProvider::kAlibaba,
+    CloudProvider::kVultr,
+};
+
+enum class BackboneClass : unsigned char {
+  kPrivate,  ///< provider-owned WAN with broad ISP peering
+  kPublic,   ///< transit over the public Internet
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CloudProvider p) noexcept {
+  switch (p) {
+    case CloudProvider::kAmazon: return "Amazon";
+    case CloudProvider::kGoogle: return "Google";
+    case CloudProvider::kAzure: return "Microsoft Azure";
+    case CloudProvider::kDigitalOcean: return "Digital Ocean";
+    case CloudProvider::kLinode: return "Linode";
+    case CloudProvider::kAlibaba: return "Alibaba";
+    case CloudProvider::kVultr: return "Vultr";
+  }
+  return "Unknown";
+}
+
+[[nodiscard]] constexpr BackboneClass backbone_class(CloudProvider p) noexcept {
+  switch (p) {
+    case CloudProvider::kAmazon:
+    case CloudProvider::kGoogle:
+    case CloudProvider::kAzure:
+    case CloudProvider::kAlibaba:
+      return BackboneClass::kPrivate;
+    case CloudProvider::kDigitalOcean:
+    case CloudProvider::kLinode:
+    case CloudProvider::kVultr:
+      return BackboneClass::kPublic;
+  }
+  return BackboneClass::kPublic;
+}
+
+[[nodiscard]] constexpr std::optional<CloudProvider> provider_from_string(
+    std::string_view name) noexcept {
+  for (const CloudProvider p : kAllProviders) {
+    if (to_string(p) == name) return p;
+  }
+  return std::nullopt;
+}
+
+[[nodiscard]] constexpr std::size_t index_of(CloudProvider p) noexcept {
+  return static_cast<std::size_t>(p);
+}
+
+}  // namespace shears::topology

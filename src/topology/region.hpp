@@ -1,0 +1,32 @@
+// Cloud regions: the measurement end-points (§4.1, Fig. 3a).
+//
+// One entry per compute region targeted by the study: 101 regions of seven
+// providers in 21 countries, reconstructed from public provider
+// documentation for the 2019/2020 campaign window. Launch years enable the
+// historical-footprint ablation (cloud expansion 2010 → 2020).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "geo/coordinates.hpp"
+#include "topology/provider.hpp"
+
+namespace shears::topology {
+
+struct CloudRegion {
+  CloudProvider provider;
+  std::string_view region_id;   ///< provider-native id, e.g. "eu-central-1"
+  std::string_view city;
+  std::string_view country_iso2;
+  geo::GeoPoint location;
+  int launch_year;              ///< year the region went generally available
+};
+
+/// The full embedded registry (101 regions), grouped by provider.
+[[nodiscard]] std::span<const CloudRegion> all_regions() noexcept;
+
+/// Number of embedded regions.
+[[nodiscard]] std::size_t region_count() noexcept;
+
+}  // namespace shears::topology

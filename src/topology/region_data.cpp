@@ -1,0 +1,136 @@
+// Embedded registry of the 101 cloud regions targeted by the campaign.
+//
+// Locations are city coordinates (datacenter metro), launch years from
+// public provider announcements. The set spans exactly 21 countries,
+// matching the paper's "101 datacenters in 21 countries".
+#include "topology/region.hpp"
+
+#include <array>
+
+namespace shears::topology {
+
+namespace {
+
+using enum CloudProvider;
+
+constexpr std::array kRegions = {
+    // ------------------------------------------------------- Amazon (20) --
+    CloudRegion{kAmazon, "us-east-1", "Ashburn", "US", {39.04, -77.49}, 2006},
+    CloudRegion{kAmazon, "us-east-2", "Columbus", "US", {40.00, -83.00}, 2016},
+    CloudRegion{kAmazon, "us-west-1", "San Jose", "US", {37.35, -121.96}, 2009},
+    CloudRegion{kAmazon, "us-west-2", "Boardman", "US", {45.84, -119.70}, 2011},
+    CloudRegion{kAmazon, "ca-central-1", "Montreal", "CA", {45.50, -73.57}, 2016},
+    CloudRegion{kAmazon, "sa-east-1", "Sao Paulo", "BR", {-23.55, -46.63}, 2011},
+    CloudRegion{kAmazon, "eu-west-1", "Dublin", "IE", {53.35, -6.26}, 2007},
+    CloudRegion{kAmazon, "eu-west-2", "London", "GB", {51.51, -0.13}, 2016},
+    CloudRegion{kAmazon, "eu-west-3", "Paris", "FR", {48.86, 2.35}, 2017},
+    CloudRegion{kAmazon, "eu-central-1", "Frankfurt", "DE", {50.11, 8.68}, 2014},
+    CloudRegion{kAmazon, "eu-north-1", "Stockholm", "SE", {59.33, 18.07}, 2018},
+    CloudRegion{kAmazon, "ap-south-1", "Mumbai", "IN", {19.08, 72.88}, 2016},
+    CloudRegion{kAmazon, "ap-southeast-1", "Singapore", "SG", {1.35, 103.82}, 2010},
+    CloudRegion{kAmazon, "ap-southeast-2", "Sydney", "AU", {-33.87, 151.21}, 2012},
+    CloudRegion{kAmazon, "ap-northeast-1", "Tokyo", "JP", {35.68, 139.69}, 2011},
+    CloudRegion{kAmazon, "ap-northeast-2", "Seoul", "KR", {37.57, 126.98}, 2016},
+    CloudRegion{kAmazon, "ap-east-1", "Hong Kong", "HK", {22.32, 114.17}, 2019},
+    CloudRegion{kAmazon, "cn-north-1", "Beijing", "CN", {39.90, 116.41}, 2014},
+    CloudRegion{kAmazon, "cn-northwest-1", "Ningxia", "CN", {38.47, 106.26}, 2017},
+    CloudRegion{kAmazon, "af-south-1", "Cape Town", "ZA", {-33.92, 18.42}, 2020},
+    // ------------------------------------------------------- Google (16) --
+    CloudRegion{kGoogle, "us-central1", "Council Bluffs", "US", {41.26, -95.86}, 2009},
+    CloudRegion{kGoogle, "us-east1", "Moncks Corner", "US", {33.20, -80.00}, 2015},
+    CloudRegion{kGoogle, "us-west1", "The Dalles", "US", {45.60, -121.20}, 2016},
+    CloudRegion{kGoogle, "northamerica-northeast1", "Montreal", "CA", {45.50, -73.57}, 2018},
+    CloudRegion{kGoogle, "southamerica-east1", "Sao Paulo", "BR", {-23.55, -46.63}, 2017},
+    CloudRegion{kGoogle, "europe-west1", "St. Ghislain", "BE", {50.45, 3.82}, 2015},
+    CloudRegion{kGoogle, "europe-west2", "London", "GB", {51.51, -0.13}, 2017},
+    CloudRegion{kGoogle, "europe-west3", "Frankfurt", "DE", {50.11, 8.68}, 2017},
+    CloudRegion{kGoogle, "europe-west4", "Eemshaven", "NL", {53.44, 6.84}, 2018},
+    CloudRegion{kGoogle, "europe-west6", "Zurich", "CH", {47.38, 8.54}, 2019},
+    CloudRegion{kGoogle, "europe-north1", "Hamina", "FI", {60.57, 27.19}, 2018},
+    CloudRegion{kGoogle, "asia-south1", "Mumbai", "IN", {19.08, 72.88}, 2017},
+    CloudRegion{kGoogle, "asia-southeast1", "Jurong West", "SG", {1.35, 103.82}, 2017},
+    CloudRegion{kGoogle, "asia-east2", "Hong Kong", "HK", {22.32, 114.17}, 2018},
+    CloudRegion{kGoogle, "asia-northeast1", "Tokyo", "JP", {35.68, 139.69}, 2016},
+    CloudRegion{kGoogle, "australia-southeast1", "Sydney", "AU", {-33.87, 151.21}, 2017},
+    // -------------------------------------------------------- Azure (23) --
+    CloudRegion{kAzure, "eastus", "Richmond", "US", {37.37, -79.80}, 2012},
+    CloudRegion{kAzure, "centralus", "Des Moines", "US", {41.59, -93.62}, 2014},
+    CloudRegion{kAzure, "southcentralus", "San Antonio", "US", {29.42, -98.49}, 2010},
+    CloudRegion{kAzure, "westus", "San Jose", "US", {37.35, -121.96}, 2012},
+    CloudRegion{kAzure, "westus2", "Quincy", "US", {47.23, -119.85}, 2016},
+    CloudRegion{kAzure, "canadacentral", "Toronto", "CA", {43.65, -79.38}, 2016},
+    CloudRegion{kAzure, "canadaeast", "Quebec City", "CA", {46.81, -71.21}, 2016},
+    CloudRegion{kAzure, "brazilsouth", "Sao Paulo", "BR", {-23.55, -46.63}, 2014},
+    CloudRegion{kAzure, "northeurope", "Dublin", "IE", {53.35, -6.26}, 2010},
+    CloudRegion{kAzure, "westeurope", "Amsterdam", "NL", {52.37, 4.90}, 2010},
+    CloudRegion{kAzure, "uksouth", "London", "GB", {51.51, -0.13}, 2016},
+    CloudRegion{kAzure, "francecentral", "Paris", "FR", {48.86, 2.35}, 2018},
+    CloudRegion{kAzure, "germanywestcentral", "Frankfurt", "DE", {50.11, 8.68}, 2019},
+    CloudRegion{kAzure, "switzerlandnorth", "Zurich", "CH", {47.38, 8.54}, 2019},
+    CloudRegion{kAzure, "uaenorth", "Dubai", "AE", {25.20, 55.27}, 2019},
+    CloudRegion{kAzure, "southafricanorth", "Johannesburg", "ZA", {-26.20, 28.05}, 2019},
+    CloudRegion{kAzure, "centralindia", "Pune", "IN", {18.52, 73.86}, 2015},
+    CloudRegion{kAzure, "southindia", "Chennai", "IN", {13.08, 80.27}, 2015},
+    CloudRegion{kAzure, "southeastasia", "Singapore", "SG", {1.35, 103.82}, 2010},
+    CloudRegion{kAzure, "eastasia", "Hong Kong", "HK", {22.32, 114.17}, 2010},
+    CloudRegion{kAzure, "japaneast", "Tokyo", "JP", {35.68, 139.69}, 2014},
+    CloudRegion{kAzure, "koreacentral", "Seoul", "KR", {37.57, 126.98}, 2017},
+    CloudRegion{kAzure, "australiaeast", "Sydney", "AU", {-33.87, 151.21}, 2014},
+    // ------------------------------------------------- Digital Ocean (8) --
+    CloudRegion{kDigitalOcean, "nyc1", "New York", "US", {40.71, -74.01}, 2011},
+    CloudRegion{kDigitalOcean, "sfo2", "San Francisco", "US", {37.77, -122.42}, 2017},
+    CloudRegion{kDigitalOcean, "tor1", "Toronto", "CA", {43.65, -79.38}, 2015},
+    CloudRegion{kDigitalOcean, "lon1", "London", "GB", {51.51, -0.13}, 2014},
+    CloudRegion{kDigitalOcean, "ams3", "Amsterdam", "NL", {52.37, 4.90}, 2015},
+    CloudRegion{kDigitalOcean, "fra1", "Frankfurt", "DE", {50.11, 8.68}, 2015},
+    CloudRegion{kDigitalOcean, "sgp1", "Singapore", "SG", {1.35, 103.82}, 2014},
+    CloudRegion{kDigitalOcean, "blr1", "Bangalore", "IN", {12.97, 77.59}, 2016},
+    // ------------------------------------------------------- Linode (10) --
+    CloudRegion{kLinode, "us-east", "Newark", "US", {40.73, -74.17}, 2008},
+    CloudRegion{kLinode, "us-west", "Fremont", "US", {37.55, -121.99}, 2004},
+    CloudRegion{kLinode, "us-central", "Dallas", "US", {32.78, -96.80}, 2004},
+    CloudRegion{kLinode, "ca-central", "Toronto", "CA", {43.65, -79.38}, 2019},
+    CloudRegion{kLinode, "eu-west", "London", "GB", {51.51, -0.13}, 2009},
+    CloudRegion{kLinode, "eu-central", "Frankfurt", "DE", {50.11, 8.68}, 2015},
+    CloudRegion{kLinode, "ap-west", "Mumbai", "IN", {19.08, 72.88}, 2019},
+    CloudRegion{kLinode, "ap-south", "Singapore", "SG", {1.35, 103.82}, 2015},
+    CloudRegion{kLinode, "ap-northeast", "Tokyo", "JP", {35.68, 139.69}, 2016},
+    CloudRegion{kLinode, "ap-southeast", "Sydney", "AU", {-33.87, 151.21}, 2019},
+    // ------------------------------------------------------ Alibaba (12) --
+    CloudRegion{kAlibaba, "cn-hangzhou", "Hangzhou", "CN", {30.27, 120.16}, 2011},
+    CloudRegion{kAlibaba, "cn-beijing", "Beijing", "CN", {39.90, 116.41}, 2013},
+    CloudRegion{kAlibaba, "cn-shanghai", "Shanghai", "CN", {31.23, 121.47}, 2015},
+    CloudRegion{kAlibaba, "cn-hongkong", "Hong Kong", "HK", {22.32, 114.17}, 2014},
+    CloudRegion{kAlibaba, "ap-southeast-1", "Singapore", "SG", {1.35, 103.82}, 2015},
+    CloudRegion{kAlibaba, "ap-south-1", "Mumbai", "IN", {19.08, 72.88}, 2018},
+    CloudRegion{kAlibaba, "ap-northeast-1", "Tokyo", "JP", {35.68, 139.69}, 2016},
+    CloudRegion{kAlibaba, "ap-southeast-2", "Sydney", "AU", {-33.87, 151.21}, 2016},
+    CloudRegion{kAlibaba, "eu-central-1", "Frankfurt", "DE", {50.11, 8.68}, 2016},
+    CloudRegion{kAlibaba, "eu-west-1", "London", "GB", {51.51, -0.13}, 2018},
+    CloudRegion{kAlibaba, "me-east-1", "Dubai", "AE", {25.20, 55.27}, 2016},
+    CloudRegion{kAlibaba, "us-west-1", "San Jose", "US", {37.35, -121.96}, 2014},
+    // -------------------------------------------------------- Vultr (12) --
+    CloudRegion{kVultr, "ewr", "New Jersey", "US", {40.86, -74.06}, 2014},
+    CloudRegion{kVultr, "ord", "Chicago", "US", {41.88, -87.63}, 2014},
+    CloudRegion{kVultr, "sea", "Seattle", "US", {47.61, -122.33}, 2014},
+    CloudRegion{kVultr, "sjc", "Silicon Valley", "US", {37.35, -121.96}, 2014},
+    CloudRegion{kVultr, "yto", "Toronto", "CA", {43.65, -79.38}, 2015},
+    CloudRegion{kVultr, "lhr", "London", "GB", {51.51, -0.13}, 2014},
+    CloudRegion{kVultr, "cdg", "Paris", "FR", {48.86, 2.35}, 2015},
+    CloudRegion{kVultr, "fra", "Frankfurt", "DE", {50.11, 8.68}, 2014},
+    CloudRegion{kVultr, "ams", "Amsterdam", "NL", {52.37, 4.90}, 2014},
+    CloudRegion{kVultr, "nrt", "Tokyo", "JP", {35.68, 139.69}, 2014},
+    CloudRegion{kVultr, "sgp", "Singapore", "SG", {1.35, 103.82}, 2015},
+    CloudRegion{kVultr, "syd", "Sydney", "AU", {-33.87, 151.21}, 2015},
+};
+
+static_assert(kRegions.size() == 101,
+              "the study targets exactly 101 cloud regions");
+
+}  // namespace
+
+std::span<const CloudRegion> all_regions() noexcept { return kRegions; }
+
+std::size_t region_count() noexcept { return kRegions.size(); }
+
+}  // namespace shears::topology

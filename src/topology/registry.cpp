@@ -1,0 +1,111 @@
+#include "topology/registry.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "geo/country.hpp"
+
+namespace shears::topology {
+
+CloudRegistry::CloudRegistry(std::vector<const CloudRegion*> regions)
+    : regions_(std::move(regions)) {
+  for (const CloudRegion* r : regions_) {
+    if (r == nullptr) throw std::invalid_argument("CloudRegistry: null region");
+  }
+}
+
+CloudRegistry CloudRegistry::campaign_footprint() {
+  std::vector<const CloudRegion*> out;
+  for (const CloudRegion& r : all_regions()) out.push_back(&r);
+  return CloudRegistry(std::move(out));
+}
+
+CloudRegistry CloudRegistry::footprint_as_of(int year) {
+  std::vector<const CloudRegion*> out;
+  for (const CloudRegion& r : all_regions()) {
+    if (r.launch_year <= year) out.push_back(&r);
+  }
+  return CloudRegistry(std::move(out));
+}
+
+CloudRegistry CloudRegistry::for_providers(
+    const std::vector<CloudProvider>& providers) {
+  std::vector<const CloudRegion*> out;
+  for (const CloudRegion& r : all_regions()) {
+    if (std::find(providers.begin(), providers.end(), r.provider) !=
+        providers.end()) {
+      out.push_back(&r);
+    }
+  }
+  return CloudRegistry(std::move(out));
+}
+
+std::vector<const CloudRegion*> CloudRegistry::in_continent(
+    geo::Continent c) const {
+  std::vector<const CloudRegion*> out;
+  for (const CloudRegion* r : regions_) {
+    if (region_continent(*r) == c) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<const CloudRegion*> CloudRegistry::of_provider(
+    CloudProvider p) const {
+  std::vector<const CloudRegion*> out;
+  for (const CloudRegion* r : regions_) {
+    if (r->provider == p) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::string_view> CloudRegistry::hosting_countries() const {
+  std::vector<std::string_view> out;
+  out.reserve(regions_.size());
+  for (const CloudRegion* r : regions_) out.push_back(r->country_iso2);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::optional<RankedRegion> CloudRegistry::nearest(
+    const geo::GeoPoint& point) const {
+  std::optional<RankedRegion> best;
+  for (const CloudRegion* r : regions_) {
+    const double d = geo::haversine_km(point, r->location);
+    if (!best || d < best->distance_km) best = RankedRegion{r, d};
+  }
+  return best;
+}
+
+std::vector<RankedRegion> CloudRegistry::nearest_n(const geo::GeoPoint& point,
+                                                   std::size_t n) const {
+  std::vector<RankedRegion> ranked;
+  ranked.reserve(regions_.size());
+  for (const CloudRegion* r : regions_) {
+    ranked.push_back({r, geo::haversine_km(point, r->location)});
+  }
+  const std::size_t k = std::min(n, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(k),
+                    ranked.end(), [](const RankedRegion& a, const RankedRegion& b) {
+                      return a.distance_km < b.distance_km;
+                    });
+  ranked.resize(k);
+  return ranked;
+}
+
+double CloudRegistry::nearest_distance_km(const geo::GeoPoint& point) const {
+  const auto best = nearest(point);
+  return best ? best->distance_km : std::numeric_limits<double>::infinity();
+}
+
+geo::Continent region_continent(const CloudRegion& region) {
+  const geo::Country* c = geo::find_country(region.country_iso2);
+  if (c == nullptr) {
+    throw std::logic_error("region hosted in unknown country: " +
+                           std::string(region.country_iso2));
+  }
+  return c->continent;
+}
+
+}  // namespace shears::topology

@@ -1,0 +1,77 @@
+// Queryable view over the cloud-region dataset.
+//
+// A CloudRegistry is an immutable snapshot of the cloud footprint — either
+// the full 2019/2020 campaign set or a historical subset (launch year <= Y)
+// for the expansion ablation. All §4 analyses and the measurement
+// scheduler consume a registry rather than the raw table.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "geo/continent.hpp"
+#include "geo/coordinates.hpp"
+#include "topology/region.hpp"
+
+namespace shears::topology {
+
+/// A region together with its distance from a query point.
+struct RankedRegion {
+  const CloudRegion* region = nullptr;
+  double distance_km = 0.0;
+};
+
+class CloudRegistry {
+ public:
+  /// Snapshot of the full campaign-era footprint (all 101 regions).
+  static CloudRegistry campaign_footprint();
+
+  /// Snapshot of regions generally available by the end of `year`.
+  static CloudRegistry footprint_as_of(int year);
+
+  /// Snapshot restricted to a provider subset.
+  static CloudRegistry for_providers(const std::vector<CloudProvider>& providers);
+
+  /// Builds from an explicit region list (for tests / what-if scenarios).
+  explicit CloudRegistry(std::vector<const CloudRegion*> regions);
+
+  [[nodiscard]] const std::vector<const CloudRegion*>& regions() const noexcept {
+    return regions_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return regions_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return regions_.empty(); }
+
+  /// Regions located on the given continent (continent of the hosting
+  /// country per the geo registry).
+  [[nodiscard]] std::vector<const CloudRegion*> in_continent(
+      geo::Continent c) const;
+
+  /// Regions of one provider.
+  [[nodiscard]] std::vector<const CloudRegion*> of_provider(
+      CloudProvider p) const;
+
+  /// Distinct ISO-2 codes of hosting countries, sorted.
+  [[nodiscard]] std::vector<std::string_view> hosting_countries() const;
+
+  /// The region nearest to `point`, or nullopt when empty.
+  [[nodiscard]] std::optional<RankedRegion> nearest(
+      const geo::GeoPoint& point) const;
+
+  /// The `n` nearest regions to `point`, ascending by distance.
+  [[nodiscard]] std::vector<RankedRegion> nearest_n(const geo::GeoPoint& point,
+                                                    std::size_t n) const;
+
+  /// Great-circle distance from `point` to the nearest region, or +inf when
+  /// the registry is empty.
+  [[nodiscard]] double nearest_distance_km(const geo::GeoPoint& point) const;
+
+ private:
+  std::vector<const CloudRegion*> regions_;
+};
+
+/// Continent a region sits on, resolved through the country registry.
+/// Every embedded region's hosting country is present in the country table.
+[[nodiscard]] geo::Continent region_continent(const CloudRegion& region);
+
+}  // namespace shears::topology

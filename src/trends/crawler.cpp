@@ -1,0 +1,130 @@
+#include "trends/crawler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace shears::trends {
+
+namespace {
+
+constexpr const char* kAdjectives[] = {
+    "Scalable", "Efficient", "Towards", "Rethinking", "Adaptive",
+    "Secure",   "Elastic",   "Robust",  "Practical",  "Distributed",
+};
+constexpr const char* kDomains[] = {
+    "IoT analytics",     "video streaming",   "smart manufacturing",
+    "mobile offloading", "data management",   "service placement",
+    "network functions", "machine learning",  "healthcare systems",
+    "vehicular systems",
+};
+/// Titles that contain the bare words but not the exact phrase — a naive
+/// word-bag matcher would miscount these.
+constexpr const char* kDecoys[] = {
+    "Edge detection in noisy images",
+    "Cloud droplet physics in convective storms",
+    "Computing minimum spanning trees at the graph edge",
+    "Point cloud registration for robotics",
+    "Cutting-edge advances in compilers",
+    "Cloud cover estimation from satellite imagery",
+    "Spectral methods for edge colouring",
+    "Cloud chamber experiments in particle physics",
+};
+
+std::string make_title(const char* keyword, stats::Xoshiro256& rng) {
+  const auto* adj = kAdjectives[rng.bounded(std::size(kAdjectives))];
+  const auto* domain = kDomains[rng.bounded(std::size(kDomains))];
+  return std::string(adj) + " " + keyword + " for " + domain;
+}
+
+char to_lower_ascii(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+SyntheticCorpus SyntheticCorpus::generate(const Options& options) {
+  std::vector<Publication> publications;
+  stats::Xoshiro256 rng(options.seed);
+
+  const struct {
+    Topic topic;
+    const char* keyword;
+  } topics[] = {
+      {Topic::kEdgeComputing, "edge computing"},
+      {Topic::kCloudComputing, "cloud computing"},
+  };
+
+  for (const auto& [topic, keyword] : topics) {
+    for (const TrendPoint& point : trends::publications(topic)) {
+      const auto count = static_cast<std::size_t>(
+          std::llround(point.value / options.scale));
+      for (std::size_t i = 0; i < count; ++i) {
+        publications.push_back({point.year, make_title(keyword, rng)});
+      }
+      // Decoys spread proportionally across the same years.
+      const auto decoys = static_cast<std::size_t>(
+          std::llround(count * options.decoy_ratio));
+      for (std::size_t i = 0; i < decoys; ++i) {
+        publications.push_back(
+            {point.year,
+             std::string(kDecoys[rng.bounded(std::size(kDecoys))])});
+      }
+    }
+  }
+  // Shuffle so no consumer can rely on grouping (Fisher-Yates).
+  for (std::size_t i = publications.size(); i > 1; --i) {
+    std::swap(publications[i - 1], publications[rng.bounded(i)]);
+  }
+  return SyntheticCorpus(std::move(publications));
+}
+
+bool contains_phrase(const std::string& text, const std::string& phrase) {
+  if (phrase.empty()) return true;
+  if (text.size() < phrase.size()) return false;
+  const auto matches_at = [&](std::size_t offset) {
+    for (std::size_t i = 0; i < phrase.size(); ++i) {
+      if (to_lower_ascii(text[offset + i]) != to_lower_ascii(phrase[i])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (std::size_t offset = 0; offset + phrase.size() <= text.size();
+       ++offset) {
+    if (matches_at(offset)) return true;
+  }
+  return false;
+}
+
+std::vector<TrendPoint> KeywordCrawler::count_by_year(
+    const std::string& phrase) const {
+  requests_ = 0;
+  std::vector<TrendPoint> series;
+  for (int year = kFirstYear; year <= kLastYear; ++year) {
+    // Paginate through the corpus like the real crawler pages through
+    // result lists: fixed-size pages, bounded budget.
+    std::size_t matches = 0;
+    std::size_t scanned = 0;
+    std::size_t pages = 0;
+    const auto all = corpus_->publications();
+    while (scanned < all.size() && pages < options_.max_pages) {
+      ++pages;
+      ++requests_;
+      const std::size_t page_end =
+          std::min(all.size(), scanned + options_.page_size);
+      for (; scanned < page_end; ++scanned) {
+        const Publication& pub = all[scanned];
+        if (pub.year == year && contains_phrase(pub.title, phrase)) {
+          ++matches;
+        }
+      }
+    }
+    series.push_back({year, static_cast<double>(matches)});
+  }
+  return series;
+}
+
+}  // namespace shears::trends

@@ -1,0 +1,91 @@
+// The Fig. 1 measurement substrate: the paper counted publications with a
+// custom Google Scholar crawler ([38]). We cannot crawl Scholar offline,
+// so we build the equivalent: a deterministic synthetic publication
+// corpus whose topic adoption follows the published series, and a
+// phrase-query crawler (with result pagination, like the real one) that
+// recounts the series from raw records. The embedded Fig. 1 series stays
+// the ground truth; the crawler demonstrates and tests the methodology.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trends/trends.hpp"
+
+namespace shears::trends {
+
+/// One synthetic publication record.
+struct Publication {
+  int year = 0;
+  std::string title;
+};
+
+/// A deterministic corpus of publications, 2004-2019. Keyword papers
+/// follow the embedded per-year counts divided by `scale` (the full
+/// corpus would hold ~500k records; scale 10 keeps tests fast); decoy
+/// papers use near-miss vocabulary ("edge detection", "cloud droplet
+/// physics") that a naive substring match would miscount.
+class SyntheticCorpus {
+ public:
+  struct Options {
+    std::uint64_t seed = 2020;
+    /// Divisor on the embedded per-year counts.
+    double scale = 10.0;
+    /// Decoy (non-matching) papers per matching paper.
+    double decoy_ratio = 1.5;
+  };
+
+  static SyntheticCorpus generate(const Options& options);
+
+  [[nodiscard]] std::span<const Publication> publications() const noexcept {
+    return publications_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return publications_.size();
+  }
+
+ private:
+  explicit SyntheticCorpus(std::vector<Publication> publications)
+      : publications_(std::move(publications)) {}
+
+  std::vector<Publication> publications_;
+};
+
+/// Phrase-query crawler over a corpus: counts publications per year whose
+/// title contains the exact phrase (case-insensitive), visiting results
+/// in pages like the real crawler.
+struct CrawlerOptions {
+  std::size_t page_size = 100;   ///< results fetched per request
+  std::size_t max_pages = 1000;  ///< crawl budget per (phrase, year)
+};
+
+class KeywordCrawler {
+ public:
+  using Options = CrawlerOptions;
+
+  explicit KeywordCrawler(const SyntheticCorpus& corpus,
+                          Options options = {})
+      : corpus_(&corpus), options_(options) {}
+
+  /// Yearly counts for a phrase over [kFirstYear, kLastYear].
+  [[nodiscard]] std::vector<TrendPoint> count_by_year(
+      const std::string& phrase) const;
+
+  /// Total requests issued by the last count_by_year call.
+  [[nodiscard]] std::size_t requests_issued() const noexcept {
+    return requests_;
+  }
+
+ private:
+  const SyntheticCorpus* corpus_;
+  Options options_;
+  mutable std::size_t requests_ = 0;
+};
+
+/// Case-insensitive phrase containment (exact phrase, not bag of words).
+[[nodiscard]] bool contains_phrase(const std::string& text,
+                                   const std::string& phrase);
+
+}  // namespace shears::trends

@@ -1,0 +1,117 @@
+#include "trends/trends.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace shears::trends {
+
+namespace {
+
+// Normalised Google-web-search interest, yearly averages. 100 is the
+// all-time peak across both series (cloud computing, 2011/2012).
+constexpr std::array<TrendPoint, 16> kSearchEdge = {{
+    {2004, 0},  {2005, 0},  {2006, 0},  {2007, 0},  {2008, 1},  {2009, 1},
+    {2010, 1},  {2011, 1},  {2012, 1},  {2013, 2},  {2014, 2},  {2015, 4},
+    {2016, 8},  {2017, 17}, {2018, 29}, {2019, 40},
+}};
+
+constexpr std::array<TrendPoint, 16> kSearchCloud = {{
+    {2004, 0},  {2005, 0},  {2006, 2},  {2007, 6},  {2008, 16}, {2009, 37},
+    {2010, 63}, {2011, 95}, {2012, 100}, {2013, 93}, {2014, 84}, {2015, 74},
+    {2016, 65}, {2017, 58}, {2018, 52}, {2019, 47},
+}};
+
+// Publications per year (Google Scholar keyword counts, crawler-derived).
+constexpr std::array<TrendPoint, 16> kPubsEdge = {{
+    {2004, 12},   {2005, 15},   {2006, 22},   {2007, 30},  {2008, 40},
+    {2009, 55},   {2010, 70},   {2011, 90},   {2012, 120}, {2013, 170},
+    {2014, 280},  {2015, 620},  {2016, 1600}, {2017, 4200}, {2018, 8600},
+    {2019, 14500},
+}};
+
+constexpr std::array<TrendPoint, 16> kPubsCloud = {{
+    {2004, 60},    {2005, 90},    {2006, 160},   {2007, 420},  {2008, 1300},
+    {2009, 4200},  {2010, 9400},  {2011, 15600}, {2012, 21500}, {2013, 26000},
+    {2014, 28800}, {2015, 30200}, {2016, 30600}, {2017, 30100}, {2018, 29200},
+    {2019, 28100},
+}};
+
+}  // namespace
+
+std::span<const TrendPoint> search_popularity(Topic t) noexcept {
+  return t == Topic::kEdgeComputing ? std::span<const TrendPoint>(kSearchEdge)
+                                    : std::span<const TrendPoint>(kSearchCloud);
+}
+
+std::span<const TrendPoint> publications(Topic t) noexcept {
+  return t == Topic::kEdgeComputing ? std::span<const TrendPoint>(kPubsEdge)
+                                    : std::span<const TrendPoint>(kPubsCloud);
+}
+
+double value_in(std::span<const TrendPoint> series, int year) noexcept {
+  for (const TrendPoint& p : series) {
+    if (p.year == year) return p.value;
+  }
+  return 0.0;
+}
+
+EraBoundaries segment_eras() noexcept {
+  const auto cloud_search = search_popularity(Topic::kCloudComputing);
+  double cloud_peak = 0.0;
+  for (const TrendPoint& p : cloud_search) cloud_peak = std::max(cloud_peak, p.value);
+
+  int cloud_start = kLastYear;
+  for (const TrendPoint& p : cloud_search) {
+    if (p.value >= 0.25 * cloud_peak) {
+      cloud_start = p.year;
+      break;
+    }
+  }
+
+  // The edge era begins when edge publication growth decisively (1.5x)
+  // outpaces cloud's — the "research community jumped at the opportunity"
+  // inflection of §2.
+  const int edge_start =
+      growth_crossover_year(publications(Topic::kEdgeComputing),
+                            publications(Topic::kCloudComputing), 1.5);
+  return {cloud_start - 1, (edge_start > 0 ? edge_start : kLastYear) - 1};
+}
+
+double cagr(std::span<const TrendPoint> series, int from_year,
+            int to_year) noexcept {
+  const double v0 = value_in(series, from_year);
+  const double v1 = value_in(series, to_year);
+  if (v0 <= 0.0 || v1 <= 0.0 || to_year <= from_year) return 0.0;
+  return std::pow(v1 / v0, 1.0 / static_cast<double>(to_year - from_year)) -
+         1.0;
+}
+
+stats::LinearFit log_growth_fit(std::span<const TrendPoint> series,
+                                int from_year, int to_year) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const TrendPoint& p : series) {
+    if (p.year >= from_year && p.year <= to_year && p.value > 0.0) {
+      xs.push_back(static_cast<double>(p.year));
+      ys.push_back(std::log(p.value));
+    }
+  }
+  return stats::fit_linear(xs, ys);
+}
+
+int growth_crossover_year(std::span<const TrendPoint> a,
+                          std::span<const TrendPoint> b,
+                          double margin) noexcept {
+  for (int year = kFirstYear + 1; year <= kLastYear; ++year) {
+    const double a0 = value_in(a, year - 1);
+    const double a1 = value_in(a, year);
+    const double b0 = value_in(b, year - 1);
+    const double b1 = value_in(b, year);
+    if (a0 <= 0.0 || b0 <= 0.0 || b1 <= 0.0) continue;
+    if ((a1 / a0) > margin * (b1 / b0) && a1 > a0) return year;
+  }
+  return -1;
+}
+
+}  // namespace shears::trends

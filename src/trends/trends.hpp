@@ -1,0 +1,76 @@
+// Fig. 1 — the zeitgeist of "edge computing" vs "cloud computing",
+// 2004-2019: Google-web-search popularity (normalised, Google Trends
+// methodology: 100 = the peak of the strongest series) and scientific
+// publications per year (Google Scholar counts via the paper's crawler).
+// The series are embedded data; the module adds the era segmentation
+// (CDN / Cloud / Edge) and growth analytics the paper narrates in §2.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "stats/regression.hpp"
+
+namespace shears::trends {
+
+enum class Topic : unsigned char {
+  kEdgeComputing = 0,
+  kCloudComputing,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Topic t) noexcept {
+  switch (t) {
+    case Topic::kEdgeComputing: return "edge computing";
+    case Topic::kCloudComputing: return "cloud computing";
+  }
+  return "unknown";
+}
+
+struct TrendPoint {
+  int year;
+  double value;
+};
+
+inline constexpr int kFirstYear = 2004;
+inline constexpr int kLastYear = 2019;
+
+/// Normalised web-search popularity per year (0-100).
+[[nodiscard]] std::span<const TrendPoint> search_popularity(Topic t) noexcept;
+
+/// Publications per year mentioning the keyword.
+[[nodiscard]] std::span<const TrendPoint> publications(Topic t) noexcept;
+
+/// Value for a specific year; 0 outside the covered range.
+[[nodiscard]] double value_in(std::span<const TrendPoint> series,
+                              int year) noexcept;
+
+/// §2's three eras. Boundaries are derived from the data: the cloud era
+/// starts when cloud search interest first exceeds 25% of its peak; the
+/// edge era starts when edge publications first grow faster (year over
+/// year, relative) than cloud publications while cloud search interest is
+/// already declining.
+struct EraBoundaries {
+  int cdn_until;    ///< last year of the CDN era
+  int cloud_until;  ///< last year of the cloud era; edge era follows
+};
+
+[[nodiscard]] EraBoundaries segment_eras() noexcept;
+
+/// Compound annual growth rate of a series between two years (inclusive);
+/// 0 when either endpoint is missing or non-positive.
+[[nodiscard]] double cagr(std::span<const TrendPoint> series, int from_year,
+                          int to_year) noexcept;
+
+/// Exponential-growth fit: OLS of ln(value) on year over the subrange with
+/// positive values. slope ≈ ln(1 + annual growth).
+[[nodiscard]] stats::LinearFit log_growth_fit(std::span<const TrendPoint> series,
+                                              int from_year, int to_year);
+
+/// First year in which `a`'s year-over-year relative growth exceeds `b`'s
+/// by at least `margin` (ratio of growth factors) while `a` is rising;
+/// -1 when never. margin = 1 degenerates to a plain crossover.
+[[nodiscard]] int growth_crossover_year(std::span<const TrendPoint> a,
+                                        std::span<const TrendPoint> b,
+                                        double margin = 1.0) noexcept;
+
+}  // namespace shears::trends

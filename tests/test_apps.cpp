@@ -1,0 +1,144 @@
+// Tests for the application taxonomy: perception thresholds, the Fig. 2
+// catalog, and the quadrant classification of §3.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/application.hpp"
+#include "apps/thresholds.hpp"
+
+namespace shears::apps {
+namespace {
+
+TEST(Thresholds, PaperConstants) {
+  EXPECT_DOUBLE_EQ(kMotionToPhotonMs, 20.0);
+  EXPECT_DOUBLE_EQ(kMtpDisplayShareMs, 13.0);
+  EXPECT_DOUBLE_EQ(kMtpComputeBudgetMs, 7.0);
+  EXPECT_DOUBLE_EQ(kNasaHudComputeMs, 2.5);
+  EXPECT_DOUBLE_EQ(kPerceivableLatencyMs, 100.0);
+  EXPECT_DOUBLE_EQ(kHumanReactionTimeMs, 250.0);
+  // MTP decomposes into display + compute shares.
+  EXPECT_DOUBLE_EQ(kMtpDisplayShareMs + kMtpComputeBudgetMs,
+                   kMotionToPhotonMs);
+}
+
+TEST(Thresholds, RegimeClassification) {
+  EXPECT_EQ(classify_latency(2.0), LatencyRegime::kSubMtpCompute);
+  EXPECT_EQ(classify_latency(7.0), LatencyRegime::kSubMtpCompute);
+  EXPECT_EQ(classify_latency(15.0), LatencyRegime::kMtp);
+  EXPECT_EQ(classify_latency(20.0), LatencyRegime::kMtp);
+  EXPECT_EQ(classify_latency(60.0), LatencyRegime::kPerceivable);
+  EXPECT_EQ(classify_latency(100.0), LatencyRegime::kPerceivable);
+  EXPECT_EQ(classify_latency(200.0), LatencyRegime::kReaction);
+  EXPECT_EQ(classify_latency(250.0), LatencyRegime::kReaction);
+  EXPECT_EQ(classify_latency(1000.0), LatencyRegime::kRelaxed);
+}
+
+TEST(Thresholds, RegimeCeilingsAreMonotone) {
+  EXPECT_LT(regime_ceiling_ms(LatencyRegime::kSubMtpCompute),
+            regime_ceiling_ms(LatencyRegime::kMtp));
+  EXPECT_LT(regime_ceiling_ms(LatencyRegime::kMtp),
+            regime_ceiling_ms(LatencyRegime::kPerceivable));
+  EXPECT_LT(regime_ceiling_ms(LatencyRegime::kPerceivable),
+            regime_ceiling_ms(LatencyRegime::kReaction));
+  EXPECT_LT(regime_ceiling_ms(LatencyRegime::kReaction),
+            regime_ceiling_ms(LatencyRegime::kRelaxed));
+}
+
+TEST(Thresholds, ClassifyIsConsistentWithCeilings) {
+  // Property: any latency classifies into the regime whose ceiling bounds
+  // it from above.
+  for (double ms = 0.5; ms < 2000.0; ms *= 1.3) {
+    const LatencyRegime r = classify_latency(ms);
+    EXPECT_LE(ms, regime_ceiling_ms(r));
+  }
+}
+
+TEST(Catalog, SixteenApplicationsWithUniqueIds) {
+  const auto catalog = application_catalog();
+  EXPECT_EQ(catalog.size(), 16u);
+  std::set<std::string_view> ids;
+  for (const Application& a : catalog) {
+    EXPECT_TRUE(ids.insert(a.id).second) << a.id;
+  }
+}
+
+TEST(Catalog, FieldsValid) {
+  for (const Application& a : application_catalog()) {
+    EXPECT_FALSE(a.name.empty());
+    EXPECT_GT(a.latency_floor_ms, 0.0) << a.id;
+    EXPECT_GE(a.latency_ceiling_ms, a.latency_floor_ms) << a.id;
+    EXPECT_GT(a.data_gb_per_entity_day, 0.0) << a.id;
+    EXPECT_GT(a.market_2025_busd, 0.0) << a.id;
+  }
+}
+
+TEST(Catalog, LookupWorks) {
+  const Application* gaming = find_application("cloud-gaming");
+  ASSERT_NE(gaming, nullptr);
+  EXPECT_EQ(gaming->name, "Cloud gaming");
+  EXPECT_EQ(find_application("time-machine"), nullptr);
+}
+
+TEST(Catalog, EveryQuadrantPopulated) {
+  std::set<Quadrant> seen;
+  for (const Application& a : application_catalog()) seen.insert(quadrant_of(a));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Catalog, PaperPlacements) {
+  // §3's quadrant examples.
+  const auto expect_quadrant = [](std::string_view id, Quadrant q) {
+    const Application* a = find_application(id);
+    ASSERT_NE(a, nullptr) << id;
+    EXPECT_EQ(quadrant_of(*a), q) << id;
+  };
+  expect_quadrant("wearables", Quadrant::kQ1LowLatencyLowBandwidth);
+  expect_quadrant("online-gaming", Quadrant::kQ1LowLatencyLowBandwidth);
+  expect_quadrant("ar-vr", Quadrant::kQ2LowLatencyHighBandwidth);
+  expect_quadrant("autonomous-vehicles", Quadrant::kQ2LowLatencyHighBandwidth);
+  expect_quadrant("cloud-gaming", Quadrant::kQ2LowLatencyHighBandwidth);
+  expect_quadrant("smart-city", Quadrant::kQ3HighLatencyHighBandwidth);
+  expect_quadrant("smart-home", Quadrant::kQ4HighLatencyLowBandwidth);
+  expect_quadrant("weather-monitoring", Quadrant::kQ4HighLatencyLowBandwidth);
+}
+
+TEST(Catalog, MtpBoundApplicationsExist) {
+  // AR/VR must demand MTP-or-better; its floor reaches the NASA HUD bound.
+  const Application* arvr = find_application("ar-vr");
+  ASSERT_NE(arvr, nullptr);
+  EXPECT_LE(arvr->latency_ceiling_ms, kMotionToPhotonMs);
+  EXPECT_LE(arvr->latency_floor_ms, kNasaHudComputeMs);
+}
+
+TEST(Catalog, HypeIsInQ2) {
+  // §3: "most applications in this quadrant ... are popularly heralded as
+  // the driving force behind edge computing" — Q2's market share must
+  // dominate and the hyped set must be concentrated there.
+  double market[5] = {};
+  for (const Application& a : application_catalog()) {
+    market[static_cast<int>(quadrant_of(a))] += a.market_2025_busd;
+  }
+  std::size_t hyped_q2 = 0;
+  std::size_t hyped = 0;
+  for (const Application& a : application_catalog()) {
+    if (!a.hyped_edge_driver) continue;
+    ++hyped;
+    if (quadrant_of(a) == Quadrant::kQ2LowLatencyHighBandwidth) ++hyped_q2;
+  }
+  EXPECT_GE(hyped, 5u);
+  EXPECT_GE(hyped_q2 * 2, hyped);  // at least half the hype sits in Q2
+  EXPECT_GT(market[2], market[3]);  // Q2 > Q3
+}
+
+TEST(Catalog, BandwidthThresholdSplitsCatalog) {
+  std::size_t heavy = 0;
+  for (const Application& a : application_catalog()) {
+    if (is_bandwidth_heavy(a)) ++heavy;
+  }
+  EXPECT_GT(heavy, 4u);
+  EXPECT_LT(heavy, application_catalog().size());
+}
+
+}  // namespace
+}  // namespace shears::apps

@@ -1,0 +1,542 @@
+// Tests for the measurement platform: tags, probe placement, scheduling,
+// campaign determinism, and dataset semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "atlas/campaign.hpp"
+#include "atlas/measurement.hpp"
+#include "atlas/placement.hpp"
+#include "atlas/tags.hpp"
+#include "geo/city.hpp"
+#include "net/latency_model.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::atlas {
+namespace {
+
+PlacementConfig small_fleet_config() {
+  PlacementConfig config;
+  config.probe_count = 400;
+  config.seed = 11;
+  return config;
+}
+
+CampaignConfig short_campaign_config() {
+  CampaignConfig config;
+  config.duration_days = 3;
+  config.seed = 13;
+  config.threads = 2;
+  return config;
+}
+
+TEST(Tags, VocabularyMatchesAtlasKeywords) {
+  const auto wired = wired_tags();
+  const auto wireless = wireless_tags();
+  EXPECT_TRUE(has_any_tag({{"ethernet"}}, wired));
+  EXPECT_TRUE(has_any_tag({{"broadband"}}, wired));
+  EXPECT_TRUE(has_any_tag({{"lte"}}, wireless));
+  EXPECT_TRUE(has_any_tag({{"wifi"}}, wireless));
+  EXPECT_TRUE(has_any_tag({{"wlan"}}, wireless));
+  EXPECT_FALSE(has_any_tag({{"ethernet"}}, wireless));
+  EXPECT_FALSE(has_any_tag({{"lte"}}, wired));
+}
+
+TEST(Tags, MakeTagsForTaggedWiredProbe) {
+  const auto tags = make_tags(net::AccessTechnology::kDsl, Environment::kHome,
+                              /*tagged=*/true);
+  EXPECT_TRUE(has_any_tag(tags, wired_tags()));
+  EXPECT_FALSE(has_any_tag(tags, wireless_tags()));
+  EXPECT_FALSE(has_any_tag(tags, privileged_tags()));
+}
+
+TEST(Tags, MakeTagsForUntaggedProbeIsEmptyOfAccessInfo) {
+  const auto tags = make_tags(net::AccessTechnology::kLte, Environment::kHome,
+                              /*tagged=*/false);
+  EXPECT_FALSE(has_any_tag(tags, wired_tags()));
+  EXPECT_FALSE(has_any_tag(tags, wireless_tags()));
+}
+
+TEST(Tags, DatacenterProbeAlwaysCarriesPrivilegedTag) {
+  const auto untagged = make_tags(net::AccessTechnology::kEthernet,
+                                  Environment::kDatacenter, /*tagged=*/false);
+  EXPECT_TRUE(has_any_tag(untagged, privileged_tags()));
+}
+
+TEST(Tags, WifiCarriesBothSpellings) {
+  const auto tags = make_tags(net::AccessTechnology::kWifi, Environment::kHome,
+                              /*tagged=*/true);
+  bool wifi = false;
+  bool wlan = false;
+  for (const auto t : tags) {
+    wifi |= t == "wifi";
+    wlan |= t == "wlan";
+  }
+  EXPECT_TRUE(wifi);
+  EXPECT_TRUE(wlan);
+}
+
+TEST(Placement, DeterministicForSameConfig) {
+  const ProbeFleet a = ProbeFleet::generate(small_fleet_config());
+  const ProbeFleet b = ProbeFleet::generate(small_fleet_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.probes()[i].country, b.probes()[i].country);
+    EXPECT_EQ(a.probes()[i].endpoint.location.lat_deg,
+              b.probes()[i].endpoint.location.lat_deg);
+    EXPECT_EQ(a.probes()[i].endpoint.access, b.probes()[i].endpoint.access);
+  }
+}
+
+TEST(Placement, ExactCountAndSequentialIds) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  EXPECT_EQ(fleet.size(), 400u);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fleet.probes()[i].id, i);
+    EXPECT_NE(fleet.probes()[i].country, nullptr);
+    EXPECT_TRUE(geo::is_valid(fleet.probes()[i].endpoint.location));
+  }
+}
+
+TEST(Placement, EveryCountryCovered) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  EXPECT_EQ(fleet.country_count(), geo::country_count());
+}
+
+TEST(Placement, RejectsTooFewProbes) {
+  PlacementConfig config;
+  config.probe_count = 10;  // fewer than countries
+  EXPECT_THROW(ProbeFleet::generate(config), std::invalid_argument);
+}
+
+TEST(Placement, DensityFollowsWeights) {
+  PlacementConfig config;
+  config.probe_count = 3200;
+  const ProbeFleet fleet = ProbeFleet::generate(config);
+  std::size_t de = 0;
+  std::size_t td = 0;
+  std::size_t europe = 0;
+  for (const Probe& p : fleet.probes()) {
+    if (p.country->iso2 == "DE") ++de;
+    if (p.country->iso2 == "TD") ++td;
+    if (p.country->continent == geo::Continent::kEurope) ++europe;
+  }
+  EXPECT_GT(de, 100u);  // Germany is the densest Atlas country
+  EXPECT_LE(td, 5u);    // Chad has a token presence
+  // Fig. 3b: Europe hosts roughly half the fleet.
+  EXPECT_GT(europe, fleet.size() * 2 / 5);
+}
+
+TEST(Placement, PrivilegedShareNearConfig) {
+  PlacementConfig config;
+  config.probe_count = 3200;
+  config.privileged_fraction = 0.04;
+  const ProbeFleet fleet = ProbeFleet::generate(config);
+  std::size_t privileged = 0;
+  for (const Probe& p : fleet.probes()) {
+    if (p.privileged()) ++privileged;
+  }
+  const double share = static_cast<double>(privileged) / fleet.size();
+  EXPECT_NEAR(share, 0.04, 0.02);
+}
+
+TEST(Placement, InfrastructureProbesAreEthernet) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  for (const Probe& p : fleet.probes()) {
+    if (p.environment == Environment::kCoreNetwork ||
+        p.environment == Environment::kDatacenter) {
+      EXPECT_EQ(p.endpoint.access, net::AccessTechnology::kEthernet);
+    }
+  }
+}
+
+TEST(Placement, ScatterStaysNational) {
+  // Probes must land within a few scatter radii of the country site.
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  for (const Probe& p : fleet.probes()) {
+    const double d =
+        geo::haversine_km(p.endpoint.location, p.country->site);
+    EXPECT_LT(d, p.country->scatter_km * 6 + 50.0) << p.country->name;
+  }
+}
+
+TEST(Placement, UrbanProbesClusterOnCities) {
+  PlacementConfig config;
+  config.probe_count = 3200;
+  config.urban_fraction = 1.0;  // everyone urban
+  const ProbeFleet fleet = ProbeFleet::generate(config);
+  // Every probe in a country with listed cities sits within the tight
+  // urban scatter of one of them.
+  std::size_t checked = 0;
+  for (const Probe& p : fleet.probes()) {
+    const auto cities = geo::cities_in(p.country->iso2);
+    if (cities.empty()) continue;
+    double nearest = 1e18;
+    for (const geo::City* city : cities) {
+      nearest = std::min(
+          nearest, geo::haversine_km(p.endpoint.location, city->location));
+    }
+    EXPECT_LT(nearest, config.urban_scatter_km * 6 + 20.0) << p.country->name;
+    ++checked;
+  }
+  EXPECT_GT(checked, fleet.size() / 2);
+}
+
+TEST(Placement, ZeroUrbanFractionFallsBackToScatter) {
+  PlacementConfig urban;
+  urban.probe_count = 400;
+  urban.urban_fraction = 1.0;
+  PlacementConfig rural = urban;
+  rural.urban_fraction = 0.0;
+  const ProbeFleet a = ProbeFleet::generate(urban);
+  const ProbeFleet b = ProbeFleet::generate(rural);
+  // Same seeds, different placement policies: locations must differ for
+  // city-bearing countries.
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.probes()[i].endpoint.location.lat_deg !=
+        b.probes()[i].endpoint.location.lat_deg) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, a.size() / 2);
+}
+
+TEST(Placement, TierPropagatesToEndpoint) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  for (const Probe& p : fleet.probes()) {
+    EXPECT_EQ(p.endpoint.tier, p.country->tier);
+  }
+}
+
+TEST(Campaign, TickCountFromDurationAndInterval) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  CampaignConfig config = short_campaign_config();
+  config.duration_days = 270;
+  config.interval_hours = 3;
+  const Campaign campaign(fleet, registry, model, config);
+  EXPECT_EQ(campaign.tick_count(), 2160u);  // nine months of 3 h ticks
+}
+
+TEST(Campaign, RejectsNonPositiveConfig) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  CampaignConfig bad;
+  bad.duration_days = 0;
+  EXPECT_THROW(Campaign(fleet, registry, model, bad), std::invalid_argument);
+}
+
+TEST(Campaign, TargetsFollowContinentRule) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  const Campaign campaign(fleet, registry, model, short_campaign_config());
+
+  for (const Probe& p : fleet.probes()) {
+    const auto targets = campaign.targets_for(p);
+    ASSERT_FALSE(targets.empty());
+    const auto fallback = geo::measurement_fallback(p.country->continent);
+    for (const std::uint16_t idx : targets) {
+      const auto rc = topology::region_continent(*registry.regions()[idx]);
+      EXPECT_TRUE(rc == p.country->continent || (fallback && rc == *fallback));
+    }
+  }
+}
+
+TEST(Campaign, AfricanProbesReachEurope) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  const Campaign campaign(fleet, registry, model, short_campaign_config());
+  for (const Probe& p : fleet.probes()) {
+    if (p.country->continent != geo::Continent::kAfrica) continue;
+    const auto targets = campaign.targets_for(p);
+    bool has_europe = false;
+    for (const std::uint16_t idx : targets) {
+      has_europe |= topology::region_continent(*registry.regions()[idx]) ==
+                    geo::Continent::kEurope;
+    }
+    EXPECT_TRUE(has_europe);
+    break;  // one African probe suffices
+  }
+}
+
+TEST(Campaign, RunIsDeterministicAcrossThreadCounts) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  CampaignConfig config = short_campaign_config();
+  config.threads = 1;
+  const auto a = Campaign(fleet, registry, model, config).run();
+  config.threads = 4;
+  const auto b = Campaign(fleet, registry, model, config).run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i].probe_id, b.records()[i].probe_id);
+    EXPECT_EQ(a.records()[i].region_index, b.records()[i].region_index);
+    EXPECT_EQ(a.records()[i].tick, b.records()[i].tick);
+    EXPECT_EQ(a.records()[i].min_ms, b.records()[i].min_ms);
+  }
+}
+
+TEST(Campaign, RecordCountMatchesExpectation) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  const Campaign campaign(fleet, registry, model, short_campaign_config());
+  const auto dataset = campaign.run();
+  EXPECT_EQ(dataset.size(), campaign.expected_record_count());
+  // 3 days * 8 ticks/day * 1 target/tick per probe.
+  EXPECT_EQ(dataset.size(), fleet.size() * 24u);
+}
+
+TEST(Campaign, RotationCoversWholeTargetSet) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  CampaignConfig config = short_campaign_config();
+  config.duration_days = 30;  // 240 ticks >> any continental target set
+  const Campaign campaign(fleet, registry, model, config);
+  const auto dataset = campaign.run();
+
+  const Probe& probe = fleet.probes().front();
+  const auto targets = campaign.targets_for(probe);
+  std::set<std::uint16_t> hit;
+  for (const Measurement& m : dataset.records()) {
+    if (m.probe_id == probe.id) hit.insert(m.region_index);
+  }
+  EXPECT_EQ(hit.size(), targets.size());
+}
+
+TEST(Campaign, MeasurementsWithinContinentOnlyTargetScope) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  const Campaign campaign(fleet, registry, model, short_campaign_config());
+  const auto dataset = campaign.run();
+  for (const Measurement& m : dataset.records()) {
+    const Probe& p = dataset.probe_of(m);
+    const auto rc = topology::region_continent(dataset.region_of(m));
+    const auto fallback = geo::measurement_fallback(p.country->continent);
+    EXPECT_TRUE(rc == p.country->continent || (fallback && rc == *fallback));
+  }
+}
+
+TEST(Campaign, EmptyFootprintYieldsNoRecordsForStrandedProbes) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  // 2008 footprint: no Oceania regions existed.
+  const auto registry = topology::CloudRegistry::footprint_as_of(2008);
+  const net::LatencyModel model;
+  const Campaign campaign(fleet, registry, model, short_campaign_config());
+  const auto dataset = campaign.run();
+  for (const Measurement& m : dataset.records()) {
+    EXPECT_NE(dataset.probe_of(m).country->continent,
+              geo::Continent::kOceania);
+  }
+}
+
+double mean_lag1_autocorrelation(const MeasurementDataset& dataset) {
+  // Average lag-1 autocorrelation of per-probe burst-min series.
+  std::map<ProbeId, std::vector<double>> series;
+  for (const Measurement& m : dataset.records()) {
+    if (!m.lost()) series[m.probe_id].push_back(m.min_ms);
+  }
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [probe, values] : series) {
+    if (values.size() < 20) continue;
+    double mean = 0.0;
+    for (const double v : values) mean += v;
+    mean /= static_cast<double>(values.size());
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      den += (values[i] - mean) * (values[i] - mean);
+      if (i > 0) num += (values[i] - mean) * (values[i - 1] - mean);
+    }
+    if (den > 0.0) {
+      sum += num / den;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+TEST(Campaign, TemporalCorrelationCreatesCongestionEpochs) {
+  // Against a single fixed target, consecutive bursts share the AR(1)
+  // congestion level; the series must autocorrelate. Killing the process
+  // removes the correlation.
+  PlacementConfig placement = small_fleet_config();
+  placement.probe_count = 300;
+  const ProbeFleet fleet = ProbeFleet::generate(placement);
+  // Single-region registry so every tick hits the same target (rotation
+  // across different targets would otherwise dominate the series).
+  const topology::CloudRegistry registry{
+      {&topology::all_regions()[0]}};
+  CampaignConfig config;
+  config.duration_days = 20;
+  config.seed = 77;
+
+  net::LatencyModelConfig correlated;
+  correlated.diurnal_amplitude = 0.0;  // isolate the AR(1) effect
+  correlated.temporal_rho = 0.8;       // strong epochs to make the
+  correlated.temporal_sigma = 0.35;    // mechanism unambiguous
+  const net::LatencyModel model_corr(correlated);
+  const double rho_corr = mean_lag1_autocorrelation(
+      Campaign(fleet, registry, model_corr, config).run());
+
+  net::LatencyModelConfig iid = correlated;
+  iid.temporal_sigma = 0.0;
+  const net::LatencyModel model_iid(iid);
+  const double rho_iid = mean_lag1_autocorrelation(
+      Campaign(fleet, registry, model_iid, config).run());
+
+  EXPECT_GT(rho_corr, 0.10);
+  EXPECT_GT(rho_corr, rho_iid + 0.08);
+  EXPECT_NEAR(rho_iid, 0.0, 0.06);
+}
+
+TEST(Dataset, LossFractionSmallAndCsvWellFormed) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  const Campaign campaign(fleet, registry, model, short_campaign_config());
+  const auto dataset = campaign.run();
+  EXPECT_LT(dataset.loss_fraction(), 0.05);
+
+  std::ostringstream csv;
+  dataset.write_csv(csv);
+  const std::string text = csv.str();
+  // Header + one line per record.
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, dataset.size() + 1);
+  EXPECT_EQ(text.rfind("probe_id,", 0), 0u);
+}
+
+TEST(Dataset, RejectsNullInputs) {
+  EXPECT_THROW(MeasurementDataset(nullptr, nullptr, {}), std::invalid_argument);
+}
+
+TEST(Dataset, JsonlMatchesAtlasResultShape) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  const auto dataset =
+      Campaign(fleet, registry, model, short_campaign_config()).run();
+  std::ostringstream os;
+  dataset.write_jsonl(os, 3);
+  const std::string text = os.str();
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, dataset.size());
+  // Every line is a JSON object with the Atlas-style keys.
+  std::istringstream is(text);
+  std::string line;
+  std::size_t checked = 0;
+  while (std::getline(is, line) && checked < 50) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    for (const char* key :
+         {"\"type\":\"ping\"", "\"prb_id\":", "\"dst_name\":",
+          "\"timestamp\":", "\"sent\":", "\"rcvd\":", "\"min\":",
+          "\"country\":"}) {
+      EXPECT_NE(line.find(key), std::string::npos) << line;
+    }
+    ++checked;
+  }
+  // Timestamps advance in 3-hour steps per tick.
+  EXPECT_NE(text.find("\"timestamp\":10800"), std::string::npos);
+}
+
+TEST(Dataset, CsvRoundTripPreservesRecords) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  const auto original =
+      Campaign(fleet, registry, model, short_campaign_config()).run();
+
+  std::stringstream buffer;
+  original.write_csv(buffer);
+  const auto loaded =
+      MeasurementDataset::read_csv(buffer, &fleet, &registry);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const Measurement& a = original.records()[i];
+    const Measurement& b = loaded.records()[i];
+    EXPECT_EQ(a.probe_id, b.probe_id);
+    EXPECT_EQ(a.region_index, b.region_index);
+    EXPECT_EQ(a.tick, b.tick);
+    EXPECT_EQ(a.received, b.received);
+    EXPECT_NEAR(a.min_ms, b.min_ms, 1e-3);
+  }
+}
+
+TEST(Dataset, CsvLoadRejectsWrongFleet) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  const auto original =
+      Campaign(fleet, registry, model, short_campaign_config()).run();
+  std::stringstream buffer;
+  original.write_csv(buffer);
+
+  // A fleet generated from a different seed has different probe metadata;
+  // loading must fail loudly rather than silently misattribute records.
+  PlacementConfig other_config = small_fleet_config();
+  other_config.seed = 999;
+  const ProbeFleet other = ProbeFleet::generate(other_config);
+  EXPECT_THROW(MeasurementDataset::read_csv(buffer, &other, &registry),
+               std::runtime_error);
+}
+
+TEST(Dataset, CsvLoadRejectsGarbage) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  std::stringstream no_header("1,2,3\n");
+  EXPECT_THROW(MeasurementDataset::read_csv(no_header, &fleet, &registry),
+               std::runtime_error);
+  std::stringstream bad_row(
+      "probe_id,country,continent,access,provider,region,tick,min_ms,avg_ms,"
+      "max_ms,sent,received\nnot,enough,fields\n");
+  EXPECT_THROW(MeasurementDataset::read_csv(bad_row, &fleet, &registry),
+               std::runtime_error);
+}
+
+TEST(Campaign, ProbeChurnThinsTheDataset) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  CampaignConfig config = short_campaign_config();
+  config.duration_days = 10;
+  const std::size_t full =
+      Campaign(fleet, registry, model, config).run().size();
+  config.probe_uptime = 0.9;
+  const std::size_t churned =
+      Campaign(fleet, registry, model, config).run().size();
+  EXPECT_LT(churned, full);
+  EXPECT_NEAR(static_cast<double>(churned) / static_cast<double>(full), 0.9,
+              0.03);
+}
+
+TEST(Campaign, RejectsInvalidUptime) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  CampaignConfig config = short_campaign_config();
+  config.probe_uptime = 0.0;
+  EXPECT_THROW(Campaign(fleet, registry, model, config),
+               std::invalid_argument);
+  config.probe_uptime = 1.5;
+  EXPECT_THROW(Campaign(fleet, registry, model, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shears::atlas

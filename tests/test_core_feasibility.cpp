@@ -1,0 +1,154 @@
+// Tests for the feasibility zone (Fig. 8) and the §5 verdict logic — the
+// paper's headline analytical claims, encoded as assertions.
+#include <gtest/gtest.h>
+
+#include "apps/application.hpp"
+#include "core/feasibility.hpp"
+
+namespace shears::core {
+namespace {
+
+using apps::Application;
+
+Application make_app(double floor_ms, double ceiling_ms, double gb_per_day,
+                     double market = 10.0, bool hyped = false) {
+  return Application{"test-app", "Test", floor_ms, ceiling_ms, gb_per_day,
+                     market, hyped};
+}
+
+TEST(FeasibilityZone, GeometryBounds) {
+  const FeasibilityConfig config;
+  // Inside: the whole requirement band within [10, 250] ms + heavy data.
+  EXPECT_TRUE(in_feasibility_zone(make_app(20.0, 100.0, 30.0), config));
+  // Too stringent (band dips below the wireless floor).
+  EXPECT_FALSE(in_feasibility_zone(make_app(1.0, 9.0, 3000.0), config));
+  EXPECT_FALSE(in_feasibility_zone(make_app(5.0, 100.0, 3000.0), config));
+  // Too relaxed (ceiling above HRT).
+  EXPECT_FALSE(in_feasibility_zone(make_app(100.0, 1000.0, 500.0), config));
+  // Light data.
+  EXPECT_FALSE(in_feasibility_zone(make_app(20.0, 100.0, 0.01), config));
+  // Boundary inclusivity.
+  EXPECT_TRUE(in_feasibility_zone(make_app(10.0, 250.0, 1.0), config));
+  EXPECT_FALSE(in_feasibility_zone(make_app(9.9, 250.0, 1.0), config));
+  EXPECT_FALSE(in_feasibility_zone(make_app(10.0, 250.1, 1.0), config));
+}
+
+TEST(FeasibilityZone, PaperPlacements) {
+  // §5: traffic-camera monitoring and cloud gaming fall inside the FZ;
+  // the hype drivers do not.
+  const auto in_fz = [](std::string_view id) {
+    const Application* app = apps::find_application(id);
+    EXPECT_NE(app, nullptr) << id;
+    return app != nullptr && in_feasibility_zone(*app);
+  };
+  EXPECT_TRUE(in_fz("traffic-monitoring"));
+  EXPECT_TRUE(in_fz("cloud-gaming"));
+  EXPECT_FALSE(in_fz("ar-vr"));                // too stringent for wireless
+  EXPECT_FALSE(in_fz("autonomous-vehicles"));  // too stringent
+  EXPECT_FALSE(in_fz("wearables"));            // too little data
+  EXPECT_FALSE(in_fz("smart-city"));           // too relaxed
+  EXPECT_FALSE(in_fz("smart-home"));           // neither constraint
+}
+
+TEST(Verdict, OnboardWhenRequirementBelowWirelessFloor) {
+  EXPECT_EQ(classify(make_app(1.0, 8.0, 3000.0), /*cloud rtt*/ 30.0),
+            EdgeVerdict::kOnboardOnly);
+  // Exactly at the floor is still unreachable over wireless in practice —
+  // the paper files autonomous vehicles (<=10 ms) under onboard compute.
+  EXPECT_EQ(classify(make_app(1.0, 10.0, 3000.0), 30.0),
+            EdgeVerdict::kOnboardOnly);
+}
+
+TEST(Verdict, CloudSufficientWhenMeasuredRttMeetsNeed) {
+  // Cloud gaming in Europe: ~15 ms median cloud RTT meets the 100 ms need.
+  EXPECT_EQ(classify(make_app(40.0, 100.0, 20.0), 15.0),
+            EdgeVerdict::kCloudSufficient);
+}
+
+TEST(Verdict, EdgeFeasibleWhenCloudFallsShort) {
+  // The same application behind a 150 ms cloud (under-served region).
+  EXPECT_EQ(classify(make_app(40.0, 100.0, 20.0), 150.0),
+            EdgeVerdict::kEdgeFeasible);
+}
+
+TEST(Verdict, BandwidthAggregationForRelaxedHeavyApps) {
+  // Smart city with a 60 s budget: even a 300 ms cloud meets it, so it is
+  // cloud-sufficient; with an (artificial) ceiling just above HRT and an
+  // unreachable cloud, only the aggregation case remains.
+  EXPECT_EQ(classify(make_app(1000.0, 60000.0, 500.0), 300.0),
+            EdgeVerdict::kCloudSufficient);
+  EXPECT_EQ(classify(make_app(100.0, 260.0, 500.0), 400.0),
+            EdgeVerdict::kBandwidthAggregation);
+}
+
+TEST(Verdict, NoEdgeCaseForLightRelaxedApps) {
+  EXPECT_EQ(classify(make_app(100.0, 200.0, 0.01), 500.0),
+            EdgeVerdict::kNoEdgeCase);
+}
+
+TEST(Verdict, CatalogAgainstEuropeIsMostlyCloudSufficient) {
+  // §5/§7: in well-connected regions "the cloud is able to satisfy almost
+  // all application requirements". With the EU median cloud RTT (~15 ms),
+  // every catalog app except the sub-10ms ones is cloud-sufficient.
+  const auto rows = classify_catalog(apps::application_catalog(), 15.0);
+  std::size_t cloud = 0;
+  std::size_t onboard = 0;
+  for (const FeasibilityRow& row : rows) {
+    if (row.verdict == EdgeVerdict::kCloudSufficient) ++cloud;
+    if (row.verdict == EdgeVerdict::kOnboardOnly) ++onboard;
+  }
+  EXPECT_EQ(cloud + onboard, rows.size());
+  EXPECT_GE(onboard, 2u);  // AV and industrial automation
+}
+
+TEST(Verdict, CatalogAgainstAfricaShowsEdgeCases) {
+  // Behind a 150 ms cloud (under-served region) edge-feasible verdicts
+  // appear — §6: "in developing regions, gains are more significant".
+  const auto rows = classify_catalog(apps::application_catalog(), 150.0);
+  std::size_t edge = 0;
+  for (const FeasibilityRow& row : rows) {
+    if (row.verdict == EdgeVerdict::kEdgeFeasible) ++edge;
+  }
+  EXPECT_GE(edge, 2u);
+}
+
+TEST(MarketShare, FeasibilityZonePales) {
+  // §5: "the predicted market share of applications within the edge FZ
+  // pales compared to those for which edge does not provide much benefit".
+  const MarketShareSummary summary =
+      market_share_summary(apps::application_catalog());
+  EXPECT_GT(summary.in_zone_apps, 0u);
+  EXPECT_GT(summary.out_of_zone_busd, 3.0 * summary.in_zone_busd);
+  // And the hyped drivers sit predominantly outside the zone.
+  EXPECT_GT(summary.hyped_out_of_zone_busd, summary.in_zone_busd);
+}
+
+TEST(MarketShare, SummaryIsExhaustive) {
+  const MarketShareSummary summary =
+      market_share_summary(apps::application_catalog());
+  double total = 0.0;
+  for (const Application& a : apps::application_catalog()) {
+    total += a.market_2025_busd;
+  }
+  EXPECT_NEAR(summary.in_zone_busd + summary.out_of_zone_busd, total, 1e-9);
+}
+
+TEST(FeasibilityConfig, WiderZoneAdmitsMoreApps) {
+  // Property: relaxing the wireless floor (better 5G) or the bandwidth
+  // threshold monotonically grows the zone.
+  FeasibilityConfig strict;
+  FeasibilityConfig loose;
+  loose.latency_floor_ms = 1.0;
+  loose.bandwidth_threshold_gb = 0.01;
+  std::size_t strict_count = 0;
+  std::size_t loose_count = 0;
+  for (const Application& a : apps::application_catalog()) {
+    strict_count += in_feasibility_zone(a, strict);
+    loose_count += in_feasibility_zone(a, loose);
+  }
+  EXPECT_GE(loose_count, strict_count);
+  EXPECT_GT(loose_count, strict_count);  // catalog has apps in the gap
+}
+
+}  // namespace
+}  // namespace shears::core

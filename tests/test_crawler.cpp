@@ -1,0 +1,99 @@
+// Tests for the synthetic-corpus crawler (the Fig. 1 methodology).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/regression.hpp"
+#include "trends/crawler.hpp"
+
+namespace shears::trends {
+namespace {
+
+TEST(Phrase, ExactPhraseSemantics) {
+  EXPECT_TRUE(contains_phrase("Towards Edge Computing for IoT",
+                              "edge computing"));
+  EXPECT_TRUE(contains_phrase("EDGE COMPUTING", "edge computing"));
+  EXPECT_FALSE(contains_phrase("Edge detection in images", "edge computing"));
+  EXPECT_FALSE(contains_phrase("computing at the edge", "edge computing"));
+  EXPECT_TRUE(contains_phrase("anything", ""));
+  EXPECT_FALSE(contains_phrase("short", "much longer phrase"));
+}
+
+TEST(Corpus, DeterministicAndScaled) {
+  SyntheticCorpus::Options options;
+  const SyntheticCorpus a = SyntheticCorpus::generate(options);
+  const SyntheticCorpus b = SyntheticCorpus::generate(options);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_GT(a.size(), 10000u);  // ~1/10 of ~500k real records + decoys
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.publications()[i].title, b.publications()[i].title);
+  }
+}
+
+TEST(Crawler, RecoversTheEmbeddedSeriesShape) {
+  SyntheticCorpus::Options options;
+  const SyntheticCorpus corpus = SyntheticCorpus::generate(options);
+  const KeywordCrawler crawler(corpus);
+
+  for (const Topic topic : {Topic::kEdgeComputing, Topic::kCloudComputing}) {
+    const auto counted =
+        crawler.count_by_year(std::string(to_string(topic)));
+    const auto truth = publications(topic);
+    ASSERT_EQ(counted.size(), truth.size());
+    // Counts match the scaled truth exactly (deterministic corpus).
+    for (std::size_t i = 0; i < counted.size(); ++i) {
+      EXPECT_NEAR(counted[i].value, truth[i].value / options.scale, 0.51)
+          << to_string(topic) << " " << counted[i].year;
+    }
+  }
+}
+
+TEST(Crawler, DecoysDoNotInflateCounts) {
+  // The decoy titles contain "edge"/"cloud" as bare words; exact-phrase
+  // counting must ignore them. A word-level count would be much larger.
+  const SyntheticCorpus corpus = SyntheticCorpus::generate({});
+  const KeywordCrawler crawler(corpus);
+  const auto phrase_counts = crawler.count_by_year("edge computing");
+  const auto word_counts = crawler.count_by_year("edge");
+  double phrase_total = 0.0;
+  double word_total = 0.0;
+  for (std::size_t i = 0; i < phrase_counts.size(); ++i) {
+    phrase_total += phrase_counts[i].value;
+    word_total += word_counts[i].value;
+  }
+  EXPECT_GT(word_total, phrase_total * 1.3);
+}
+
+TEST(Crawler, CrossoverMatchesEmbeddedAnalysis) {
+  const SyntheticCorpus corpus = SyntheticCorpus::generate({});
+  const KeywordCrawler crawler(corpus);
+  const auto edge = crawler.count_by_year("edge computing");
+  const auto cloud = crawler.count_by_year("cloud computing");
+  const int crawled = growth_crossover_year(edge, cloud, 1.5);
+  const int truth =
+      growth_crossover_year(publications(Topic::kEdgeComputing),
+                            publications(Topic::kCloudComputing), 1.5);
+  EXPECT_NEAR(crawled, truth, 1);
+}
+
+TEST(Crawler, PaginationBudgetIsRespected) {
+  const SyntheticCorpus corpus = SyntheticCorpus::generate({});
+  KeywordCrawler::Options options;
+  options.page_size = 50;
+  options.max_pages = 3;  // absurdly small budget -> truncated counts
+  const KeywordCrawler limited(corpus, options);
+  const auto counts = limited.count_by_year("cloud computing");
+  EXPECT_EQ(limited.requests_issued(),
+            counts.size() * options.max_pages);  // hit the cap every year
+  double total = 0.0;
+  for (const TrendPoint& p : counts) total += p.value;
+  // Truncation: far fewer matches than the full crawl.
+  const KeywordCrawler full(corpus);
+  const auto full_counts = full.count_by_year("cloud computing");
+  double full_total = 0.0;
+  for (const TrendPoint& p : full_counts) full_total += p.value;
+  EXPECT_LT(total, full_total / 2.0);
+}
+
+}  // namespace
+}  // namespace shears::trends

@@ -1,0 +1,194 @@
+// Tests for the edge-deployment model: placement latencies, the
+// Hadzic/Cartas gain reality-check, and the economies-of-scale estimator.
+#include <gtest/gtest.h>
+
+#include "edge/deployment.hpp"
+#include "stats/ecdf.hpp"
+#include "geo/country.hpp"
+#include "net/latency_model.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::edge {
+namespace {
+
+const geo::Country& country(std::string_view iso2) {
+  const geo::Country* c = geo::find_country(iso2);
+  EXPECT_NE(c, nullptr);
+  return *c;
+}
+
+TEST(Placement, DeeperPlacementIsFaster) {
+  double prev = 1e18;
+  for (const EdgePlacement p :
+       {EdgePlacement::kRegionalSite, EdgePlacement::kMetroPop,
+        EdgePlacement::kCentralOffice, EdgePlacement::kBasestation}) {
+    const double backhaul = placement_backhaul_ms(p);
+    EXPECT_LT(backhaul, prev) << to_string(p);
+    prev = backhaul;
+  }
+}
+
+TEST(Placement, EdgeRttDominatedByAccessForWireless) {
+  const net::LatencyModel model;
+  const geo::Country& de = country("DE");
+  const net::Endpoint lte{de.site, de.tier, net::AccessTechnology::kLte};
+  const double edge_rtt =
+      edge_baseline_rtt_ms(model, lte, EdgePlacement::kBasestation);
+  const double access = model.access_profile_of(lte).median_ms;
+  EXPECT_GT(access / edge_rtt, 0.9);  // backhaul is a rounding error
+  // Even a basestation-colocated edge cannot meet MTP over LTE: the
+  // paper's wireless floor.
+  EXPECT_GT(edge_rtt, 20.0);
+}
+
+TEST(Gain, MinimalForWirelessUsersInServedRegions) {
+  // Hadzic/Cartas: an LTE-colocated edge gains little over a datacenter
+  // within the continent for wireless users in well-served countries.
+  const net::LatencyModel model;
+  const auto cloud = topology::CloudRegistry::campaign_footprint();
+  const EdgeGain gain = analyze_gain(model, country("DE"),
+                                     net::AccessTechnology::kLte, cloud,
+                                     EdgePlacement::kBasestation);
+  ASSERT_NE(gain.nearest_region, nullptr);
+  // Relative gain under ~25%: the last mile dominates both paths.
+  EXPECT_LT(gain.relative_gain, 0.25);
+  EXPECT_LT(gain.absolute_gain_ms, 15.0);
+}
+
+TEST(Gain, SubstantialForWiredUsersInUnderServedRegions) {
+  // §6: "in developing regions, gains are more significant".
+  const net::LatencyModel model;
+  const auto cloud = topology::CloudRegistry::campaign_footprint();
+  const EdgeGain gain = analyze_gain(model, country("TD"),
+                                     net::AccessTechnology::kEthernet, cloud,
+                                     EdgePlacement::kMetroPop);
+  ASSERT_NE(gain.nearest_region, nullptr);
+  EXPECT_GT(gain.relative_gain, 0.7);
+  EXPECT_GT(gain.absolute_gain_ms, 80.0);
+}
+
+TEST(Gain, WiredServedUsersGainLittleInAbsoluteTerms) {
+  const net::LatencyModel model;
+  const auto cloud = topology::CloudRegistry::campaign_footprint();
+  const EdgeGain gain = analyze_gain(model, country("NL"),
+                                     net::AccessTechnology::kFibre, cloud,
+                                     EdgePlacement::kCentralOffice);
+  ASSERT_NE(gain.nearest_region, nullptr);
+  EXPECT_LT(gain.absolute_gain_ms, 5.0);  // the cloud is already local
+}
+
+TEST(Sites, WirelessMtpIsInfeasibleEverywhere) {
+  // The headline of Fig. 8's latency floor: no density of edge sites
+  // delivers MTP (20 ms) over today's LTE — the access link alone
+  // exceeds the budget.
+  const net::LatencyModel model;
+  const auto estimates = sites_for_target(model, 20.0,
+                                          net::AccessTechnology::kLte,
+                                          EdgePlacement::kBasestation);
+  EXPECT_FALSE(total_sites(estimates).has_value());
+}
+
+TEST(Sites, WiredMtpIsFeasibleButExpensive) {
+  const net::LatencyModel model;
+  const auto estimates = sites_for_target(model, 20.0,
+                                          net::AccessTechnology::kFibre,
+                                          EdgePlacement::kCentralOffice);
+  const auto total = total_sites(estimates);
+  ASSERT_TRUE(total.has_value());
+  // Far more edge sites than the 101 cloud regions — §5's economies of
+  // scale argument.
+  EXPECT_GT(*total, 101u);
+}
+
+TEST(Sites, TighterTargetsNeedMoreSites) {
+  const net::LatencyModel model;
+  const auto strict = sites_for_target(model, 15.0,
+                                       net::AccessTechnology::kFibre,
+                                       EdgePlacement::kCentralOffice);
+  const auto loose = sites_for_target(model, 50.0,
+                                      net::AccessTechnology::kFibre,
+                                      EdgePlacement::kCentralOffice);
+  const auto strict_total = total_sites(strict);
+  const auto loose_total = total_sites(loose);
+  ASSERT_TRUE(strict_total.has_value());
+  ASSERT_TRUE(loose_total.has_value());
+  EXPECT_GT(*strict_total, *loose_total);
+}
+
+TEST(Sites, PerCountryEstimatesAreConsistent) {
+  const net::LatencyModel model;
+  const auto estimates = sites_for_target(model, 30.0,
+                                          net::AccessTechnology::kFibre,
+                                          EdgePlacement::kCentralOffice);
+  EXPECT_EQ(estimates.size(), geo::country_count());
+  for (const SiteEstimate& e : estimates) {
+    ASSERT_NE(e.country, nullptr);
+    if (e.feasible) {
+      EXPECT_GT(e.radius_km, 0.0) << e.country->name;
+      EXPECT_GE(e.sites, 1u) << e.country->name;
+    } else {
+      EXPECT_EQ(e.sites, 0u) << e.country->name;
+    }
+  }
+  // Big countries need more sites than city-states at the same target.
+  const auto find = [&estimates](std::string_view iso2) {
+    for (const SiteEstimate& e : estimates) {
+      if (e.country->iso2 == iso2) return e;
+    }
+    return SiteEstimate{};
+  };
+  const SiteEstimate us = find("US");
+  const SiteEstimate sg = find("SG");
+  ASSERT_TRUE(us.feasible);
+  ASSERT_TRUE(sg.feasible);
+  EXPECT_GT(us.sites, sg.sites);
+}
+
+TEST(EdgeCampaign, CounterfactualShapesMatchTheNarrative) {
+  atlas::PlacementConfig placement;
+  placement.probe_count = 1200;
+  const auto fleet = atlas::ProbeFleet::generate(placement);
+  const net::LatencyModel model;
+  const auto world = simulate_edge_campaign(
+      fleet, model, EdgePlacement::kBasestation, 40, 7);
+
+  const auto& eu = world.samples[geo::index_of(geo::Continent::kEurope)];
+  const auto& af = world.samples[geo::index_of(geo::Continent::kAfrica)];
+  ASSERT_GT(eu.size(), 1000u);
+  ASSERT_GT(af.size(), 500u);
+  const stats::Ecdf eu_ecdf(eu);
+  const stats::Ecdf af_ecdf(af);
+  // Edge RTTs carry no wide-area path: single-digit medians in EU,
+  // higher in Africa (worse last miles), but far below Africa's cloud.
+  EXPECT_LT(eu_ecdf.median(), 10.0);
+  EXPECT_GT(af_ecdf.median(), eu_ecdf.median());
+  EXPECT_LT(af_ecdf.median(), 60.0);
+  // Even with edge everywhere, a visible share of samples (the cellular
+  // probes) misses MTP: the wireless floor.
+  EXPECT_LT(eu_ecdf.fraction_at_or_below(20.0), 0.95);
+}
+
+TEST(EdgeCampaign, DeterministicAndRespectsPrivilegedFilter) {
+  atlas::PlacementConfig placement;
+  placement.probe_count = 400;
+  const auto fleet = atlas::ProbeFleet::generate(placement);
+  const net::LatencyModel model;
+  const auto a = simulate_edge_campaign(fleet, model,
+                                        EdgePlacement::kMetroPop, 10, 5);
+  const auto b = simulate_edge_campaign(fleet, model,
+                                        EdgePlacement::kMetroPop, 10, 5);
+  std::size_t probes = 0;
+  for (std::size_t c = 0; c < geo::kContinentCount; ++c) {
+    ASSERT_EQ(a.samples[c].size(), b.samples[c].size());
+    for (std::size_t i = 0; i < a.samples[c].size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.samples[c][i], b.samples[c][i]);
+    }
+    probes += a.minima[c].size();
+  }
+  std::size_t expected = 0;
+  for (const atlas::Probe& p : fleet.probes()) expected += !p.privileged();
+  EXPECT_EQ(probes, expected);
+}
+
+}  // namespace
+}  // namespace shears::edge

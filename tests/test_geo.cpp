@@ -1,0 +1,190 @@
+// Tests for the geographic substrate: haversine, continents, and the
+// embedded country registry's integrity invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/city.hpp"
+#include "geo/continent.hpp"
+#include "geo/coordinates.hpp"
+#include "geo/country.hpp"
+
+namespace shears::geo {
+namespace {
+
+TEST(Coordinates, ZeroDistanceForIdenticalPoints) {
+  const GeoPoint p{48.86, 2.35};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Coordinates, KnownCityPairs) {
+  // Reference great-circle distances (city centre to city centre).
+  const GeoPoint paris{48.8566, 2.3522};
+  const GeoPoint london{51.5074, -0.1278};
+  const GeoPoint nyc{40.7128, -74.0060};
+  const GeoPoint sydney{-33.8688, 151.2093};
+  const GeoPoint tokyo{35.6762, 139.6503};
+  EXPECT_NEAR(haversine_km(paris, london), 343.0, 5.0);
+  EXPECT_NEAR(haversine_km(paris, nyc), 5837.0, 30.0);
+  EXPECT_NEAR(haversine_km(sydney, tokyo), 7823.0, 40.0);
+}
+
+TEST(Coordinates, Symmetric) {
+  const GeoPoint a{10.0, 20.0};
+  const GeoPoint b{-35.0, 140.0};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Coordinates, TriangleInequalityOnSphere) {
+  const GeoPoint a{52.52, 13.40};   // Berlin
+  const GeoPoint b{41.90, 12.50};   // Rome
+  const GeoPoint c{59.33, 18.07};   // Stockholm
+  EXPECT_LE(haversine_km(a, c), haversine_km(a, b) + haversine_km(b, c) + 1e-6);
+}
+
+TEST(Coordinates, AntipodalIsBounded) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(haversine_km(a, b), kMaxSurfaceDistanceKm, 1.0);
+  EXPECT_LE(haversine_km(a, b), kMaxSurfaceDistanceKm + 1e-6);
+}
+
+TEST(Coordinates, Validation) {
+  EXPECT_TRUE(is_valid({0.0, 0.0}));
+  EXPECT_TRUE(is_valid({-90.0, 180.0}));
+  EXPECT_FALSE(is_valid({91.0, 0.0}));
+  EXPECT_FALSE(is_valid({0.0, -181.0}));
+}
+
+TEST(Continent, CodesRoundTrip) {
+  for (const Continent c : kAllContinents) {
+    const auto parsed = continent_from_code(to_code(c));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, c);
+  }
+  EXPECT_FALSE(continent_from_code("XX").has_value());
+}
+
+TEST(Continent, MeasurementFallbackMatchesPaper) {
+  // §4.1: Africa additionally measures to Europe, South America to North
+  // America; everyone else stays in-continent.
+  EXPECT_EQ(measurement_fallback(Continent::kAfrica), Continent::kEurope);
+  EXPECT_EQ(measurement_fallback(Continent::kSouthAmerica),
+            Continent::kNorthAmerica);
+  EXPECT_FALSE(measurement_fallback(Continent::kEurope).has_value());
+  EXPECT_FALSE(measurement_fallback(Continent::kAsia).has_value());
+  EXPECT_FALSE(measurement_fallback(Continent::kNorthAmerica).has_value());
+  EXPECT_FALSE(measurement_fallback(Continent::kOceania).has_value());
+}
+
+TEST(CountryRegistry, CoversTheStudyScale) {
+  // The paper's probes sit in 166 countries; the registry must offer at
+  // least that much coverage.
+  EXPECT_GE(country_count(), 166u);
+}
+
+TEST(CountryRegistry, UniqueIsoCodes) {
+  std::set<std::string_view> codes;
+  for (const Country& c : all_countries()) {
+    EXPECT_TRUE(codes.insert(c.iso2).second) << "duplicate: " << c.iso2;
+  }
+}
+
+TEST(CountryRegistry, AllFieldsValid) {
+  for (const Country& c : all_countries()) {
+    EXPECT_EQ(c.iso2.size(), 2u) << c.name;
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_TRUE(is_valid(c.site)) << c.name;
+    EXPECT_GT(c.probe_weight, 0.0) << c.name;
+    EXPECT_GT(c.scatter_km, 0.0) << c.name;
+    const auto tier = static_cast<int>(c.tier);
+    EXPECT_GE(tier, 1);
+    EXPECT_LE(tier, 4);
+  }
+}
+
+TEST(CountryRegistry, LookupFindsKnownCountries) {
+  const Country* de = find_country("DE");
+  ASSERT_NE(de, nullptr);
+  EXPECT_EQ(de->name, "Germany");
+  EXPECT_EQ(de->continent, Continent::kEurope);
+  EXPECT_EQ(de->tier, ConnectivityTier::kTier1);
+
+  const Country* td = find_country("TD");
+  ASSERT_NE(td, nullptr);
+  EXPECT_EQ(td->continent, Continent::kAfrica);
+  EXPECT_EQ(td->tier, ConnectivityTier::kTier4);
+
+  EXPECT_EQ(find_country("XX"), nullptr);
+  EXPECT_EQ(find_country("de"), nullptr);  // case-sensitive by contract
+}
+
+TEST(CountryRegistry, EveryContinentPopulated) {
+  for (const Continent c : kAllContinents) {
+    EXPECT_FALSE(countries_in(c).empty()) << to_string(c);
+  }
+}
+
+TEST(CountryRegistry, ProbeDensitySkewMatchesAtlas) {
+  // RIPE Atlas is Europe-heavy: Europe must carry more probe weight than
+  // any other continent, and Germany must be the single densest country.
+  double weight[kContinentCount] = {};
+  double de_weight = 0.0;
+  double max_weight = 0.0;
+  for (const Country& c : all_countries()) {
+    weight[index_of(c.continent)] += c.probe_weight;
+    max_weight = std::max(max_weight, c.probe_weight);
+    if (c.iso2 == "DE") de_weight = c.probe_weight;
+  }
+  for (const Continent c : kAllContinents) {
+    if (c == Continent::kEurope) continue;
+    EXPECT_GT(weight[index_of(Continent::kEurope)], weight[index_of(c)]);
+  }
+  EXPECT_DOUBLE_EQ(de_weight, max_weight);
+}
+
+TEST(CountryRegistry, AfricaIsPredominantlyUnderServed) {
+  // The tier assignments must reflect the paper's "Africa ... severely
+  // under-served": a majority of African countries at tier 3-4.
+  std::size_t poor = 0;
+  const auto africa = countries_in(Continent::kAfrica);
+  for (const Country* c : africa) {
+    if (c->tier == ConnectivityTier::kTier3 ||
+        c->tier == ConnectivityTier::kTier4) {
+      ++poor;
+    }
+  }
+  EXPECT_GT(poor * 2, africa.size());
+}
+
+TEST(CityRegistry, CitiesBelongToKnownCountriesAndAreValid) {
+  for (const City& city : all_cities()) {
+    const Country* country = find_country(city.country_iso2);
+    ASSERT_NE(country, nullptr) << city.name;
+    EXPECT_TRUE(is_valid(city.location)) << city.name;
+    EXPECT_GT(city.metro_population_m, 0.0) << city.name;
+    // A city sits within its country's populated sphere: a few scatter
+    // radii of the national hub.
+    EXPECT_LT(haversine_km(city.location, country->site),
+              country->scatter_km * 6.0 + 500.0)
+        << city.name;
+  }
+  EXPECT_GE(city_count(), 200u);
+}
+
+TEST(CityRegistry, MajorCountriesHaveMultipleCities) {
+  for (const char* iso2 : {"US", "DE", "CN", "IN", "BR", "AU", "RU"}) {
+    EXPECT_GE(cities_in(iso2).size(), 4u) << iso2;
+  }
+  EXPECT_TRUE(cities_in("LI").empty());  // microstates use scatter only
+  EXPECT_TRUE(cities_in("XX").empty());
+}
+
+TEST(CountryRegistry, CountriesInPartitionTheRegistry) {
+  std::size_t total = 0;
+  for (const Continent c : kAllContinents) total += countries_in(c).size();
+  EXPECT_EQ(total, country_count());
+}
+
+}  // namespace
+}  // namespace shears::geo

@@ -1,0 +1,261 @@
+// Integration tests: the full pipeline (fleet → campaign → analyses) must
+// reproduce the *shape* of every §4 figure. These assertions encode the
+// paper's published numbers with tolerances wide enough for seed noise but
+// tight enough to catch calibration regressions.
+#include <gtest/gtest.h>
+
+#include "atlas/campaign.hpp"
+#include "atlas/placement.hpp"
+#include "core/access_comparison.hpp"
+#include "core/analysis.hpp"
+#include "core/feasibility.hpp"
+#include "net/latency_model.hpp"
+#include "stats/ecdf.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::core {
+namespace {
+
+using geo::Continent;
+
+/// One shared campaign for the whole suite (30 days, full fleet).
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fleet_ = new atlas::ProbeFleet(atlas::ProbeFleet::generate({}));
+    registry_ = new topology::CloudRegistry(
+        topology::CloudRegistry::campaign_footprint());
+    model_ = new net::LatencyModel();
+    atlas::CampaignConfig config;
+    config.duration_days = 30;
+    dataset_ = new atlas::MeasurementDataset(
+        atlas::Campaign(*fleet_, *registry_, *model_, config).run());
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+    delete model_;
+    model_ = nullptr;
+    delete registry_;
+    registry_ = nullptr;
+    delete fleet_;
+    fleet_ = nullptr;
+  }
+
+  static const std::vector<double>& continent_mins(Continent c) {
+    static const auto by_continent = min_rtt_by_continent(*dataset_);
+    return by_continent[geo::index_of(c)];
+  }
+
+  static const std::vector<double>& continent_samples(Continent c) {
+    static const auto by_continent =
+        best_region_samples_by_continent(*dataset_);
+    return by_continent[geo::index_of(c)];
+  }
+
+  static atlas::ProbeFleet* fleet_;
+  static topology::CloudRegistry* registry_;
+  static net::LatencyModel* model_;
+  static atlas::MeasurementDataset* dataset_;
+};
+
+atlas::ProbeFleet* IntegrationTest::fleet_ = nullptr;
+topology::CloudRegistry* IntegrationTest::registry_ = nullptr;
+net::LatencyModel* IntegrationTest::model_ = nullptr;
+atlas::MeasurementDataset* IntegrationTest::dataset_ = nullptr;
+
+TEST_F(IntegrationTest, Fig3ScaleMatchesStudy) {
+  EXPECT_GE(fleet_->size(), 3200u);
+  EXPECT_GE(fleet_->country_count(), 166u);
+  EXPECT_EQ(registry_->size(), 101u);
+  EXPECT_EQ(registry_->hosting_countries().size(), 21u);
+}
+
+TEST_F(IntegrationTest, DatasetScaleComparableToPaper) {
+  // The paper's nine-month dataset holds 3.2M datapoints; our 30-day run
+  // must land within an order of magnitude (the nine-month bench run
+  // reproduces the full count).
+  EXPECT_GT(dataset_->size(), 300000u);
+  EXPECT_LT(dataset_->loss_fraction(), 0.05);
+}
+
+TEST_F(IntegrationTest, Fig4CountryBands) {
+  const auto rows = country_min_latency(*dataset_);
+  const LatencyBands bands = band_country_latencies(rows);
+  // Paper: 32 countries <10 ms, 21 in 10-20 ms, all but ~16 under 100 ms.
+  EXPECT_GE(bands.under_10, 25u);
+  EXPECT_LE(bands.under_10, 48u);
+  EXPECT_GE(bands.from_10_to_20, 12u);
+  EXPECT_LE(bands.from_10_to_20, 32u);
+  EXPECT_GE(bands.over_100, 8u);
+  EXPECT_LE(bands.over_100, 30u);
+  // Nearly every country produced at least one successful measurement.
+  EXPECT_GE(bands.total(), geo::country_count() - 3);
+}
+
+TEST_F(IntegrationTest, Fig4LocalDatacentersExplainTheFastBand) {
+  // Countries under 10 ms overwhelmingly host a datacenter or border one.
+  const auto rows = country_min_latency(*dataset_);
+  const auto hosts = registry_->hosting_countries();
+  std::size_t fast_hosting = 0;
+  std::size_t fast_total = 0;
+  for (const CountryMinLatency& row : rows) {
+    if (row.min_rtt_ms >= 10.0) continue;
+    ++fast_total;
+    for (const auto host : hosts) {
+      if (row.country->iso2 == host) {
+        ++fast_hosting;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(fast_total, 0u);
+  // All 21 hosting countries are fast, and they make up the majority of
+  // the fast band.
+  EXPECT_GE(fast_hosting, 19u);
+  EXPECT_GE(fast_hosting * 2, fast_total);
+}
+
+TEST_F(IntegrationTest, Fig5MinCdfShapes) {
+  const stats::Ecdf eu(continent_mins(Continent::kEurope));
+  const stats::Ecdf na(continent_mins(Continent::kNorthAmerica));
+  const stats::Ecdf oc(continent_mins(Continent::kOceania));
+  // "Around 80% probes in Europe and North America ... within MTP".
+  EXPECT_GE(eu.fraction_at_or_below(20.0), 0.65);
+  EXPECT_GE(na.fraction_at_or_below(20.0), 0.60);
+  // "almost all [Oceania probes] can access the cloud within 50 ms".
+  EXPECT_GE(oc.fraction_at_or_below(50.0), 0.80);
+  // "≈75% probes in Africa and Latin America achieve less than 100 ms".
+  const auto& af = continent_mins(Continent::kAfrica);
+  const auto& sa = continent_mins(Continent::kSouthAmerica);
+  std::vector<double> af_latam;
+  af_latam.insert(af_latam.end(), af.begin(), af.end());
+  af_latam.insert(af_latam.end(), sa.begin(), sa.end());
+  const stats::Ecdf combined(std::move(af_latam));
+  EXPECT_GE(combined.fraction_at_or_below(100.0), 0.60);
+  EXPECT_LE(combined.fraction_at_or_below(100.0), 0.90);
+}
+
+TEST_F(IntegrationTest, Fig5EuropeAndNorthAmericaLeadTheWorld) {
+  const double eu = stats::Ecdf(continent_mins(Continent::kEurope)).median();
+  const double na =
+      stats::Ecdf(continent_mins(Continent::kNorthAmerica)).median();
+  for (const Continent c :
+       {Continent::kAfrica, Continent::kAsia, Continent::kSouthAmerica}) {
+    const double other = stats::Ecdf(continent_mins(c)).median();
+    EXPECT_LT(eu, other) << to_string(c);
+    EXPECT_LT(na, other) << to_string(c);
+  }
+}
+
+TEST_F(IntegrationTest, Fig6FullDistributionShapes) {
+  // ">75% of the probes achieving RTT below the PL threshold" in NA/EU/OC.
+  for (const Continent c : {Continent::kEurope, Continent::kNorthAmerica,
+                            Continent::kOceania}) {
+    const stats::Ecdf ecdf(continent_samples(c));
+    EXPECT_GE(ecdf.fraction_at_or_below(100.0), 0.75) << to_string(c);
+  }
+  // "The top 25% probes in NA and EU can even support MTP".
+  for (const Continent c : {Continent::kEurope, Continent::kNorthAmerica}) {
+    const stats::Ecdf ecdf(continent_samples(c));
+    EXPECT_LE(ecdf.percentile(25.0), 20.0) << to_string(c);
+  }
+  // "only a fraction of probes can satisfy the PL threshold" in Africa.
+  const stats::Ecdf africa(continent_samples(Continent::kAfrica));
+  EXPECT_LE(africa.fraction_at_or_below(100.0), 0.70);
+  // "the worst performance is in Africa".
+  for (const Continent c :
+       {Continent::kEurope, Continent::kAsia, Continent::kNorthAmerica,
+        Continent::kSouthAmerica, Continent::kOceania}) {
+    EXPECT_GT(africa.median(), stats::Ecdf(continent_samples(c)).median())
+        << to_string(c);
+  }
+}
+
+TEST_F(IntegrationTest, Fig6EuropeTailIsDrivenByEasternEurope) {
+  // "the primary contributors to the tail are probes in eastern EU and
+  // countries without local or neighboring datacenters": above the EU p90,
+  // tier-2 (eastern) European countries must be strongly over-represented
+  // relative to their overall sample share.
+  const auto best = per_probe_best(*dataset_);
+  std::vector<double> eu_all;
+  std::vector<unsigned char> eu_tier2;
+  for (const atlas::Measurement& m : dataset_->records()) {
+    if (m.lost()) continue;
+    const ProbeBest& b = best[m.probe_id];
+    if (!b.valid || m.region_index != b.region_index) continue;
+    const atlas::Probe& probe = dataset_->probe_of(m);
+    if (probe.privileged()) continue;
+    if (probe.country->continent != Continent::kEurope) continue;
+    eu_all.push_back(m.min_ms);
+    eu_tier2.push_back(probe.country->tier != geo::ConnectivityTier::kTier1);
+  }
+  ASSERT_GT(eu_all.size(), 1000u);
+  const double p90 = stats::Ecdf(eu_all).percentile(90.0);
+  std::size_t tail = 0;
+  std::size_t tail_tier2 = 0;
+  std::size_t total_tier2 = 0;
+  for (std::size_t i = 0; i < eu_all.size(); ++i) {
+    total_tier2 += eu_tier2[i];
+    if (eu_all[i] > p90) {
+      ++tail;
+      tail_tier2 += eu_tier2[i];
+    }
+  }
+  const double overall_share =
+      static_cast<double>(total_tier2) / static_cast<double>(eu_all.size());
+  const double tail_share =
+      static_cast<double>(tail_tier2) / static_cast<double>(tail);
+  EXPECT_GT(tail_share, 1.5 * overall_share);
+  // And the tail is long in absolute terms: p99 well past 4x the median.
+  const stats::Ecdf eu(continent_samples(Continent::kEurope));
+  EXPECT_GT(eu.percentile(99.0), 4.0 * eu.median());
+}
+
+TEST_F(IntegrationTest, Fig7WirelessPenalty) {
+  const AccessComparison cmp = compare_access(*dataset_);
+  EXPECT_GT(cmp.wired_probe_count, 100u);
+  EXPECT_GT(cmp.wireless_probe_count, 50u);
+  // "≈2.5x longer to access the nearest cloud region".
+  EXPECT_GE(cmp.median_ratio, 1.8);
+  EXPECT_LE(cmp.median_ratio, 3.2);
+  // "10-40 ms of added latency while using wireless as last-mile".
+  EXPECT_GE(cmp.added_latency_ms, 10.0);
+  EXPECT_LE(cmp.added_latency_ms, 40.0);
+  // The gap is persistent over time, not an aggregate artefact.
+  std::size_t wireless_worse = 0;
+  for (std::size_t i = 0; i < cmp.wired_over_time.size() &&
+                          i < cmp.wireless_over_time.size();
+       ++i) {
+    wireless_worse +=
+        cmp.wireless_over_time[i].second > cmp.wired_over_time[i].second;
+  }
+  EXPECT_GE(wireless_worse, cmp.wired_over_time.size() * 9 / 10);
+}
+
+TEST_F(IntegrationTest, HeadlineCloudIsCloseEnough) {
+  // The paper's thesis, end to end: against the measured EU median cloud
+  // RTT, every catalog application is either cloud-sufficient or needs
+  // onboard compute anyway — edge adds nothing in well-connected regions.
+  const stats::Ecdf eu(continent_samples(Continent::kEurope));
+  const auto rows = classify_catalog(apps::application_catalog(), eu.median());
+  for (const FeasibilityRow& row : rows) {
+    EXPECT_TRUE(row.verdict == EdgeVerdict::kCloudSufficient ||
+                row.verdict == EdgeVerdict::kOnboardOnly)
+        << row.app->id << " -> " << to_string(row.verdict);
+  }
+  // Against the African upper-quartile experience (a typical under-served
+  // user, comfortably beyond PL), edge-feasible cases appear.
+  const stats::Ecdf af(continent_samples(Continent::kAfrica));
+  const auto af_rows =
+      classify_catalog(apps::application_catalog(), af.percentile(75.0));
+  std::size_t edge = 0;
+  for (const FeasibilityRow& row : af_rows) {
+    edge += row.verdict == EdgeVerdict::kEdgeFeasible;
+  }
+  EXPECT_GE(edge, 1u);
+}
+
+}  // namespace
+}  // namespace shears::core

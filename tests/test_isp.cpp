@@ -1,0 +1,146 @@
+// Tests for the ISP-market model and per-ASN analysis.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "atlas/campaign.hpp"
+#include "atlas/isp.hpp"
+#include "atlas/placement.hpp"
+#include "core/analysis.hpp"
+#include "net/latency_model.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::atlas {
+namespace {
+
+TEST(IspMarket, DeterministicAndWellFormed) {
+  const geo::Country* de = geo::find_country("DE");
+  const auto& market_a = isp_market(*de);
+  const auto& market_b = isp_market(*de);
+  EXPECT_EQ(&market_a, &market_b);  // cached
+  ASSERT_GE(market_a.size(), 5u);   // 4 fixed + 3 mobile for tier 1
+  double fixed_share = 0.0;
+  double mobile_share = 0.0;
+  std::set<std::uint32_t> asns;
+  for (const IspProfile& isp : market_a) {
+    EXPECT_FALSE(isp.name.empty());
+    EXPECT_GT(isp.market_share, 0.0);
+    EXPECT_GT(isp.quality, 0.5);
+    EXPECT_LT(isp.quality, 2.5);
+    EXPECT_TRUE(asns.insert(isp.asn).second);
+    (isp.mobile ? mobile_share : fixed_share) += isp.market_share;
+  }
+  EXPECT_NEAR(fixed_share, 1.0, 1e-9);
+  EXPECT_NEAR(mobile_share, 1.0, 1e-9);
+}
+
+TEST(IspMarket, PoorTiersHaveFewerOperators) {
+  const geo::Country* de = geo::find_country("DE");  // tier 1
+  const geo::Country* td = geo::find_country("TD");  // tier 4
+  EXPECT_GT(isp_market(*de).size(), isp_market(*td).size());
+}
+
+TEST(IspMarket, IncumbentLeadsTheQualityLadder) {
+  for (const char* iso2 : {"DE", "BR", "IN", "NG"}) {
+    const geo::Country* c = geo::find_country(iso2);
+    const auto fixed = isps_in_segment(*c, /*mobile=*/false);
+    ASSERT_GE(fixed.size(), 2u);
+    EXPECT_LT(fixed.front()->quality, fixed.back()->quality) << iso2;
+    EXPECT_GT(fixed.front()->market_share, fixed.back()->market_share);
+  }
+}
+
+TEST(IspMarket, SegmentsPartitionTheMarket) {
+  const geo::Country* us = geo::find_country("US");
+  const auto fixed = isps_in_segment(*us, false);
+  const auto mobile = isps_in_segment(*us, true);
+  EXPECT_EQ(fixed.size() + mobile.size(), isp_market(*us).size());
+  for (const IspProfile* isp : fixed) EXPECT_FALSE(isp->mobile);
+  for (const IspProfile* isp : mobile) EXPECT_TRUE(isp->mobile);
+}
+
+TEST(Placement, ProbesCarryIspAttribution) {
+  PlacementConfig config;
+  config.probe_count = 800;
+  const ProbeFleet fleet = ProbeFleet::generate(config);
+  std::size_t attributed = 0;
+  for (const Probe& p : fleet.probes()) {
+    if (p.isp == nullptr) continue;
+    ++attributed;
+    EXPECT_DOUBLE_EQ(p.endpoint.access_quality, p.isp->quality);
+    // Cellular probes belong to mobile operators, wired/WiFi to fixed.
+    const bool cellular = p.endpoint.access == net::AccessTechnology::kLte ||
+                          p.endpoint.access == net::AccessTechnology::kFiveG;
+    EXPECT_EQ(p.isp->mobile, cellular) << p.isp->name;
+  }
+  EXPECT_EQ(attributed, fleet.size());
+}
+
+TEST(Placement, MarketShareIsRoughlyRespected) {
+  PlacementConfig config;
+  config.probe_count = 6400;
+  const ProbeFleet fleet = ProbeFleet::generate(config);
+  const geo::Country* de = geo::find_country("DE");
+  const auto fixed = isps_in_segment(*de, false);
+  std::size_t incumbent = 0;
+  std::size_t total = 0;
+  for (const Probe& p : fleet.probes()) {
+    if (p.country != de || p.isp == nullptr || p.isp->mobile) continue;
+    ++total;
+    incumbent += p.isp == fixed.front();
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_NEAR(static_cast<double>(incumbent) / static_cast<double>(total),
+              fixed.front()->market_share, 0.1);
+}
+
+TEST(IspAnalysis, ComparisonOrdersByLatency) {
+  PlacementConfig placement;
+  placement.probe_count = 1600;
+  const ProbeFleet fleet = ProbeFleet::generate(placement);
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  CampaignConfig config;
+  config.duration_days = 8;
+  const auto dataset = Campaign(fleet, registry, model, config).run();
+
+  const auto stats = core::isp_comparison(dataset, "DE");
+  ASSERT_GE(stats.size(), 3u);
+  double prev = 0.0;
+  std::size_t probes = 0;
+  for (const core::IspStats& s : stats) {
+    ASSERT_NE(s.isp, nullptr);
+    EXPECT_GE(s.median_min_rtt_ms, prev);
+    prev = s.median_min_rtt_ms;
+    probes += s.probe_count;
+  }
+  EXPECT_GT(probes, 100u);
+  // Quality ordering shows through: the best-quality fixed ISP beats the
+  // worst one on median latency.
+  const geo::Country* de = geo::find_country("DE");
+  const auto fixed = isps_in_segment(*de, false);
+  double best_quality_median = -1.0;
+  double worst_quality_median = -1.0;
+  for (const core::IspStats& s : stats) {
+    if (s.isp == fixed.front()) best_quality_median = s.median_min_rtt_ms;
+    if (s.isp == fixed.back()) worst_quality_median = s.median_min_rtt_ms;
+  }
+  ASSERT_GT(best_quality_median, 0.0);
+  ASSERT_GT(worst_quality_median, 0.0);
+  EXPECT_LT(best_quality_median, worst_quality_median);
+}
+
+TEST(IspAnalysis, UnknownCountryIsEmpty) {
+  PlacementConfig placement;
+  placement.probe_count = 400;
+  const ProbeFleet fleet = ProbeFleet::generate(placement);
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  CampaignConfig config;
+  config.duration_days = 2;
+  const auto dataset = Campaign(fleet, registry, model, config).run();
+  EXPECT_TRUE(core::isp_comparison(dataset, "XX").empty());
+}
+
+}  // namespace
+}  // namespace shears::atlas

@@ -1,0 +1,161 @@
+// Property sweeps over the latency model: invariants that must hold for
+// EVERY (tier, access, backbone, distance) combination, exercised via
+// parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "net/latency_model.hpp"
+#include "net/segments.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::net {
+namespace {
+
+using geo::ConnectivityTier;
+using topology::BackboneClass;
+
+constexpr ConnectivityTier kTiers[] = {
+    ConnectivityTier::kTier1, ConnectivityTier::kTier2,
+    ConnectivityTier::kTier3, ConnectivityTier::kTier4};
+
+const topology::CloudRegion& some_region() {
+  return *topology::all_regions().data();
+}
+
+// ---------------------------------------------------------------------
+// Sweep 1: distance monotonicity for every tier x backbone.
+class DistanceMonotone
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DistanceMonotone, BasePathRttGrowsWithDistance) {
+  const auto tier = kTiers[std::get<0>(GetParam())];
+  const auto backbone = std::get<1>(GetParam()) == 0 ? BackboneClass::kPrivate
+                                                     : BackboneClass::kPublic;
+  const PathModelConfig config;
+  const geo::GeoPoint origin{20.0, 10.0};
+  double prev = 0.0;
+  for (double dlon = 0.5; dlon < 160.0; dlon *= 1.7) {
+    const geo::GeoPoint dst{20.0, 10.0 + dlon};
+    const auto path = characterize_path(config, origin, tier, dst, backbone);
+    EXPECT_GE(path.base_rtt_ms(), prev)
+        << "tier " << static_cast<int>(tier) << " dlon " << dlon;
+    prev = path.base_rtt_ms();
+    // Routed distance at least geodesic, stretch bounded by the regional
+    // value.
+    EXPECT_GE(path.routed_km + 1e-9,
+              std::min(path.geodesic_km, config.min_routed_km));
+    EXPECT_LE(path.routed_km,
+              std::max(path.geodesic_km, config.min_routed_km) *
+                      stretch_for(config, tier, backbone) +
+                  1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TierBackbone, DistanceMonotone,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 2)));
+
+// ---------------------------------------------------------------------
+// Sweep 2: tier degradation for every access technology.
+class TierDegradation : public ::testing::TestWithParam<int> {};
+
+TEST_P(TierDegradation, WorseTiersNeverImproveBaseline) {
+  const auto access =
+      kAllAccessTechnologies[static_cast<std::size_t>(GetParam())];
+  const LatencyModel model;
+  const geo::GeoPoint site{48.0, 10.0};
+  double prev = 0.0;
+  for (const ConnectivityTier tier : kTiers) {
+    const Endpoint user{site, tier, access};
+    const double rtt = model.baseline_rtt_ms(user, some_region());
+    EXPECT_GT(rtt, prev) << to_string(access);
+    prev = rtt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Access, TierDegradation, ::testing::Range(0, 7));
+
+// ---------------------------------------------------------------------
+// Sweep 3: sampling statistics per access technology.
+class SamplingProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplingProperties, SamplesAreConsistentWithBaseline) {
+  const auto access =
+      kAllAccessTechnologies[static_cast<std::size_t>(GetParam())];
+  const LatencyModel model;
+  const Endpoint user{{48.0, 10.0}, ConnectivityTier::kTier2, access};
+  const topology::CloudRegion& region = some_region();
+  const double baseline = model.baseline_rtt_ms(user, region);
+  const double floor = model.path_to(user, region).propagation_ms;
+
+  stats::Xoshiro256 rng(7777 + static_cast<std::uint64_t>(GetParam()));
+  stats::Summary summary;
+  for (int i = 0; i < 30000; ++i) {
+    const PingObservation obs = model.ping_once(user, region, rng);
+    if (obs.lost) continue;
+    summary.add(obs.rtt_ms);
+    ASSERT_GE(obs.rtt_ms, floor);
+  }
+  ASSERT_GT(summary.count(), 25000u);
+  // The distribution is right-skewed: mean above the congestion-free
+  // baseline, but not absurdly so.
+  EXPECT_GT(summary.mean(), baseline * 0.8) << to_string(access);
+  EXPECT_LT(summary.mean(), baseline * 3.0 + 30.0) << to_string(access);
+  EXPECT_GT(summary.max(), summary.mean());  // a real tail exists
+}
+
+INSTANTIATE_TEST_SUITE_P(Access, SamplingProperties, ::testing::Range(0, 7));
+
+// ---------------------------------------------------------------------
+// Sweep 4: segment decomposition consistency across random pairs.
+class SegmentConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SegmentConsistency, DecompositionAlwaysSumsAndStaysNonNegative) {
+  stats::Xoshiro256 rng(GetParam());
+  const LatencyModel model;
+  const auto regions = topology::all_regions();
+  const auto countries = geo::all_countries();
+  for (int trial = 0; trial < 25; ++trial) {
+    const geo::Country& country = countries[rng.bounded(countries.size())];
+    const auto access = kAllAccessTechnologies[rng.bounded(7)];
+    const topology::CloudRegion& region = regions[rng.bounded(regions.size())];
+    const Endpoint user{country.site, country.tier, access};
+    const SegmentBreakdown breakdown = decompose_path(model, user, region);
+    double total = 0.0;
+    for (const double v : breakdown.ms) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, model.baseline_rtt_ms(user, region), 1e-6)
+        << country.name << " -> " << region.region_id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentConsistency,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---------------------------------------------------------------------
+// Sweep 5: the wireless what-if knob scales monotonically everywhere.
+class WirelessKnob : public ::testing::TestWithParam<int> {};
+
+TEST_P(WirelessKnob, SmallerScaleNeverRaisesWirelessBaseline) {
+  const auto tier = kTiers[static_cast<std::size_t>(GetParam())];
+  const Endpoint lte{{40.0, -3.0}, tier, AccessTechnology::kLte};
+  double prev = 1e18;
+  for (const double scale : {1.0, 0.7, 0.4, 0.2, 0.05}) {
+    LatencyModelConfig config;
+    config.wireless_latency_scale = scale;
+    const LatencyModel model(config);
+    const double rtt = model.baseline_rtt_ms(lte, some_region());
+    EXPECT_LT(rtt, prev);
+    prev = rtt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiers, WirelessKnob, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace shears::net

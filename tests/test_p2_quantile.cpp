@@ -1,0 +1,66 @@
+// Tests for the P² streaming quantile estimator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/p2_quantile.hpp"
+#include "stats/rng.hpp"
+
+namespace shears::stats {
+namespace {
+
+TEST(P2, RejectsBadQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_NO_THROW(P2Quantile(0.5));
+}
+
+TEST(P2, SmallSamplesAreExactish) {
+  P2Quantile median(0.5);
+  EXPECT_DOUBLE_EQ(median.value(), 0.0);
+  median.add(10.0);
+  EXPECT_DOUBLE_EQ(median.value(), 10.0);
+  median.add(20.0);
+  median.add(30.0);
+  EXPECT_DOUBLE_EQ(median.value(), 20.0);
+}
+
+class P2Accuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Accuracy, TracksLognormalQuantiles) {
+  const double q = GetParam();
+  P2Quantile estimator(q);
+  Xoshiro256 rng(321);
+  std::vector<double> sample;
+  constexpr int kN = 200000;
+  sample.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    const double x = sample_lognormal_median(rng, 25.0, 1.6);
+    estimator.add(x);
+    sample.push_back(x);
+  }
+  const double exact = Ecdf(std::move(sample)).quantile(q);
+  EXPECT_NEAR(estimator.value(), exact, exact * 0.05) << "q=" << q;
+  EXPECT_EQ(estimator.count(), static_cast<std::uint64_t>(kN));
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.99));
+
+TEST(P2, MonotoneUnderSortedInput) {
+  P2Quantile p90(0.9);
+  for (int i = 1; i <= 10000; ++i) p90.add(static_cast<double>(i));
+  EXPECT_NEAR(p90.value(), 9000.0, 200.0);
+}
+
+TEST(P2, HandlesConstantStream) {
+  P2Quantile median(0.5);
+  for (int i = 0; i < 1000; ++i) median.add(7.0);
+  EXPECT_DOUBLE_EQ(median.value(), 7.0);
+}
+
+}  // namespace
+}  // namespace shears::stats

@@ -1,0 +1,144 @@
+// Tests for the Mann-Whitney U rank-sum test.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "stats/ranktest.hpp"
+#include "stats/rng.hpp"
+
+namespace shears::stats {
+namespace {
+
+TEST(MannWhitney, RejectsEmpty) {
+  EXPECT_THROW((void)mann_whitney_u({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)mann_whitney_u({1.0}, {}), std::invalid_argument);
+}
+
+TEST(MannWhitney, IdenticalSamplesShowNoEffect) {
+  const std::vector<double> same(50, 3.0);
+  const RankSumResult r = mann_whitney_u(same, same);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+  EXPECT_DOUBLE_EQ(r.effect_size, 0.5);
+}
+
+TEST(MannWhitney, DetectsClearShift) {
+  Xoshiro256 rng(1);
+  std::vector<double> slow;
+  std::vector<double> fast;
+  for (int i = 0; i < 400; ++i) {
+    slow.push_back(sample_lognormal_median(rng, 35.0, 1.4));
+    fast.push_back(sample_lognormal_median(rng, 14.0, 1.4));
+  }
+  const RankSumResult r = mann_whitney_u(slow, fast);
+  EXPECT_LT(r.p_two_sided, 1e-6);
+  EXPECT_GT(r.effect_size, 0.85);  // slow almost always exceeds fast
+  EXPECT_GT(r.z_score, 5.0);
+}
+
+TEST(MannWhitney, SymmetricEffectSizes) {
+  Xoshiro256 rng(2);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(sample_lognormal_median(rng, 20.0, 1.3));
+    b.push_back(sample_lognormal_median(rng, 30.0, 1.3));
+  }
+  const RankSumResult ab = mann_whitney_u(a, b);
+  const RankSumResult ba = mann_whitney_u(b, a);
+  EXPECT_NEAR(ab.effect_size + ba.effect_size, 1.0, 1e-9);
+  EXPECT_NEAR(ab.p_two_sided, ba.p_two_sided, 1e-9);
+}
+
+TEST(MannWhitney, SameDistributionIsUsuallyInsignificant) {
+  // Property over seeds: drawing both samples from one distribution
+  // should rarely produce small p-values.
+  int significant = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Xoshiro256 rng(seed);
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 150; ++i) {
+      a.push_back(sample_lognormal_median(rng, 22.0, 1.5));
+      b.push_back(sample_lognormal_median(rng, 22.0, 1.5));
+    }
+    if (mann_whitney_u(a, b).p_two_sided < 0.05) ++significant;
+  }
+  EXPECT_LE(significant, 6);  // ~5% expected, allow slack
+}
+
+TEST(MannWhitney, HandlesHeavyTies) {
+  const std::vector<double> a = {1, 1, 1, 2, 2, 3};
+  const std::vector<double> b = {2, 2, 3, 3, 3, 4};
+  const RankSumResult r = mann_whitney_u(a, b);
+  EXPECT_LT(r.effect_size, 0.5);  // a tends smaller
+  EXPECT_GT(r.p_two_sided, 0.0);
+  EXPECT_LE(r.p_two_sided, 1.0);
+}
+
+TEST(KolmogorovSmirnov, RejectsEmpty) {
+  EXPECT_THROW((void)kolmogorov_smirnov({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)kolmogorov_smirnov({1.0}, {}), std::invalid_argument);
+}
+
+TEST(KolmogorovSmirnov, IdenticalSamplesAreIndistinguishable) {
+  Xoshiro256 rng(9);
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) {
+    sample.push_back(sample_lognormal_median(rng, 20.0, 1.5));
+  }
+  const KsResult r = kolmogorov_smirnov(sample, sample);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_GT(r.p_value, 0.99);
+}
+
+TEST(KolmogorovSmirnov, DetectsScaleDifferenceRankTestMisses) {
+  // Same median, different spread: a location test sees nothing, KS does.
+  Xoshiro256 rng(10);
+  std::vector<double> narrow;
+  std::vector<double> wide;
+  for (int i = 0; i < 800; ++i) {
+    narrow.push_back(sample_lognormal_median(rng, 20.0, 1.1));
+    wide.push_back(sample_lognormal_median(rng, 20.0, 2.5));
+  }
+  const KsResult ks = kolmogorov_smirnov(narrow, wide);
+  EXPECT_LT(ks.p_value, 0.001);
+  const RankSumResult mw = mann_whitney_u(narrow, wide);
+  EXPECT_GT(mw.p_two_sided, 0.01);  // medians agree
+}
+
+TEST(KolmogorovSmirnov, StatisticBoundsAndSymmetry) {
+  Xoshiro256 rng(11);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(sample_lognormal_median(rng, 15.0, 1.4));
+    b.push_back(sample_lognormal_median(rng, 25.0, 1.4));
+  }
+  const KsResult ab = kolmogorov_smirnov(a, b);
+  const KsResult ba = kolmogorov_smirnov(b, a);
+  EXPECT_DOUBLE_EQ(ab.statistic, ba.statistic);
+  EXPECT_GT(ab.statistic, 0.0);
+  EXPECT_LE(ab.statistic, 1.0);
+  // Disjoint supports -> statistic 1.
+  const KsResult disjoint = kolmogorov_smirnov({1.0, 2.0}, {10.0, 11.0});
+  EXPECT_DOUBLE_EQ(disjoint.statistic, 1.0);
+}
+
+TEST(KolmogorovSmirnov, SameDistributionIsUsuallyInsignificant) {
+  int significant = 0;
+  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+    Xoshiro256 rng(seed);
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 200; ++i) {
+      a.push_back(sample_lognormal_median(rng, 22.0, 1.5));
+      b.push_back(sample_lognormal_median(rng, 22.0, 1.5));
+    }
+    if (kolmogorov_smirnov(a, b).p_value < 0.05) ++significant;
+  }
+  EXPECT_LE(significant, 6);
+}
+
+}  // namespace
+}  // namespace shears::stats

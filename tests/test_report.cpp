@@ -1,0 +1,129 @@
+// Tests for the text rendering helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/plot.hpp"
+#include "report/table.hpp"
+
+namespace shears::report {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table;
+  table.set_header({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Columns align: the second column starts at the same offset ("alpha"
+  // is the widest first-column cell, so offset = 5 + 2 separator spaces).
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("name", 0) == 0) {
+      EXPECT_EQ(line.substr(7), "value");
+    }
+    if (line.rfind("b", 0) == 0) {
+      EXPECT_EQ(line.substr(7), "22");
+    }
+  }
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable table;
+  table.set_header({"name", "note"});
+  table.add_row({"x,y", "say \"hi\""});
+  std::ostringstream os;
+  table.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Formatting, FixedDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(10.0, 0), "10");
+  EXPECT_EQ(fmt_percent(0.756, 1), "75.6%");
+}
+
+TEST(CdfPlot, ContainsSeriesAndMarkers) {
+  Series s;
+  s.name = "EU";
+  for (int i = 0; i <= 100; ++i) {
+    s.points.emplace_back(i, i / 100.0);
+  }
+  const std::string out =
+      render_cdf_plot({s}, {{"MTP", 20.0}, {"PL", 100.0}});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("MTP"), std::string::npos);
+  EXPECT_NE(out.find("legend: *=EU"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(CdfPlot, EmptyInputIsSafe) {
+  EXPECT_EQ(render_cdf_plot({}, {}), "(empty plot)\n");
+}
+
+TEST(CdfPlot, LogAxisLabelled) {
+  Series s{"x", {{1.0, 0.1}, {10.0, 0.5}, {100.0, 1.0}}};
+  CdfPlotOptions options;
+  options.log_x = true;
+  const std::string out = render_cdf_plot({s}, {}, options);
+  EXPECT_NE(out.find("[log]"), std::string::npos);
+}
+
+TEST(CdfPlot, MultipleSeriesGetDistinctGlyphs) {
+  Series a{"one", {{0.0, 0.2}, {50.0, 0.9}}};
+  Series b{"two", {{10.0, 0.1}, {60.0, 0.8}}};
+  const std::string out = render_cdf_plot({a, b}, {});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(Bars, EmptyAndZeroInputsAreSafe) {
+  EXPECT_EQ(render_bars({}), "");
+  const std::string zeros = render_bars({{"a", 0.0}, {"b", 0.0}});
+  EXPECT_NE(zeros.find("a"), std::string::npos);
+  EXPECT_EQ(zeros.find('#'), std::string::npos);  // no bars drawn
+}
+
+TEST(CdfPlot, PointsOutsideExplicitRangeAreClipped) {
+  Series s{"x", {{-5.0, 0.1}, {50.0, 0.5}, {500.0, 0.9}}};
+  CdfPlotOptions options;
+  options.x_min = 0.0;
+  options.x_max = 100.0;
+  const std::string out = render_cdf_plot({s}, {{"FAR", 400.0}}, options);
+  // Only the in-range point draws; the out-of-range marker is dropped.
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_EQ(out.find("FAR"), std::string::npos);
+}
+
+TEST(Bars, ProportionalLengths) {
+  const std::string out =
+      render_bars({{"big", 100.0}, {"half", 50.0}, {"zero", 0.0}}, 40);
+  // "big" row has twice as many '#' as "half".
+  std::istringstream is(out);
+  std::string line;
+  std::size_t big = 0;
+  std::size_t half = 0;
+  while (std::getline(is, line)) {
+    const std::size_t hashes =
+        static_cast<std::size_t>(std::count(line.begin(), line.end(), '#'));
+    if (line.rfind("big", 0) == 0) big = hashes;
+    if (line.rfind("half", 0) == 0) half = hashes;
+  }
+  EXPECT_EQ(big, 40u);
+  EXPECT_EQ(half, 20u);
+}
+
+}  // namespace
+}  // namespace shears::report

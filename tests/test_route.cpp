@@ -1,0 +1,191 @@
+// Tests for the transport-fabric graph (IXPs + submarine cables) and the
+// graph-backed path provider.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/latency_model.hpp"
+#include "route/graph.hpp"
+#include "route/path_provider.hpp"
+#include "stats/regression.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::route {
+namespace {
+
+std::uint16_t node_index(std::string_view id) {
+  const auto nodes = transport_nodes();
+  for (std::uint16_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].id == id) return i;
+  }
+  ADD_FAILURE() << "unknown node " << id;
+  return 0;
+}
+
+TEST(NodeData, UniqueIdsAndValidCoordinates) {
+  std::set<std::string_view> ids;
+  for (const TransportNode& n : transport_nodes()) {
+    EXPECT_TRUE(ids.insert(n.id).second) << n.id;
+    EXPECT_TRUE(geo::is_valid(n.location)) << n.id;
+    EXPECT_FALSE(n.name.empty());
+  }
+  EXPECT_GE(transport_nodes().size(), 60u);
+}
+
+TEST(NodeData, EveryContinentHasNodes) {
+  std::set<geo::Continent> seen;
+  for (const TransportNode& n : transport_nodes()) seen.insert(n.continent);
+  EXPECT_EQ(seen.size(), geo::kContinentCount);
+}
+
+TEST(NodeData, LookupWorks) {
+  const TransportNode* fra = find_node("fra");
+  ASSERT_NE(fra, nullptr);
+  EXPECT_EQ(fra->continent, geo::Continent::kEurope);
+  EXPECT_EQ(find_node("xxx"), nullptr);
+}
+
+TEST(Graph, FullyConnected) {
+  const TransportGraph& graph = TransportGraph::instance();
+  const std::uint16_t fra = node_index("fra");
+  for (std::uint16_t i = 0; i < graph.nodes().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(graph.shortest_km(fra, i)))
+        << graph.nodes()[i].id << " unreachable from fra";
+  }
+}
+
+TEST(Graph, LinksNeverShorterThanGeodesic) {
+  const TransportGraph& graph = TransportGraph::instance();
+  const auto nodes = graph.nodes();
+  for (const TransportLink& link : graph.links()) {
+    const double geodesic =
+        geo::haversine_km(nodes[link.a].location, nodes[link.b].location);
+    EXPECT_GE(link.length_km, geodesic - 1e-6);
+  }
+}
+
+TEST(Graph, ShortestPathIsSymmetricAndTriangular) {
+  const TransportGraph& graph = TransportGraph::instance();
+  const std::uint16_t lon = node_index("lon");
+  const std::uint16_t nyc = node_index("nyc");
+  const std::uint16_t sin = node_index("sin");
+  EXPECT_DOUBLE_EQ(graph.shortest_km(lon, nyc), graph.shortest_km(nyc, lon));
+  EXPECT_LE(graph.shortest_km(lon, sin),
+            graph.shortest_km(lon, nyc) + graph.shortest_km(nyc, sin) + 1e-6);
+  EXPECT_DOUBLE_EQ(graph.shortest_km(lon, lon), 0.0);
+}
+
+TEST(Graph, TransatlanticTakesTheCable) {
+  const TransportGraph& graph = TransportGraph::instance();
+  const auto path =
+      graph.shortest_path(node_index("fra"), node_index("ash"));
+  ASSERT_GE(path.size(), 3u);
+  // The route must pass through London or Paris (the cable ends).
+  bool via_cable_end = false;
+  for (const std::uint16_t idx : path) {
+    const std::string_view id = graph.nodes()[idx].id;
+    via_cable_end |= id == "lon" || id == "par";
+  }
+  EXPECT_TRUE(via_cable_end);
+  // And its length is sane: geodesic FRA-ASH ~6500 km, routed < 1.6x that.
+  const double km = graph.shortest_km(node_index("fra"), node_index("ash"));
+  EXPECT_GT(km, 6000.0);
+  EXPECT_LT(km, 10500.0);
+}
+
+TEST(Graph, EuropeToIndiaRoutesViaMiddleEast) {
+  // Europe -> India traffic crosses the eastern Mediterranean / Middle
+  // East corridor (Suez-Red Sea cables or the Levant terrestrial route),
+  // never the Atlantic.
+  const TransportGraph& graph = TransportGraph::instance();
+  const auto path =
+      graph.shortest_path(node_index("fra"), node_index("bom"));
+  bool via_middle_east = false;
+  bool via_atlantic = false;
+  for (const std::uint16_t idx : path) {
+    const std::string_view id = graph.nodes()[idx].id;
+    via_middle_east |= id == "alx" || id == "dji" || id == "tlv" || id == "fjr";
+    via_atlantic |= id == "nyc" || id == "for";
+  }
+  EXPECT_TRUE(via_middle_east);
+  EXPECT_FALSE(via_atlantic);
+  // Route length: geodesic ~6300 km, routed below 1.6x of it.
+  const double km = graph.shortest_km(node_index("fra"), node_index("bom"));
+  EXPECT_GT(km, 6300.0);
+  EXPECT_LT(km, 10000.0);
+}
+
+TEST(Graph, NearestNodeHonoursContinentFilter) {
+  const TransportGraph& graph = TransportGraph::instance();
+  // A point in Morocco: nearest node overall may be Iberian, but the
+  // Africa-restricted answer must be African.
+  const geo::GeoPoint rabat{34.02, -6.84};
+  const auto african =
+      graph.nearest_node(rabat, geo::Continent::kAfrica);
+  ASSERT_TRUE(african.has_value());
+  EXPECT_EQ(graph.nodes()[*african].continent, geo::Continent::kAfrica);
+  EXPECT_EQ(graph.nodes()[*african].id, "cas");
+}
+
+TEST(Graph, RoutedKmNeverBelowGeodesic) {
+  const TransportGraph& graph = TransportGraph::instance();
+  for (const geo::Country& c : geo::all_countries()) {
+    const geo::GeoPoint frankfurt{50.11, 8.68};
+    const double routed = graph.routed_km(c.site, frankfurt);
+    EXPECT_GE(routed, geo::haversine_km(c.site, frankfurt) - 1e-6) << c.name;
+  }
+}
+
+TEST(Provider, GraphDrivenModelStaysCalibrated) {
+  // Installing the graph provider must keep RTTs within a factor of the
+  // stretch model across representative pairs — the two route models are
+  // alternative views of the same Internet.
+  net::LatencyModel stretch_model;
+  net::LatencyModel graph_model;
+  const GraphPathProvider provider(TransportGraph::instance());
+  graph_model.set_path_provider(&provider);
+
+  std::vector<double> stretch_rtts;
+  std::vector<double> graph_rtts;
+  for (const char* iso2 : {"DE", "FR", "US", "BR", "IN", "KE", "AU", "JP"}) {
+    const geo::Country* c = geo::find_country(iso2);
+    const net::Endpoint user{c->site, c->tier,
+                             net::AccessTechnology::kEthernet};
+    for (const topology::CloudRegion& region : topology::all_regions()) {
+      const geo::Continent rc = topology::region_continent(region);
+      if (rc != c->continent &&
+          geo::measurement_fallback(c->continent) != rc) {
+        continue;
+      }
+      stretch_rtts.push_back(stretch_model.baseline_rtt_ms(user, region));
+      graph_rtts.push_back(graph_model.baseline_rtt_ms(user, region));
+    }
+  }
+  ASSERT_GT(stretch_rtts.size(), 100u);
+  // Strong rank agreement between the two models.
+  EXPECT_GT(stats::pearson(stretch_rtts, graph_rtts), 0.85);
+  // And no systematic blow-up: medians within 2x of each other.
+  double s_sum = 0.0;
+  double g_sum = 0.0;
+  for (std::size_t i = 0; i < stretch_rtts.size(); ++i) {
+    s_sum += stretch_rtts[i];
+    g_sum += graph_rtts[i];
+  }
+  EXPECT_LT(g_sum / s_sum, 2.0);
+  EXPECT_GT(g_sum / s_sum, 0.5);
+}
+
+TEST(Provider, NullProviderRestoresStretchModel) {
+  net::LatencyModel model;
+  const geo::Country* de = geo::find_country("DE");
+  const net::Endpoint user{de->site, de->tier, net::AccessTechnology::kFibre};
+  const topology::CloudRegion& region = *topology::all_regions().data();
+  const double before = model.baseline_rtt_ms(user, region);
+  const GraphPathProvider provider(TransportGraph::instance());
+  model.set_path_provider(&provider);
+  model.set_path_provider(nullptr);
+  EXPECT_DOUBLE_EQ(model.baseline_rtt_ms(user, region), before);
+}
+
+}  // namespace
+}  // namespace shears::route

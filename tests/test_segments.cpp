@@ -1,0 +1,176 @@
+// Tests for the path-segment decomposition and traceroute semantics
+// behind §4.3's "Where is the Delay?".
+#include <gtest/gtest.h>
+
+#include "geo/country.hpp"
+#include "net/segments.hpp"
+#include "stats/rng.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::net {
+namespace {
+
+const topology::CloudRegion* region_by_id(std::string_view id) {
+  for (const topology::CloudRegion& r : topology::all_regions()) {
+    if (r.region_id == id) return &r;
+  }
+  return nullptr;
+}
+
+Endpoint endpoint_in(std::string_view iso2, AccessTechnology access) {
+  const geo::Country* c = geo::find_country(iso2);
+  EXPECT_NE(c, nullptr);
+  return {c->site, c->tier, access};
+}
+
+TEST(Segments, DecompositionSumsToBaseline) {
+  const LatencyModel model;
+  for (const char* iso2 : {"DE", "BR", "TD", "JP"}) {
+    for (const AccessTechnology access :
+         {AccessTechnology::kEthernet, AccessTechnology::kLte}) {
+      const Endpoint src = endpoint_in(iso2, access);
+      for (const char* region_id : {"eu-central-1", "nyc1"}) {
+        const auto* region = region_by_id(region_id);
+        ASSERT_NE(region, nullptr);
+        const SegmentBreakdown breakdown = decompose_path(model, src, *region);
+        EXPECT_NEAR(breakdown.total(), model.baseline_rtt_ms(src, *region),
+                    1e-9)
+            << iso2 << " -> " << region_id;
+      }
+    }
+  }
+}
+
+TEST(Segments, AllSegmentsNonNegative) {
+  const LatencyModel model;
+  const Endpoint src = endpoint_in("KE", AccessTechnology::kDsl);
+  const auto* region = region_by_id("eu-west-3");
+  ASSERT_NE(region, nullptr);
+  const SegmentBreakdown breakdown = decompose_path(model, src, *region);
+  for (const double v : breakdown.ms) EXPECT_GE(v, 0.0);
+  EXPECT_NEAR(breakdown.share(PathSegment::kLastMile) +
+                  breakdown.share(PathSegment::kAccessNetwork) +
+                  breakdown.share(PathSegment::kTransit) +
+                  breakdown.share(PathSegment::kPeeringOrBackbone) +
+                  breakdown.share(PathSegment::kDatacenter),
+              1.0, 1e-9);
+}
+
+TEST(Segments, WirelessLastMileDominatesShortPaths) {
+  // §4.3 finding two: for a wireless user near a datacenter, the last
+  // mile is the bottleneck.
+  const LatencyModel model;
+  const Endpoint lte = endpoint_in("DE", AccessTechnology::kLte);
+  const auto* fra = region_by_id("eu-central-1");
+  ASSERT_NE(fra, nullptr);
+  const SegmentBreakdown breakdown = decompose_path(model, lte, *fra);
+  EXPECT_GT(breakdown.share(PathSegment::kLastMile), 0.5);
+}
+
+TEST(Segments, TransitDominatesUnderServedPaths) {
+  // §4.3 finding one: for an under-served country reaching a remote
+  // continent, the stretched transit dominates.
+  const LatencyModel model;
+  const Endpoint chad = endpoint_in("TD", AccessTechnology::kEthernet);
+  const auto* fra = region_by_id("eu-central-1");
+  ASSERT_NE(fra, nullptr);
+  const SegmentBreakdown breakdown = decompose_path(model, chad, *fra);
+  EXPECT_GT(breakdown.share(PathSegment::kTransit), 0.6);
+}
+
+TEST(Segments, PublicTransitShowsPeeringShare) {
+  const LatencyModel model;
+  const Endpoint src = endpoint_in("FR", AccessTechnology::kFibre);
+  const auto* pub = region_by_id("fra1");         // Digital Ocean, public
+  const auto* priv = region_by_id("eu-central-1");  // AWS, private
+  ASSERT_NE(pub, nullptr);
+  ASSERT_NE(priv, nullptr);
+  EXPECT_GT(decompose_path(model, src, *pub)[PathSegment::kPeeringOrBackbone],
+            0.0);
+  EXPECT_DOUBLE_EQ(
+      decompose_path(model, src, *priv)[PathSegment::kPeeringOrBackbone], 0.0);
+}
+
+TEST(Traceroute, HopsAreOrderedAndMonotone) {
+  const LatencyModel model;
+  const Endpoint src = endpoint_in("ES", AccessTechnology::kCable);
+  const auto* region = region_by_id("eu-west-3");
+  ASSERT_NE(region, nullptr);
+  stats::Xoshiro256 rng(99);
+  const auto hops = traceroute(model, src, *region, rng);
+  ASSERT_GE(hops.size(), 6u);  // cpe + 3 metro + >=1 transit + peer + dc
+  int prev_ttl = 0;
+  double prev_rtt = 0.0;
+  unsigned char prev_segment = 0;
+  for (const TracerouteHop& hop : hops) {
+    EXPECT_EQ(hop.ttl, prev_ttl + 1);
+    prev_ttl = hop.ttl;
+    EXPECT_GE(static_cast<unsigned char>(hop.segment), prev_segment);
+    prev_segment = static_cast<unsigned char>(hop.segment);
+    if (hop.responded) {
+      EXPECT_GE(hop.rtt_ms, prev_rtt);
+      prev_rtt = hop.rtt_ms;
+    }
+    EXPECT_FALSE(hop.label.empty());
+  }
+  EXPECT_EQ(hops.front().segment, PathSegment::kLastMile);
+  EXPECT_EQ(hops.back().segment, PathSegment::kDatacenter);
+}
+
+TEST(Traceroute, LongPathsHaveMoreHops) {
+  const LatencyModel model;
+  const Endpoint src = endpoint_in("DE", AccessTechnology::kEthernet);
+  const auto* near = region_by_id("eu-central-1");
+  const auto* far = region_by_id("ap-northeast-1");
+  ASSERT_NE(near, nullptr);
+  ASSERT_NE(far, nullptr);
+  stats::Xoshiro256 rng(7);
+  const auto near_hops = traceroute(model, src, *near, rng);
+  const auto far_hops = traceroute(model, src, *far, rng);
+  EXPECT_GT(far_hops.size(), near_hops.size());
+}
+
+TEST(Traceroute, FinalHopNearPingBaseline) {
+  const LatencyModel model;
+  const Endpoint src = endpoint_in("GB", AccessTechnology::kFibre);
+  const auto* region = region_by_id("eu-west-2");
+  ASSERT_NE(region, nullptr);
+  const double baseline = model.baseline_rtt_ms(src, *region);
+  stats::Xoshiro256 rng(3);
+  // Average the last responded hop over several traces.
+  double sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto hops = traceroute(model, src, *region, rng);
+    for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+      if (it->responded) {
+        sum += it->rtt_ms;
+        ++n;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_NEAR(sum / n, baseline, baseline * 0.25);
+}
+
+TEST(Traceroute, SomeHopsGoSilent) {
+  const LatencyModel model;
+  const Endpoint src = endpoint_in("US", AccessTechnology::kEthernet);
+  const auto* region = region_by_id("us-east-1");
+  ASSERT_NE(region, nullptr);
+  stats::Xoshiro256 rng(11);
+  std::size_t silent = 0;
+  std::size_t total = 0;
+  for (int i = 0; i < 300; ++i) {
+    for (const TracerouteHop& hop : traceroute(model, src, *region, rng)) {
+      ++total;
+      silent += !hop.responded;
+    }
+  }
+  EXPECT_GT(silent, 0u);
+  EXPECT_LT(silent, total / 4);
+}
+
+}  // namespace
+}  // namespace shears::net

@@ -1,0 +1,117 @@
+// Tests for the client-steering model (the Jin et al. [36] angle).
+#include <gtest/gtest.h>
+
+#include "geo/country.hpp"
+#include "route/steering.hpp"
+
+namespace shears::route {
+namespace {
+
+net::Endpoint user_in(std::string_view iso2) {
+  const geo::Country* c = geo::find_country(iso2);
+  EXPECT_NE(c, nullptr);
+  return {c->site, c->tier, net::AccessTechnology::kFibre};
+}
+
+TEST(Steering, MeasuredBestIsTheOracle) {
+  const net::LatencyModel model;
+  const auto cloud = topology::CloudRegistry::campaign_footprint();
+  stats::Xoshiro256 rng(1);
+  const net::Endpoint user = user_in("DE");
+  const auto* best = steer(model, user, geo::Continent::kEurope, cloud,
+                           SteeringPolicy::kMeasuredBest, {}, rng);
+  ASSERT_NE(best, nullptr);
+  // No in-scope region beats it.
+  for (const topology::CloudRegion* region : cloud.regions()) {
+    if (topology::region_continent(*region) != geo::Continent::kEurope) {
+      continue;
+    }
+    EXPECT_GE(model.baseline_rtt_ms(user, *region) + 1e-9,
+              model.baseline_rtt_ms(user, *best));
+  }
+}
+
+TEST(Steering, GeoNearestPicksClosestByDistance) {
+  const net::LatencyModel model;
+  const auto cloud = topology::CloudRegistry::campaign_footprint();
+  stats::Xoshiro256 rng(2);
+  const net::Endpoint user = user_in("IE");
+  const auto* chosen = steer(model, user, geo::Continent::kEurope, cloud,
+                             SteeringPolicy::kGeoNearest, {}, rng);
+  ASSERT_NE(chosen, nullptr);
+  EXPECT_EQ(chosen->city, "Dublin");
+}
+
+TEST(Steering, AnycastMisroutesAtTheConfiguredRate) {
+  const net::LatencyModel model;
+  const auto cloud = topology::CloudRegistry::campaign_footprint();
+  SteeringConfig config;
+  config.anycast_misroute_rate = 0.25;
+  stats::Xoshiro256 rng(3);
+  const net::Endpoint user = user_in("FR");
+  const auto* best = steer(model, user, geo::Continent::kEurope, cloud,
+                           SteeringPolicy::kMeasuredBest, config, rng);
+  int misses = 0;
+  constexpr int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto* chosen = steer(model, user, geo::Continent::kEurope, cloud,
+                               SteeringPolicy::kAnycast, config, rng);
+    misses += chosen != best;
+  }
+  EXPECT_NEAR(static_cast<double>(misses) / kTrials, 0.25, 0.03);
+}
+
+TEST(Steering, ZeroMisrouteAnycastEqualsOracle) {
+  const net::LatencyModel model;
+  const auto cloud = topology::CloudRegistry::campaign_footprint();
+  SteeringConfig config;
+  config.anycast_misroute_rate = 0.0;
+  stats::Xoshiro256 rng(4);
+  for (const char* iso2 : {"DE", "JP", "BR", "ZA"}) {
+    const geo::Country* c = geo::find_country(iso2);
+    const net::Endpoint user = user_in(iso2);
+    EXPECT_EQ(steer(model, user, c->continent, cloud,
+                    SteeringPolicy::kAnycast, config, rng),
+              steer(model, user, c->continent, cloud,
+                    SteeringPolicy::kMeasuredBest, config, rng));
+  }
+}
+
+TEST(Steering, PenaltyOrdering) {
+  // Oracle penalty is zero; geo-nearest and anycast pay something; the
+  // oracle is never beaten.
+  const net::LatencyModel model;
+  const auto cloud = topology::CloudRegistry::campaign_footprint();
+  const SteeringConfig config;
+  const auto oracle = evaluate_steering(
+      model, cloud, SteeringPolicy::kMeasuredBest, config, 42);
+  const auto geo_nearest =
+      evaluate_steering(model, cloud, SteeringPolicy::kGeoNearest, config, 42);
+  const auto anycast =
+      evaluate_steering(model, cloud, SteeringPolicy::kAnycast, config, 42);
+
+  EXPECT_EQ(oracle.misrouted, 0u);
+  EXPECT_DOUBLE_EQ(oracle.mean_penalty_ms, 0.0);
+  EXPECT_GE(geo_nearest.mean_penalty_ms, 0.0);
+  EXPECT_GT(anycast.misrouted, 0u);
+  EXPECT_GT(anycast.mean_penalty_ms, 0.0);
+  EXPECT_GE(anycast.worst_penalty_ms, anycast.p90_penalty_ms);
+  EXPECT_EQ(oracle.users, geo_nearest.users);
+  EXPECT_EQ(oracle.users, anycast.users);
+  EXPECT_GT(oracle.users, 150u);
+}
+
+TEST(Steering, GeoNearestPenaltyIsModest) {
+  // Geography is a decent proxy for latency in this model: the mean
+  // geo-steering penalty stays in the single-digit milliseconds (Jin et
+  // al.'s observation that most clients are well served, with a tail).
+  const net::LatencyModel model;
+  const auto cloud = topology::CloudRegistry::campaign_footprint();
+  const auto penalty = evaluate_steering(
+      model, cloud, SteeringPolicy::kGeoNearest, {}, 7);
+  EXPECT_LT(penalty.mean_penalty_ms, 10.0);
+  EXPECT_GE(penalty.worst_penalty_ms, penalty.mean_penalty_ms);
+}
+
+}  // namespace
+}  // namespace shears::route

@@ -1,0 +1,102 @@
+// Tests for the SVG renderer: well-formedness and content checks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "report/svg.hpp"
+
+namespace shears::report {
+namespace {
+
+Series ramp(const std::string& name) {
+  Series s;
+  s.name = name;
+  for (int i = 1; i <= 100; ++i) {
+    s.points.emplace_back(i, i / 100.0);
+  }
+  return s;
+}
+
+TEST(Svg, CdfDocumentStructure) {
+  SvgPlotOptions options;
+  options.title = "Fig. T<est> & co";
+  const std::string svg =
+      render_svg_cdf({ramp("EU"), ramp("NA")}, {{"MTP", 20.0}}, options);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Two series paths, one marker line (dashed), a legend per series.
+  EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);
+  EXPECT_NE(svg.find(">EU</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">NA</text>"), std::string::npos);
+  EXPECT_NE(svg.find("MTP"), std::string::npos);
+  // XML escaping of the title.
+  EXPECT_NE(svg.find("Fig. T&lt;est&gt; &amp; co"), std::string::npos);
+  EXPECT_EQ(svg.find("<est>"), std::string::npos);
+}
+
+TEST(Svg, DistinctColoursPerSeries) {
+  const std::string svg = render_svg_cdf({ramp("a"), ramp("b")}, {});
+  EXPECT_NE(svg.find("#0072B2"), std::string::npos);
+  EXPECT_NE(svg.find("#D55E00"), std::string::npos);
+}
+
+TEST(Svg, LogAxisDrawsDecadeTicks) {
+  SvgPlotOptions options;
+  options.log_x = true;
+  options.x_min = 1.0;
+  options.x_max = 1000.0;
+  const std::string svg = render_svg_cdf({ramp("x")}, {}, options);
+  EXPECT_NE(svg.find(">1</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">10</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">100</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">1000</text>"), std::string::npos);
+}
+
+TEST(Svg, EmptySeriesStillValid) {
+  const std::string svg = render_svg_cdf({}, {});
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, BarsRenderValuesAndLabels) {
+  const std::string svg = render_svg_bars(
+      {{"alpha & beta", 42.0}, {"gamma", 7.0}}, "Sites", "sites");
+  EXPECT_NE(svg.find("alpha &amp; beta"), std::string::npos);
+  EXPECT_NE(svg.find("42.0 sites"), std::string::npos);
+  EXPECT_NE(svg.find(">Sites</text>"), std::string::npos);
+}
+
+TEST(Svg, MapRendersLayersAndGraticule) {
+  MapLayer dots;
+  dots.name = "probes";
+  dots.lon_lat = {{8.68, 50.11}, {-74.01, 40.71}, {151.21, -33.87}};
+  MapLayer diamonds;
+  diamonds.name = "regions";
+  diamonds.diamond = true;
+  diamonds.lon_lat = {{103.82, 1.35}};
+  const std::string svg = render_svg_map({dots, diamonds}, "Fig. 3");
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("probes (3)"), std::string::npos);
+  EXPECT_NE(svg.find("regions (1)"), std::string::npos);
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);  // diamond marker
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  // Equirectangular: Frankfurt (lon 8.68) lands right of centre on an
+  // 880px map -> cx around (8.68+180)/360*880 = 461.
+  EXPECT_NE(svg.find("cx=\"461."), std::string::npos);
+}
+
+TEST(Svg, WriteTextFileRoundTrip) {
+  const std::string path = "/tmp/shears_svg_test.svg";
+  const std::string content = render_svg_cdf({ramp("x")}, {});
+  ASSERT_TRUE(write_text_file(path, content));
+  std::ifstream in(path);
+  std::string read((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(read, content);
+  std::remove(path.c_str());
+  EXPECT_FALSE(write_text_file("/nonexistent-dir/x.svg", content));
+}
+
+}  // namespace
+}  // namespace shears::report

@@ -1,0 +1,128 @@
+// Tests for the TCP-based probing extension (§5 future work).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geo/country.hpp"
+#include "net/tcp.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/rng.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::net {
+namespace {
+
+const topology::CloudRegion* region_by_id(std::string_view id) {
+  for (const topology::CloudRegion& r : topology::all_regions()) {
+    if (r.region_id == id) return &r;
+  }
+  return nullptr;
+}
+
+Endpoint paris_fibre() {
+  const geo::Country* fr = geo::find_country("FR");
+  return {fr->site, fr->tier, AccessTechnology::kFibre};
+}
+
+TEST(TcpConnect, TracksPingPlusOverhead) {
+  // The TCP-probing claim: application-level latency follows ICMP plus a
+  // small additive overhead, so ping-based conclusions carry over.
+  const LatencyModel model;
+  const Endpoint src = paris_fibre();
+  const auto* region = region_by_id("eu-west-3");
+  ASSERT_NE(region, nullptr);
+  stats::Xoshiro256 rng(1);
+  std::vector<double> pings;
+  std::vector<double> connects;
+  for (int i = 0; i < 20000; ++i) {
+    const PingObservation obs = model.ping_once(src, *region, rng);
+    if (!obs.lost) pings.push_back(obs.rtt_ms);
+    const TcpConnectResult tcp = tcp_connect(model, src, *region, rng);
+    if (tcp.connected && tcp.syn_attempts == 1) connects.push_back(tcp.connect_ms);
+  }
+  const double ping_median = stats::Ecdf(std::move(pings)).median();
+  const double tcp_median = stats::Ecdf(std::move(connects)).median();
+  EXPECT_GT(tcp_median, ping_median);
+  EXPECT_LT(tcp_median, ping_median + 1.5);  // just the stack overhead
+}
+
+TEST(TcpConnect, RetransmissionAddsRtoWaits) {
+  // Force heavy loss: retries must appear and pay whole RTO units.
+  LatencyModelConfig lossy;
+  lossy.core_loss_rate = 0.45;
+  const LatencyModel model(lossy);
+  const Endpoint src = paris_fibre();
+  const auto* region = region_by_id("eu-west-3");
+  ASSERT_NE(region, nullptr);
+  stats::Xoshiro256 rng(2);
+  bool saw_retry = false;
+  for (int i = 0; i < 2000; ++i) {
+    const TcpConnectResult r = tcp_connect(model, src, *region, rng);
+    EXPECT_LE(r.syn_attempts, 4);
+    if (r.connected && r.syn_attempts == 2) {
+      saw_retry = true;
+      EXPECT_GE(r.connect_ms, 1000.0);  // one initial RTO
+    }
+  }
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST(TcpConnect, GivesUpAfterMaxAttempts) {
+  LatencyModelConfig dead;
+  dead.core_loss_rate = 1.0;
+  const LatencyModel model(dead);
+  const Endpoint src = paris_fibre();
+  const auto* region = region_by_id("eu-west-3");
+  ASSERT_NE(region, nullptr);
+  stats::Xoshiro256 rng(3);
+  const TcpConnectResult r = tcp_connect(model, src, *region, rng);
+  EXPECT_FALSE(r.connected);
+  EXPECT_EQ(r.syn_attempts, 4);
+  // Waited 1 + 2 + 4 + 8 seconds of RTO.
+  EXPECT_DOUBLE_EQ(r.connect_ms, 15000.0);
+}
+
+TEST(HttpTtfb, AddsRequestRttAndServerTime) {
+  const LatencyModel model;
+  const Endpoint src = paris_fibre();
+  const auto* region = region_by_id("eu-west-3");
+  ASSERT_NE(region, nullptr);
+  stats::Xoshiro256 rng(4);
+  TcpProbeConfig config;
+  config.server_time_median_ms = 8.0;
+  std::vector<double> ttfbs;
+  for (int i = 0; i < 20000; ++i) {
+    const HttpProbeResult r = http_ttfb(model, src, *region, rng, config);
+    if (r.ok) {
+      EXPECT_GT(r.ttfb_ms, r.connect_ms);
+      ttfbs.push_back(r.ttfb_ms);
+    }
+  }
+  ASSERT_GT(ttfbs.size(), 19000u);
+  const double baseline = model.baseline_rtt_ms(src, *region);
+  const double median = stats::Ecdf(std::move(ttfbs)).median();
+  // TTFB ~ 2 RTTs + server time: strictly above 2x baseline, but within
+  // a sane envelope.
+  EXPECT_GT(median, 2.0 * baseline);
+  EXPECT_LT(median, 2.0 * baseline + 25.0);
+}
+
+TEST(HttpTtfb, FacebookAnchorStillHoldsOverTcp) {
+  // §5: "clients rarely observe latencies above 40 ms" — with TCP probing
+  // the connect time (the comparable quantity) stays under 40 ms for a
+  // well-connected European user.
+  const LatencyModel model;
+  const Endpoint src = paris_fibre();
+  const auto* region = region_by_id("eu-west-3");
+  ASSERT_NE(region, nullptr);
+  stats::Xoshiro256 rng(5);
+  std::vector<double> connects;
+  for (int i = 0; i < 10000; ++i) {
+    const TcpConnectResult r = tcp_connect(model, src, *region, rng);
+    if (r.connected && r.syn_attempts == 1) connects.push_back(r.connect_ms);
+  }
+  EXPECT_LT(stats::Ecdf(std::move(connects)).percentile(90.0), 40.0);
+}
+
+}  // namespace
+}  // namespace shears::net

@@ -1,0 +1,198 @@
+// Tests for the cloud-topology substrate: the 101-region dataset and the
+// registry's snapshot / query semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "geo/country.hpp"
+#include "topology/provider.hpp"
+#include "topology/region.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::topology {
+namespace {
+
+TEST(Provider, SevenProviders) {
+  EXPECT_EQ(kProviderCount, 7u);
+  std::set<std::string_view> names;
+  for (const CloudProvider p : kAllProviders) names.insert(to_string(p));
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(Provider, BackboneClassesMatchPaper) {
+  // §4.1: Amazon/Google(/Azure/Alibaba) run private backbones; Linode,
+  // Digital Ocean (and Vultr) largely ride the public Internet.
+  EXPECT_EQ(backbone_class(CloudProvider::kAmazon), BackboneClass::kPrivate);
+  EXPECT_EQ(backbone_class(CloudProvider::kGoogle), BackboneClass::kPrivate);
+  EXPECT_EQ(backbone_class(CloudProvider::kAzure), BackboneClass::kPrivate);
+  EXPECT_EQ(backbone_class(CloudProvider::kDigitalOcean),
+            BackboneClass::kPublic);
+  EXPECT_EQ(backbone_class(CloudProvider::kLinode), BackboneClass::kPublic);
+  EXPECT_EQ(backbone_class(CloudProvider::kVultr), BackboneClass::kPublic);
+}
+
+TEST(Provider, NameRoundTrip) {
+  for (const CloudProvider p : kAllProviders) {
+    const auto parsed = provider_from_string(to_string(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(provider_from_string("Initech").has_value());
+}
+
+TEST(RegionData, Exactly101RegionsIn21Countries) {
+  EXPECT_EQ(region_count(), 101u);
+  std::set<std::string_view> countries;
+  for (const CloudRegion& r : all_regions()) countries.insert(r.country_iso2);
+  EXPECT_EQ(countries.size(), 21u);  // §4.1: "101 datacenters in 21 countries"
+}
+
+TEST(RegionData, AllProvidersRepresented) {
+  std::set<CloudProvider> providers;
+  for (const CloudRegion& r : all_regions()) providers.insert(r.provider);
+  EXPECT_EQ(providers.size(), kProviderCount);
+}
+
+TEST(RegionData, FieldsValid) {
+  std::set<std::pair<CloudProvider, std::string_view>> ids;
+  for (const CloudRegion& r : all_regions()) {
+    EXPECT_FALSE(r.region_id.empty());
+    EXPECT_FALSE(r.city.empty());
+    EXPECT_TRUE(geo::is_valid(r.location)) << r.region_id;
+    EXPECT_GE(r.launch_year, 2004);
+    EXPECT_LE(r.launch_year, 2020);
+    // region_id unique within a provider.
+    EXPECT_TRUE(ids.insert({r.provider, r.region_id}).second) << r.region_id;
+    // Hosting country must resolve in the geo registry.
+    EXPECT_NE(geo::find_country(r.country_iso2), nullptr) << r.country_iso2;
+  }
+}
+
+TEST(RegionData, RegionSitsInItsCountry) {
+  // Region coordinates must be plausibly near the hosting country's
+  // registry site (same metro area or at least same region of the world).
+  for (const CloudRegion& r : all_regions()) {
+    const geo::Country* c = geo::find_country(r.country_iso2);
+    ASSERT_NE(c, nullptr);
+    EXPECT_LT(geo::haversine_km(r.location, c->site), 4500.0)
+        << r.region_id << " vs " << c->name;
+  }
+}
+
+TEST(RegionData, AmazonGrewFromAHandful) {
+  // §4: "Amazon's cloud has increased from 3 to 22 datacenter locations".
+  // In our registry the 2010 AWS footprint must be a small handful and the
+  // 2020 footprint an order of magnitude larger.
+  std::size_t aws_2010 = 0;
+  std::size_t aws_2020 = 0;
+  for (const CloudRegion& r : all_regions()) {
+    if (r.provider != CloudProvider::kAmazon) continue;
+    if (r.launch_year <= 2010) ++aws_2010;
+    ++aws_2020;
+  }
+  EXPECT_LE(aws_2010, 5u);
+  EXPECT_GE(aws_2020, 18u);
+}
+
+TEST(Registry, CampaignFootprintIsFullDataset) {
+  const CloudRegistry reg = CloudRegistry::campaign_footprint();
+  EXPECT_EQ(reg.size(), region_count());
+  EXPECT_EQ(reg.hosting_countries().size(), 21u);
+}
+
+TEST(Registry, FootprintSnapshotsAreMonotone) {
+  std::size_t prev = 0;
+  for (const int year : {2008, 2010, 2012, 2014, 2016, 2018, 2020}) {
+    const std::size_t n = CloudRegistry::footprint_as_of(year).size();
+    EXPECT_GE(n, prev) << year;
+    prev = n;
+  }
+  EXPECT_EQ(CloudRegistry::footprint_as_of(2020).size(), region_count());
+  EXPECT_EQ(CloudRegistry::footprint_as_of(2003).size(), 0u);
+}
+
+TEST(Registry, AfricaHadNoRegionBefore2019) {
+  // Cloud presence in Africa arrived only at the very end of the study
+  // window (the paper: "only one operating region").
+  const CloudRegistry reg_2018 = CloudRegistry::footprint_as_of(2018);
+  EXPECT_TRUE(reg_2018.in_continent(geo::Continent::kAfrica).empty());
+  const CloudRegistry full = CloudRegistry::campaign_footprint();
+  const auto africa = full.in_continent(geo::Continent::kAfrica);
+  EXPECT_GE(africa.size(), 1u);
+  EXPECT_LE(africa.size(), 2u);
+}
+
+TEST(Registry, ProviderFilter) {
+  const CloudRegistry aws =
+      CloudRegistry::for_providers({CloudProvider::kAmazon});
+  EXPECT_EQ(aws.size(), 20u);
+  for (const CloudRegion* r : aws.regions()) {
+    EXPECT_EQ(r->provider, CloudProvider::kAmazon);
+  }
+  const CloudRegistry none = CloudRegistry::for_providers({});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(Registry, OfProviderMatchesForProviders) {
+  const CloudRegistry full = CloudRegistry::campaign_footprint();
+  std::size_t total = 0;
+  for (const CloudProvider p : kAllProviders) {
+    total += full.of_provider(p).size();
+  }
+  EXPECT_EQ(total, full.size());
+}
+
+TEST(Registry, NearestFindsLocalRegion) {
+  const CloudRegistry reg = CloudRegistry::campaign_footprint();
+  // A point in central Frankfurt must resolve to a Frankfurt region.
+  const auto best = reg.nearest({50.11, 8.68});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->region->city, "Frankfurt");
+  EXPECT_LT(best->distance_km, 10.0);
+}
+
+TEST(Registry, NearestNIsSortedAndBounded) {
+  const CloudRegistry reg = CloudRegistry::campaign_footprint();
+  const auto ranked = reg.nearest_n({35.68, 139.69}, 10);  // Tokyo
+  ASSERT_EQ(ranked.size(), 10u);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i].distance_km, ranked[i - 1].distance_km);
+  }
+  EXPECT_EQ(ranked.front().region->city, "Tokyo");
+  // Requesting more than available returns everything.
+  EXPECT_EQ(reg.nearest_n({0.0, 0.0}, 1000).size(), reg.size());
+}
+
+TEST(Registry, EmptyRegistryBehaviour) {
+  const CloudRegistry empty{std::vector<const CloudRegion*>{}};
+  EXPECT_FALSE(empty.nearest({0.0, 0.0}).has_value());
+  EXPECT_TRUE(std::isinf(empty.nearest_distance_km({0.0, 0.0})));
+  EXPECT_TRUE(empty.hosting_countries().empty());
+}
+
+TEST(Registry, RejectsNullRegion) {
+  std::vector<const CloudRegion*> bad = {nullptr};
+  EXPECT_THROW(CloudRegistry{std::move(bad)}, std::invalid_argument);
+}
+
+TEST(Registry, ContinentCoverageMatchesPaper) {
+  // Fig. 3a: Europe, North America and Asia are dense; Africa and South
+  // America sparse.
+  const CloudRegistry reg = CloudRegistry::campaign_footprint();
+  std::map<geo::Continent, std::size_t> counts;
+  for (const geo::Continent c : geo::kAllContinents) {
+    counts[c] = reg.in_continent(c).size();
+  }
+  EXPECT_GE(counts[geo::Continent::kEurope], 20u);
+  EXPECT_GE(counts[geo::Continent::kNorthAmerica], 20u);
+  EXPECT_GE(counts[geo::Continent::kAsia], 20u);
+  EXPECT_LE(counts[geo::Continent::kAfrica], 2u);
+  EXPECT_LE(counts[geo::Continent::kSouthAmerica], 4u);
+  std::size_t total = 0;
+  for (const auto& [c, n] : counts) total += n;
+  EXPECT_EQ(total, reg.size());
+}
+
+}  // namespace
+}  // namespace shears::topology

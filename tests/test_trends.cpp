@@ -1,0 +1,98 @@
+// Tests for the Fig. 1 zeitgeist module.
+#include <gtest/gtest.h>
+
+#include "trends/trends.hpp"
+
+namespace shears::trends {
+namespace {
+
+TEST(Series, CoverTheFullWindow) {
+  for (const Topic t : {Topic::kEdgeComputing, Topic::kCloudComputing}) {
+    EXPECT_EQ(search_popularity(t).size(),
+              static_cast<std::size_t>(kLastYear - kFirstYear + 1));
+    EXPECT_EQ(publications(t).size(),
+              static_cast<std::size_t>(kLastYear - kFirstYear + 1));
+  }
+}
+
+TEST(Series, YearsAreSequential) {
+  for (const Topic t : {Topic::kEdgeComputing, Topic::kCloudComputing}) {
+    int expected = kFirstYear;
+    for (const TrendPoint& p : search_popularity(t)) {
+      EXPECT_EQ(p.year, expected++);
+    }
+  }
+}
+
+TEST(Series, ValueLookup) {
+  EXPECT_DOUBLE_EQ(value_in(search_popularity(Topic::kCloudComputing), 2012),
+                   100.0);
+  EXPECT_DOUBLE_EQ(value_in(search_popularity(Topic::kCloudComputing), 1999),
+                   0.0);
+}
+
+TEST(Series, CloudSearchPeaksEarlyThenDeclines) {
+  const auto cloud = search_popularity(Topic::kCloudComputing);
+  double peak = 0.0;
+  int peak_year = 0;
+  for (const TrendPoint& p : cloud) {
+    if (p.value > peak) {
+      peak = p.value;
+      peak_year = p.year;
+    }
+  }
+  EXPECT_GE(peak_year, 2010);
+  EXPECT_LE(peak_year, 2013);
+  EXPECT_LT(value_in(cloud, kLastYear), peak * 0.6);
+}
+
+TEST(Series, EdgeRisesLate) {
+  const auto edge = search_popularity(Topic::kEdgeComputing);
+  EXPECT_LE(value_in(edge, 2012), 2.0);
+  EXPECT_GE(value_in(edge, 2019), 30.0);
+  // Publications explode after 2015 (order-of-magnitude growth).
+  const auto pubs = publications(Topic::kEdgeComputing);
+  EXPECT_GT(value_in(pubs, 2019), 10.0 * value_in(pubs, 2015));
+}
+
+TEST(Eras, MatchTheNarrative) {
+  // §2: CDN era until the late 2000s, cloud era through the mid-2010s,
+  // edge era after ("Cloudlets in 2009 started the Edge era" as research,
+  // but the publication/search inflection lands mid-decade).
+  const EraBoundaries eras = segment_eras();
+  EXPECT_GE(eras.cdn_until, 2006);
+  EXPECT_LE(eras.cdn_until, 2009);
+  EXPECT_GE(eras.cloud_until, 2012);
+  EXPECT_LE(eras.cloud_until, 2016);
+  EXPECT_GT(eras.cloud_until, eras.cdn_until);
+}
+
+TEST(Growth, CagrBasics) {
+  const auto pubs = publications(Topic::kEdgeComputing);
+  const double g = cagr(pubs, 2015, 2019);
+  EXPECT_GT(g, 1.0);  // >100% per year through the boom
+  EXPECT_DOUBLE_EQ(cagr(pubs, 2019, 2015), 0.0);
+  EXPECT_DOUBLE_EQ(cagr(pubs, 1990, 2019), 0.0);
+}
+
+TEST(Growth, LogFitSlopePositiveForEdgeBoom) {
+  const auto fit =
+      log_growth_fit(publications(Topic::kEdgeComputing), 2013, 2019);
+  EXPECT_GT(fit.slope, 0.5);  // ~e^0.5 - 1 = 65%+ annual growth
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(Growth, CrossoverDetection) {
+  const int year =
+      growth_crossover_year(publications(Topic::kEdgeComputing),
+                            publications(Topic::kCloudComputing), 1.5);
+  EXPECT_GE(year, 2013);
+  EXPECT_LE(year, 2016);
+  // With an absurd margin there is no crossover.
+  EXPECT_EQ(growth_crossover_year(publications(Topic::kEdgeComputing),
+                                  publications(Topic::kCloudComputing), 50.0),
+            -1);
+}
+
+}  // namespace
+}  // namespace shears::trends

@@ -1,0 +1,88 @@
+// Tests for the what-if engines (expansion ablation A1, 5G ablation A2).
+#include <gtest/gtest.h>
+
+#include "atlas/placement.hpp"
+#include "core/whatif.hpp"
+#include "net/latency_model.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::core {
+namespace {
+
+TEST(ExpansionSweep, CoverageGrowsWithFootprint) {
+  const net::LatencyModel model;
+  const auto points = expansion_sweep({2010, 2014, 2017, 2020}, model);
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].region_count, points[i - 1].region_count);
+    EXPECT_GE(points[i].countries_under_20ms,
+              points[i - 1].countries_under_20ms);
+    EXPECT_LE(points[i].median_best_rtt_ms,
+              points[i - 1].median_best_rtt_ms + 1e-9);
+  }
+  // 2010: a handful of regions, little sub-20ms coverage outside hosts.
+  EXPECT_LT(points[0].region_count, 15u);
+  // 2020: the full footprint and broad coverage.
+  EXPECT_EQ(points.back().region_count, topology::region_count());
+  EXPECT_GT(points.back().countries_under_20ms,
+            2 * points[0].countries_under_20ms);
+}
+
+TEST(ExpansionSweep, HostingCountriesTracked) {
+  const net::LatencyModel model;
+  const auto points = expansion_sweep({2010, 2020}, model);
+  EXPECT_LE(points[0].hosting_countries, 8u);
+  EXPECT_EQ(points[1].hosting_countries, 21u);
+}
+
+TEST(ExpansionSweep, PreCloudYearCoversNobody) {
+  // Before any region existed, no country is measured at all.
+  const net::LatencyModel model;
+  const auto points = expansion_sweep({2003}, model);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].region_count, 0u);
+  EXPECT_EQ(points[0].countries_under_100ms, 0u);
+  EXPECT_DOUBLE_EQ(points[0].median_best_rtt_ms, 0.0);
+}
+
+TEST(ExpansionSweep, FallbackContinentsCountAsReachable) {
+  // In 2012 Africa had no region, but African countries still reach the
+  // European footprint under the §4.1 rule, so they appear in coverage.
+  const net::LatencyModel model;
+  const auto points = expansion_sweep({2012}, model);
+  ASSERT_EQ(points.size(), 1u);
+  // Coverage spans far more countries than the hosting set alone.
+  EXPECT_GT(points[0].countries_under_100ms,
+            points[0].hosting_countries * 3);
+}
+
+TEST(ExpansionSweep, EmptyYearListIsEmpty) {
+  const net::LatencyModel model;
+  EXPECT_TRUE(expansion_sweep({}, model).empty());
+}
+
+TEST(WirelessSweep, RatioShrinksTowardParity) {
+  // As wireless last-mile latency approaches the 5G promise, the Fig. 7
+  // gap must close monotonically (within noise) toward ~1x.
+  atlas::PlacementConfig placement;
+  placement.probe_count = 600;
+  placement.seed = 17;
+  const auto fleet = atlas::ProbeFleet::generate(placement);
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  atlas::CampaignConfig campaign;
+  campaign.duration_days = 6;
+  campaign.seed = 19;
+
+  const auto points = wireless_improvement_sweep({1.0, 0.5, 0.1}, fleet,
+                                                 registry, {}, campaign);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_GT(points[0].median_ratio, 1.7);
+  EXPECT_GT(points[0].median_ratio, points[1].median_ratio);
+  EXPECT_GT(points[1].median_ratio, points[2].median_ratio);
+  EXPECT_LT(points[2].median_ratio, 1.5);
+  // Wired medians stay put (the knob only touches wireless).
+  EXPECT_NEAR(points[0].wired_median_ms, points[2].wired_median_ms, 1.0);
+}
+
+}  // namespace
+}  // namespace shears::core
