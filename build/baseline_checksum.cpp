@@ -1,0 +1,43 @@
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include "atlas/campaign.hpp"
+#include "atlas/placement.hpp"
+#include "net/latency_model.hpp"
+#include "topology/registry.hpp"
+using namespace shears;
+// FNV-1a over the core record fields (stable across struct layout changes).
+static std::uint64_t record_hash(const atlas::MeasurementDataset& ds) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) { h ^= b[i]; h *= 0x100000001b3ULL; }
+  };
+  for (const auto& m : ds.records()) {
+    mix(&m.probe_id, sizeof m.probe_id);
+    mix(&m.region_index, sizeof m.region_index);
+    mix(&m.tick, sizeof m.tick);
+    mix(&m.min_ms, sizeof m.min_ms);
+    mix(&m.avg_ms, sizeof m.avg_ms);
+    mix(&m.max_ms, sizeof m.max_ms);
+    mix(&m.sent, sizeof m.sent);
+    mix(&m.received, sizeof m.received);
+  }
+  return h;
+}
+int main() {
+  atlas::PlacementConfig pc; pc.probe_count = 400; pc.seed = 11;
+  const auto fleet = atlas::ProbeFleet::generate(pc);
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  for (double uptime : {1.0, 0.9}) {
+    for (unsigned threads : {1u, 4u}) {
+      atlas::CampaignConfig cc; cc.duration_days = 3; cc.seed = 13;
+      cc.threads = threads; cc.probe_uptime = uptime;
+      const auto ds = atlas::Campaign(fleet, registry, model, cc).run();
+      std::cout << "uptime=" << uptime << " threads=" << threads
+                << " n=" << ds.size() << " hash=" << record_hash(ds) << "\n";
+    }
+  }
+  return 0;
+}

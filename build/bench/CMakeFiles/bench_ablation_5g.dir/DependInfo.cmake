@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/stats/CMakeFiles/shears_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/trends/CMakeFiles/shears_trends.dir/DependInfo.cmake"
   "/root/repo/build/src/report/CMakeFiles/shears_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/shears_faults.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

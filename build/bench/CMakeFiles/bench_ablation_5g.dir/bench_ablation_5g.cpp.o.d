@@ -192,5 +192,7 @@ bench/CMakeFiles/bench_ablation_5g.dir/bench_ablation_5g.cpp.o: \
  /root/repo/src/atlas/campaign.hpp /root/repo/src/atlas/measurement.hpp \
  /root/repo/src/topology/registry.hpp /root/repo/src/topology/region.hpp \
  /root/repo/src/topology/provider.hpp \
+ /root/repo/src/faults/fault_schedule.hpp \
+ /root/repo/src/faults/resilience.hpp \
  /root/repo/src/net/latency_model.hpp /root/repo/src/net/path.hpp \
  /root/repo/src/net/ping.hpp /root/repo/src/report/table.hpp

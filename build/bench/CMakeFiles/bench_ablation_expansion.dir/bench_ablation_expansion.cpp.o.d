@@ -191,5 +191,7 @@ bench/CMakeFiles/bench_ablation_expansion.dir/bench_ablation_expansion.cpp.o: \
  /root/repo/src/net/access.hpp /root/repo/src/stats/rng.hpp \
  /root/repo/src/net/endpoint.hpp /root/repo/src/topology/registry.hpp \
  /root/repo/src/topology/region.hpp /root/repo/src/topology/provider.hpp \
+ /root/repo/src/faults/fault_schedule.hpp \
+ /root/repo/src/faults/resilience.hpp \
  /root/repo/src/net/latency_model.hpp /root/repo/src/net/path.hpp \
  /root/repo/src/net/ping.hpp /root/repo/src/report/table.hpp

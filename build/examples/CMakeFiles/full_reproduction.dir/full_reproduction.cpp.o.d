@@ -197,6 +197,8 @@ examples/CMakeFiles/full_reproduction.dir/full_reproduction.cpp.o: \
  /root/repo/src/net/access.hpp /root/repo/src/stats/rng.hpp \
  /root/repo/src/net/endpoint.hpp /root/repo/src/topology/registry.hpp \
  /root/repo/src/topology/region.hpp /root/repo/src/topology/provider.hpp \
+ /root/repo/src/faults/fault_schedule.hpp \
+ /root/repo/src/faults/resilience.hpp \
  /root/repo/src/net/latency_model.hpp /root/repo/src/net/path.hpp \
  /root/repo/src/net/ping.hpp /root/repo/src/atlas/credits.hpp \
  /root/repo/src/atlas/selection.hpp \
@@ -212,11 +214,12 @@ examples/CMakeFiles/full_reproduction.dir/full_reproduction.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/config/scenario.hpp /root/repo/src/core/whatif.hpp \
- /root/repo/src/edge/deployment.hpp /root/repo/src/geo/city.hpp \
- /root/repo/src/net/segments.hpp /root/repo/src/net/tcp.hpp \
- /root/repo/src/report/plot.hpp /root/repo/src/report/svg.hpp \
- /root/repo/src/report/table.hpp /root/repo/src/route/graph.hpp \
+ /root/repo/src/config/scenario.hpp /root/repo/src/core/quality.hpp \
+ /root/repo/src/core/whatif.hpp /root/repo/src/edge/deployment.hpp \
+ /root/repo/src/geo/city.hpp /root/repo/src/net/segments.hpp \
+ /root/repo/src/net/tcp.hpp /root/repo/src/report/plot.hpp \
+ /root/repo/src/report/resilience.hpp /root/repo/src/report/table.hpp \
+ /root/repo/src/report/svg.hpp /root/repo/src/route/graph.hpp \
  /root/repo/src/route/path_provider.hpp /root/repo/src/route/steering.hpp \
  /root/repo/src/stats/bootstrap.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \

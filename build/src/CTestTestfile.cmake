@@ -8,6 +8,7 @@ subdirs("stats")
 subdirs("geo")
 subdirs("topology")
 subdirs("net")
+subdirs("faults")
 subdirs("apps")
 subdirs("edge")
 subdirs("route")

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/access_comparison.cpp" "src/core/CMakeFiles/shears_core.dir/access_comparison.cpp.o" "gcc" "src/core/CMakeFiles/shears_core.dir/access_comparison.cpp.o.d"
   "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/shears_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/shears_core.dir/analysis.cpp.o.d"
   "/root/repo/src/core/feasibility.cpp" "src/core/CMakeFiles/shears_core.dir/feasibility.cpp.o" "gcc" "src/core/CMakeFiles/shears_core.dir/feasibility.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "src/core/CMakeFiles/shears_core.dir/quality.cpp.o" "gcc" "src/core/CMakeFiles/shears_core.dir/quality.cpp.o.d"
   "/root/repo/src/core/whatif.cpp" "src/core/CMakeFiles/shears_core.dir/whatif.cpp.o" "gcc" "src/core/CMakeFiles/shears_core.dir/whatif.cpp.o.d"
   )
 
@@ -18,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/apps/CMakeFiles/shears_apps.dir/DependInfo.cmake"
   "/root/repo/build/src/atlas/CMakeFiles/shears_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/shears_faults.dir/DependInfo.cmake"
   "/root/repo/build/src/geo/CMakeFiles/shears_geo.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/shears_net.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/shears_stats.dir/DependInfo.cmake"

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/shears_core.dir/analysis.cpp.o.d"
   "CMakeFiles/shears_core.dir/feasibility.cpp.o"
   "CMakeFiles/shears_core.dir/feasibility.cpp.o.d"
+  "CMakeFiles/shears_core.dir/quality.cpp.o"
+  "CMakeFiles/shears_core.dir/quality.cpp.o.d"
   "CMakeFiles/shears_core.dir/whatif.cpp.o"
   "CMakeFiles/shears_core.dir/whatif.cpp.o.d"
   "libshears_core.a"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/shears_report.dir/plot.cpp.o"
   "CMakeFiles/shears_report.dir/plot.cpp.o.d"
+  "CMakeFiles/shears_report.dir/resilience.cpp.o"
+  "CMakeFiles/shears_report.dir/resilience.cpp.o.d"
   "CMakeFiles/shears_report.dir/svg.cpp.o"
   "CMakeFiles/shears_report.dir/svg.cpp.o.d"
   "CMakeFiles/shears_report.dir/table.cpp.o"

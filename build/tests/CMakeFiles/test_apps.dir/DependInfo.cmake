@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/edge/CMakeFiles/shears_edge.dir/DependInfo.cmake"
   "/root/repo/build/src/route/CMakeFiles/shears_route.dir/DependInfo.cmake"
   "/root/repo/build/src/atlas/CMakeFiles/shears_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/shears_faults.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/shears_net.dir/DependInfo.cmake"
   "/root/repo/build/src/topology/CMakeFiles/shears_topology.dir/DependInfo.cmake"
   "/root/repo/build/src/geo/CMakeFiles/shears_geo.dir/DependInfo.cmake"

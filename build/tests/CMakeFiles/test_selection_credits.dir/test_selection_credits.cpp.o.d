@@ -326,5 +326,7 @@ tests/CMakeFiles/test_selection_credits.dir/test_selection_credits.cpp.o: \
  /root/repo/src/net/access.hpp /root/repo/src/stats/rng.hpp \
  /root/repo/src/net/endpoint.hpp /root/repo/src/topology/registry.hpp \
  /root/repo/src/topology/region.hpp /root/repo/src/topology/provider.hpp \
+ /root/repo/src/faults/fault_schedule.hpp \
+ /root/repo/src/faults/resilience.hpp \
  /root/repo/src/net/latency_model.hpp /root/repo/src/net/path.hpp \
  /root/repo/src/net/ping.hpp /root/repo/src/atlas/selection.hpp

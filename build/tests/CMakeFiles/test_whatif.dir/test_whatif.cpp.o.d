@@ -323,5 +323,7 @@ tests/CMakeFiles/test_whatif.dir/test_whatif.cpp.o: \
  /root/repo/src/atlas/campaign.hpp /root/repo/src/atlas/measurement.hpp \
  /root/repo/src/topology/registry.hpp /root/repo/src/topology/region.hpp \
  /root/repo/src/topology/provider.hpp \
+ /root/repo/src/faults/fault_schedule.hpp \
+ /root/repo/src/faults/resilience.hpp \
  /root/repo/src/net/latency_model.hpp /root/repo/src/net/path.hpp \
  /root/repo/src/net/ping.hpp

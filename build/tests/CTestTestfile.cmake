@@ -10,6 +10,8 @@ include("/root/repo/build/tests/test_topology[1]_include.cmake")
 include("/root/repo/build/tests/test_net[1]_include.cmake")
 include("/root/repo/build/tests/test_apps[1]_include.cmake")
 include("/root/repo/build/tests/test_atlas[1]_include.cmake")
+include("/root/repo/build/tests/test_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_quality[1]_include.cmake")
 include("/root/repo/build/tests/test_trends[1]_include.cmake")
 include("/root/repo/build/tests/test_report[1]_include.cmake")
 include("/root/repo/build/tests/test_core_analysis[1]_include.cmake")

@@ -33,6 +33,6 @@ int main(int argc, char** argv) {
             << config.duration_days << " days, " << fleet.size()
             << " probes, " << cloud.size() << " regions) to " << path << '\n'
             << "columns: probe_id,country,continent,access,provider,region,"
-               "tick,min_ms,avg_ms,max_ms,sent,received\n";
+               "tick,min_ms,avg_ms,max_ms,sent,received,retries,faults\n";
   return 0;
 }

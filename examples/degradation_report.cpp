@@ -1,0 +1,76 @@
+// degradation_report — how much does a broken Internet move the paper's
+// conclusions? Runs the same campaign twice — once clean, once under a
+// moderate fault regime with retries and quarantine enabled — applies
+// the data-quality guards to both datasets, and prints:
+//   * the engine's resilience telemetry for the faulted run,
+//   * what the quality guards dropped and why,
+//   * the per-continent feasibility-verdict shifts (the degradation
+//     report proper).
+//
+// Usage:  degradation_report [days]      (default 30)
+#include <cstdlib>
+#include <iostream>
+
+#include "shears.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shears;
+
+  const int days = argc > 1 ? std::atoi(argv[1]) : 30;
+  if (days <= 0) {
+    std::cerr << "usage: degradation_report [days]\n";
+    return 1;
+  }
+
+  const auto fleet = atlas::ProbeFleet::generate({});
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+
+  atlas::CampaignConfig config;
+  config.duration_days = days;
+
+  std::cout << "clean campaign: " << fleet.size() << " probes, " << days
+            << " days...\n";
+  const auto clean = atlas::Campaign(fleet, registry, model, config).run();
+
+  faults::FaultScheduleConfig fault_config;
+  fault_config.region_outage_rate = 0.02;
+  fault_config.route_flap_rate = 0.05;
+  fault_config.storm_rate = 0.04;
+  fault_config.probe_hang_rate = 0.03;
+  fault_config.clock_skew_rate = 0.01;
+  fault_config.blackout_rate = 0.002;
+  const faults::FaultSchedule schedule(fault_config);
+
+  atlas::CampaignConfig faulted_config = config;
+  faulted_config.retry.max_retries = 2;
+  faulted_config.quarantine.enabled = true;
+
+  std::cout << "faulted campaign (outages, flaps, storms, hangs, skew, "
+               "blackouts; retries + quarantine on)...\n\n";
+  atlas::CampaignTelemetry telemetry;
+  const auto faulted =
+      atlas::Campaign(fleet, registry, model, faulted_config, &schedule)
+          .run(telemetry);
+
+  std::cout << "telemetry (faulted run)\n"
+            << report::telemetry_table(telemetry).to_string() << '\n';
+
+  core::QualityReport quality;
+  const auto guarded = core::apply_quality_guards(faulted, {}, &quality);
+  std::cout << "quality guards (faulted run)\n"
+            << report::quality_table(quality).to_string() << '\n';
+  std::cout << "faulted records carrying fault flags: "
+            << report::fmt_percent(faulted.faulted_fraction()) << ", "
+            << guarded.size() << " records survive the guards\n\n";
+
+  const core::DegradationReport degradation = core::degradation_report(
+      clean, faulted, apps::application_catalog());
+  std::cout << "degradation report (clean vs faulted medians, Fig. 8 "
+               "verdicts)\n"
+            << report::degradation_table(degradation).to_string() << '\n';
+  std::cout << (degradation.stable()
+                    ? "verdicts are STABLE under this fault regime.\n"
+                    : "verdicts SHIFTED — see rows above.\n");
+  return 0;
+}

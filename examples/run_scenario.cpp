@@ -50,10 +50,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto dataset =
-      atlas::Campaign(fleet, registry, model, scenario.campaign).run();
+  const faults::FaultSchedule schedule = scenario.make_fault_schedule();
+  const atlas::Campaign campaign(fleet, registry, model, scenario.campaign,
+                                 schedule.empty() ? nullptr : &schedule);
+  atlas::CampaignTelemetry telemetry;
+  const auto dataset = campaign.run(telemetry);
   std::cout << "dataset: " << dataset.size() << " bursts, loss "
-            << report::fmt_percent(dataset.loss_fraction()) << "\n\n";
+            << report::fmt_percent(dataset.loss_fraction()) << "\n";
+  if (!schedule.empty()) {
+    std::cout << "faults: "
+              << report::fmt_percent(dataset.faulted_fraction())
+              << " of bursts flagged, " << telemetry.bursts_retried
+              << " retried, " << telemetry.bursts_recovered
+              << " recovered, " << telemetry.quarantine_entries
+              << " quarantine entries\n";
+  }
+  std::cout << '\n';
 
   const auto bands =
       core::band_country_latencies(core::country_min_latency(dataset));

@@ -8,17 +8,67 @@
 
 namespace shears::atlas {
 
+namespace {
+
+/// Salt separating the retry RNG stream from a probe's scheduled stream:
+/// enabling retries must not perturb the scheduled draws.
+constexpr std::uint64_t kRetryStreamSalt = 0x9d5c0f1b2e6a8374ULL;
+
+net::PingResult lost_burst(int packets) noexcept {
+  net::PingResult result;
+  result.sent = packets;
+  return result;
+}
+
+}  // namespace
+
+void CampaignConfig::validate() const {
+  if (duration_days <= 0) {
+    throw std::invalid_argument("CampaignConfig: duration_days must be > 0");
+  }
+  if (interval_hours <= 0) {
+    throw std::invalid_argument("CampaignConfig: interval_hours must be > 0");
+  }
+  if (packets_per_ping <= 0) {
+    throw std::invalid_argument("CampaignConfig: packets_per_ping must be > 0");
+  }
+  if (packets_per_ping > 255) {
+    throw std::invalid_argument(
+        "CampaignConfig: packets_per_ping exceeds the record counter (255)");
+  }
+  if (targets_per_tick <= 0) {
+    throw std::invalid_argument("CampaignConfig: targets_per_tick must be > 0");
+  }
+  if (probe_uptime <= 0.0 || probe_uptime > 1.0) {
+    throw std::invalid_argument("CampaignConfig: probe_uptime must be (0, 1]");
+  }
+  retry.validate();
+  quarantine.validate();
+}
+
+void CampaignTelemetry::merge(const CampaignTelemetry& other) noexcept {
+  bursts += other.bursts;
+  bursts_retried += other.bursts_retried;
+  retries += other.retries;
+  bursts_recovered += other.bursts_recovered;
+  bursts_faulted += other.bursts_faulted;
+  hang_ticks += other.hang_ticks;
+  quarantine_entries += other.quarantine_entries;
+  quarantined_ticks += other.quarantined_ticks;
+}
+
 Campaign::Campaign(const ProbeFleet& fleet,
                    const topology::CloudRegistry& registry,
                    const net::LatencyModel& model, CampaignConfig config)
-    : fleet_(&fleet), registry_(&registry), model_(&model), config_(config) {
-  if (config_.duration_days <= 0 || config_.interval_hours <= 0 ||
-      config_.packets_per_ping <= 0 || config_.targets_per_tick <= 0) {
-    throw std::invalid_argument("CampaignConfig: all knobs must be positive");
-  }
-  if (config_.probe_uptime <= 0.0 || config_.probe_uptime > 1.0) {
-    throw std::invalid_argument("CampaignConfig: probe_uptime must be (0, 1]");
-  }
+    : Campaign(fleet, registry, model, config, nullptr) {}
+
+Campaign::Campaign(const ProbeFleet& fleet,
+                   const topology::CloudRegistry& registry,
+                   const net::LatencyModel& model, CampaignConfig config,
+                   const faults::FaultSchedule* schedule)
+    : fleet_(&fleet), registry_(&registry), model_(&model), config_(config),
+      schedule_(schedule) {
+  config_.validate();
   if (registry.size() > 0xFFFF) {
     throw std::invalid_argument("Campaign: registry too large for index type");
   }
@@ -63,11 +113,16 @@ std::size_t Campaign::expected_record_count() const {
 }
 
 void Campaign::run_probe_range(std::size_t begin, std::size_t end,
-                               std::vector<Measurement>& out) const {
+                               std::vector<Measurement>& out,
+                               CampaignTelemetry& telemetry) const {
   stats::Xoshiro256 root(config_.seed);
   const std::uint32_t ticks = tick_count();
   const auto probes = fleet_->probes();
   const auto& regions = registry_->regions();
+  const bool has_faults = schedule_ != nullptr && !schedule_->empty();
+  const bool has_retry = config_.retry.max_retries > 0;
+  const bool has_quarantine = config_.quarantine.enabled;
+  const std::uint8_t skew_bit = faults::fault_bit(faults::FaultKind::kClockSkew);
 
   for (std::size_t pi = begin; pi < end; ++pi) {
     const Probe& probe = probes[pi];
@@ -77,6 +132,14 @@ void Campaign::run_probe_range(std::size_t begin, std::size_t end,
     // One independent stream per probe: identical results regardless of
     // sharding, and adding probes does not disturb existing streams.
     stats::Xoshiro256 rng = root.fork(probe.id);
+    // Retries draw from a separate per-probe stream so that enabling
+    // them leaves the scheduled draws untouched.
+    stats::Xoshiro256 retry_rng = root.fork(probe.id ^ kRetryStreamSalt);
+    const faults::ProbeContext fault_ctx{
+        probe.id, probe.isp != nullptr ? probe.isp->asn : 0u,
+        faults::FaultSchedule::country_key(probe.country->iso2),
+        net::is_wireless(probe.endpoint.access)};
+    faults::QuarantineTracker quarantine(config_.quarantine);
     const std::size_t per_tick = std::min(
         static_cast<std::size_t>(config_.targets_per_tick), targets.size());
     const std::size_t rotation = rng.bounded(targets.size());
@@ -89,19 +152,85 @@ void Campaign::run_probe_range(std::size_t begin, std::size_t end,
       if (config_.probe_uptime < 1.0 && !rng.bernoulli(config_.probe_uptime)) {
         continue;  // probe offline this tick
       }
+      faults::ProbeExposure probe_exposure;
+      if (has_faults) {
+        probe_exposure = schedule_->probe_exposure(fault_ctx, tick);
+        if (probe_exposure.probe_down) {
+          ++telemetry.hang_ticks;  // firmware wedge: schedules nothing
+          continue;
+        }
+      }
+      if (has_quarantine && quarantine.quarantined(tick)) {
+        ++telemetry.quarantined_ticks;
+        continue;
+      }
+      // Samples one burst attempt at `attempt_tick` (the scheduled tick,
+      // or a later one for backed-off retries) against `region`.
+      const auto sample_attempt = [&](std::uint32_t attempt_tick,
+                                      std::uint16_t region_index,
+                                      stats::Xoshiro256& stream,
+                                      std::uint8_t& mask) -> net::PingResult {
+        faults::BurstExposure exposure;
+        if (has_faults) {
+          const faults::ProbeExposure pe =
+              attempt_tick == tick
+                  ? probe_exposure
+                  : schedule_->probe_exposure(fault_ctx, attempt_tick);
+          if (pe.probe_down) {
+            // The probe is hung at the retry tick: attempt produces
+            // nothing; count it as fully lost.
+            mask = pe.mask;
+            return lost_burst(config_.packets_per_ping);
+          }
+          exposure = schedule_->burst_exposure(fault_ctx, pe, region_index,
+                                               attempt_tick);
+          mask = exposure.mask;
+          if (exposure.lost) return lost_burst(config_.packets_per_ping);
+        } else {
+          mask = 0;
+        }
+        const double utc_hour = static_cast<double>(
+            (static_cast<std::uint64_t>(attempt_tick) *
+             config_.interval_hours) % 24);
+        const double load = model_->diurnal_load(probe.endpoint, utc_hour) *
+                            temporal_load * exposure.load_multiplier;
+        if (!has_faults) {
+          return model_->ping_loaded(probe.endpoint, *regions[region_index],
+                                     config_.packets_per_ping, load, stream);
+        }
+        const net::Perturbation perturbation{exposure.latency_multiplier,
+                                             exposure.skew_ms,
+                                             exposure.extra_loss};
+        return model_->ping_perturbed(probe.endpoint, *regions[region_index],
+                                      config_.packets_per_ping, load,
+                                      perturbation, stream);
+      };
+
       for (std::size_t j = 0; j < per_tick; ++j) {
         const std::size_t slot =
             (rotation + static_cast<std::size_t>(tick) * per_tick + j) %
             targets.size();
         const std::uint16_t region_index = targets[slot];
-        // Scheduled time of this tick; drives the diurnal load cycle.
-        const double utc_hour = static_cast<double>(
-            (static_cast<std::uint64_t>(tick) * config_.interval_hours) % 24);
-        const double load =
-            model_->diurnal_load(probe.endpoint, utc_hour) * temporal_load;
-        const net::PingResult ping = model_->ping_loaded(
-            probe.endpoint, *regions[region_index], config_.packets_per_ping,
-            load, rng);
+        std::uint8_t mask = 0;
+        net::PingResult ping = sample_attempt(tick, region_index, rng, mask);
+        std::uint8_t retries = 0;
+        if (has_retry && ping.all_lost()) {
+          std::uint32_t attempt_tick = tick;
+          for (int attempt = 1; attempt <= config_.retry.max_retries;
+               ++attempt) {
+            attempt_tick +=
+                faults::retry_backoff_ticks(attempt, config_.retry);
+            if (attempt_tick >= ticks) break;  // campaign over: give up
+            ++retries;
+            ping = sample_attempt(attempt_tick, region_index, retry_rng, mask);
+            if (!ping.all_lost()) break;
+          }
+          if (retries > 0) {
+            ++telemetry.bursts_retried;
+            telemetry.retries += retries;
+            if (!ping.all_lost()) ++telemetry.bursts_recovered;
+          }
+        }
         Measurement m;
         m.probe_id = probe.id;
         m.region_index = region_index;
@@ -113,13 +242,27 @@ void Campaign::run_probe_range(std::size_t begin, std::size_t end,
           m.avg_ms = static_cast<float>(ping.avg_ms);
           m.max_ms = static_cast<float>(ping.max_ms);
         }
+        m.retries = retries;
+        m.faults = mask;
         out.push_back(m);
+        ++telemetry.bursts;
+        if (mask != 0) ++telemetry.bursts_faulted;
+        if (has_quarantine) {
+          quarantine.record_burst(tick, ping.all_lost(),
+                                  (mask & skew_bit) != 0);
+        }
       }
     }
+    telemetry.quarantine_entries += quarantine.entries();
   }
 }
 
 MeasurementDataset Campaign::run() const {
+  CampaignTelemetry telemetry;
+  return run(telemetry);
+}
+
+MeasurementDataset Campaign::run(CampaignTelemetry& telemetry) const {
   const std::size_t n = fleet_->size();
   unsigned threads = config_.threads != 0 ? config_.threads
                                           : std::thread::hardware_concurrency();
@@ -128,9 +271,10 @@ MeasurementDataset Campaign::run() const {
       std::min<std::size_t>(threads, n > 0 ? n : 1));
 
   std::vector<std::vector<Measurement>> shards(threads);
+  std::vector<CampaignTelemetry> shard_telemetry(threads);
   if (threads == 1) {
     shards[0].reserve(expected_record_count());
-    run_probe_range(0, n, shards[0]);
+    run_probe_range(0, n, shards[0], shard_telemetry[0]);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(threads);
@@ -138,17 +282,20 @@ MeasurementDataset Campaign::run() const {
     for (unsigned t = 0; t < threads; ++t) {
       const std::size_t begin = static_cast<std::size_t>(t) * chunk;
       const std::size_t end = std::min(n, begin + chunk);
-      workers.emplace_back([this, begin, end, &shard = shards[t]] {
-        run_probe_range(begin, end, shard);
+      workers.emplace_back([this, begin, end, &shard = shards[t],
+                            &tel = shard_telemetry[t]] {
+        run_probe_range(begin, end, shard, tel);
       });
     }
     for (std::thread& w : workers) w.join();
   }
 
+  telemetry = CampaignTelemetry{};
   std::vector<Measurement> records;
   records.reserve(expected_record_count());
-  for (auto& shard : shards) {
-    records.insert(records.end(), shard.begin(), shard.end());
+  for (unsigned t = 0; t < shards.size(); ++t) {
+    records.insert(records.end(), shards[t].begin(), shards[t].end());
+    telemetry.merge(shard_telemetry[t]);
   }
   return MeasurementDataset(fleet_, registry_, std::move(records));
 }

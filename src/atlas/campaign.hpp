@@ -8,6 +8,15 @@
 // rotating each tick through the probe's target list rather than pinging
 // every region every tick; over a long campaign every probe still covers
 // its whole target set many times.
+//
+// The engine is *resilient* the way the real platform is: an optional
+// fault schedule (src/faults) injects outages, flaps, storms, hangs,
+// skew and blackouts; fully-lost bursts can be retried with capped
+// exponential backoff; probes whose recent bursts are mostly bad enter
+// quarantine until a cooldown elapses. All resilience features default
+// to off, and a campaign without them is byte-identical to the
+// pre-fault engine. Determinism holds per (seed, fault schedule) and is
+// independent of the thread count.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +24,8 @@
 
 #include "atlas/measurement.hpp"
 #include "atlas/placement.hpp"
+#include "faults/fault_schedule.hpp"
+#include "faults/resilience.hpp"
 #include "net/latency_model.hpp"
 #include "topology/registry.hpp"
 
@@ -34,11 +45,36 @@ struct CampaignConfig {
   /// produce no records (they are absent, not lost bursts).
   double probe_uptime = 1.0;
   /// Campaign RNG seed; the dataset is a pure function of
-  /// (fleet, registry, model, config).
+  /// (fleet, registry, model, fault schedule, config).
   std::uint64_t seed = 7;
   /// Worker threads; 0 = hardware concurrency. Results are identical
   /// regardless of thread count.
   unsigned threads = 0;
+  /// Retry policy for fully-lost bursts; off by default.
+  faults::RetryPolicy retry{};
+  /// Probe quarantine policy; off by default.
+  faults::QuarantinePolicy quarantine{};
+
+  /// Throws std::invalid_argument on non-positive knobs, probe_uptime
+  /// outside (0, 1], packets that overflow the record's counters, or an
+  /// invalid retry/quarantine policy — a misconfigured campaign must
+  /// fail loudly instead of producing an empty or garbage dataset.
+  void validate() const;
+};
+
+/// Aggregate resilience counters of one campaign run; deterministic for
+/// a given (seed, fault schedule) like the dataset itself.
+struct CampaignTelemetry {
+  std::size_t bursts = 0;           ///< records produced
+  std::size_t bursts_retried = 0;   ///< records needing >= 1 retry
+  std::size_t retries = 0;          ///< total retry attempts spent
+  std::size_t bursts_recovered = 0; ///< lost at first attempt, then delivered
+  std::size_t bursts_faulted = 0;   ///< records with fault exposure flags
+  std::size_t hang_ticks = 0;       ///< probe-ticks lost to firmware hangs
+  std::size_t quarantine_entries = 0;
+  std::size_t quarantined_ticks = 0;  ///< probe-ticks sidelined
+
+  void merge(const CampaignTelemetry& other) noexcept;
 };
 
 class Campaign {
@@ -47,6 +83,12 @@ class Campaign {
   /// dataset it produces.
   Campaign(const ProbeFleet& fleet, const topology::CloudRegistry& registry,
            const net::LatencyModel& model, CampaignConfig config);
+
+  /// As above, with fault injection: `schedule` (may be null or empty for
+  /// a clean run) must outlive the campaign.
+  Campaign(const ProbeFleet& fleet, const topology::CloudRegistry& registry,
+           const net::LatencyModel& model, CampaignConfig config,
+           const faults::FaultSchedule* schedule);
 
   /// Total scheduler ticks ( duration / interval ).
   [[nodiscard]] std::uint32_t tick_count() const noexcept;
@@ -59,18 +101,23 @@ class Campaign {
   /// Runs the whole campaign deterministically and returns the dataset.
   [[nodiscard]] MeasurementDataset run() const;
 
-  /// Number of records run() produces at full uptime; an upper bound when
-  /// probe_uptime < 1.
+  /// As run(), also filling the resilience telemetry counters.
+  [[nodiscard]] MeasurementDataset run(CampaignTelemetry& telemetry) const;
+
+  /// Number of records run() produces at full uptime with no faults; an
+  /// upper bound under churn, hangs, or quarantine.
   [[nodiscard]] std::size_t expected_record_count() const;
 
  private:
   void run_probe_range(std::size_t begin, std::size_t end,
-                       std::vector<Measurement>& out) const;
+                       std::vector<Measurement>& out,
+                       CampaignTelemetry& telemetry) const;
 
   const ProbeFleet* fleet_;
   const topology::CloudRegistry* registry_;
   const net::LatencyModel* model_;
   CampaignConfig config_;
+  const faults::FaultSchedule* schedule_ = nullptr;  ///< may be null
   /// Per-continent target lists, fallback included, precomputed once.
   std::vector<std::uint16_t> targets_by_continent_[geo::kContinentCount];
 };

@@ -8,6 +8,17 @@
 
 namespace shears::atlas {
 
+namespace {
+
+constexpr std::string_view kCsvHeader =
+    "probe_id,country,continent,access,provider,region,tick,min_ms,avg_ms,"
+    "max_ms,sent,received,retries,faults";
+constexpr std::string_view kLegacyCsvHeader =
+    "probe_id,country,continent,access,provider,region,tick,min_ms,avg_ms,"
+    "max_ms,sent,received";
+
+}  // namespace
+
 MeasurementDataset::MeasurementDataset(const ProbeFleet* fleet,
                                        const topology::CloudRegistry* registry,
                                        std::vector<Measurement> records)
@@ -24,6 +35,15 @@ double MeasurementDataset::loss_fraction() const noexcept {
     if (m.lost()) ++lost;
   }
   return static_cast<double>(lost) / static_cast<double>(records_.size());
+}
+
+double MeasurementDataset::faulted_fraction() const noexcept {
+  if (records_.empty()) return 0.0;
+  std::size_t faulted = 0;
+  for (const Measurement& m : records_) {
+    if (m.faulted()) ++faulted;
+  }
+  return static_cast<double>(faulted) / static_cast<double>(records_.size());
 }
 
 void MeasurementDataset::write_jsonl(std::ostream& os,
@@ -44,11 +64,60 @@ void MeasurementDataset::write_jsonl(std::ostream& os,
       os << ",\"min\":" << m.min_ms << ",\"avg\":" << m.avg_ms
          << ",\"max\":" << m.max_ms;
     }
+    if (m.retries != 0) {
+      os << ",\"retries\":" << static_cast<int>(m.retries);
+    }
+    if (m.faults != 0) {
+      os << ",\"faults\":" << static_cast<int>(m.faults);
+    }
     os << ",\"country\":\"" << p.country->iso2 << "\",\"continent\":\""
        << geo::to_code(p.country->continent) << "\",\"access\":\""
        << net::to_string(p.endpoint.access) << "\"}\n";
   }
 }
+
+namespace {
+
+/// (provider, region_id) -> registry index lookup shared by both readers.
+std::size_t region_index_of(const topology::CloudRegistry& registry,
+                            std::string_view provider,
+                            std::string_view region_id,
+                            const char* who) {
+  const auto& regions = registry.regions();
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    if (topology::to_string(regions[i]->provider) == provider &&
+        regions[i]->region_id == region_id) {
+      return i;
+    }
+  }
+  throw std::runtime_error(std::string(who) + ": unknown region " +
+                           std::string(provider) + "/" +
+                           std::string(region_id));
+}
+
+/// Checks a row's probe metadata against the fleet; loading a dataset
+/// against the wrong fleet seed must fail loudly.
+const Probe& checked_probe(const ProbeFleet& fleet, unsigned long probe_id,
+                           std::string_view country, std::string_view access,
+                           const char* who, std::size_t line_no) {
+  if (probe_id >= fleet.size()) {
+    throw std::runtime_error(std::string(who) +
+                             ": probe id out of range at line " +
+                             std::to_string(line_no));
+  }
+  const Probe& probe = fleet.probe(static_cast<ProbeId>(probe_id));
+  if (probe.country->iso2 != country ||
+      net::to_string(probe.endpoint.access) != access) {
+    throw std::runtime_error(
+        std::string(who) +
+        ": row metadata does not match the fleet (wrong placement seed?) "
+        "at line " +
+        std::to_string(line_no));
+  }
+  return probe;
+}
+
+}  // namespace
 
 MeasurementDataset MeasurementDataset::read_csv(
     std::istream& is, const ProbeFleet* fleet,
@@ -57,24 +126,17 @@ MeasurementDataset MeasurementDataset::read_csv(
     throw std::invalid_argument("read_csv: null fleet or registry");
   }
   std::string line;
-  if (!std::getline(is, line) || line.rfind("probe_id,", 0) != 0) {
+  if (!std::getline(is, line)) {
     throw std::runtime_error("read_csv: missing or unexpected header");
   }
-
-  // (provider, region_id) -> registry index, built once.
-  const auto& regions = registry->regions();
-  auto region_index_of = [&regions](std::string_view provider,
-                                    std::string_view region_id) {
-    for (std::size_t i = 0; i < regions.size(); ++i) {
-      if (topology::to_string(regions[i]->provider) == provider &&
-          regions[i]->region_id == region_id) {
-        return i;
-      }
-    }
-    throw std::runtime_error("read_csv: unknown region " +
-                             std::string(provider) + "/" +
-                             std::string(region_id));
-  };
+  std::size_t columns = 0;
+  if (line == kCsvHeader) {
+    columns = 14;
+  } else if (line == kLegacyCsvHeader) {
+    columns = 12;  // pre-resilience datasets: retries/faults fill as 0
+  } else {
+    throw std::runtime_error("read_csv: missing or unexpected header");
+  }
 
   std::vector<Measurement> records;
   std::size_t line_no = 1;
@@ -85,39 +147,189 @@ MeasurementDataset MeasurementDataset::read_csv(
     std::string cell;
     std::vector<std::string> row;
     while (std::getline(fields, cell, ',')) row.push_back(cell);
-    if (row.size() != 12) {
+    if (row.size() != columns) {
       throw std::runtime_error("read_csv: malformed row at line " +
                                std::to_string(line_no));
     }
-    Measurement m;
-    m.probe_id = static_cast<ProbeId>(std::stoul(row[0]));
-    if (m.probe_id >= fleet->size()) {
-      throw std::runtime_error("read_csv: probe id out of range at line " +
+    try {
+      Measurement m;
+      m.probe_id = static_cast<ProbeId>(std::stoul(row[0]));
+      checked_probe(*fleet, m.probe_id, row[1], row[3], "read_csv", line_no);
+      m.region_index = static_cast<std::uint16_t>(
+          region_index_of(*registry, row[4], row[5], "read_csv"));
+      m.tick = static_cast<std::uint32_t>(std::stoul(row[6]));
+      m.min_ms = std::stof(row[7]);
+      m.avg_ms = std::stof(row[8]);
+      m.max_ms = std::stof(row[9]);
+      m.sent = static_cast<std::uint8_t>(std::stoi(row[10]));
+      m.received = static_cast<std::uint8_t>(std::stoi(row[11]));
+      if (columns == 14) {
+        m.retries = static_cast<std::uint8_t>(std::stoi(row[12]));
+        m.faults = static_cast<std::uint8_t>(std::stoi(row[13]));
+      }
+      records.push_back(m);
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("read_csv: malformed row at line " +
+                               std::to_string(line_no));
+    } catch (const std::out_of_range&) {
+      throw std::runtime_error("read_csv: malformed row at line " +
                                std::to_string(line_no));
     }
-    const Probe& probe = fleet->probe(m.probe_id);
-    if (probe.country->iso2 != row[1] ||
-        net::to_string(probe.endpoint.access) != row[3]) {
-      throw std::runtime_error(
-          "read_csv: row metadata does not match the fleet (wrong placement "
-          "seed?) at line " +
-          std::to_string(line_no));
+  }
+  return MeasurementDataset(fleet, registry, std::move(records));
+}
+
+namespace {
+
+/// Pulls `"key":` out of one of our own JSONL lines. Not a general JSON
+/// parser — the writer controls the format; anything it would not emit is
+/// malformed input.
+std::string_view json_field(std::string_view line, std::string_view key,
+                            bool required, std::size_t line_no,
+                            bool* present = nullptr) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) {
+    if (present != nullptr) *present = false;
+    if (!required) return {};
+    throw std::runtime_error("read_jsonl: missing \"" + std::string(key) +
+                             "\" at line " + std::to_string(line_no));
+  }
+  if (present != nullptr) *present = true;
+  std::size_t begin = at + needle.size();
+  std::size_t end;
+  if (begin < line.size() && line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+    if (end == std::string_view::npos) {
+      throw std::runtime_error("read_jsonl: unterminated string at line " +
+                               std::to_string(line_no));
     }
-    m.region_index = static_cast<std::uint16_t>(region_index_of(row[4], row[5]));
-    m.tick = static_cast<std::uint32_t>(std::stoul(row[6]));
-    m.min_ms = std::stof(row[7]);
-    m.avg_ms = std::stof(row[8]);
-    m.max_ms = std::stof(row[9]);
-    m.sent = static_cast<std::uint8_t>(std::stoi(row[10]));
-    m.received = static_cast<std::uint8_t>(std::stoi(row[11]));
+  } else {
+    end = line.find_first_of(",}", begin);
+    if (end == std::string_view::npos) {
+      throw std::runtime_error("read_jsonl: malformed line " +
+                               std::to_string(line_no));
+    }
+  }
+  return line.substr(begin, end - begin);
+}
+
+long long parse_ll(std::string_view text, const char* key,
+                   std::size_t line_no) {
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(std::string(text), &used);
+    if (used != text.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("read_jsonl: bad " + std::string(key) +
+                             " at line " + std::to_string(line_no));
+  }
+}
+
+double parse_double(std::string_view text, const char* key,
+                    std::size_t line_no) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(std::string(text), &used);
+    if (used != text.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("read_jsonl: bad " + std::string(key) +
+                             " at line " + std::to_string(line_no));
+  }
+}
+
+}  // namespace
+
+MeasurementDataset MeasurementDataset::read_jsonl(
+    std::istream& is, const ProbeFleet* fleet,
+    const topology::CloudRegistry* registry, int interval_hours) {
+  if (fleet == nullptr || registry == nullptr) {
+    throw std::invalid_argument("read_jsonl: null fleet or registry");
+  }
+  if (interval_hours <= 0) {
+    throw std::invalid_argument("read_jsonl: interval_hours must be positive");
+  }
+  const long long tick_seconds =
+      static_cast<long long>(interval_hours) * 3600;
+
+  std::vector<Measurement> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.front() != '{' || line.back() != '}') {
+      throw std::runtime_error("read_jsonl: malformed line " +
+                               std::to_string(line_no));
+    }
+    if (json_field(line, "type", true, line_no) != "ping") {
+      throw std::runtime_error("read_jsonl: unexpected type at line " +
+                               std::to_string(line_no));
+    }
+    Measurement m;
+    const long long prb_id =
+        parse_ll(json_field(line, "prb_id", true, line_no), "prb_id", line_no);
+    if (prb_id < 0) {
+      throw std::runtime_error("read_jsonl: bad prb_id at line " +
+                               std::to_string(line_no));
+    }
+    m.probe_id = static_cast<ProbeId>(prb_id);
+    checked_probe(*fleet, m.probe_id, json_field(line, "country", true, line_no),
+                  json_field(line, "access", true, line_no), "read_jsonl",
+                  line_no);
+
+    const std::string_view dst = json_field(line, "dst_name", true, line_no);
+    const std::size_t slash = dst.find('/');
+    if (slash == std::string_view::npos) {
+      throw std::runtime_error("read_jsonl: bad dst_name at line " +
+                               std::to_string(line_no));
+    }
+    m.region_index = static_cast<std::uint16_t>(
+        region_index_of(*registry, dst.substr(0, slash), dst.substr(slash + 1),
+                        "read_jsonl"));
+
+    const long long timestamp = parse_ll(
+        json_field(line, "timestamp", true, line_no), "timestamp", line_no);
+    if (timestamp < 0 || timestamp % tick_seconds != 0) {
+      throw std::runtime_error(
+          "read_jsonl: timestamp off the tick grid at line " +
+          std::to_string(line_no) + " (wrong interval_hours?)");
+    }
+    m.tick = static_cast<std::uint32_t>(timestamp / tick_seconds);
+    m.sent = static_cast<std::uint8_t>(
+        parse_ll(json_field(line, "sent", true, line_no), "sent", line_no));
+    m.received = static_cast<std::uint8_t>(
+        parse_ll(json_field(line, "rcvd", true, line_no), "rcvd", line_no));
+    if (m.received > 0) {
+      m.min_ms = static_cast<float>(
+          parse_double(json_field(line, "min", true, line_no), "min", line_no));
+      m.avg_ms = static_cast<float>(
+          parse_double(json_field(line, "avg", true, line_no), "avg", line_no));
+      m.max_ms = static_cast<float>(
+          parse_double(json_field(line, "max", true, line_no), "max", line_no));
+    }
+    bool present = false;
+    const std::string_view retries =
+        json_field(line, "retries", false, line_no, &present);
+    if (present) {
+      m.retries =
+          static_cast<std::uint8_t>(parse_ll(retries, "retries", line_no));
+    }
+    const std::string_view faults =
+        json_field(line, "faults", false, line_no, &present);
+    if (present) {
+      m.faults = static_cast<std::uint8_t>(parse_ll(faults, "faults", line_no));
+    }
     records.push_back(m);
   }
   return MeasurementDataset(fleet, registry, std::move(records));
 }
 
 void MeasurementDataset::write_csv(std::ostream& os) const {
-  os << "probe_id,country,continent,access,provider,region,tick,min_ms,avg_ms,"
-        "max_ms,sent,received\n";
+  os << kCsvHeader << '\n';
   for (const Measurement& m : records_) {
     const Probe& p = probe_of(m);
     const topology::CloudRegion& r = region_of(m);
@@ -127,7 +339,9 @@ void MeasurementDataset::write_csv(std::ostream& os) const {
        << topology::to_string(r.provider) << ',' << r.region_id << ','
        << m.tick << ',' << m.min_ms << ',' << m.avg_ms << ',' << m.max_ms
        << ',' << static_cast<int>(m.sent) << ','
-       << static_cast<int>(m.received) << '\n';
+       << static_cast<int>(m.received) << ','
+       << static_cast<int>(m.retries) << ','
+       << static_cast<int>(m.faults) << '\n';
   }
 }
 

@@ -22,8 +22,15 @@ struct Measurement {
   float max_ms = 0.0f;
   std::uint8_t sent = 0;
   std::uint8_t received = 0;
+  /// Retry attempts the engine spent before recording this burst (0 when
+  /// the scheduled attempt went through, or retries are disabled).
+  std::uint8_t retries = 0;
+  /// faults::FaultKind bitmask active when the recorded attempt was
+  /// sampled; 0 = clean. Data-quality guards key off this.
+  std::uint8_t faults = 0;
 
   [[nodiscard]] bool lost() const noexcept { return received == 0; }
+  [[nodiscard]] bool faulted() const noexcept { return faults != 0; }
 };
 
 /// The dataset a campaign produces: records plus the fleet and footprint
@@ -54,23 +61,40 @@ class MeasurementDataset {
   /// Share of ping bursts that lost every packet.
   [[nodiscard]] double loss_fraction() const noexcept;
 
+  /// Share of records carrying any fault-exposure flag.
+  [[nodiscard]] double faulted_fraction() const noexcept;
+
   /// Writes "probe_id,country,continent,access,provider,region,tick,
-  /// min_ms,avg_ms,max_ms,sent,received" rows; the public-dataset format.
+  /// min_ms,avg_ms,max_ms,sent,received,retries,faults" rows; the
+  /// public-dataset format.
   void write_csv(std::ostream& os) const;
 
   /// Writes one JSON object per line in the RIPE-Atlas result style
   /// ("prb_id", "dst_name", "timestamp" in seconds from campaign start,
   /// "min"/"avg"/"max", "sent"/"rcvd", plus probe metadata). Lost bursts
-  /// emit min/avg/max of -1 like the real API.
+  /// emit min/avg/max of -1 like the real API; non-zero retry counts and
+  /// fault masks ride along as "retries"/"faults".
   void write_jsonl(std::ostream& os, int interval_hours = 3) const;
 
   /// Loads a dataset previously written by write_csv, resolving probe ids
   /// against `fleet` and (provider, region) pairs against `registry`.
-  /// Consistency-checks each row's country/access metadata against the
-  /// fleet and throws std::runtime_error on mismatch or malformed input —
-  /// loading a dataset against the wrong fleet seed must fail loudly.
+  /// Accepts both the current 14-column header and the legacy 12-column
+  /// one (retries/faults fill as 0). Consistency-checks each row's
+  /// country/access metadata against the fleet and throws
+  /// std::runtime_error on mismatch or malformed input — loading a
+  /// dataset against the wrong fleet seed must fail loudly.
   static MeasurementDataset read_csv(std::istream& is, const ProbeFleet* fleet,
                                      const topology::CloudRegistry* registry);
+
+  /// Round-trip counterpart of write_jsonl: loads Atlas-style JSONL lines
+  /// produced by this class, with the same fleet/registry consistency
+  /// checks and std::runtime_error on malformed lines. `interval_hours`
+  /// must match the value used when writing (it maps timestamps back to
+  /// ticks).
+  static MeasurementDataset read_jsonl(std::istream& is,
+                                       const ProbeFleet* fleet,
+                                       const topology::CloudRegistry* registry,
+                                       int interval_hours = 3);
 
  private:
   const ProbeFleet* fleet_;

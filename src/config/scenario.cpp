@@ -22,6 +22,20 @@ const std::set<std::string>& allowed_keys() {
       "model.diurnal_amplitude", "model.diurnal_peak_hour",
       "path.fibre_us_per_km", "path.long_haul_stretch", "path.min_routed_km",
       "path.per_hop_ms",
+      "faults.seed", "faults.epoch_ticks",
+      "faults.region_outage_rate", "faults.region_outage_mean_ticks",
+      "faults.route_flap_rate", "faults.route_flap_mean_ticks",
+      "faults.route_flap_multiplier", "faults.route_flap_extra_loss",
+      "faults.storm_rate", "faults.storm_mean_ticks",
+      "faults.storm_load_multiplier", "faults.storm_wireless_only",
+      "faults.probe_hang_rate", "faults.probe_hang_mean_ticks",
+      "faults.clock_skew_rate", "faults.clock_skew_mean_ticks",
+      "faults.clock_skew_ms",
+      "faults.blackout_rate", "faults.blackout_mean_ticks",
+      "resilience.max_retries", "resilience.backoff_cap_ticks",
+      "resilience.quarantine", "resilience.quarantine_window",
+      "resilience.quarantine_loss_threshold",
+      "resilience.quarantine_cooldown_ticks",
       "footprint.year", "footprint.providers",
   };
   return keys;
@@ -54,6 +68,11 @@ topology::CloudRegistry Scenario::make_registry() const {
   return footprint_year == 0
              ? topology::CloudRegistry::campaign_footprint()
              : topology::CloudRegistry::footprint_as_of(footprint_year);
+}
+
+faults::FaultSchedule Scenario::make_fault_schedule() const {
+  if (!faults.any_rate()) return faults::FaultSchedule{};
+  return faults::FaultSchedule(faults);
 }
 
 Scenario parse_scenario(std::istream& is) {
@@ -126,6 +145,73 @@ Scenario parse_scenario(std::istream& is) {
       ini.get_double("path", "per_hop_ms", s.model.path.per_hop_ms);
   check_range(s.model.path.fibre_us_per_km > 3.3, "path.fibre_us_per_km");
 
+  s.faults.seed = static_cast<std::uint64_t>(
+      ini.get_int("faults", "seed", static_cast<long>(s.faults.seed)));
+  s.faults.epoch_ticks = static_cast<std::uint32_t>(ini.get_int(
+      "faults", "epoch_ticks", static_cast<long>(s.faults.epoch_ticks)));
+  s.faults.region_outage_rate = ini.get_double(
+      "faults", "region_outage_rate", s.faults.region_outage_rate);
+  s.faults.region_outage_mean_ticks = ini.get_double(
+      "faults", "region_outage_mean_ticks", s.faults.region_outage_mean_ticks);
+  s.faults.route_flap_rate =
+      ini.get_double("faults", "route_flap_rate", s.faults.route_flap_rate);
+  s.faults.route_flap_mean_ticks = ini.get_double(
+      "faults", "route_flap_mean_ticks", s.faults.route_flap_mean_ticks);
+  s.faults.route_flap_latency_multiplier =
+      ini.get_double("faults", "route_flap_multiplier",
+                     s.faults.route_flap_latency_multiplier);
+  s.faults.route_flap_extra_loss = ini.get_double(
+      "faults", "route_flap_extra_loss", s.faults.route_flap_extra_loss);
+  s.faults.storm_rate =
+      ini.get_double("faults", "storm_rate", s.faults.storm_rate);
+  s.faults.storm_mean_ticks =
+      ini.get_double("faults", "storm_mean_ticks", s.faults.storm_mean_ticks);
+  s.faults.storm_load_multiplier = ini.get_double(
+      "faults", "storm_load_multiplier", s.faults.storm_load_multiplier);
+  s.faults.storm_wireless_only = ini.get_bool(
+      "faults", "storm_wireless_only", s.faults.storm_wireless_only);
+  s.faults.probe_hang_rate =
+      ini.get_double("faults", "probe_hang_rate", s.faults.probe_hang_rate);
+  s.faults.probe_hang_mean_ticks = ini.get_double(
+      "faults", "probe_hang_mean_ticks", s.faults.probe_hang_mean_ticks);
+  s.faults.clock_skew_rate =
+      ini.get_double("faults", "clock_skew_rate", s.faults.clock_skew_rate);
+  s.faults.clock_skew_mean_ticks = ini.get_double(
+      "faults", "clock_skew_mean_ticks", s.faults.clock_skew_mean_ticks);
+  s.faults.clock_skew_ms =
+      ini.get_double("faults", "clock_skew_ms", s.faults.clock_skew_ms);
+  s.faults.blackout_rate =
+      ini.get_double("faults", "blackout_rate", s.faults.blackout_rate);
+  s.faults.blackout_mean_ticks = ini.get_double(
+      "faults", "blackout_mean_ticks", s.faults.blackout_mean_ticks);
+  try {
+    s.faults.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("scenario: ") + e.what());
+  }
+
+  s.campaign.retry.max_retries = static_cast<int>(ini.get_int(
+      "resilience", "max_retries", s.campaign.retry.max_retries));
+  s.campaign.retry.backoff_cap_ticks = static_cast<std::uint32_t>(
+      ini.get_int("resilience", "backoff_cap_ticks",
+                  static_cast<long>(s.campaign.retry.backoff_cap_ticks)));
+  s.campaign.quarantine.enabled = ini.get_bool(
+      "resilience", "quarantine", s.campaign.quarantine.enabled);
+  s.campaign.quarantine.window_bursts = static_cast<int>(
+      ini.get_int("resilience", "quarantine_window",
+                  s.campaign.quarantine.window_bursts));
+  s.campaign.quarantine.loss_threshold =
+      ini.get_double("resilience", "quarantine_loss_threshold",
+                     s.campaign.quarantine.loss_threshold);
+  s.campaign.quarantine.cooldown_ticks = static_cast<std::uint32_t>(
+      ini.get_int("resilience", "quarantine_cooldown_ticks",
+                  static_cast<long>(s.campaign.quarantine.cooldown_ticks)));
+  try {
+    s.campaign.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("scenario: ") + e.what());
+  }
+
   s.footprint_year =
       static_cast<int>(ini.get_int("footprint", "year", s.footprint_year));
   for (const std::string& name : ini.get_list("footprint", "providers")) {
@@ -175,6 +261,30 @@ std::string default_scenario_text() {
       << "long_haul_stretch = " << s.model.path.long_haul_stretch << "\n"
       << "min_routed_km = " << s.model.path.min_routed_km << "\n"
       << "per_hop_ms = " << s.model.path.per_hop_ms << "\n\n"
+      << "[faults]\n"
+      << "# All rates default to 0 — no faults. Rates are per (entity,\n"
+      << "# epoch) activation probabilities; see scenarios/faulted_9_months"
+         ".ini\n"
+      << "seed = " << s.faults.seed << "\n"
+      << "epoch_ticks = " << s.faults.epoch_ticks
+      << "  ; one week of 3 h ticks\n"
+      << "region_outage_rate = " << s.faults.region_outage_rate << "\n"
+      << "route_flap_rate = " << s.faults.route_flap_rate << "\n"
+      << "storm_rate = " << s.faults.storm_rate << "\n"
+      << "probe_hang_rate = " << s.faults.probe_hang_rate << "\n"
+      << "clock_skew_rate = " << s.faults.clock_skew_rate << "\n"
+      << "blackout_rate = " << s.faults.blackout_rate << "\n\n"
+      << "[resilience]\n"
+      << "max_retries = " << s.campaign.retry.max_retries
+      << "  ; 0 = no retries\n"
+      << "backoff_cap_ticks = " << s.campaign.retry.backoff_cap_ticks << "\n"
+      << "quarantine = " << (s.campaign.quarantine.enabled ? "true" : "false")
+      << "\n"
+      << "quarantine_window = " << s.campaign.quarantine.window_bursts << "\n"
+      << "quarantine_loss_threshold = "
+      << s.campaign.quarantine.loss_threshold << "\n"
+      << "quarantine_cooldown_ticks = "
+      << s.campaign.quarantine.cooldown_ticks << "\n\n"
       << "[footprint]\n"
       << "year = 0        ; 0 = full 2019/2020 footprint\n"
       << "# providers = Amazon, Google   ; default: all seven\n";

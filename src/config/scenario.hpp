@@ -24,6 +24,7 @@
 
 #include "atlas/campaign.hpp"
 #include "atlas/placement.hpp"
+#include "faults/fault_schedule.hpp"
 #include "net/latency_model.hpp"
 #include "topology/registry.hpp"
 
@@ -34,6 +35,10 @@ struct Scenario {
   atlas::PlacementConfig fleet{};
   atlas::CampaignConfig campaign{};
   net::LatencyModelConfig model{};
+  /// Fault-injection knobs ([faults] section); all rates default to 0,
+  /// so an unfaulted scenario builds an empty schedule. Retry/quarantine
+  /// knobs ([resilience]) live inside `campaign`.
+  faults::FaultScheduleConfig faults{};
   /// Footprint snapshot year; 0 = the full campaign footprint.
   int footprint_year = 0;
   /// Provider subset; empty = all seven.
@@ -41,6 +46,9 @@ struct Scenario {
 
   /// Materialises the registry described by year/providers.
   [[nodiscard]] topology::CloudRegistry make_registry() const;
+
+  /// Builds the fault schedule: empty when no [faults] rate is set.
+  [[nodiscard]] faults::FaultSchedule make_fault_schedule() const;
 };
 
 /// Parses a scenario file; throws std::runtime_error on malformed input,

@@ -1,0 +1,86 @@
+// Data-quality guards and the clean-vs-faulted degradation report.
+//
+// Real measurement studies never analyse their raw data: probes with
+// broken firmware are excluded, thin (country, provider) cells are not
+// trusted, and artifact-heavy episodes are cut (Martin & Dogar show such
+// artifacts materially shift per-country latency conclusions). These
+// guards do the same for simulated datasets, keyed off the fault flags
+// the resilient campaign engine records — so the §4/§5 analyses can be
+// run on clean and faulted datasets alike, and the degradation report
+// quantifies how far the feasibility-zone verdicts drift.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apps/application.hpp"
+#include "atlas/measurement.hpp"
+#include "core/feasibility.hpp"
+#include "faults/fault_schedule.hpp"
+#include "geo/continent.hpp"
+
+namespace shears::core {
+
+struct QualityPolicy {
+  /// Records whose fault bitmask intersects this are dropped. Default:
+  /// clock-skew — skewed RTTs are *wrong*, not missing, and a single
+  /// biased probe can poison a country's campaign minimum.
+  std::uint8_t drop_fault_mask =
+      faults::fault_bit(faults::FaultKind::kClockSkew);
+  /// Probes whose personal fully-lost fraction exceeds this lose all
+  /// their records — the offline-probe guard for datasets produced
+  /// without the engine's quarantine enabled. 1.0 disables.
+  double max_probe_loss = 0.5;
+  /// Minimum successful bursts a (country, provider) cell needs; cells
+  /// below the floor are dropped entirely (coverage-gap guard). 0
+  /// disables.
+  std::size_t min_cell_samples = 8;
+};
+
+/// What the guards did; every drop is accounted for.
+struct QualityReport {
+  std::size_t records_in = 0;
+  std::size_t records_out = 0;
+  std::size_t dropped_faulted = 0;      ///< fault-mask rule
+  std::size_t dropped_lossy_probes = 0; ///< records of over-lossy probes
+  std::size_t dropped_thin_cells = 0;   ///< records of under-sampled cells
+  std::size_t probes_dropped = 0;       ///< probes failing max_probe_loss
+  std::size_t cells_total = 0;          ///< (country, provider) cells seen
+  std::size_t cells_dropped = 0;
+};
+
+/// Applies the guards in order (fault mask, lossy probes, thin cells) and
+/// returns the surviving records as a new dataset over the same fleet and
+/// registry. A clean dataset passes through untouched.
+[[nodiscard]] atlas::MeasurementDataset apply_quality_guards(
+    const atlas::MeasurementDataset& dataset, const QualityPolicy& policy = {},
+    QualityReport* report = nullptr);
+
+/// One continent's clean-vs-faulted feasibility comparison.
+struct VerdictShift {
+  geo::Continent continent = geo::Continent::kEurope;
+  double clean_median_ms = 0.0;    ///< median per-probe campaign minimum
+  double faulted_median_ms = 0.0;
+  std::size_t apps = 0;            ///< catalog entries classified
+  std::size_t changed = 0;         ///< verdicts that differ between runs
+};
+
+struct DegradationReport {
+  std::vector<VerdictShift> rows;  ///< continents with data in both runs
+  std::size_t apps_total = 0;      ///< classifications compared
+  std::size_t changed_total = 0;
+
+  /// True when no verdict moved — the paper's conclusions are stable
+  /// under the injected fault regime.
+  [[nodiscard]] bool stable() const noexcept { return changed_total == 0; }
+};
+
+/// Runs the §5 classifier per continent on both datasets (after applying
+/// the same quality guards to each) and reports the verdict deltas.
+[[nodiscard]] DegradationReport degradation_report(
+    const atlas::MeasurementDataset& clean,
+    const atlas::MeasurementDataset& faulted,
+    std::span<const apps::Application> catalog,
+    const QualityPolicy& policy = {}, const FeasibilityConfig& config = {});
+
+}  // namespace shears::core

@@ -1,0 +1,185 @@
+#include "faults/fault_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace shears::faults {
+
+bool FaultScheduleConfig::any_rate() const noexcept {
+  return region_outage_rate > 0.0 || route_flap_rate > 0.0 ||
+         storm_rate > 0.0 || probe_hang_rate > 0.0 || clock_skew_rate > 0.0 ||
+         blackout_rate > 0.0;
+}
+
+void FaultScheduleConfig::validate() const {
+  const auto check = [](bool ok, const char* what) {
+    if (!ok) {
+      throw std::invalid_argument(std::string("FaultScheduleConfig: ") + what);
+    }
+  };
+  check(epoch_ticks > 0, "epoch_ticks must be positive");
+  for (const double rate : {region_outage_rate, route_flap_rate, storm_rate,
+                            probe_hang_rate, clock_skew_rate, blackout_rate}) {
+    check(rate >= 0.0 && rate <= 1.0, "rates must lie in [0, 1]");
+  }
+  for (const double mean :
+       {region_outage_mean_ticks, route_flap_mean_ticks, storm_mean_ticks,
+        probe_hang_mean_ticks, clock_skew_mean_ticks, blackout_mean_ticks}) {
+    check(mean > 0.0, "mean window lengths must be positive");
+  }
+  check(route_flap_latency_multiplier >= 1.0,
+        "route_flap_latency_multiplier must be >= 1");
+  check(route_flap_extra_loss >= 0.0 && route_flap_extra_loss < 1.0,
+        "route_flap_extra_loss must lie in [0, 1)");
+  check(storm_load_multiplier >= 1.0, "storm_load_multiplier must be >= 1");
+}
+
+FaultSchedule::FaultSchedule(FaultScheduleConfig config)
+    : config_(config), procedural_(config.any_rate()) {
+  config_.validate();
+}
+
+void FaultSchedule::add_event(const FaultEvent& event) {
+  if (event.end_tick <= event.start_tick) {
+    throw std::invalid_argument("FaultEvent: end_tick must exceed start_tick");
+  }
+  events_.push_back(event);
+}
+
+bool FaultSchedule::active(FaultKind kind, std::uint64_t entity_key,
+                          std::uint32_t tick, double rate,
+                          double mean_ticks) const noexcept {
+  if (rate <= 0.0) return false;
+  const std::uint32_t epoch = tick / config_.epoch_ticks;
+  // One hash stream per (seed, kind, entity, epoch); the first draw
+  // decides activation, the next two place the window inside the epoch.
+  stats::SplitMix64 sm(
+      config_.seed ^
+      (static_cast<std::uint64_t>(kind) + 1) * 0x9e3779b97f4a7c15ULL ^
+      entity_key * 0xbf58476d1ce4e5b9ULL ^
+      (static_cast<std::uint64_t>(epoch) + 1) * 0x94d049bb133111ebULL);
+  const double u_active =
+      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  if (u_active >= rate) return false;
+  const std::uint32_t start_offset =
+      static_cast<std::uint32_t>(sm.next() % config_.epoch_ticks);
+  const double u_len = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  // Exponential window length with the configured mean, at least one
+  // tick; windows never spill into the next epoch.
+  const double drawn = -mean_ticks * std::log1p(-u_len);
+  const std::uint32_t len = std::min<std::uint32_t>(
+      config_.epoch_ticks,
+      1u + static_cast<std::uint32_t>(std::min(drawn, 1e9)));
+  const std::uint32_t epoch_start = epoch * config_.epoch_ticks;
+  const std::uint32_t start = epoch_start + start_offset;
+  const std::uint32_t end =
+      std::min(start + len, epoch_start + config_.epoch_ticks);
+  return tick >= start && tick < end;
+}
+
+ProbeExposure FaultSchedule::probe_exposure(const ProbeContext& probe,
+                                            std::uint32_t tick) const noexcept {
+  ProbeExposure e;
+  if (procedural_) {
+    const auto probe_key = static_cast<std::uint64_t>(probe.probe_id) + 1;
+    if (active(FaultKind::kProbeHang, probe_key, tick, config_.probe_hang_rate,
+               config_.probe_hang_mean_ticks)) {
+      e.mask |= fault_bit(FaultKind::kProbeHang);
+      e.probe_down = true;
+    }
+    if (active(FaultKind::kClockSkew, probe_key, tick, config_.clock_skew_rate,
+               config_.clock_skew_mean_ticks)) {
+      e.mask |= fault_bit(FaultKind::kClockSkew);
+      e.skew_ms += config_.clock_skew_ms;
+    }
+    if ((probe.wireless || !config_.storm_wireless_only) &&
+        active(FaultKind::kCongestionStorm, probe.country_key, tick,
+               config_.storm_rate, config_.storm_mean_ticks)) {
+      e.mask |= fault_bit(FaultKind::kCongestionStorm);
+      e.load_multiplier *= config_.storm_load_multiplier;
+    }
+    if (active(FaultKind::kCountryBlackout, probe.country_key, tick,
+               config_.blackout_rate, config_.blackout_mean_ticks)) {
+      e.mask |= fault_bit(FaultKind::kCountryBlackout);
+      e.blackout = true;
+    }
+  }
+  for (const FaultEvent& ev : events_) {
+    if (tick < ev.start_tick || tick >= ev.end_tick) continue;
+    switch (ev.kind) {
+      case FaultKind::kProbeHang:
+        if (ev.probe_id == probe.probe_id) {
+          e.mask |= fault_bit(FaultKind::kProbeHang);
+          e.probe_down = true;
+        }
+        break;
+      case FaultKind::kClockSkew:
+        if (ev.probe_id == probe.probe_id) {
+          e.mask |= fault_bit(FaultKind::kClockSkew);
+          e.skew_ms += ev.skew_ms;
+        }
+        break;
+      case FaultKind::kCongestionStorm:
+        if ((ev.country_key == 0 || ev.country_key == probe.country_key) &&
+            (probe.wireless || !ev.wireless_only)) {
+          e.mask |= fault_bit(FaultKind::kCongestionStorm);
+          e.load_multiplier *= ev.load_multiplier;
+        }
+        break;
+      case FaultKind::kCountryBlackout:
+        if (ev.country_key == 0 || ev.country_key == probe.country_key) {
+          e.mask |= fault_bit(FaultKind::kCountryBlackout);
+          e.blackout = true;
+        }
+        break;
+      case FaultKind::kRegionOutage:
+      case FaultKind::kRouteFlap:
+        break;  // burst-scoped; handled in burst_exposure
+    }
+  }
+  return e;
+}
+
+BurstExposure FaultSchedule::burst_exposure(
+    const ProbeContext& probe, const ProbeExposure& base,
+    std::uint16_t region_index, std::uint32_t tick) const noexcept {
+  BurstExposure e;
+  e.mask = base.mask;
+  e.lost = base.blackout;
+  e.load_multiplier = base.load_multiplier;
+  e.skew_ms = base.skew_ms;
+  if (procedural_) {
+    if (active(FaultKind::kRegionOutage,
+               static_cast<std::uint64_t>(region_index) + 1, tick,
+               config_.region_outage_rate, config_.region_outage_mean_ticks)) {
+      e.mask |= fault_bit(FaultKind::kRegionOutage);
+      e.lost = true;
+    }
+    if (probe.asn != 0 &&
+        active(FaultKind::kRouteFlap, static_cast<std::uint64_t>(probe.asn),
+               tick, config_.route_flap_rate, config_.route_flap_mean_ticks)) {
+      e.mask |= fault_bit(FaultKind::kRouteFlap);
+      e.latency_multiplier *= config_.route_flap_latency_multiplier;
+      e.extra_loss = e.extra_loss + config_.route_flap_extra_loss -
+                     e.extra_loss * config_.route_flap_extra_loss;
+    }
+  }
+  for (const FaultEvent& ev : events_) {
+    if (tick < ev.start_tick || tick >= ev.end_tick) continue;
+    if (ev.kind == FaultKind::kRegionOutage &&
+        ev.region_index == region_index) {
+      e.mask |= fault_bit(FaultKind::kRegionOutage);
+      e.lost = true;
+    } else if (ev.kind == FaultKind::kRouteFlap && ev.asn == probe.asn &&
+               probe.asn != 0) {
+      e.mask |= fault_bit(FaultKind::kRouteFlap);
+      e.latency_multiplier *= ev.latency_multiplier;
+      e.extra_loss =
+          e.extra_loss + ev.extra_loss - e.extra_loss * ev.extra_loss;
+    }
+  }
+  return e;
+}
+
+}  // namespace shears::faults

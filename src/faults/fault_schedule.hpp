@@ -1,0 +1,199 @@
+// Deterministic fault injection for measurement campaigns.
+//
+// The paper's nine-month dataset survived probe reboots, ISP route flaps,
+// datacenter maintenance and whole-region outages; a clean simulation
+// validates the analyses against an Internet that never breaks. This
+// module generates a seedable *fault schedule* — who is broken, how, and
+// when, on the campaign's tick clock — that the campaign engine queries
+// per burst and composes with net::LatencyModel through the perturbation
+// hook (net::Perturbation).
+//
+// Taxonomy (one bit each in Measurement::faults):
+//   * region outage      — a cloud region is dark for a window; every
+//                          burst against it loses all packets;
+//   * route flap         — an access AS loses its good path; transit
+//                          latency multiplies and packets drop;
+//   * congestion storm   — a country's last mile (optionally wireless
+//                          only) runs hot; load multiplies;
+//   * probe hang         — firmware wedge: the probe schedules nothing
+//                          (records are absent, like churn);
+//   * clock skew         — firmware bug biases the reported RTTs by a
+//                          constant; values are wrong, not missing;
+//   * country blackout   — correlated national outage; every burst from
+//                          the country loses all packets.
+//
+// Determinism: windows are a pure function of (seed, fault kind, entity,
+// epoch) via SplitMix64 — no mutable state, no allocation on the query
+// path, identical answers from any thread. An empty schedule answers
+// "no fault" everywhere and costs one branch in the campaign loop.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace shears::faults {
+
+enum class FaultKind : std::uint8_t {
+  kRegionOutage = 0,
+  kRouteFlap,
+  kCongestionStorm,
+  kProbeHang,
+  kClockSkew,
+  kCountryBlackout,
+};
+
+inline constexpr std::size_t kFaultKindCount = 6;
+
+/// Bit of a fault kind inside Measurement::faults / exposure masks.
+[[nodiscard]] constexpr std::uint8_t fault_bit(FaultKind k) noexcept {
+  return static_cast<std::uint8_t>(1u << static_cast<unsigned>(k));
+}
+
+[[nodiscard]] constexpr std::string_view to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kRegionOutage: return "region-outage";
+    case FaultKind::kRouteFlap: return "route-flap";
+    case FaultKind::kCongestionStorm: return "congestion-storm";
+    case FaultKind::kProbeHang: return "probe-hang";
+    case FaultKind::kClockSkew: return "clock-skew";
+    case FaultKind::kCountryBlackout: return "country-blackout";
+  }
+  return "unknown";
+}
+
+/// Procedural schedule knobs. Each fault class activates independently
+/// per (entity, epoch) with the given probability; an active fault
+/// occupies one window inside that epoch whose length is exponential
+/// with the given mean (clamped to the epoch). All rates default to 0 —
+/// a default-constructed config produces no faults.
+struct FaultScheduleConfig {
+  std::uint64_t seed = 2020;
+  /// Epoch granularity in campaign ticks (56 = one week of 3 h ticks).
+  std::uint32_t epoch_ticks = 56;
+
+  double region_outage_rate = 0.0;  ///< per (region, epoch)
+  double region_outage_mean_ticks = 8.0;
+
+  double route_flap_rate = 0.0;  ///< per (AS, epoch)
+  double route_flap_mean_ticks = 4.0;
+  double route_flap_latency_multiplier = 1.8;  ///< on transit RTT
+  double route_flap_extra_loss = 0.02;         ///< extra per-packet loss
+
+  double storm_rate = 0.0;  ///< per (country, epoch)
+  double storm_mean_ticks = 6.0;
+  double storm_load_multiplier = 2.5;  ///< on last-mile load
+  bool storm_wireless_only = true;
+
+  double probe_hang_rate = 0.0;  ///< per (probe, epoch)
+  double probe_hang_mean_ticks = 16.0;
+
+  double clock_skew_rate = 0.0;  ///< per (probe, epoch)
+  double clock_skew_mean_ticks = 24.0;
+  double clock_skew_ms = 30.0;  ///< additive RTT bias while skewed
+
+  double blackout_rate = 0.0;  ///< per (country, epoch)
+  double blackout_mean_ticks = 4.0;
+
+  [[nodiscard]] bool any_rate() const noexcept;
+  /// Throws std::invalid_argument on rates outside [0,1], non-positive
+  /// epoch/window lengths, or multipliers <= 0.
+  void validate() const;
+};
+
+/// What the schedule needs to know about a probe; built once per probe by
+/// the campaign (faults does not depend on atlas).
+struct ProbeContext {
+  std::uint32_t probe_id = 0;
+  std::uint32_t asn = 0;          ///< 0 = unattributed: no flap exposure
+  std::uint64_t country_key = 0;  ///< FaultSchedule::country_key(iso2)
+  bool wireless = false;
+};
+
+/// Fault state of a probe at a tick, independent of the burst target.
+struct ProbeExposure {
+  std::uint8_t mask = 0;         ///< fault_bit() union of active kinds
+  bool probe_down = false;       ///< firmware hang: emit nothing
+  bool blackout = false;         ///< country dark: bursts fully lost
+  double load_multiplier = 1.0;  ///< congestion storm
+  double skew_ms = 0.0;          ///< clock-skew bias
+};
+
+/// Fault state of one (probe, region) burst; includes the probe part.
+struct BurstExposure {
+  std::uint8_t mask = 0;
+  bool lost = false;  ///< region outage or country blackout
+  double latency_multiplier = 1.0;
+  double load_multiplier = 1.0;
+  double skew_ms = 0.0;
+  double extra_loss = 0.0;
+};
+
+/// A scripted fault window [start_tick, end_tick), for tests and
+/// hand-written incident replays. Scope fields are read per kind.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kRegionOutage;
+  std::uint32_t start_tick = 0;
+  std::uint32_t end_tick = 0;
+  std::uint16_t region_index = 0xFFFF;  ///< kRegionOutage
+  std::uint32_t asn = 0;                ///< kRouteFlap
+  std::uint64_t country_key = 0;  ///< blackout / storm; 0 = every country
+  bool wireless_only = true;      ///< kCongestionStorm
+  std::uint32_t probe_id = 0;     ///< kProbeHang / kClockSkew
+  double latency_multiplier = 1.8;
+  double extra_loss = 0.02;
+  double load_multiplier = 2.5;
+  double skew_ms = 30.0;
+};
+
+class FaultSchedule {
+ public:
+  /// Empty schedule: no faults, ever.
+  FaultSchedule() = default;
+  /// Procedural schedule; validates the config.
+  explicit FaultSchedule(FaultScheduleConfig config);
+
+  /// Adds a scripted window on top of the procedural ones.
+  void add_event(const FaultEvent& event);
+
+  /// True when no procedural rate is set and no event was added; the
+  /// campaign skips every fault query on an empty schedule.
+  [[nodiscard]] bool empty() const noexcept {
+    return !procedural_ && events_.empty();
+  }
+
+  [[nodiscard]] const FaultScheduleConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Probe-level faults at a tick (hang, skew, storm, blackout).
+  [[nodiscard]] ProbeExposure probe_exposure(const ProbeContext& probe,
+                                             std::uint32_t tick) const noexcept;
+
+  /// Burst-level faults: folds region outage and route flap into the
+  /// probe-level exposure computed for the same tick.
+  [[nodiscard]] BurstExposure burst_exposure(const ProbeContext& probe,
+                                             const ProbeExposure& base,
+                                             std::uint16_t region_index,
+                                             std::uint32_t tick) const noexcept;
+
+  /// Stable country scope key (FNV-1a of the ISO2 code).
+  [[nodiscard]] static std::uint64_t country_key(
+      std::string_view iso2) noexcept {
+    return stats::fnv1a64(iso2.data(), iso2.size());
+  }
+
+ private:
+  /// True when the procedural window of (kind, entity) covers `tick`.
+  [[nodiscard]] bool active(FaultKind kind, std::uint64_t entity_key,
+                            std::uint32_t tick, double rate,
+                            double mean_ticks) const noexcept;
+
+  FaultScheduleConfig config_{};
+  bool procedural_ = false;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace shears::faults

@@ -1,0 +1,63 @@
+#include "faults/resilience.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace shears::faults {
+
+void RetryPolicy::validate() const {
+  if (max_retries < 0) {
+    throw std::invalid_argument("RetryPolicy: max_retries must be >= 0");
+  }
+  if (max_retries > 0 && backoff_cap_ticks == 0) {
+    throw std::invalid_argument("RetryPolicy: backoff_cap_ticks must be >= 1");
+  }
+}
+
+std::uint32_t retry_backoff_ticks(int attempt,
+                                  const RetryPolicy& policy) noexcept {
+  if (attempt <= 0) return 0;
+  // 2^(attempt-1), saturating well before overflow; then capped.
+  const std::uint32_t uncapped =
+      attempt - 1 >= 31 ? 0x80000000u : (1u << (attempt - 1));
+  return uncapped < policy.backoff_cap_ticks ? uncapped
+                                             : policy.backoff_cap_ticks;
+}
+
+void QuarantinePolicy::validate() const {
+  if (!enabled) return;
+  if (window_bursts < 2 || window_bursts > 64) {
+    throw std::invalid_argument(
+        "QuarantinePolicy: window_bursts must lie in [2, 64]");
+  }
+  if (loss_threshold <= 0.0 || loss_threshold > 1.0) {
+    throw std::invalid_argument(
+        "QuarantinePolicy: loss_threshold must lie in (0, 1]");
+  }
+  if (cooldown_ticks == 0) {
+    throw std::invalid_argument(
+        "QuarantinePolicy: cooldown_ticks must be >= 1");
+  }
+}
+
+void QuarantineTracker::record_burst(std::uint32_t tick, bool fully_lost,
+                                     bool skewed) noexcept {
+  if (in_quarantine_) return;  // sidelined probes observe nothing
+  const bool bad = fully_lost || (policy_->skew_counts && skewed);
+  const int window = policy_->window_bursts;
+  history_ = (history_ << 1) | (bad ? 1u : 0u);
+  if (window < 64) history_ &= (1ULL << window) - 1;
+  if (filled_ < window) {
+    ++filled_;
+    if (filled_ < window) return;  // judge only full windows
+  }
+  const int bad_count = std::popcount(history_);
+  if (static_cast<double>(bad_count) >=
+      policy_->loss_threshold * static_cast<double>(window)) {
+    in_quarantine_ = true;
+    release_tick_ = tick + policy_->cooldown_ticks;
+    ++entries_;
+  }
+}
+
+}  // namespace shears::faults

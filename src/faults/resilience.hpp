@@ -1,0 +1,88 @@
+// Campaign-side resilience: retry backoff and probe quarantine.
+//
+// RIPE Atlas survives a broken Internet by re-scheduling failed
+// measurements and by operators sidelining misbehaving probes. The
+// campaign engine mirrors both: fully-lost bursts are retried on later
+// ticks with capped exponential backoff, and probes whose recent bursts
+// are mostly lost (or clock-skew-tainted) enter quarantine — they stop
+// producing records until a cooldown elapses, keeping systematic garbage
+// out of the dataset instead of letting analyses average over it.
+//
+// Both policies default to *off*, which keeps a resilience-free campaign
+// byte-identical to the pre-fault engine.
+#pragma once
+
+#include <cstdint>
+
+namespace shears::faults {
+
+struct RetryPolicy {
+  /// Extra attempts after a fully-lost burst; 0 disables retries.
+  int max_retries = 0;
+  /// Cap on the per-attempt backoff: attempt k waits
+  /// min(2^(k-1), backoff_cap_ticks) ticks after the previous attempt.
+  std::uint32_t backoff_cap_ticks = 8;
+
+  /// Throws std::invalid_argument on negative retries or a zero cap.
+  void validate() const;
+};
+
+/// Ticks between attempt `attempt - 1` and attempt `attempt` (1-based):
+/// 1, 2, 4, ... capped at policy.backoff_cap_ticks.
+[[nodiscard]] std::uint32_t retry_backoff_ticks(
+    int attempt, const RetryPolicy& policy) noexcept;
+
+struct QuarantinePolicy {
+  bool enabled = false;
+  /// Sliding window of recent bursts judged for health (2..64).
+  int window_bursts = 16;
+  /// Enter quarantine when the windowed bad-burst fraction reaches this.
+  double loss_threshold = 0.5;
+  /// Whether a clock-skew-flagged burst counts as bad (its RTTs are
+  /// wrong, not missing).
+  bool skew_counts = true;
+  /// Ticks a probe stays sidelined before release.
+  std::uint32_t cooldown_ticks = 56;
+
+  /// Throws std::invalid_argument on a window outside [2, 64], a
+  /// threshold outside (0, 1], or a zero cooldown.
+  void validate() const;
+};
+
+/// Per-probe quarantine state machine. The campaign owns one per probe
+/// inside a worker, so the tracker is single-threaded by construction;
+/// determinism across thread counts follows from per-probe state only.
+class QuarantineTracker {
+ public:
+  explicit QuarantineTracker(const QuarantinePolicy& policy) noexcept
+      : policy_(&policy) {}
+
+  /// True while the probe is sidelined at `tick`; releases (and resets
+  /// the health window) once the cooldown has elapsed.
+  [[nodiscard]] bool quarantined(std::uint32_t tick) noexcept {
+    if (in_quarantine_ && tick >= release_tick_) {
+      in_quarantine_ = false;
+      history_ = 0;
+      filled_ = 0;
+    }
+    return in_quarantine_;
+  }
+
+  /// Feeds one burst outcome observed at `tick`; trips the probe into
+  /// quarantine when the full window's bad fraction reaches the
+  /// threshold.
+  void record_burst(std::uint32_t tick, bool fully_lost, bool skewed) noexcept;
+
+  /// Times this probe entered quarantine.
+  [[nodiscard]] std::uint32_t entries() const noexcept { return entries_; }
+
+ private:
+  const QuarantinePolicy* policy_;
+  std::uint64_t history_ = 0;  ///< newest outcome in bit 0; 1 = bad burst
+  int filled_ = 0;             ///< outcomes currently in the window
+  bool in_quarantine_ = false;
+  std::uint32_t release_tick_ = 0;
+  std::uint32_t entries_ = 0;
+};
+
+}  // namespace shears::faults

@@ -56,15 +56,17 @@ PingObservation sample_ping(const LatencyModelConfig& config,
                             const LatencyModel& model, const Endpoint& src,
                             const topology::CloudRegion& dst,
                             double load_factor,
+                            const Perturbation& perturbation,
                             stats::Xoshiro256& rng) noexcept {
   AccessProfile profile = model.access_profile_of(src);
   profile.median_ms *= load_factor;
   profile.bloat_probability =
       std::min(profile.bloat_probability * load_factor, 1.0);
 
-  const double loss =
+  double loss =
       profile.loss_rate + config.core_loss_rate -
       profile.loss_rate * config.core_loss_rate;  // independent losses
+  loss = loss + perturbation.extra_loss - loss * perturbation.extra_loss;
   if (rng.bernoulli(loss)) return {true, 0.0};
 
   const PathCharacteristics path = model.path_to(src, dst);
@@ -74,10 +76,12 @@ PingObservation sample_ping(const LatencyModelConfig& config,
     rtt += stats::sample_lognormal_median(rng, base * config.excess_fraction,
                                           config.excess_spread);
   }
+  rtt *= perturbation.latency_scale;  // route detour scales transit only
   rtt += sample_access_latency(profile, rng);
   if (rng.bernoulli(config.spike_probability)) {
     rtt += stats::sample_pareto(rng, config.spike_min_ms, config.spike_alpha);
   }
+  rtt = std::max(0.0, rtt + perturbation.offset_ms);
   return {false, rtt};
 }
 
@@ -86,7 +90,7 @@ PingObservation sample_ping(const LatencyModelConfig& config,
 PingObservation LatencyModel::ping_once(const Endpoint& src,
                                         const topology::CloudRegion& dst,
                                         stats::Xoshiro256& rng) const noexcept {
-  return sample_ping(config_, *this, src, dst, 1.0, rng);
+  return sample_ping(config_, *this, src, dst, 1.0, {}, rng);
 }
 
 double LatencyModel::diurnal_load(const Endpoint& src,
@@ -101,7 +105,7 @@ PingObservation LatencyModel::ping_once_at(
     const Endpoint& src, const topology::CloudRegion& dst, double utc_hour,
     stats::Xoshiro256& rng) const noexcept {
   return sample_ping(config_, *this, src, dst, diurnal_load(src, utc_hour),
-                     rng);
+                     {}, rng);
 }
 
 CongestionState::CongestionState(const LatencyModelConfig& config,
@@ -170,7 +174,18 @@ PingResult LatencyModel::ping_loaded(const Endpoint& src,
                                      int packets, double load_factor,
                                      stats::Xoshiro256& rng) const noexcept {
   return aggregate_burst(packets, [&] {
-    return sample_ping(config_, *this, src, dst, load_factor, rng);
+    return sample_ping(config_, *this, src, dst, load_factor, {}, rng);
+  });
+}
+
+PingResult LatencyModel::ping_perturbed(const Endpoint& src,
+                                        const topology::CloudRegion& dst,
+                                        int packets, double load_factor,
+                                        const Perturbation& perturbation,
+                                        stats::Xoshiro256& rng) const noexcept {
+  return aggregate_burst(packets, [&] {
+    return sample_ping(config_, *this, src, dst, load_factor, perturbation,
+                       rng);
   });
 }
 

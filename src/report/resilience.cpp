@@ -1,0 +1,57 @@
+#include "report/resilience.hpp"
+
+#include <string>
+
+#include "geo/continent.hpp"
+
+namespace shears::report {
+
+TextTable telemetry_table(const atlas::CampaignTelemetry& t) {
+  TextTable table;
+  table.set_header({"counter", "value"});
+  table.add_row({"bursts recorded", std::to_string(t.bursts)});
+  table.add_row({"bursts retried", std::to_string(t.bursts_retried)});
+  table.add_row({"retry attempts", std::to_string(t.retries)});
+  table.add_row({"bursts recovered", std::to_string(t.bursts_recovered)});
+  table.add_row({"bursts fault-flagged", std::to_string(t.bursts_faulted)});
+  table.add_row({"probe-ticks hung", std::to_string(t.hang_ticks)});
+  table.add_row({"quarantine entries", std::to_string(t.quarantine_entries)});
+  table.add_row({"probe-ticks quarantined",
+                 std::to_string(t.quarantined_ticks)});
+  return table;
+}
+
+TextTable quality_table(const core::QualityReport& r) {
+  TextTable table;
+  table.set_header({"guard", "records dropped", "note"});
+  table.add_row({"fault mask", std::to_string(r.dropped_faulted),
+                 "skew-tainted or masked records"});
+  table.add_row({"lossy probes", std::to_string(r.dropped_lossy_probes),
+                 std::to_string(r.probes_dropped) + " probes over threshold"});
+  table.add_row({"thin cells", std::to_string(r.dropped_thin_cells),
+                 std::to_string(r.cells_dropped) + " of " +
+                     std::to_string(r.cells_total) +
+                     " (country, provider) cells"});
+  table.add_row({"kept", std::to_string(r.records_out),
+                 "of " + std::to_string(r.records_in) + " records"});
+  return table;
+}
+
+TextTable degradation_table(const core::DegradationReport& r) {
+  TextTable table;
+  table.set_header({"continent", "clean median ms", "faulted median ms",
+                    "verdicts changed"});
+  for (const core::VerdictShift& row : r.rows) {
+    table.add_row({std::string(geo::to_string(row.continent)),
+                   fmt(row.clean_median_ms, 1),
+                   fmt(row.faulted_median_ms, 1),
+                   std::to_string(row.changed) + " / " +
+                       std::to_string(row.apps)});
+  }
+  table.add_row({"TOTAL", "", "",
+                 std::to_string(r.changed_total) + " / " +
+                     std::to_string(r.apps_total)});
+  return table;
+}
+
+}  // namespace shears::report

@@ -1,0 +1,22 @@
+// Fault / resilience summary tables: campaign telemetry, quality-guard
+// accounting, and the clean-vs-faulted degradation report, rendered with
+// the same TextTable plumbing every bench uses.
+#pragma once
+
+#include "atlas/campaign.hpp"
+#include "core/quality.hpp"
+#include "report/table.hpp"
+
+namespace shears::report {
+
+/// Retry / quarantine / fault-exposure counters of one campaign run.
+[[nodiscard]] TextTable telemetry_table(const atlas::CampaignTelemetry& t);
+
+/// What the data-quality guards dropped, and why.
+[[nodiscard]] TextTable quality_table(const core::QualityReport& r);
+
+/// Per-continent feasibility-verdict shifts between a clean and a
+/// faulted run.
+[[nodiscard]] TextTable degradation_table(const core::DegradationReport& r);
+
+}  // namespace shears::report

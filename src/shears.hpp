@@ -8,6 +8,7 @@
 //   shears::topology  — the seven providers and 101 cloud regions
 //   shears::net       — the Internet latency model (paths + last mile)
 //   shears::atlas     — probe fleet, scheduler, campaign engine, dataset
+//   shears::faults    — deterministic fault schedules, retry & quarantine
 //   shears::apps      — perception thresholds and the Fig. 2 app catalog
 //   shears::trends    — the Fig. 1 zeitgeist series and era analytics
 //   shears::core      — the §4 analyses and the Fig. 8 feasibility zone
@@ -39,8 +40,11 @@
 #include "core/feasibility.hpp"
 #include "config/ini.hpp"
 #include "config/scenario.hpp"
+#include "core/quality.hpp"
 #include "core/whatif.hpp"
 #include "edge/deployment.hpp"
+#include "faults/fault_schedule.hpp"
+#include "faults/resilience.hpp"
 #include "geo/city.hpp"
 #include "geo/continent.hpp"
 #include "geo/coordinates.hpp"
@@ -53,6 +57,7 @@
 #include "net/segments.hpp"
 #include "net/tcp.hpp"
 #include "report/plot.hpp"
+#include "report/resilience.hpp"
 #include "report/svg.hpp"
 #include "report/table.hpp"
 #include "route/graph.hpp"

@@ -1,5 +1,6 @@
 // Tests for the measurement platform: tags, probe placement, scheduling,
-// campaign determinism, and dataset semantics.
+// campaign determinism, dataset semantics, and the resilient engine
+// (fault injection, retries, quarantine).
 #include <gtest/gtest.h>
 
 #include <map>
@@ -10,6 +11,7 @@
 #include "atlas/measurement.hpp"
 #include "atlas/placement.hpp"
 #include "atlas/tags.hpp"
+#include "faults/fault_schedule.hpp"
 #include "geo/city.hpp"
 #include "net/latency_model.hpp"
 #include "topology/registry.hpp"
@@ -535,6 +537,387 @@ TEST(Campaign, RejectsInvalidUptime) {
                std::invalid_argument);
   config.probe_uptime = 1.5;
   EXPECT_THROW(Campaign(fleet, registry, model, config),
+               std::invalid_argument);
+}
+
+TEST(Campaign, ConfigValidationCoversEveryKnob) {
+  CampaignConfig config;
+  EXPECT_NO_THROW(config.validate());
+  config.packets_per_ping = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.packets_per_ping = 300;  // overflows the uint8 record counter
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = CampaignConfig{};
+  config.interval_hours = -1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = CampaignConfig{};
+  config.targets_per_tick = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = CampaignConfig{};
+  config.retry.max_retries = -2;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = CampaignConfig{};
+  config.quarantine.enabled = true;
+  config.quarantine.window_bursts = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+void expect_identical_datasets(const MeasurementDataset& a,
+                               const MeasurementDataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Measurement& x = a.records()[i];
+    const Measurement& y = b.records()[i];
+    EXPECT_EQ(x.probe_id, y.probe_id);
+    EXPECT_EQ(x.region_index, y.region_index);
+    EXPECT_EQ(x.tick, y.tick);
+    EXPECT_EQ(x.min_ms, y.min_ms);  // bit-exact, not approximate
+    EXPECT_EQ(x.avg_ms, y.avg_ms);
+    EXPECT_EQ(x.max_ms, y.max_ms);
+    EXPECT_EQ(x.sent, y.sent);
+    EXPECT_EQ(x.received, y.received);
+    EXPECT_EQ(x.retries, y.retries);
+    EXPECT_EQ(x.faults, y.faults);
+  }
+}
+
+TEST(Campaign, EmptyScheduleIsByteIdenticalToNoSchedule) {
+  // Attaching an empty fault schedule (with resilience off) must consume
+  // exactly the same RNG draws as the pre-fault engine.
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  CampaignConfig config = short_campaign_config();
+  config.probe_uptime = 0.9;  // exercise the churn draws too
+  const auto plain = Campaign(fleet, registry, model, config).run();
+  const faults::FaultSchedule empty;
+  const auto wired =
+      Campaign(fleet, registry, model, config, &empty).run();
+  expect_identical_datasets(plain, wired);
+}
+
+TEST(Campaign, FaultedRunIsDeterministicAcrossThreadCounts) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+
+  faults::FaultScheduleConfig fault_config;
+  fault_config.region_outage_rate = 0.1;
+  fault_config.route_flap_rate = 0.1;
+  fault_config.storm_rate = 0.1;
+  fault_config.probe_hang_rate = 0.1;
+  fault_config.clock_skew_rate = 0.1;
+  fault_config.blackout_rate = 0.02;
+  const faults::FaultSchedule schedule(fault_config);
+
+  CampaignConfig config = short_campaign_config();
+  config.duration_days = 6;
+  config.retry.max_retries = 2;
+  config.quarantine.enabled = true;
+  config.quarantine.window_bursts = 4;
+  config.quarantine.cooldown_ticks = 8;
+
+  config.threads = 1;
+  CampaignTelemetry tel_one;
+  const auto one =
+      Campaign(fleet, registry, model, config, &schedule).run(tel_one);
+  config.threads = 4;
+  CampaignTelemetry tel_four;
+  const auto four =
+      Campaign(fleet, registry, model, config, &schedule).run(tel_four);
+
+  expect_identical_datasets(one, four);
+  EXPECT_GT(one.faulted_fraction(), 0.0);
+  EXPECT_EQ(tel_one.bursts, tel_four.bursts);
+  EXPECT_EQ(tel_one.retries, tel_four.retries);
+  EXPECT_EQ(tel_one.hang_ticks, tel_four.hang_ticks);
+  EXPECT_EQ(tel_one.quarantine_entries, tel_four.quarantine_entries);
+  EXPECT_EQ(tel_one.quarantined_ticks, tel_four.quarantined_ticks);
+}
+
+TEST(Campaign, BlackoutEventLosesEveryBurstInWindow) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  faults::FaultSchedule schedule;
+  faults::FaultEvent blackout;
+  blackout.kind = faults::FaultKind::kCountryBlackout;
+  blackout.start_tick = 0;
+  blackout.end_tick = 4;
+  blackout.country_key = 0;  // every country
+  schedule.add_event(blackout);
+
+  CampaignConfig config = short_campaign_config();
+  config.duration_days = 1;
+  CampaignTelemetry telemetry;
+  const auto dataset =
+      Campaign(fleet, registry, model, config, &schedule).run(telemetry);
+  const std::uint8_t bit =
+      faults::fault_bit(faults::FaultKind::kCountryBlackout);
+  std::size_t in_window = 0;
+  for (const Measurement& m : dataset.records()) {
+    if (m.tick < 4) {
+      EXPECT_EQ(m.received, 0);
+      EXPECT_NE(m.faults & bit, 0);
+      ++in_window;
+    } else {
+      EXPECT_EQ(m.faults & bit, 0);
+    }
+  }
+  EXPECT_GT(in_window, 0u);
+  EXPECT_EQ(telemetry.bursts, dataset.size());
+  EXPECT_GE(telemetry.bursts_faulted, in_window);
+}
+
+TEST(Campaign, RetriesRecoverBurstsAfterAnOutageWindow) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  faults::FaultSchedule schedule;
+  faults::FaultEvent blackout;
+  blackout.kind = faults::FaultKind::kCountryBlackout;
+  blackout.start_tick = 0;
+  blackout.end_tick = 2;
+  blackout.country_key = 0;
+  schedule.add_event(blackout);
+
+  CampaignConfig config = short_campaign_config();
+  config.duration_days = 1;
+  config.retry.max_retries = 2;  // tick 0: retries land on ticks 1 and 3
+  CampaignTelemetry telemetry;
+  const auto dataset =
+      Campaign(fleet, registry, model, config, &schedule).run(telemetry);
+
+  EXPECT_GT(telemetry.bursts_retried, 0u);
+  EXPECT_GT(telemetry.bursts_recovered, 0u);
+  std::size_t recovered_records = 0;
+  std::size_t recovered_in_window = 0;
+  for (const Measurement& m : dataset.records()) {
+    if (m.retries > 0 && m.received > 0) {
+      ++recovered_records;
+      // A recovered burst scheduled inside the window proves the retry
+      // was evaluated at its later effective tick, past the outage.
+      recovered_in_window += m.tick < 2;
+    }
+  }
+  EXPECT_EQ(recovered_records, telemetry.bursts_recovered);
+  EXPECT_GT(recovered_in_window, 0u);
+}
+
+TEST(Campaign, QuarantineSidelinesProbesAndReleasesThem) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  faults::FaultSchedule schedule;
+  faults::FaultEvent blackout;
+  blackout.kind = faults::FaultKind::kCountryBlackout;
+  blackout.start_tick = 0;
+  blackout.end_tick = 8;
+  blackout.country_key = 0;
+  schedule.add_event(blackout);
+
+  CampaignConfig config = short_campaign_config();
+  config.duration_days = 3;  // 24 ticks
+  config.quarantine.enabled = true;
+  config.quarantine.window_bursts = 4;
+  config.quarantine.loss_threshold = 1.0;
+  config.quarantine.cooldown_ticks = 8;
+  CampaignTelemetry telemetry;
+  const auto dataset =
+      Campaign(fleet, registry, model, config, &schedule).run(telemetry);
+
+  // Every probe trips after its 4th all-lost burst (tick 3) and sits out
+  // ticks 4..10; release at tick 11 restores service.
+  EXPECT_EQ(telemetry.quarantine_entries, fleet.size());
+  EXPECT_GT(telemetry.quarantined_ticks, 0u);
+  bool saw_post_release = false;
+  for (const Measurement& m : dataset.records()) {
+    EXPECT_TRUE(m.tick <= 3 || m.tick >= 11) << m.tick;
+    saw_post_release |= m.tick >= 11;
+  }
+  EXPECT_TRUE(saw_post_release);
+}
+
+TEST(Campaign, TelemetryMatchesPlainRunWhenResilienceOff) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  CampaignTelemetry telemetry;
+  const auto dataset = Campaign(fleet, registry, model,
+                                short_campaign_config())
+                           .run(telemetry);
+  EXPECT_EQ(telemetry.bursts, dataset.size());
+  EXPECT_EQ(telemetry.bursts_retried, 0u);
+  EXPECT_EQ(telemetry.retries, 0u);
+  EXPECT_EQ(telemetry.bursts_faulted, 0u);
+  EXPECT_EQ(telemetry.hang_ticks, 0u);
+  EXPECT_EQ(telemetry.quarantine_entries, 0u);
+}
+
+MeasurementDataset faulted_fixture(const ProbeFleet& fleet,
+                                   const topology::CloudRegistry& registry,
+                                   const net::LatencyModel& model,
+                                   const faults::FaultSchedule& schedule) {
+  CampaignConfig config = short_campaign_config();
+  config.duration_days = 1;
+  config.retry.max_retries = 2;
+  return Campaign(fleet, registry, model, config, &schedule).run();
+}
+
+TEST(Dataset, CsvRoundTripPreservesRetriesFaultsAndLostBursts) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  faults::FaultSchedule schedule;
+  faults::FaultEvent blackout;
+  blackout.kind = faults::FaultKind::kCountryBlackout;
+  blackout.start_tick = 0;
+  // Long enough that early bursts stay lost even after both retries.
+  blackout.end_tick = 6;
+  blackout.country_key = 0;
+  schedule.add_event(blackout);
+  const auto original = faulted_fixture(fleet, registry, model, schedule);
+
+  std::size_t lost = 0;
+  std::size_t flagged = 0;
+  for (const Measurement& m : original.records()) {
+    lost += m.lost();
+    flagged += m.faulted();
+  }
+  ASSERT_GT(lost, 0u);     // the round trip must cover lost bursts
+  ASSERT_GT(flagged, 0u);  // ... and fault-flagged ones
+
+  std::stringstream buffer;
+  original.write_csv(buffer);
+  const auto loaded = MeasurementDataset::read_csv(buffer, &fleet, &registry);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const Measurement& a = original.records()[i];
+    const Measurement& b = loaded.records()[i];
+    EXPECT_EQ(a.probe_id, b.probe_id);
+    EXPECT_EQ(a.tick, b.tick);
+    EXPECT_EQ(a.sent, b.sent);
+    EXPECT_EQ(a.received, b.received);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.faults, b.faults);
+    if (a.received > 0) {
+      // The writer prints 6 significant digits: relative tolerance.
+      EXPECT_NEAR(a.min_ms, b.min_ms, 1e-3 + 1e-5 * a.min_ms);
+      EXPECT_NEAR(a.max_ms, b.max_ms, 1e-3 + 1e-5 * a.max_ms);
+    }
+  }
+}
+
+TEST(Dataset, CsvReaderAcceptsLegacyTwelveColumnHeader) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const Probe& p = fleet.probe(0);
+  const topology::CloudRegion& r = *registry.regions()[0];
+  std::stringstream legacy;
+  legacy << "probe_id,country,continent,access,provider,region,tick,min_ms,"
+            "avg_ms,max_ms,sent,received\n"
+         << "0," << p.country->iso2 << ','
+         << geo::to_code(p.country->continent) << ','
+         << net::to_string(p.endpoint.access) << ','
+         << topology::to_string(r.provider) << ',' << r.region_id
+         << ",5,10.5,11.5,12.5,3,3\n";
+  const auto loaded = MeasurementDataset::read_csv(legacy, &fleet, &registry);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.records()[0].tick, 5u);
+  EXPECT_EQ(loaded.records()[0].retries, 0);  // legacy rows fill as clean
+  EXPECT_EQ(loaded.records()[0].faults, 0);
+}
+
+TEST(Dataset, CsvLoadRejectsMalformedResilienceColumns) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const Probe& p = fleet.probe(0);
+  const topology::CloudRegion& r = *registry.regions()[0];
+  std::ostringstream prefix;
+  prefix << "0," << p.country->iso2 << ','
+         << geo::to_code(p.country->continent) << ','
+         << net::to_string(p.endpoint.access) << ','
+         << topology::to_string(r.provider) << ',' << r.region_id;
+  const std::string header =
+      "probe_id,country,continent,access,provider,region,tick,min_ms,avg_ms,"
+      "max_ms,sent,received,retries,faults\n";
+
+  // 13 of 14 columns.
+  std::stringstream missing(header + prefix.str() + ",5,10,11,12,3,3\n");
+  EXPECT_THROW(MeasurementDataset::read_csv(missing, &fleet, &registry),
+               std::runtime_error);
+  // Non-numeric retries cell.
+  std::stringstream garbled(header + prefix.str() + ",5,10,11,12,3,3,two,0\n");
+  EXPECT_THROW(MeasurementDataset::read_csv(garbled, &fleet, &registry),
+               std::runtime_error);
+}
+
+TEST(Dataset, JsonlRoundTripPreservesRecords) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  faults::FaultSchedule schedule;
+  faults::FaultEvent blackout;
+  blackout.kind = faults::FaultKind::kCountryBlackout;
+  blackout.start_tick = 0;
+  blackout.end_tick = 2;
+  blackout.country_key = 0;
+  schedule.add_event(blackout);
+  const auto original = faulted_fixture(fleet, registry, model, schedule);
+
+  std::stringstream buffer;
+  original.write_jsonl(buffer, 3);
+  const auto loaded =
+      MeasurementDataset::read_jsonl(buffer, &fleet, &registry, 3);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const Measurement& a = original.records()[i];
+    const Measurement& b = loaded.records()[i];
+    EXPECT_EQ(a.probe_id, b.probe_id);
+    EXPECT_EQ(a.region_index, b.region_index);
+    EXPECT_EQ(a.tick, b.tick);
+    EXPECT_EQ(a.sent, b.sent);
+    EXPECT_EQ(a.received, b.received);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.faults, b.faults);
+    if (a.received > 0) {
+      EXPECT_NEAR(a.min_ms, b.min_ms, 1e-3 + 1e-5 * a.min_ms);
+      EXPECT_NEAR(a.avg_ms, b.avg_ms, 1e-3 + 1e-5 * a.avg_ms);
+      EXPECT_NEAR(a.max_ms, b.max_ms, 1e-3 + 1e-5 * a.max_ms);
+    } else {
+      EXPECT_EQ(b.min_ms, 0.0f);  // lost bursts carry no latency
+    }
+  }
+}
+
+TEST(Dataset, JsonlLoadRejectsMalformedInput) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  CampaignConfig config = short_campaign_config();
+  config.duration_days = 1;
+  const auto dataset = Campaign(fleet, registry, model, config).run();
+
+  std::stringstream not_json("this is not json\n");
+  EXPECT_THROW(
+      MeasurementDataset::read_jsonl(not_json, &fleet, &registry, 3),
+      std::runtime_error);
+
+  std::stringstream wrong_type(
+      "{\"type\":\"traceroute\",\"prb_id\":0,\"dst_name\":\"x/y\","
+      "\"timestamp\":0,\"sent\":3,\"rcvd\":3}\n");
+  EXPECT_THROW(
+      MeasurementDataset::read_jsonl(wrong_type, &fleet, &registry, 3),
+      std::runtime_error);
+
+  // Written at 3 h ticks, read back assuming 2 h: timestamps land off the
+  // grid and must be rejected rather than silently remapped.
+  std::stringstream buffer;
+  dataset.write_jsonl(buffer, 3);
+  EXPECT_THROW(MeasurementDataset::read_jsonl(buffer, &fleet, &registry, 2),
+               std::runtime_error);
+
+  EXPECT_THROW(MeasurementDataset::read_jsonl(buffer, &fleet, &registry, 0),
                std::invalid_argument);
 }
 

@@ -96,6 +96,53 @@ TEST(Scenario, OverridesApply) {
   EXPECT_EQ(s.providers[1], topology::CloudProvider::kVultr);
 }
 
+TEST(Scenario, FaultAndResilienceKeysApply) {
+  const Scenario s = parse_scenario_string(
+      "[faults]\nseed = 5\nepoch_ticks = 28\nregion_outage_rate = 0.1\n"
+      "route_flap_rate = 0.2\nroute_flap_multiplier = 2.5\n"
+      "storm_rate = 0.3\nstorm_wireless_only = false\n"
+      "clock_skew_rate = 0.05\nclock_skew_ms = 40\nblackout_rate = 0.01\n"
+      "[resilience]\nmax_retries = 3\nbackoff_cap_ticks = 4\n"
+      "quarantine = true\nquarantine_window = 8\n"
+      "quarantine_loss_threshold = 0.75\nquarantine_cooldown_ticks = 24\n");
+  EXPECT_EQ(s.faults.seed, 5u);
+  EXPECT_EQ(s.faults.epoch_ticks, 28u);
+  EXPECT_DOUBLE_EQ(s.faults.region_outage_rate, 0.1);
+  EXPECT_DOUBLE_EQ(s.faults.route_flap_rate, 0.2);
+  EXPECT_DOUBLE_EQ(s.faults.route_flap_latency_multiplier, 2.5);
+  EXPECT_DOUBLE_EQ(s.faults.storm_rate, 0.3);
+  EXPECT_FALSE(s.faults.storm_wireless_only);
+  EXPECT_DOUBLE_EQ(s.faults.clock_skew_ms, 40.0);
+  EXPECT_EQ(s.campaign.retry.max_retries, 3);
+  EXPECT_EQ(s.campaign.retry.backoff_cap_ticks, 4u);
+  EXPECT_TRUE(s.campaign.quarantine.enabled);
+  EXPECT_EQ(s.campaign.quarantine.window_bursts, 8);
+  EXPECT_DOUBLE_EQ(s.campaign.quarantine.loss_threshold, 0.75);
+  EXPECT_EQ(s.campaign.quarantine.cooldown_ticks, 24u);
+  EXPECT_FALSE(s.make_fault_schedule().empty());
+}
+
+TEST(Scenario, DefaultFaultScheduleIsEmpty) {
+  const Scenario s = parse_scenario_string("");
+  EXPECT_FALSE(s.faults.any_rate());
+  EXPECT_TRUE(s.make_fault_schedule().empty());
+  EXPECT_EQ(s.campaign.retry.max_retries, 0);
+  EXPECT_FALSE(s.campaign.quarantine.enabled);
+}
+
+TEST(Scenario, RejectsOutOfRangeFaultAndResilienceValues) {
+  EXPECT_THROW(parse_scenario_string("[faults]\nstorm_rate = 1.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse_scenario_string("[faults]\nroute_flap_multiplier = 0.5\n"),
+      std::runtime_error);
+  EXPECT_THROW(parse_scenario_string("[resilience]\nmax_retries = -1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_string(
+                   "[resilience]\nquarantine = true\nquarantine_window = 1\n"),
+               std::runtime_error);
+}
+
 TEST(Scenario, MakeRegistryRespectsYearAndProviders) {
   Scenario s;
   s.footprint_year = 2012;
@@ -132,8 +179,9 @@ TEST(Scenario, ShippedScenarioFilesParse) {
   // Every file in scenarios/ must parse and validate.
   const std::string dir = std::string(SHEARS_SOURCE_DIR) + "/scenarios/";
   const char* files[] = {
-      "paper_9_months.ini", "five_g_delivers.ini", "cloud_2014.ini",
-      "hyperscalers_only.ini", "stress_noisy_network.ini",
+      "paper_9_months.ini",   "five_g_delivers.ini",
+      "cloud_2014.ini",       "hyperscalers_only.ini",
+      "stress_noisy_network.ini", "faulted_9_months.ini",
   };
   for (const char* file : files) {
     std::ifstream in(dir + file);

@@ -1,0 +1,382 @@
+// Tests for the fault-injection subsystem: schedule determinism, window
+// scoping per fault kind, retry backoff, and the quarantine state machine.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "faults/fault_schedule.hpp"
+#include "faults/resilience.hpp"
+
+namespace shears::faults {
+namespace {
+
+FaultScheduleConfig busy_config() {
+  FaultScheduleConfig config;
+  config.seed = 99;
+  config.region_outage_rate = 0.2;
+  config.route_flap_rate = 0.2;
+  config.storm_rate = 0.2;
+  config.probe_hang_rate = 0.2;
+  config.clock_skew_rate = 0.2;
+  config.blackout_rate = 0.2;
+  return config;
+}
+
+ProbeContext wireless_probe(std::uint32_t id = 7) {
+  ProbeContext probe;
+  probe.probe_id = id;
+  probe.asn = 64500;
+  probe.country_key = FaultSchedule::country_key("DE");
+  probe.wireless = true;
+  return probe;
+}
+
+TEST(FaultScheduleConfig, ValidatesRatesMeansAndSeverities) {
+  FaultScheduleConfig config;
+  EXPECT_NO_THROW(config.validate());
+
+  config.storm_rate = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.storm_rate = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.storm_rate = 0.0;
+
+  config.epoch_ticks = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.epoch_ticks = 56;
+
+  config.blackout_mean_ticks = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.blackout_mean_ticks = 4.0;
+
+  config.route_flap_latency_multiplier = 0.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.route_flap_latency_multiplier = 1.8;
+
+  config.route_flap_extra_loss = 1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.route_flap_extra_loss = 0.02;
+
+  config.storm_load_multiplier = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(FaultSchedule, DefaultConstructedIsEmptyAndFaultFree) {
+  const FaultSchedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  const ProbeContext probe = wireless_probe();
+  for (std::uint32_t tick = 0; tick < 200; ++tick) {
+    const ProbeExposure pe = schedule.probe_exposure(probe, tick);
+    EXPECT_EQ(pe.mask, 0);
+    EXPECT_FALSE(pe.probe_down);
+    EXPECT_FALSE(pe.blackout);
+    const BurstExposure be = schedule.burst_exposure(probe, pe, 3, tick);
+    EXPECT_EQ(be.mask, 0);
+    EXPECT_FALSE(be.lost);
+    EXPECT_EQ(be.latency_multiplier, 1.0);
+    EXPECT_EQ(be.load_multiplier, 1.0);
+    EXPECT_EQ(be.skew_ms, 0.0);
+    EXPECT_EQ(be.extra_loss, 0.0);
+  }
+}
+
+TEST(FaultSchedule, ZeroRatesProduceNoProceduralFaults) {
+  // A config with no rates set behaves exactly like the empty schedule.
+  const FaultSchedule schedule{FaultScheduleConfig{}};
+  EXPECT_TRUE(schedule.empty());
+}
+
+TEST(FaultSchedule, ProceduralWindowsAreDeterministic) {
+  const FaultSchedule a{busy_config()};
+  const FaultSchedule b{busy_config()};
+  EXPECT_FALSE(a.empty());
+  const ProbeContext probe = wireless_probe();
+  for (std::uint32_t tick = 0; tick < 500; ++tick) {
+    const ProbeExposure pa = a.probe_exposure(probe, tick);
+    const ProbeExposure pb = b.probe_exposure(probe, tick);
+    EXPECT_EQ(pa.mask, pb.mask);
+    EXPECT_EQ(pa.load_multiplier, pb.load_multiplier);
+    EXPECT_EQ(pa.skew_ms, pb.skew_ms);
+    const BurstExposure ba = a.burst_exposure(probe, pa, 11, tick);
+    const BurstExposure bb = b.burst_exposure(probe, pb, 11, tick);
+    EXPECT_EQ(ba.mask, bb.mask);
+    EXPECT_EQ(ba.latency_multiplier, bb.latency_multiplier);
+    EXPECT_EQ(ba.extra_loss, bb.extra_loss);
+  }
+}
+
+TEST(FaultSchedule, SeedChangesTheSchedule) {
+  FaultScheduleConfig other = busy_config();
+  other.seed = 100;
+  const FaultSchedule a{busy_config()};
+  const FaultSchedule b{other};
+  const ProbeContext probe = wireless_probe();
+  std::size_t differing = 0;
+  for (std::uint32_t tick = 0; tick < 500; ++tick) {
+    if (a.probe_exposure(probe, tick).mask !=
+        b.probe_exposure(probe, tick).mask) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultSchedule, ProceduralFaultsActuallyFire) {
+  // With every rate at 0.2 and hundreds of (entity, epoch) pairs, each
+  // fault class must fire somewhere.
+  const FaultSchedule schedule{busy_config()};
+  std::uint8_t seen = 0;
+  for (std::uint32_t id = 0; id < 40; ++id) {
+    ProbeContext probe = wireless_probe(id);
+    probe.asn = 64500 + id;
+    probe.country_key = FaultSchedule::country_key(id % 2 == 0 ? "DE" : "BR");
+    for (std::uint32_t tick = 0; tick < 500; ++tick) {
+      const ProbeExposure pe = schedule.probe_exposure(probe, tick);
+      seen |= pe.mask;
+      seen |= schedule
+                  .burst_exposure(probe, pe, static_cast<std::uint16_t>(id),
+                                  tick)
+                  .mask;
+    }
+  }
+  for (const FaultKind kind :
+       {FaultKind::kRegionOutage, FaultKind::kRouteFlap,
+        FaultKind::kCongestionStorm, FaultKind::kProbeHang,
+        FaultKind::kClockSkew, FaultKind::kCountryBlackout}) {
+    EXPECT_NE(seen & fault_bit(kind), 0) << to_string(kind);
+  }
+}
+
+TEST(FaultSchedule, WirelessOnlyStormSparesWiredProbes) {
+  FaultScheduleConfig config;
+  config.storm_rate = 1.0;  // a storm in every (country, epoch)
+  config.storm_wireless_only = true;
+  const FaultSchedule schedule{config};
+  ProbeContext wired = wireless_probe();
+  wired.wireless = false;
+  std::size_t storms = 0;
+  for (std::uint32_t tick = 0; tick < 500; ++tick) {
+    const ProbeExposure pe = schedule.probe_exposure(wireless_probe(), tick);
+    storms += (pe.mask & fault_bit(FaultKind::kCongestionStorm)) != 0;
+    EXPECT_EQ(schedule.probe_exposure(wired, tick).mask, 0) << tick;
+  }
+  EXPECT_GT(storms, 0u);
+}
+
+TEST(FaultSchedule, RejectsDegenerateEvents) {
+  FaultSchedule schedule;
+  FaultEvent event;
+  event.start_tick = 5;
+  event.end_tick = 5;
+  EXPECT_THROW(schedule.add_event(event), std::invalid_argument);
+}
+
+TEST(FaultSchedule, EventMakesScheduleNonEmpty) {
+  FaultSchedule schedule;
+  FaultEvent event;
+  event.kind = FaultKind::kCountryBlackout;
+  event.start_tick = 0;
+  event.end_tick = 4;
+  schedule.add_event(event);
+  EXPECT_FALSE(schedule.empty());
+}
+
+TEST(FaultSchedule, RegionOutageEventScopesToRegionAndWindow) {
+  FaultSchedule schedule;
+  FaultEvent event;
+  event.kind = FaultKind::kRegionOutage;
+  event.start_tick = 10;
+  event.end_tick = 20;
+  event.region_index = 3;
+  schedule.add_event(event);
+  const ProbeContext probe = wireless_probe();
+  const ProbeExposure pe;
+  EXPECT_FALSE(schedule.burst_exposure(probe, pe, 3, 9).lost);
+  EXPECT_TRUE(schedule.burst_exposure(probe, pe, 3, 10).lost);
+  EXPECT_TRUE(schedule.burst_exposure(probe, pe, 3, 19).lost);
+  EXPECT_FALSE(schedule.burst_exposure(probe, pe, 3, 20).lost);
+  EXPECT_FALSE(schedule.burst_exposure(probe, pe, 4, 15).lost);
+  EXPECT_EQ(schedule.burst_exposure(probe, pe, 3, 15).mask,
+            fault_bit(FaultKind::kRegionOutage));
+}
+
+TEST(FaultSchedule, RouteFlapEventScopesToAsAndSkipsUnattributed) {
+  FaultSchedule schedule;
+  FaultEvent event;
+  event.kind = FaultKind::kRouteFlap;
+  event.start_tick = 0;
+  event.end_tick = 10;
+  event.asn = 64500;
+  event.latency_multiplier = 2.0;
+  event.extra_loss = 0.1;
+  schedule.add_event(event);
+  const ProbeExposure pe;
+  const BurstExposure hit =
+      schedule.burst_exposure(wireless_probe(), pe, 0, 5);
+  EXPECT_EQ(hit.mask, fault_bit(FaultKind::kRouteFlap));
+  EXPECT_DOUBLE_EQ(hit.latency_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(hit.extra_loss, 0.1);
+
+  ProbeContext other_as = wireless_probe();
+  other_as.asn = 64501;
+  EXPECT_EQ(schedule.burst_exposure(other_as, pe, 0, 5).mask, 0);
+
+  ProbeContext unattributed = wireless_probe();
+  unattributed.asn = 0;
+  EXPECT_EQ(schedule.burst_exposure(unattributed, pe, 0, 5).mask, 0);
+}
+
+TEST(FaultSchedule, ProbeScopedEventsHitOnlyThatProbe) {
+  FaultSchedule schedule;
+  FaultEvent hang;
+  hang.kind = FaultKind::kProbeHang;
+  hang.start_tick = 0;
+  hang.end_tick = 5;
+  hang.probe_id = 7;
+  schedule.add_event(hang);
+  FaultEvent skew;
+  skew.kind = FaultKind::kClockSkew;
+  skew.start_tick = 0;
+  skew.end_tick = 5;
+  skew.probe_id = 8;
+  skew.skew_ms = 25.0;
+  schedule.add_event(skew);
+
+  EXPECT_TRUE(schedule.probe_exposure(wireless_probe(7), 2).probe_down);
+  EXPECT_FALSE(schedule.probe_exposure(wireless_probe(8), 2).probe_down);
+  EXPECT_DOUBLE_EQ(schedule.probe_exposure(wireless_probe(8), 2).skew_ms,
+                   25.0);
+  EXPECT_DOUBLE_EQ(schedule.probe_exposure(wireless_probe(7), 2).skew_ms, 0.0);
+  EXPECT_EQ(schedule.probe_exposure(wireless_probe(9), 2).mask, 0);
+}
+
+TEST(FaultSchedule, BlackoutEventScopesToCountryOrEveryone) {
+  FaultSchedule schedule;
+  FaultEvent event;
+  event.kind = FaultKind::kCountryBlackout;
+  event.start_tick = 0;
+  event.end_tick = 4;
+  event.country_key = FaultSchedule::country_key("BR");
+  schedule.add_event(event);
+  ProbeContext br = wireless_probe();
+  br.country_key = FaultSchedule::country_key("BR");
+  EXPECT_TRUE(schedule.probe_exposure(br, 1).blackout);
+  EXPECT_FALSE(schedule.probe_exposure(wireless_probe(), 1).blackout);
+
+  FaultEvent global;
+  global.kind = FaultKind::kCountryBlackout;
+  global.start_tick = 4;
+  global.end_tick = 6;
+  global.country_key = 0;  // every country
+  schedule.add_event(global);
+  EXPECT_TRUE(schedule.probe_exposure(wireless_probe(), 5).blackout);
+}
+
+TEST(RetryPolicy, BackoffDoublesUpToTheCap) {
+  RetryPolicy policy;
+  policy.max_retries = 10;
+  policy.backoff_cap_ticks = 8;
+  EXPECT_EQ(retry_backoff_ticks(0, policy), 0u);
+  EXPECT_EQ(retry_backoff_ticks(1, policy), 1u);
+  EXPECT_EQ(retry_backoff_ticks(2, policy), 2u);
+  EXPECT_EQ(retry_backoff_ticks(3, policy), 4u);
+  EXPECT_EQ(retry_backoff_ticks(4, policy), 8u);
+  EXPECT_EQ(retry_backoff_ticks(5, policy), 8u);   // capped
+  EXPECT_EQ(retry_backoff_ticks(40, policy), 8u);  // no overflow
+}
+
+TEST(RetryPolicy, Validation) {
+  RetryPolicy policy;
+  EXPECT_NO_THROW(policy.validate());
+  policy.max_retries = -1;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy.max_retries = 2;
+  policy.backoff_cap_ticks = 0;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+}
+
+TEST(QuarantinePolicy, Validation) {
+  QuarantinePolicy policy;
+  EXPECT_NO_THROW(policy.validate());  // disabled: knobs unchecked
+  policy.enabled = true;
+  EXPECT_NO_THROW(policy.validate());
+  policy.window_bursts = 1;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy.window_bursts = 65;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy.window_bursts = 16;
+  policy.loss_threshold = 0.0;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy.loss_threshold = 1.1;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy.loss_threshold = 0.5;
+  policy.cooldown_ticks = 0;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+}
+
+TEST(QuarantineTracker, EntersOnBadWindowAndReleasesAfterCooldown) {
+  QuarantinePolicy policy;
+  policy.enabled = true;
+  policy.window_bursts = 4;
+  policy.loss_threshold = 0.5;
+  policy.cooldown_ticks = 10;
+  QuarantineTracker tracker(policy);
+
+  // Window not yet full: no judgement even on all-bad bursts.
+  tracker.record_burst(0, true, false);
+  tracker.record_burst(1, true, false);
+  tracker.record_burst(2, true, false);
+  EXPECT_FALSE(tracker.quarantined(3));
+  // Fourth burst fills the window: 4/4 bad >= 0.5 -> quarantine.
+  tracker.record_burst(3, true, false);
+  EXPECT_TRUE(tracker.quarantined(4));
+  EXPECT_EQ(tracker.entries(), 1u);
+  // Bursts observed while quarantined are ignored.
+  tracker.record_burst(5, true, false);
+  EXPECT_TRUE(tracker.quarantined(12));
+  // Release at record tick 3 + cooldown 10 = 13, with a reset window.
+  EXPECT_FALSE(tracker.quarantined(13));
+  tracker.record_burst(13, true, false);
+  tracker.record_burst(14, true, false);
+  tracker.record_burst(15, true, false);
+  EXPECT_FALSE(tracker.quarantined(16));  // window not refilled yet
+  tracker.record_burst(16, true, false);
+  EXPECT_TRUE(tracker.quarantined(17));
+  EXPECT_EQ(tracker.entries(), 2u);
+}
+
+TEST(QuarantineTracker, HealthyProbesStayInService) {
+  QuarantinePolicy policy;
+  policy.enabled = true;
+  policy.window_bursts = 4;
+  policy.loss_threshold = 0.5;
+  QuarantineTracker tracker(policy);
+  for (std::uint32_t tick = 0; tick < 100; ++tick) {
+    // One bad burst in four never reaches the 0.5 threshold.
+    tracker.record_burst(tick, tick % 4 == 0, false);
+    EXPECT_FALSE(tracker.quarantined(tick + 1));
+  }
+  EXPECT_EQ(tracker.entries(), 0u);
+}
+
+TEST(QuarantineTracker, SkewCountsToggle) {
+  QuarantinePolicy counts;
+  counts.enabled = true;
+  counts.window_bursts = 2;
+  counts.loss_threshold = 1.0;
+  counts.skew_counts = true;
+  QuarantineTracker with_skew(counts);
+  with_skew.record_burst(0, false, true);
+  with_skew.record_burst(1, false, true);
+  EXPECT_TRUE(with_skew.quarantined(2));
+
+  QuarantinePolicy ignores = counts;
+  ignores.skew_counts = false;
+  QuarantineTracker without_skew(ignores);
+  without_skew.record_burst(0, false, true);
+  without_skew.record_burst(1, false, true);
+  EXPECT_FALSE(without_skew.quarantined(2));
+}
+
+}  // namespace
+}  // namespace shears::faults
