@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_5g.dir/bench_ablation_5g.cpp.o"
+  "CMakeFiles/bench_ablation_5g.dir/bench_ablation_5g.cpp.o.d"
+  "bench_ablation_5g"
+  "bench_ablation_5g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_5g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_backbone.dir/bench_ablation_backbone.cpp.o"
+  "CMakeFiles/bench_ablation_backbone.dir/bench_ablation_backbone.cpp.o.d"
+  "bench_ablation_backbone"
+  "bench_ablation_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_edge_gain.dir/bench_ablation_edge_gain.cpp.o"
+  "CMakeFiles/bench_ablation_edge_gain.dir/bench_ablation_edge_gain.cpp.o.d"
+  "bench_ablation_edge_gain"
+  "bench_ablation_edge_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_edge_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

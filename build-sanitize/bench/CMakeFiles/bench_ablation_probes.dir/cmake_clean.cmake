@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_probes.dir/bench_ablation_probes.cpp.o"
+  "CMakeFiles/bench_ablation_probes.dir/bench_ablation_probes.cpp.o.d"
+  "bench_ablation_probes"
+  "bench_ablation_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delay_breakdown.dir/bench_delay_breakdown.cpp.o"
+  "CMakeFiles/bench_delay_breakdown.dir/bench_delay_breakdown.cpp.o.d"
+  "bench_delay_breakdown"
+  "bench_delay_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

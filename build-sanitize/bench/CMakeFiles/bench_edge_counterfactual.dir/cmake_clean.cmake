@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edge_counterfactual.dir/bench_edge_counterfactual.cpp.o"
+  "CMakeFiles/bench_edge_counterfactual.dir/bench_edge_counterfactual.cpp.o.d"
+  "bench_edge_counterfactual"
+  "bench_edge_counterfactual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edge_counterfactual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_quadrants.dir/bench_fig2_quadrants.cpp.o"
+  "CMakeFiles/bench_fig2_quadrants.dir/bench_fig2_quadrants.cpp.o.d"
+  "bench_fig2_quadrants"
+  "bench_fig2_quadrants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_quadrants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

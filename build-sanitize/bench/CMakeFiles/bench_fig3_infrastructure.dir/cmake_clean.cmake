@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_infrastructure.dir/bench_fig3_infrastructure.cpp.o"
+  "CMakeFiles/bench_fig3_infrastructure.dir/bench_fig3_infrastructure.cpp.o.d"
+  "bench_fig3_infrastructure"
+  "bench_fig3_infrastructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

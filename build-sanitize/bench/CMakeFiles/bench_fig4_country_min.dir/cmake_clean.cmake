@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_country_min.dir/bench_fig4_country_min.cpp.o"
+  "CMakeFiles/bench_fig4_country_min.dir/bench_fig4_country_min.cpp.o.d"
+  "bench_fig4_country_min"
+  "bench_fig4_country_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_country_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_feasibility.dir/bench_fig8_feasibility.cpp.o"
+  "CMakeFiles/bench_fig8_feasibility.dir/bench_fig8_feasibility.cpp.o.d"
+  "bench_fig8_feasibility"
+  "bench_fig8_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

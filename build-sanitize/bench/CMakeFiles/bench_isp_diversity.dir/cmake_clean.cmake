@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isp_diversity.dir/bench_isp_diversity.cpp.o"
+  "CMakeFiles/bench_isp_diversity.dir/bench_isp_diversity.cpp.o.d"
+  "bench_isp_diversity"
+  "bench_isp_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isp_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

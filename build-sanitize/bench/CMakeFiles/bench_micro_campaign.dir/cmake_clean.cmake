@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_campaign.dir/bench_micro_campaign.cpp.o"
+  "CMakeFiles/bench_micro_campaign.dir/bench_micro_campaign.cpp.o.d"
+  "bench_micro_campaign"
+  "bench_micro_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

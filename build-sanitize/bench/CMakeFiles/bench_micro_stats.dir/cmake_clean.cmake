@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_stats.dir/bench_micro_stats.cpp.o"
+  "CMakeFiles/bench_micro_stats.dir/bench_micro_stats.cpp.o.d"
+  "bench_micro_stats"
+  "bench_micro_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

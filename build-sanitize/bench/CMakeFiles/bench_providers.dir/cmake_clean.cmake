@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_providers.dir/bench_providers.cpp.o"
+  "CMakeFiles/bench_providers.dir/bench_providers.cpp.o.d"
+  "bench_providers"
+  "bench_providers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

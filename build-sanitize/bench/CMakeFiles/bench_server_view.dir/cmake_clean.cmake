@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_server_view.dir/bench_server_view.cpp.o"
+  "CMakeFiles/bench_server_view.dir/bench_server_view.cpp.o.d"
+  "bench_server_view"
+  "bench_server_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_server_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcp_vs_icmp.dir/bench_tcp_vs_icmp.cpp.o"
+  "CMakeFiles/bench_tcp_vs_icmp.dir/bench_tcp_vs_icmp.cpp.o.d"
+  "bench_tcp_vs_icmp"
+  "bench_tcp_vs_icmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcp_vs_icmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

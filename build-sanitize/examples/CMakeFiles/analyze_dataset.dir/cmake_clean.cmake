@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_dataset.dir/analyze_dataset.cpp.o"
+  "CMakeFiles/analyze_dataset.dir/analyze_dataset.cpp.o.d"
+  "analyze_dataset"
+  "analyze_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_placement_advisor.dir/app_placement_advisor.cpp.o"
+  "CMakeFiles/app_placement_advisor.dir/app_placement_advisor.cpp.o.d"
+  "app_placement_advisor"
+  "app_placement_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_placement_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_expansion_study.dir/cloud_expansion_study.cpp.o"
+  "CMakeFiles/cloud_expansion_study.dir/cloud_expansion_study.cpp.o.d"
+  "cloud_expansion_study"
+  "cloud_expansion_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_expansion_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

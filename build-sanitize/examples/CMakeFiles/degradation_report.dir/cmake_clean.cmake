@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degradation_report.dir/degradation_report.cpp.o"
+  "CMakeFiles/degradation_report.dir/degradation_report.cpp.o.d"
+  "degradation_report"
+  "degradation_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degradation_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

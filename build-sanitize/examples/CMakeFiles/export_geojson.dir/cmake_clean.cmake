@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_geojson.dir/export_geojson.cpp.o"
+  "CMakeFiles/export_geojson.dir/export_geojson.cpp.o.d"
+  "export_geojson"
+  "export_geojson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_geojson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_reproduction.dir/full_reproduction.cpp.o"
+  "CMakeFiles/full_reproduction.dir/full_reproduction.cpp.o.d"
+  "full_reproduction"
+  "full_reproduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_reproduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traceroute_explorer.dir/traceroute_explorer.cpp.o"
+  "CMakeFiles/traceroute_explorer.dir/traceroute_explorer.cpp.o.d"
+  "traceroute_explorer"
+  "traceroute_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traceroute_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-sanitize/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("geo")
+subdirs("topology")
+subdirs("net")
+subdirs("faults")
+subdirs("apps")
+subdirs("edge")
+subdirs("route")
+subdirs("config")
+subdirs("atlas")
+subdirs("trends")
+subdirs("core")
+subdirs("report")

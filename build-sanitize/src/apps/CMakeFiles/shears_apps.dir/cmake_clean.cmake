@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shears_apps.dir/catalog.cpp.o"
+  "CMakeFiles/shears_apps.dir/catalog.cpp.o.d"
+  "libshears_apps.a"
+  "libshears_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shears_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atlas/campaign.cpp" "src/atlas/CMakeFiles/shears_atlas.dir/campaign.cpp.o" "gcc" "src/atlas/CMakeFiles/shears_atlas.dir/campaign.cpp.o.d"
+  "/root/repo/src/atlas/credits.cpp" "src/atlas/CMakeFiles/shears_atlas.dir/credits.cpp.o" "gcc" "src/atlas/CMakeFiles/shears_atlas.dir/credits.cpp.o.d"
+  "/root/repo/src/atlas/isp.cpp" "src/atlas/CMakeFiles/shears_atlas.dir/isp.cpp.o" "gcc" "src/atlas/CMakeFiles/shears_atlas.dir/isp.cpp.o.d"
+  "/root/repo/src/atlas/measurement.cpp" "src/atlas/CMakeFiles/shears_atlas.dir/measurement.cpp.o" "gcc" "src/atlas/CMakeFiles/shears_atlas.dir/measurement.cpp.o.d"
+  "/root/repo/src/atlas/placement.cpp" "src/atlas/CMakeFiles/shears_atlas.dir/placement.cpp.o" "gcc" "src/atlas/CMakeFiles/shears_atlas.dir/placement.cpp.o.d"
+  "/root/repo/src/atlas/selection.cpp" "src/atlas/CMakeFiles/shears_atlas.dir/selection.cpp.o" "gcc" "src/atlas/CMakeFiles/shears_atlas.dir/selection.cpp.o.d"
+  "/root/repo/src/atlas/tags.cpp" "src/atlas/CMakeFiles/shears_atlas.dir/tags.cpp.o" "gcc" "src/atlas/CMakeFiles/shears_atlas.dir/tags.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/geo/CMakeFiles/shears_geo.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/net/CMakeFiles/shears_net.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/topology/CMakeFiles/shears_topology.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/stats/CMakeFiles/shears_stats.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/faults/CMakeFiles/shears_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

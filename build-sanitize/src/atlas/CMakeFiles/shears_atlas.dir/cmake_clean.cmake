@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shears_atlas.dir/campaign.cpp.o"
+  "CMakeFiles/shears_atlas.dir/campaign.cpp.o.d"
+  "CMakeFiles/shears_atlas.dir/credits.cpp.o"
+  "CMakeFiles/shears_atlas.dir/credits.cpp.o.d"
+  "CMakeFiles/shears_atlas.dir/isp.cpp.o"
+  "CMakeFiles/shears_atlas.dir/isp.cpp.o.d"
+  "CMakeFiles/shears_atlas.dir/measurement.cpp.o"
+  "CMakeFiles/shears_atlas.dir/measurement.cpp.o.d"
+  "CMakeFiles/shears_atlas.dir/placement.cpp.o"
+  "CMakeFiles/shears_atlas.dir/placement.cpp.o.d"
+  "CMakeFiles/shears_atlas.dir/selection.cpp.o"
+  "CMakeFiles/shears_atlas.dir/selection.cpp.o.d"
+  "CMakeFiles/shears_atlas.dir/tags.cpp.o"
+  "CMakeFiles/shears_atlas.dir/tags.cpp.o.d"
+  "libshears_atlas.a"
+  "libshears_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shears_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

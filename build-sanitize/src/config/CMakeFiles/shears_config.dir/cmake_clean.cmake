@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shears_config.dir/ini.cpp.o"
+  "CMakeFiles/shears_config.dir/ini.cpp.o.d"
+  "CMakeFiles/shears_config.dir/scenario.cpp.o"
+  "CMakeFiles/shears_config.dir/scenario.cpp.o.d"
+  "libshears_config.a"
+  "libshears_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shears_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_comparison.cpp" "src/core/CMakeFiles/shears_core.dir/access_comparison.cpp.o" "gcc" "src/core/CMakeFiles/shears_core.dir/access_comparison.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/shears_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/shears_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/feasibility.cpp" "src/core/CMakeFiles/shears_core.dir/feasibility.cpp.o" "gcc" "src/core/CMakeFiles/shears_core.dir/feasibility.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "src/core/CMakeFiles/shears_core.dir/quality.cpp.o" "gcc" "src/core/CMakeFiles/shears_core.dir/quality.cpp.o.d"
+  "/root/repo/src/core/whatif.cpp" "src/core/CMakeFiles/shears_core.dir/whatif.cpp.o" "gcc" "src/core/CMakeFiles/shears_core.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/apps/CMakeFiles/shears_apps.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/atlas/CMakeFiles/shears_atlas.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/faults/CMakeFiles/shears_faults.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/geo/CMakeFiles/shears_geo.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/net/CMakeFiles/shears_net.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/stats/CMakeFiles/shears_stats.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/topology/CMakeFiles/shears_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

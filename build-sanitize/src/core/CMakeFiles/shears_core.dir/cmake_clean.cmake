@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shears_core.dir/access_comparison.cpp.o"
+  "CMakeFiles/shears_core.dir/access_comparison.cpp.o.d"
+  "CMakeFiles/shears_core.dir/analysis.cpp.o"
+  "CMakeFiles/shears_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/shears_core.dir/feasibility.cpp.o"
+  "CMakeFiles/shears_core.dir/feasibility.cpp.o.d"
+  "CMakeFiles/shears_core.dir/quality.cpp.o"
+  "CMakeFiles/shears_core.dir/quality.cpp.o.d"
+  "CMakeFiles/shears_core.dir/whatif.cpp.o"
+  "CMakeFiles/shears_core.dir/whatif.cpp.o.d"
+  "libshears_core.a"
+  "libshears_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shears_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shears_edge.dir/deployment.cpp.o"
+  "CMakeFiles/shears_edge.dir/deployment.cpp.o.d"
+  "libshears_edge.a"
+  "libshears_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shears_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

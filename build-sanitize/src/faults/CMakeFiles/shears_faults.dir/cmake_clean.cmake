@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shears_faults.dir/fault_schedule.cpp.o"
+  "CMakeFiles/shears_faults.dir/fault_schedule.cpp.o.d"
+  "CMakeFiles/shears_faults.dir/resilience.cpp.o"
+  "CMakeFiles/shears_faults.dir/resilience.cpp.o.d"
+  "libshears_faults.a"
+  "libshears_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shears_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shears_geo.dir/city_data.cpp.o"
+  "CMakeFiles/shears_geo.dir/city_data.cpp.o.d"
+  "CMakeFiles/shears_geo.dir/coordinates.cpp.o"
+  "CMakeFiles/shears_geo.dir/coordinates.cpp.o.d"
+  "CMakeFiles/shears_geo.dir/country_data.cpp.o"
+  "CMakeFiles/shears_geo.dir/country_data.cpp.o.d"
+  "libshears_geo.a"
+  "libshears_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shears_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

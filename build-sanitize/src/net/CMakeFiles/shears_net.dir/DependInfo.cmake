@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/access.cpp" "src/net/CMakeFiles/shears_net.dir/access.cpp.o" "gcc" "src/net/CMakeFiles/shears_net.dir/access.cpp.o.d"
+  "/root/repo/src/net/latency_model.cpp" "src/net/CMakeFiles/shears_net.dir/latency_model.cpp.o" "gcc" "src/net/CMakeFiles/shears_net.dir/latency_model.cpp.o.d"
+  "/root/repo/src/net/path.cpp" "src/net/CMakeFiles/shears_net.dir/path.cpp.o" "gcc" "src/net/CMakeFiles/shears_net.dir/path.cpp.o.d"
+  "/root/repo/src/net/segments.cpp" "src/net/CMakeFiles/shears_net.dir/segments.cpp.o" "gcc" "src/net/CMakeFiles/shears_net.dir/segments.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/shears_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/shears_net.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/geo/CMakeFiles/shears_geo.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/topology/CMakeFiles/shears_topology.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/stats/CMakeFiles/shears_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

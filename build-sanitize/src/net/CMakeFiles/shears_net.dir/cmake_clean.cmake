@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shears_net.dir/access.cpp.o"
+  "CMakeFiles/shears_net.dir/access.cpp.o.d"
+  "CMakeFiles/shears_net.dir/latency_model.cpp.o"
+  "CMakeFiles/shears_net.dir/latency_model.cpp.o.d"
+  "CMakeFiles/shears_net.dir/path.cpp.o"
+  "CMakeFiles/shears_net.dir/path.cpp.o.d"
+  "CMakeFiles/shears_net.dir/segments.cpp.o"
+  "CMakeFiles/shears_net.dir/segments.cpp.o.d"
+  "CMakeFiles/shears_net.dir/tcp.cpp.o"
+  "CMakeFiles/shears_net.dir/tcp.cpp.o.d"
+  "libshears_net.a"
+  "libshears_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shears_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshears_net.a"
+)

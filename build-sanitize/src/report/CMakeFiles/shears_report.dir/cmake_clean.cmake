@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shears_report.dir/plot.cpp.o"
+  "CMakeFiles/shears_report.dir/plot.cpp.o.d"
+  "CMakeFiles/shears_report.dir/resilience.cpp.o"
+  "CMakeFiles/shears_report.dir/resilience.cpp.o.d"
+  "CMakeFiles/shears_report.dir/svg.cpp.o"
+  "CMakeFiles/shears_report.dir/svg.cpp.o.d"
+  "CMakeFiles/shears_report.dir/table.cpp.o"
+  "CMakeFiles/shears_report.dir/table.cpp.o.d"
+  "libshears_report.a"
+  "libshears_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shears_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/graph.cpp" "src/route/CMakeFiles/shears_route.dir/graph.cpp.o" "gcc" "src/route/CMakeFiles/shears_route.dir/graph.cpp.o.d"
+  "/root/repo/src/route/node_data.cpp" "src/route/CMakeFiles/shears_route.dir/node_data.cpp.o" "gcc" "src/route/CMakeFiles/shears_route.dir/node_data.cpp.o.d"
+  "/root/repo/src/route/steering.cpp" "src/route/CMakeFiles/shears_route.dir/steering.cpp.o" "gcc" "src/route/CMakeFiles/shears_route.dir/steering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/geo/CMakeFiles/shears_geo.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/net/CMakeFiles/shears_net.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/topology/CMakeFiles/shears_topology.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/stats/CMakeFiles/shears_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shears_route.dir/graph.cpp.o"
+  "CMakeFiles/shears_route.dir/graph.cpp.o.d"
+  "CMakeFiles/shears_route.dir/node_data.cpp.o"
+  "CMakeFiles/shears_route.dir/node_data.cpp.o.d"
+  "CMakeFiles/shears_route.dir/steering.cpp.o"
+  "CMakeFiles/shears_route.dir/steering.cpp.o.d"
+  "libshears_route.a"
+  "libshears_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shears_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/shears_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/shears_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/shears_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/shears_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/shears_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/shears_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/shears_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/shears_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/p2_quantile.cpp" "src/stats/CMakeFiles/shears_stats.dir/p2_quantile.cpp.o" "gcc" "src/stats/CMakeFiles/shears_stats.dir/p2_quantile.cpp.o.d"
+  "/root/repo/src/stats/ranktest.cpp" "src/stats/CMakeFiles/shears_stats.dir/ranktest.cpp.o" "gcc" "src/stats/CMakeFiles/shears_stats.dir/ranktest.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/shears_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/shears_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/shears_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/shears_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/shears_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/shears_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

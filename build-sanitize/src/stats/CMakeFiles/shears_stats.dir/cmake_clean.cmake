@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shears_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/shears_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/shears_stats.dir/distributions.cpp.o"
+  "CMakeFiles/shears_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/shears_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/shears_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/shears_stats.dir/histogram.cpp.o"
+  "CMakeFiles/shears_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/shears_stats.dir/p2_quantile.cpp.o"
+  "CMakeFiles/shears_stats.dir/p2_quantile.cpp.o.d"
+  "CMakeFiles/shears_stats.dir/ranktest.cpp.o"
+  "CMakeFiles/shears_stats.dir/ranktest.cpp.o.d"
+  "CMakeFiles/shears_stats.dir/regression.cpp.o"
+  "CMakeFiles/shears_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/shears_stats.dir/rng.cpp.o"
+  "CMakeFiles/shears_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/shears_stats.dir/summary.cpp.o"
+  "CMakeFiles/shears_stats.dir/summary.cpp.o.d"
+  "libshears_stats.a"
+  "libshears_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shears_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/region_data.cpp" "src/topology/CMakeFiles/shears_topology.dir/region_data.cpp.o" "gcc" "src/topology/CMakeFiles/shears_topology.dir/region_data.cpp.o.d"
+  "/root/repo/src/topology/registry.cpp" "src/topology/CMakeFiles/shears_topology.dir/registry.cpp.o" "gcc" "src/topology/CMakeFiles/shears_topology.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/geo/CMakeFiles/shears_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shears_topology.dir/region_data.cpp.o"
+  "CMakeFiles/shears_topology.dir/region_data.cpp.o.d"
+  "CMakeFiles/shears_topology.dir/registry.cpp.o"
+  "CMakeFiles/shears_topology.dir/registry.cpp.o.d"
+  "libshears_topology.a"
+  "libshears_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shears_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trends/crawler.cpp" "src/trends/CMakeFiles/shears_trends.dir/crawler.cpp.o" "gcc" "src/trends/CMakeFiles/shears_trends.dir/crawler.cpp.o.d"
+  "/root/repo/src/trends/trends.cpp" "src/trends/CMakeFiles/shears_trends.dir/trends.cpp.o" "gcc" "src/trends/CMakeFiles/shears_trends.dir/trends.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/stats/CMakeFiles/shears_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shears_trends.dir/crawler.cpp.o"
+  "CMakeFiles/shears_trends.dir/crawler.cpp.o.d"
+  "CMakeFiles/shears_trends.dir/trends.cpp.o"
+  "CMakeFiles/shears_trends.dir/trends.cpp.o.d"
+  "libshears_trends.a"
+  "libshears_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shears_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atlas.dir/test_atlas.cpp.o"
+  "CMakeFiles/test_atlas.dir/test_atlas.cpp.o.d"
+  "test_atlas"
+  "test_atlas.pdb"
+  "test_atlas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_analysis.dir/test_core_analysis.cpp.o"
+  "CMakeFiles/test_core_analysis.dir/test_core_analysis.cpp.o.d"
+  "test_core_analysis"
+  "test_core_analysis.pdb"
+  "test_core_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

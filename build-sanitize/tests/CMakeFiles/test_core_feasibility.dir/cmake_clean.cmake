@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_feasibility.dir/test_core_feasibility.cpp.o"
+  "CMakeFiles/test_core_feasibility.dir/test_core_feasibility.cpp.o.d"
+  "test_core_feasibility"
+  "test_core_feasibility.pdb"
+  "test_core_feasibility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

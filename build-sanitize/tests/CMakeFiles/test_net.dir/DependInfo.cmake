@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/test_net.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/test_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/core/CMakeFiles/shears_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/config/CMakeFiles/shears_config.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/edge/CMakeFiles/shears_edge.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/route/CMakeFiles/shears_route.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/atlas/CMakeFiles/shears_atlas.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/faults/CMakeFiles/shears_faults.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/net/CMakeFiles/shears_net.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/topology/CMakeFiles/shears_topology.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/geo/CMakeFiles/shears_geo.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/apps/CMakeFiles/shears_apps.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/stats/CMakeFiles/shears_stats.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/trends/CMakeFiles/shears_trends.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/report/CMakeFiles/shears_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p2_quantile.dir/test_p2_quantile.cpp.o"
+  "CMakeFiles/test_p2_quantile.dir/test_p2_quantile.cpp.o.d"
+  "test_p2_quantile"
+  "test_p2_quantile.pdb"
+  "test_p2_quantile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p2_quantile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ranktest.dir/test_ranktest.cpp.o"
+  "CMakeFiles/test_ranktest.dir/test_ranktest.cpp.o.d"
+  "test_ranktest"
+  "test_ranktest.pdb"
+  "test_ranktest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ranktest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

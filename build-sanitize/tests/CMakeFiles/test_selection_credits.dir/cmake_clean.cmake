@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selection_credits.dir/test_selection_credits.cpp.o"
+  "CMakeFiles/test_selection_credits.dir/test_selection_credits.cpp.o.d"
+  "test_selection_credits"
+  "test_selection_credits.pdb"
+  "test_selection_credits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selection_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-sanitize/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-sanitize/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_geo[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_topology[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_net[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_apps[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_atlas[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_faults[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_quality[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_trends[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_report[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_core_analysis[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_core_feasibility[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_whatif[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_segments[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_tcp[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_edge[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_ranktest[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_route[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_svg[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_config[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_crawler[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_selection_credits[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_model_properties[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_steering[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_isp[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_p2_quantile[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_integration[1]_include.cmake")
