@@ -5,9 +5,14 @@
 // ~3M-datapoint scale.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "atlas/campaign.hpp"
 #include "atlas/placement.hpp"
@@ -16,26 +21,118 @@
 
 namespace shears::bench {
 
+// ---------------------------------------------------------------------------
+// Perf-regression JSON emission.
+//
+// Every bench binary appends its timings to one JSON file (default
+// `BENCH_campaign.json` in the working directory, overridable via
+// SHEARS_BENCH_JSON; set it to the empty string to disable). Entries are
+// keyed by name and merged line-by-line, so the figure benches and both
+// micro benches can accumulate into the same file across separate
+// processes — `bench/run_benches.sh` relies on that.
+
+/// Path of the bench JSON file; empty disables recording.
+inline std::string bench_json_path() {
+  const char* env = std::getenv("SHEARS_BENCH_JSON");
+  return env != nullptr ? std::string(env) : std::string("BENCH_campaign.json");
+}
+
+/// Inserts/replaces the single-line entry `{"name": <name>, <fields>}` in
+/// the bench JSON file. The file is one entry per line so a plain
+/// read-filter-rewrite merges results from multiple binaries without a
+/// JSON parser.
+inline void bench_json_record_line(const std::string& name,
+                                   const std::string& fields) {
+  const std::string path = bench_json_path();
+  if (path.empty()) return;
+  const std::string key = "\"name\": \"" + name + "\"";
+  std::vector<std::string> entries;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("  {\"name\": \"", 0) != 0) continue;   // header/footer
+      if (line.find(key) != std::string::npos) continue;     // superseded
+      while (!line.empty() && (line.back() == ',' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      entries.push_back(line);
+    }
+  }
+  entries.push_back("  {" + key + ", " + fields + "}");
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\"bench\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << entries[i] << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  out << "]}\n";
+}
+
+/// Records a timed run: wall clock, item count, and derived throughput
+/// (items per second — the perf-regression headline number).
+inline void bench_record(const std::string& name, double wall_seconds,
+                         double items) {
+  std::ostringstream fields;
+  fields << std::fixed << std::setprecision(6)
+         << "\"wall_seconds\": " << wall_seconds
+         << ", \"items\": " << std::setprecision(0) << items
+         << ", \"items_per_second\": " << std::setprecision(1)
+         << (wall_seconds > 0.0 ? items / wall_seconds : 0.0);
+  bench_json_record_line(name, fields.str());
+}
+
+/// Records a bare scalar (e.g. a speedup ratio).
+inline void bench_record_value(const std::string& name, double value) {
+  std::ostringstream fields;
+  fields << std::fixed << std::setprecision(6) << "\"value\": " << value;
+  bench_json_record_line(name, fields.str());
+}
+
+/// Day count for the standard campaign: argv[1] wins, then
+/// SHEARS_BENCH_DAYS, then 30.
+inline int bench_duration_days(int argc, char** argv) {
+  int days = 0;
+  if (argc > 1) days = std::atoi(argv[1]);
+  if (days <= 0) {
+    if (const char* env = std::getenv("SHEARS_BENCH_DAYS")) {
+      days = std::atoi(env);
+    }
+  }
+  return days > 0 ? days : 30;
+}
+
 struct StandardCampaign {
   atlas::ProbeFleet fleet;
   topology::CloudRegistry registry;
   net::LatencyModel model;
   atlas::CampaignConfig config;
+  /// Key the run's timing is recorded under (binary basename).
+  std::string bench_name = "campaign";
 
   [[nodiscard]] atlas::MeasurementDataset run() const {
-    return atlas::Campaign(fleet, registry, model, config).run();
+    const auto start = std::chrono::steady_clock::now();
+    auto dataset = atlas::Campaign(fleet, registry, model, config).run();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    bench_record(bench_name, seconds, static_cast<double>(dataset.size()));
+    return dataset;
   }
 };
 
 inline StandardCampaign make_standard_campaign(int argc, char** argv) {
   atlas::CampaignConfig config;
-  config.duration_days = argc > 1 ? std::atoi(argv[1]) : 30;
-  if (config.duration_days <= 0) config.duration_days = 30;
+  config.duration_days = bench_duration_days(argc, argv);
+  std::string name = argc > 0 && argv[0] != nullptr ? argv[0] : "campaign";
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
   return StandardCampaign{
       atlas::ProbeFleet::generate({}),
       topology::CloudRegistry::campaign_footprint(),
       net::LatencyModel{},
       config,
+      name,
   };
 }
 

@@ -1,7 +1,13 @@
 // Microbenchmarks for the latency model — the simulator's hot path: a
-// nine-month campaign samples tens of millions of pings.
+// nine-month campaign samples tens of millions of pings. The custom main
+// also times a recomputing-vs-cached burst loop and records both in the
+// bench JSON (see bench_common.hpp).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
 #include "geo/country.hpp"
 #include "net/latency_model.hpp"
 #include "stats/rng.hpp"
@@ -65,6 +71,22 @@ void BM_PingBurst3(benchmark::State& state) {
 }
 BENCHMARK(BM_PingBurst3);
 
+void BM_PingBurst3Cached(benchmark::State& state) {
+  // The campaign hot path: the pair's path and access profile come from
+  // the sampling cache instead of being recomputed per packet.
+  const net::LatencyModel model;
+  const net::Endpoint src{{40.71, -74.01}, geo::ConnectivityTier::kTier1,
+                          net::AccessTechnology::kLte};
+  const topology::CloudRegion& dst = frankfurt();
+  const net::CachedPath path = model.cache_path(src, dst);
+  const net::CachedProfile profile = model.cache_profile(src);
+  stats::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ping_cached(path, profile, 3, 1.0, {}, rng));
+  }
+}
+BENCHMARK(BM_PingBurst3Cached);
+
 void BM_AccessSample(benchmark::State& state) {
   const net::AccessProfile profile = net::profile_for(
       net::AccessTechnology::kLte, geo::ConnectivityTier::kTier2);
@@ -75,6 +97,56 @@ void BM_AccessSample(benchmark::State& state) {
 }
 BENCHMARK(BM_AccessSample);
 
+/// Times a recomputing-vs-cached burst loop over one representative pair
+/// (same RNG seed for both — the streams stay aligned, so the two loops
+/// do identical sampling work) and records both in the bench JSON.
+void run_burst_comparison() {
+  using clock = std::chrono::steady_clock;
+  constexpr int kBursts = 500000;
+
+  const net::LatencyModel model;
+  const net::Endpoint src{{40.71, -74.01}, geo::ConnectivityTier::kTier1,
+                          net::AccessTechnology::kLte};
+  const topology::CloudRegion& dst = frankfurt();
+
+  stats::Xoshiro256 rng(7);
+  double sink = 0.0;
+  auto start = clock::now();
+  for (int i = 0; i < kBursts; ++i) {
+    sink += model.ping_perturbed(src, dst, 3, 1.0, {}, rng).avg_ms;
+  }
+  const double uncached_s =
+      std::chrono::duration<double>(clock::now() - start).count();
+
+  const net::CachedPath path = model.cache_path(src, dst);
+  const net::CachedProfile profile = model.cache_profile(src);
+  stats::Xoshiro256 cached_rng(7);
+  double cached_sink = 0.0;
+  start = clock::now();
+  for (int i = 0; i < kBursts; ++i) {
+    cached_sink += model.ping_cached(path, profile, 3, 1.0, {}, cached_rng).avg_ms;
+  }
+  const double cached_s =
+      std::chrono::duration<double>(clock::now() - start).count();
+
+  bench::bench_record("burst_uncached", uncached_s, kBursts);
+  bench::bench_record("burst_cached", cached_s, kBursts);
+  bench::bench_record_value("burst_cache_speedup",
+                            cached_s > 0.0 ? uncached_s / cached_s : 0.0);
+  std::printf(
+      "\nburst comparison (%d bursts): uncached %.3f s, cached %.3f s, "
+      "%.2fx%s\n",
+      kBursts, uncached_s, cached_s, uncached_s / cached_s,
+      sink == cached_sink ? ", identical samples" : " — SAMPLES DIVERGED");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_burst_comparison();
+  return 0;
+}

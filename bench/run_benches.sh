@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Rebuilds the Release tree and records the perf-regression baseline in
+# one command:
+#
+#   bench/run_benches.sh [build-dir] [days]
+#
+# Runs the campaign cache comparison (bench_micro_campaign) and the burst
+# kernel comparison (bench_micro_latency_model) at the paper's nine-month
+# scale (270 days by default) and merges both binaries' numbers into
+# BENCH_campaign.json in the current directory. Override the output file
+# with SHEARS_BENCH_JSON, the pair count with SHEARS_BENCH_REPEATS.
+# Exits non-zero if the cached and uncached datasets ever diverge.
+set -eu
+
+BUILD_DIR="${1:-build-bench}"
+DAYS="${2:-270}"
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+JSON="${SHEARS_BENCH_JSON:-BENCH_campaign.json}"
+
+cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_micro_campaign \
+  bench_micro_latency_model >/dev/null
+
+rm -f "$JSON"
+echo "== burst kernel comparison =="
+SHEARS_BENCH_JSON="$JSON" \
+  "$BUILD_DIR/bench/bench_micro_latency_model" --benchmark_filter=NONE
+echo
+echo "== campaign cache comparison ($DAYS days) =="
+SHEARS_BENCH_DAYS="$DAYS" SHEARS_BENCH_JSON="$JSON" \
+  "$BUILD_DIR/bench/bench_micro_campaign" --benchmark_filter=NONE
+echo
+echo "recorded: $JSON"

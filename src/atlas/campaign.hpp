@@ -20,9 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "atlas/measurement.hpp"
+#include "atlas/path_cache.hpp"
 #include "atlas/placement.hpp"
 #include "faults/fault_schedule.hpp"
 #include "faults/resilience.hpp"
@@ -50,6 +52,12 @@ struct CampaignConfig {
   /// Worker threads; 0 = hardware concurrency. Results are identical
   /// regardless of thread count.
   unsigned threads = 0;
+  /// Precompute the probe × region sampling cache (path characteristics +
+  /// access profiles) at construction and sample through it. The cache
+  /// consumes no RNG draws, so output is byte-identical either way; off
+  /// recomputes the invariants per packet like the original engine
+  /// (kept for byte-identity tests and the perf-regression bench).
+  bool sampling_cache = true;
   /// Retry policy for fully-lost bursts; off by default.
   faults::RetryPolicy retry{};
   /// Probe quarantine policy; off by default.
@@ -95,8 +103,11 @@ class Campaign {
 
   /// Region indices (into registry.regions()) a probe targets: its own
   /// continent plus the §4.1 fallback continent for AF/SA probes. May be
-  /// empty when a footprint snapshot has no reachable region.
-  [[nodiscard]] std::vector<std::uint16_t> targets_for(const Probe& p) const;
+  /// empty when a footprint snapshot has no reachable region. The span
+  /// views the precomputed per-continent list and stays valid as long as
+  /// the campaign does.
+  [[nodiscard]] std::span<const std::uint16_t> targets_for(
+      const Probe& p) const noexcept;
 
   /// Runs the whole campaign deterministically and returns the dataset.
   [[nodiscard]] MeasurementDataset run() const;
@@ -120,6 +131,9 @@ class Campaign {
   const faults::FaultSchedule* schedule_ = nullptr;  ///< may be null
   /// Per-continent target lists, fallback included, precomputed once.
   std::vector<std::uint16_t> targets_by_continent_[geo::kContinentCount];
+  /// Probe × region sampling cache; empty when config.sampling_cache is
+  /// off.
+  PathCache cache_;
 };
 
 }  // namespace shears::atlas

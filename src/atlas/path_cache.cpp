@@ -1,0 +1,47 @@
+#include "atlas/path_cache.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace shears::atlas {
+
+PathCache::PathCache(const ProbeFleet& fleet,
+                     const topology::CloudRegistry& registry,
+                     const net::LatencyModel& model, unsigned threads) {
+  const auto probes = fleet.probes();
+  const auto& regions = registry.regions();
+  region_count_ = regions.size();
+  paths_.resize(probes.size() * region_count_);
+  profiles_.resize(probes.size());
+
+  const auto fill_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t pi = begin; pi < end; ++pi) {
+      const net::Endpoint& src = probes[pi].endpoint;
+      profiles_[pi] = model.cache_profile(src);
+      net::CachedPath* row = paths_.data() + pi * region_count_;
+      for (std::size_t ri = 0; ri < region_count_; ++ri) {
+        row[ri] = model.cache_path(src, *regions[ri]);
+      }
+    }
+  };
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, probes.empty() ? 1 : probes.size()));
+  if (threads <= 1) {
+    fill_range(0, probes.size());
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::size_t chunk = (probes.size() + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+    const std::size_t end = std::min(probes.size(), begin + chunk);
+    workers.emplace_back([&fill_range, begin, end] { fill_range(begin, end); });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace shears::atlas

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "core/analysis.hpp"
+#include "core/parallel.hpp"
 #include "stats/ecdf.hpp"
 
 namespace shears::core {
@@ -35,7 +36,8 @@ std::vector<std::pair<double, double>> bucket_medians(
 
 AccessComparison compare_access(const atlas::MeasurementDataset& dataset,
                                 AccessComparisonOptions options) {
-  const AnalysisOptions analysis_options{options.exclude_privileged};
+  const AnalysisOptions analysis_options{options.exclude_privileged,
+                                         options.threads};
   const std::vector<ProbeBest> best = per_probe_best(dataset, analysis_options);
 
   // Pass 1: which countries host both wired- and wireless-tagged,
@@ -61,37 +63,80 @@ AccessComparison compare_access(const atlas::MeasurementDataset& dataset,
     return has_wired[idx] != 0 && has_wireless[idx] != 0;
   };
 
-  // Pass 2: collect bursts to each probe's best region.
+  // Pass 2: collect bursts to each probe's best region. Sharded over the
+  // contiguous record span and merged in shard order (concatenation plus
+  // bitmap OR), so the sample vectors come out in the exact sequential
+  // order for any thread count (see core/parallel.hpp).
   AccessComparison result;
-  std::map<std::uint32_t, std::vector<double>> wired_buckets;
-  std::map<std::uint32_t, std::vector<double>> wireless_buckets;
-  std::vector<unsigned char> counted(dataset.fleet().size(), 0);
+  struct Shard {
+    std::vector<double> wired;
+    std::vector<double> wireless;
+    std::map<std::uint32_t, std::vector<double>> wired_buckets;
+    std::map<std::uint32_t, std::vector<double>> wireless_buckets;
+    Bitmap counted;
+  };
+  const auto records = dataset.records();
+  const std::size_t shards = resolve_threads(options.threads, records.size());
+  std::vector<Shard> acc(shards);
+  for (Shard& s : acc) s.counted = Bitmap(dataset.fleet().size());
 
-  for (const atlas::Measurement& m : dataset.records()) {
-    if (m.lost()) continue;
-    const ProbeBest& b = best[m.probe_id];
-    if (!b.valid || m.region_index != b.region_index) continue;
-    const atlas::Probe& probe = dataset.probe_of(m);
-    if (options.exclude_privileged && probe.privileged()) continue;
-    const Kind kind = kind_of(probe);
-    if (kind == Kind::kNone || !comparable(probe)) continue;
+  parallel_shards(
+      records.size(), shards,
+      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        Shard& mine = acc[shard];
+        for (std::size_t i = begin; i < end; ++i) {
+          const atlas::Measurement& m = records[i];
+          if (m.lost()) continue;
+          const ProbeBest& b = best[m.probe_id];
+          if (!b.valid || m.region_index != b.region_index) continue;
+          const atlas::Probe& probe = dataset.probe_of(m);
+          if (options.exclude_privileged && probe.privileged()) continue;
+          const Kind kind = kind_of(probe);
+          if (kind == Kind::kNone || !comparable(probe)) continue;
 
-    const std::uint32_t bucket =
-        options.bucket_ticks > 0 ? m.tick / options.bucket_ticks : m.tick;
-    if (kind == Kind::kWired) {
-      result.wired.push_back(m.min_ms);
-      wired_buckets[bucket].push_back(m.min_ms);
-    } else {
-      result.wireless.push_back(m.min_ms);
-      wireless_buckets[bucket].push_back(m.min_ms);
+          const std::uint32_t bucket =
+              options.bucket_ticks > 0 ? m.tick / options.bucket_ticks
+                                       : m.tick;
+          if (kind == Kind::kWired) {
+            mine.wired.push_back(m.min_ms);
+            mine.wired_buckets[bucket].push_back(m.min_ms);
+          } else {
+            mine.wireless.push_back(m.min_ms);
+            mine.wireless_buckets[bucket].push_back(m.min_ms);
+          }
+          mine.counted.test_set(m.probe_id);
+        }
+      });
+
+  result.wired = std::move(acc[0].wired);
+  result.wireless = std::move(acc[0].wireless);
+  std::map<std::uint32_t, std::vector<double>> wired_buckets =
+      std::move(acc[0].wired_buckets);
+  std::map<std::uint32_t, std::vector<double>> wireless_buckets =
+      std::move(acc[0].wireless_buckets);
+  for (std::size_t s = 1; s < shards; ++s) {
+    result.wired.insert(result.wired.end(), acc[s].wired.begin(),
+                        acc[s].wired.end());
+    result.wireless.insert(result.wireless.end(), acc[s].wireless.begin(),
+                           acc[s].wireless.end());
+    for (auto& [bucket, values] : acc[s].wired_buckets) {
+      auto& dst = wired_buckets[bucket];
+      dst.insert(dst.end(), values.begin(), values.end());
     }
-    if (!counted[m.probe_id]) {
-      counted[m.probe_id] = 1;
-      if (kind == Kind::kWired) {
-        ++result.wired_probe_count;
-      } else {
-        ++result.wireless_probe_count;
-      }
+    for (auto& [bucket, values] : acc[s].wireless_buckets) {
+      auto& dst = wireless_buckets[bucket];
+      dst.insert(dst.end(), values.begin(), values.end());
+    }
+    acc[0].counted.merge(acc[s].counted);
+  }
+  // A counted bit implies the probe passed the kind filter, so kind_of
+  // resolves which population it belongs to.
+  for (const atlas::Probe& probe : dataset.fleet().probes()) {
+    if (!acc[0].counted.test(probe.id)) continue;
+    if (kind_of(probe) == Kind::kWired) {
+      ++result.wired_probe_count;
+    } else {
+      ++result.wireless_probe_count;
     }
   }
 

@@ -21,6 +21,9 @@ struct AccessComparisonOptions {
   /// at the default 3 h interval = one day.
   std::uint32_t bucket_ticks = 8;
   bool exclude_privileged = true;
+  /// Worker threads for the record scan (0 = hardware concurrency);
+  /// byte-deterministic for any value, like AnalysisOptions::threads.
+  std::size_t threads = 0;
 };
 
 struct AccessComparison {

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "apps/thresholds.hpp"
+#include "core/parallel.hpp"
 #include "net/latency_model.hpp"
 #include "stats/ecdf.hpp"
 
@@ -27,34 +28,57 @@ bool skip_probe(const atlas::Probe& probe, const AnalysisOptions& options) {
 std::vector<CountryMinLatency> country_min_latency(
     const atlas::MeasurementDataset& dataset, AnalysisOptions options) {
   const auto countries = geo::all_countries();
+  const auto records = dataset.records();
+  const std::size_t shards = resolve_threads(options.threads, records.size());
+
+  // Per-shard accumulators; merged in shard order below. `min` uses
+  // strict-less both per shard and at merge, so the earliest record wins
+  // ties exactly as the sequential scan did. Probe distinctness is one
+  // fleet-sized Bitmap per shard (a probe has exactly one country), not
+  // the former countries x fleet bool table.
   struct Acc {
     double min = std::numeric_limits<double>::infinity();
     const topology::CloudRegion* region = nullptr;
-    std::vector<bool> seen_probe;
-    std::size_t probes = 0;
   };
-  std::vector<Acc> acc(countries.size());
-  for (auto& a : acc) a.seen_probe.assign(dataset.fleet().size(), false);
+  std::vector<std::vector<Acc>> acc(shards,
+                                    std::vector<Acc>(countries.size()));
+  std::vector<Bitmap> seen(shards);
+  for (auto& s : seen) s = Bitmap(dataset.fleet().size());
 
-  for (const atlas::Measurement& m : dataset.records()) {
-    const atlas::Probe& probe = dataset.probe_of(m);
-    if (skip_probe(probe, options)) continue;
-    Acc& a = acc[country_index(probe.country)];
-    if (!a.seen_probe[m.probe_id]) {
-      a.seen_probe[m.probe_id] = true;
-      ++a.probes;
+  parallel_shards(records.size(), shards,
+                  [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                    std::vector<Acc>& mine = acc[shard];
+                    Bitmap& mine_seen = seen[shard];
+                    for (std::size_t i = begin; i < end; ++i) {
+                      const atlas::Measurement& m = records[i];
+                      const atlas::Probe& probe = dataset.probe_of(m);
+                      if (skip_probe(probe, options)) continue;
+                      mine_seen.test_set(m.probe_id);
+                      if (m.lost()) continue;
+                      Acc& a = mine[country_index(probe.country)];
+                      if (m.min_ms < a.min) {
+                        a.min = m.min_ms;
+                        a.region = &dataset.region_of(m);
+                      }
+                    }
+                  });
+
+  std::vector<Acc> total(countries.size());
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t c = 0; c < countries.size(); ++c) {
+      if (acc[s][c].min < total[c].min) total[c] = acc[s][c];
     }
-    if (m.lost()) continue;
-    if (m.min_ms < a.min) {
-      a.min = m.min_ms;
-      a.region = &dataset.region_of(m);
-    }
+    if (s > 0) seen[0].merge(seen[s]);
+  }
+  std::vector<std::size_t> probes(countries.size(), 0);
+  for (const atlas::Probe& probe : dataset.fleet().probes()) {
+    if (seen[0].test(probe.id)) ++probes[country_index(probe.country)];
   }
 
   std::vector<CountryMinLatency> out;
   for (std::size_t i = 0; i < countries.size(); ++i) {
-    if (acc[i].region == nullptr) continue;  // no successful measurement
-    out.push_back({&countries[i], acc[i].min, acc[i].region, acc[i].probes});
+    if (total[i].region == nullptr) continue;  // no successful measurement
+    out.push_back({&countries[i], total[i].min, total[i].region, probes[i]});
   }
   return out;
 }
@@ -80,20 +104,42 @@ LatencyBands band_country_latencies(
 
 std::vector<ProbeBest> per_probe_best(const atlas::MeasurementDataset& dataset,
                                       AnalysisOptions options) {
-  std::vector<ProbeBest> best(dataset.fleet().size());
+  const auto records = dataset.records();
+  const std::size_t shards = resolve_threads(options.threads, records.size());
+
+  std::vector<std::vector<ProbeBest>> acc(
+      shards, std::vector<ProbeBest>(dataset.fleet().size()));
+  parallel_shards(records.size(), shards,
+                  [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                    std::vector<ProbeBest>& mine = acc[shard];
+                    for (std::size_t i = begin; i < end; ++i) {
+                      const atlas::Measurement& m = records[i];
+                      if (m.lost()) continue;
+                      const atlas::Probe& probe = dataset.probe_of(m);
+                      if (skip_probe(probe, options)) continue;
+                      ProbeBest& b = mine[m.probe_id];
+                      if (!b.valid || m.min_ms < b.min_ms) {
+                        b.valid = true;
+                        b.min_ms = m.min_ms;
+                        b.region_index = m.region_index;
+                      }
+                    }
+                  });
+
+  // Merge in shard order with the same strict-less rule: the earliest
+  // record holding the minimum keeps the region choice, byte-identical to
+  // the sequential scan for any shard count.
+  std::vector<ProbeBest> best = std::move(acc[0]);
+  for (std::size_t s = 1; s < shards; ++s) {
+    for (std::size_t p = 0; p < best.size(); ++p) {
+      const ProbeBest& theirs = acc[s][p];
+      if (!theirs.valid) continue;
+      ProbeBest& b = best[p];
+      if (!b.valid || theirs.min_ms < b.min_ms) b = theirs;
+    }
+  }
   for (std::size_t i = 0; i < best.size(); ++i) {
     best[i].probe_id = static_cast<atlas::ProbeId>(i);
-  }
-  for (const atlas::Measurement& m : dataset.records()) {
-    if (m.lost()) continue;
-    const atlas::Probe& probe = dataset.probe_of(m);
-    if (skip_probe(probe, options)) continue;
-    ProbeBest& b = best[m.probe_id];
-    if (!b.valid || m.min_ms < b.min_ms) {
-      b.valid = true;
-      b.min_ms = m.min_ms;
-      b.region_index = m.region_index;
-    }
   }
   return best;
 }
@@ -113,15 +159,36 @@ std::array<std::vector<double>, geo::kContinentCount> min_rtt_by_continent(
 std::array<std::vector<double>, geo::kContinentCount>
 best_region_samples_by_continent(const atlas::MeasurementDataset& dataset,
                                  AnalysisOptions options) {
-  std::array<std::vector<double>, geo::kContinentCount> out;
   const std::vector<ProbeBest> best = per_probe_best(dataset, options);
-  for (const atlas::Measurement& m : dataset.records()) {
-    if (m.lost()) continue;
-    const ProbeBest& b = best[m.probe_id];
-    if (!b.valid || m.region_index != b.region_index) continue;
-    const atlas::Probe& probe = dataset.probe_of(m);
-    if (skip_probe(probe, options)) continue;
-    out[geo::index_of(probe.country->continent)].push_back(m.min_ms);
+  const auto records = dataset.records();
+  const std::size_t shards = resolve_threads(options.threads, records.size());
+
+  using Split = std::array<std::vector<double>, geo::kContinentCount>;
+  std::vector<Split> acc(shards);
+  parallel_shards(records.size(), shards,
+                  [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                    Split& mine = acc[shard];
+                    for (std::size_t i = begin; i < end; ++i) {
+                      const atlas::Measurement& m = records[i];
+                      if (m.lost()) continue;
+                      const ProbeBest& b = best[m.probe_id];
+                      if (!b.valid || m.region_index != b.region_index) {
+                        continue;
+                      }
+                      const atlas::Probe& probe = dataset.probe_of(m);
+                      if (skip_probe(probe, options)) continue;
+                      mine[geo::index_of(probe.country->continent)].push_back(
+                          m.min_ms);
+                    }
+                  });
+
+  // Shards hold contiguous record ranges, so concatenating them in shard
+  // order reproduces the sequential sample order exactly.
+  Split out = std::move(acc[0]);
+  for (std::size_t s = 1; s < shards; ++s) {
+    for (std::size_t c = 0; c < geo::kContinentCount; ++c) {
+      out[c].insert(out[c].end(), acc[s][c].begin(), acc[s][c].end());
+    }
   }
   return out;
 }
@@ -203,22 +270,47 @@ std::vector<RegionView> server_side_view(
     const atlas::MeasurementDataset& dataset, AnalysisOptions options) {
   const std::vector<ProbeBest> best = per_probe_best(dataset, options);
   const auto& regions = dataset.registry().regions();
-  std::vector<std::vector<double>> samples(regions.size());
-  std::vector<std::vector<bool>> seen(regions.size());
-  for (auto& s : seen) s.assign(dataset.fleet().size(), false);
-  std::vector<std::size_t> clients(regions.size(), 0);
+  const auto records = dataset.records();
+  const std::size_t shards = resolve_threads(options.threads, records.size());
 
-  for (const atlas::Measurement& m : dataset.records()) {
-    if (m.lost()) continue;
-    const ProbeBest& b = best[m.probe_id];
-    if (!b.valid || m.region_index != b.region_index) continue;
-    const atlas::Probe& probe = dataset.probe_of(m);
-    if (skip_probe(probe, options)) continue;
-    samples[m.region_index].push_back(m.min_ms);
-    if (!seen[m.region_index][m.probe_id]) {
-      seen[m.region_index][m.probe_id] = true;
-      ++clients[m.region_index];
+  // A probe only ever contributes to its own best region (the filter
+  // above), so one fleet-sized Bitmap per shard replaces the former
+  // regions x fleet bool table; client counts fall out of the merged
+  // bitmap via each probe's best region.
+  std::vector<std::vector<std::vector<double>>> acc(
+      shards, std::vector<std::vector<double>>(regions.size()));
+  std::vector<Bitmap> seen(shards);
+  for (auto& s : seen) s = Bitmap(dataset.fleet().size());
+
+  parallel_shards(records.size(), shards,
+                  [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                    std::vector<std::vector<double>>& mine = acc[shard];
+                    Bitmap& mine_seen = seen[shard];
+                    for (std::size_t i = begin; i < end; ++i) {
+                      const atlas::Measurement& m = records[i];
+                      if (m.lost()) continue;
+                      const ProbeBest& b = best[m.probe_id];
+                      if (!b.valid || m.region_index != b.region_index) {
+                        continue;
+                      }
+                      const atlas::Probe& probe = dataset.probe_of(m);
+                      if (skip_probe(probe, options)) continue;
+                      mine[m.region_index].push_back(m.min_ms);
+                      mine_seen.test_set(m.probe_id);
+                    }
+                  });
+
+  std::vector<std::vector<double>> samples = std::move(acc[0]);
+  for (std::size_t s = 1; s < shards; ++s) {
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      samples[r].insert(samples[r].end(), acc[s][r].begin(),
+                        acc[s][r].end());
     }
+    seen[0].merge(seen[s]);
+  }
+  std::vector<std::size_t> clients(regions.size(), 0);
+  for (const atlas::Probe& probe : dataset.fleet().probes()) {
+    if (seen[0].test(probe.id)) ++clients[best[probe.id].region_index];
   }
 
   std::vector<RegionView> out;

@@ -25,6 +25,11 @@ namespace shears::core {
 struct AnalysisOptions {
   /// Drop datacentre/cloud-tagged probes (§4.1). On for every paper figure.
   bool exclude_privileged = true;
+  /// Worker threads for the record scans (0 = hardware concurrency).
+  /// Results are byte-identical for any value: shards are contiguous and
+  /// merged in shard order with order-deterministic reducers (see
+  /// core/parallel.hpp).
+  std::size_t threads = 0;
 };
 
 /// Fig. 4 row: the least latency with which a country reaches any cloud

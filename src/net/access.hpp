@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "geo/country.hpp"
+#include "stats/distributions.hpp"
 #include "stats/rng.hpp"
 
 namespace shears::net {
@@ -79,6 +80,31 @@ struct AccessProfile {
 /// Draws the access-latency contribution of one ping (milliseconds).
 [[nodiscard]] double sample_access_latency(const AccessProfile& profile,
                                            stats::Xoshiro256& rng) noexcept;
+
+/// Hot-path variant with the profile's log-spread
+/// (stats::lognormal_sigma_of_spread(profile.spread)) hoisted out of the
+/// per-packet loop. Same draws, bit-identical samples.
+[[nodiscard]] double sample_access_latency_presigma(
+    const AccessProfile& profile, double log_spread,
+    stats::Xoshiro256& rng) noexcept;
+
+/// Lowest-level access sampler over the already load-adjusted fields; the
+/// campaign's cached hot path hoists the adjustment out of the packet
+/// loop. Same draws, bit-identical samples. Inline: this runs once per
+/// simulated packet, tens of millions of times per campaign.
+[[nodiscard]] inline double sample_access_latency_raw(
+    double median_ms, double log_spread, double bloat_probability,
+    double bloat_scale_ms, stats::Xoshiro256& rng) noexcept {
+  double latency = stats::sample_lognormal_presigma(rng, median_ms, log_spread);
+  if (rng.bernoulli(bloat_probability)) {
+    // Bufferbloat episode: shape < 1 gives the heavy upper tail observed
+    // on loaded cellular links (occasionally whole seconds).
+    latency += stats::sample_weibull(rng, 0.8, bloat_scale_ms);
+  }
+  // A physical floor: no access technology contributes negative latency,
+  // and even ideal ethernet costs a few hundred microseconds round trip.
+  return latency < 0.2 ? 0.2 : latency;
+}
 
 /// Multiplier applied to a tier-1 median by each connectivity tier.
 [[nodiscard]] constexpr double tier_latency_multiplier(

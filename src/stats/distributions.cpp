@@ -1,52 +1,6 @@
 #include "stats/distributions.hpp"
 
-#include <cmath>
-
 namespace shears::stats {
-
-double sample_standard_normal(Xoshiro256& rng) noexcept {
-  // Marsaglia polar method. We discard the second variate rather than
-  // caching it: the samplers must stay stateless so that forked RNG streams
-  // remain independent.
-  for (;;) {
-    const double u = rng.uniform(-1.0, 1.0);
-    const double v = rng.uniform(-1.0, 1.0);
-    const double s = u * u + v * v;
-    if (s > 0.0 && s < 1.0) {
-      return u * std::sqrt(-2.0 * std::log(s) / s);
-    }
-  }
-}
-
-double sample_normal(Xoshiro256& rng, double mean, double sigma) noexcept {
-  return mean + sigma * sample_standard_normal(rng);
-}
-
-double sample_lognormal(Xoshiro256& rng, double mu, double sigma) noexcept {
-  return std::exp(sample_normal(rng, mu, sigma));
-}
-
-double sample_lognormal_median(Xoshiro256& rng, double median,
-                               double spread) noexcept {
-  if (median <= 0.0) return 0.0;
-  const double sigma = spread > 1.0 ? std::log(spread) : 0.0;
-  return median * std::exp(sigma * sample_standard_normal(rng));
-}
-
-double sample_exponential(Xoshiro256& rng, double mean) noexcept {
-  // Inverse CDF; 1 - U avoids log(0).
-  return -mean * std::log(1.0 - rng.next_double());
-}
-
-double sample_weibull(Xoshiro256& rng, double shape, double scale) noexcept {
-  const double u = 1.0 - rng.next_double();
-  return scale * std::pow(-std::log(u), 1.0 / shape);
-}
-
-double sample_pareto(Xoshiro256& rng, double x_min, double alpha) noexcept {
-  const double u = 1.0 - rng.next_double();
-  return x_min / std::pow(u, 1.0 / alpha);
-}
 
 std::size_t sample_weighted(Xoshiro256& rng, const double* weights,
                             std::size_t n) noexcept {

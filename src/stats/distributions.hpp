@@ -10,37 +10,91 @@
 // std::*_distribution for cross-platform determinism (see rng.hpp).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 #include "stats/rng.hpp"
 
 namespace shears::stats {
 
+// The per-packet samplers are defined inline: a nine-month campaign draws
+// from them tens of millions of times from the atlas hot loop, and the
+// cross-TU call cost is measurable there. The definitions are exactly the
+// out-of-line ones they replace — same operations, same order, bit-identical
+// samples.
+
 /// Standard normal via the polar (Marsaglia) method.
-double sample_standard_normal(Xoshiro256& rng) noexcept;
+inline double sample_standard_normal(Xoshiro256& rng) noexcept {
+  // We discard the second variate rather than caching it: the samplers
+  // must stay stateless so that forked RNG streams remain independent.
+  for (;;) {
+    const double u = rng.uniform(-1.0, 1.0);
+    const double v = rng.uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
 
 /// Normal with the given mean and standard deviation (sigma >= 0).
-double sample_normal(Xoshiro256& rng, double mean, double sigma) noexcept;
+inline double sample_normal(Xoshiro256& rng, double mean,
+                            double sigma) noexcept {
+  return mean + sigma * sample_standard_normal(rng);
+}
 
 /// Log-normal parameterised by the *location/scale of the underlying
 /// normal*: exp(N(mu, sigma)).
-double sample_lognormal(Xoshiro256& rng, double mu, double sigma) noexcept;
+inline double sample_lognormal(Xoshiro256& rng, double mu,
+                               double sigma) noexcept {
+  return std::exp(sample_normal(rng, mu, sigma));
+}
+
+/// The underlying-normal sigma sample_lognormal_median derives from a
+/// spread factor; hoist it out of hot loops where the spread is invariant.
+[[nodiscard]] inline double lognormal_sigma_of_spread(double spread) noexcept {
+  return spread > 1.0 ? std::log(spread) : 0.0;
+}
+
+/// Hot-path variant of sample_lognormal_median with the sigma precomputed
+/// via lognormal_sigma_of_spread. Consumes the same draws and produces
+/// bit-identical samples — the median <= 0 guard (which consumes no draws)
+/// is preserved.
+inline double sample_lognormal_presigma(Xoshiro256& rng, double median,
+                                        double sigma) noexcept {
+  if (median <= 0.0) return 0.0;
+  return median * std::exp(sigma * sample_standard_normal(rng));
+}
 
 /// Log-normal parameterised by its own median and a multiplicative spread
 /// factor: median * exp(N(0, ln(spread))). spread == 1 degenerates to the
 /// median. Convenient for "RTT is median m, occasionally 2-3x" modelling.
-double sample_lognormal_median(Xoshiro256& rng, double median,
-                               double spread) noexcept;
+inline double sample_lognormal_median(Xoshiro256& rng, double median,
+                                      double spread) noexcept {
+  return sample_lognormal_presigma(rng, median,
+                                   lognormal_sigma_of_spread(spread));
+}
 
 /// Exponential with the given mean (mean > 0).
-double sample_exponential(Xoshiro256& rng, double mean) noexcept;
+inline double sample_exponential(Xoshiro256& rng, double mean) noexcept {
+  // Inverse CDF; 1 - U avoids log(0).
+  return -mean * std::log(1.0 - rng.next_double());
+}
 
 /// Weibull with shape k and scale lambda (both > 0).
-double sample_weibull(Xoshiro256& rng, double shape, double scale) noexcept;
+inline double sample_weibull(Xoshiro256& rng, double shape,
+                             double scale) noexcept {
+  const double u = 1.0 - rng.next_double();
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
 
 /// Pareto (type I) with scale x_m > 0 and tail index alpha > 0; support
 /// [x_m, inf).
-double sample_pareto(Xoshiro256& rng, double x_min, double alpha) noexcept;
+inline double sample_pareto(Xoshiro256& rng, double x_min,
+                            double alpha) noexcept {
+  const double u = 1.0 - rng.next_double();
+  return x_min / std::pow(u, 1.0 / alpha);
+}
 
 /// Samples from a discrete distribution given non-negative weights.
 /// Returns an index in [0, n). A zero total weight yields index 0.

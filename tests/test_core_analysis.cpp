@@ -1,11 +1,15 @@
 // Unit tests for the §4 analyses over hand-built micro-datasets with
-// exactly known answers, plus invariants on generated data.
+// exactly known answers, plus invariants on generated data and the
+// byte-determinism of the sharded record scans across thread counts.
 #include <gtest/gtest.h>
 
+#include "atlas/campaign.hpp"
 #include "atlas/measurement.hpp"
 #include "atlas/placement.hpp"
 #include "core/access_comparison.hpp"
 #include "core/analysis.hpp"
+#include "core/parallel.hpp"
+#include "net/latency_model.hpp"
 #include "topology/registry.hpp"
 
 namespace shears::core {
@@ -296,6 +300,168 @@ TEST_F(MicroDatasetTest, UntaggedProbesDropOutOfComparison) {
   EXPECT_TRUE(cmp.wired.empty());
   EXPECT_TRUE(cmp.wireless.empty());
   EXPECT_DOUBLE_EQ(cmp.median_ratio, 0.0);
+}
+
+// ---- core/parallel.hpp units -------------------------------------------
+
+TEST(ParallelHelpers, ResolveThreadsCapsByUsefulWork) {
+  // Tiny inputs collapse to a single (calling-thread) shard regardless of
+  // the request; large inputs honour it.
+  EXPECT_EQ(resolve_threads(8, 100), 1u);
+  EXPECT_EQ(resolve_threads(8, (1u << 14) * 2), 2u);
+  EXPECT_EQ(resolve_threads(8, (1u << 14) * 100), 8u);
+  EXPECT_EQ(resolve_threads(1, (1u << 14) * 100), 1u);
+  EXPECT_GE(resolve_threads(0, (1u << 14) * 100), 1u);  // auto
+}
+
+TEST(ParallelHelpers, ParallelShardsCoversRangeContiguously) {
+  // Every index appears exactly once and shard ranges are contiguous and
+  // ordered — the property the order-deterministic merges rely on.
+  constexpr std::size_t kItems = 1000;
+  constexpr std::size_t kShards = 7;
+  std::vector<int> owner(kItems, -1);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(kShards);
+  parallel_shards(kItems, kShards,
+                  [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                    ranges[shard] = {begin, end};
+                    for (std::size_t i = begin; i < end; ++i) {
+                      owner[i] = static_cast<int>(shard);
+                    }
+                  });
+  std::size_t expected_begin = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(ranges[s].first, expected_begin);
+    expected_begin = ranges[s].second;
+  }
+  EXPECT_EQ(expected_begin, kItems);
+  for (std::size_t i = 1; i < kItems; ++i) {
+    EXPECT_LE(owner[i - 1], owner[i]);  // contiguous, ordered shards
+  }
+}
+
+TEST(ParallelHelpers, BitmapTestSetMergeCount) {
+  Bitmap a(200);
+  EXPECT_FALSE(a.test_set(0));
+  EXPECT_TRUE(a.test_set(0));  // second set reports prior membership
+  EXPECT_FALSE(a.test_set(63));
+  EXPECT_FALSE(a.test_set(64));  // word boundary
+  EXPECT_FALSE(a.test_set(199));
+  EXPECT_EQ(a.count(), 4u);
+  Bitmap b(200);
+  b.test_set(64);   // overlaps a
+  b.test_set(100);  // new
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_TRUE(a.test(100));
+  EXPECT_FALSE(a.test(101));
+}
+
+// ---- thread-invariance over a generated campaign -----------------------
+
+class ThreadInvarianceTest : public ::testing::Test {
+ protected:
+  // 256 probes x 512 ticks = 131072 records: enough that resolve_threads
+  // grants all 8 requested shards (16384 records each).
+  static const atlas::MeasurementDataset& dataset() {
+    static const atlas::MeasurementDataset data = [] {
+      atlas::PlacementConfig placement;
+      placement.probe_count = 256;
+      placement.seed = 5;
+      static const auto fleet = atlas::ProbeFleet::generate(placement);
+      static const auto registry =
+          topology::CloudRegistry::campaign_footprint();
+      static const net::LatencyModel model;
+      atlas::CampaignConfig config;
+      config.duration_days = 64;
+      config.seed = 7;
+      config.threads = 1;
+      return atlas::Campaign(fleet, registry, model, config).run();
+    }();
+    return data;
+  }
+
+  static AnalysisOptions with_threads(std::size_t threads) {
+    AnalysisOptions options;
+    options.threads = threads;
+    return options;
+  }
+};
+
+TEST_F(ThreadInvarianceTest, CountryMinLatencyIsThreadInvariant) {
+  const auto reference = country_min_latency(dataset(), with_threads(1));
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto rows = country_min_latency(dataset(), with_threads(threads));
+    ASSERT_EQ(rows.size(), reference.size()) << threads << " threads";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i].country, reference[i].country);
+      EXPECT_EQ(rows[i].min_rtt_ms, reference[i].min_rtt_ms);  // bitwise
+      EXPECT_EQ(rows[i].best_region, reference[i].best_region);
+      EXPECT_EQ(rows[i].probe_count, reference[i].probe_count);
+    }
+  }
+}
+
+TEST_F(ThreadInvarianceTest, PerProbeBestIsThreadInvariant) {
+  const auto reference = per_probe_best(dataset(), with_threads(1));
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto best = per_probe_best(dataset(), with_threads(threads));
+    ASSERT_EQ(best.size(), reference.size());
+    for (std::size_t i = 0; i < best.size(); ++i) {
+      EXPECT_EQ(best[i].probe_id, reference[i].probe_id);
+      EXPECT_EQ(best[i].valid, reference[i].valid);
+      EXPECT_EQ(best[i].region_index, reference[i].region_index);
+      EXPECT_EQ(best[i].min_ms, reference[i].min_ms);  // bitwise
+    }
+  }
+}
+
+TEST_F(ThreadInvarianceTest, ContinentSamplesKeepSequentialOrder) {
+  const auto reference =
+      best_region_samples_by_continent(dataset(), with_threads(1));
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto samples =
+        best_region_samples_by_continent(dataset(), with_threads(threads));
+    for (std::size_t c = 0; c < geo::kContinentCount; ++c) {
+      EXPECT_EQ(samples[c], reference[c]) << "continent " << c << ", "
+                                          << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ThreadInvarianceTest, ServerSideViewIsThreadInvariant) {
+  const auto reference = server_side_view(dataset(), with_threads(1));
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto views = server_side_view(dataset(), with_threads(threads));
+    ASSERT_EQ(views.size(), reference.size());
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      EXPECT_EQ(views[i].region, reference[i].region);
+      EXPECT_EQ(views[i].clients, reference[i].clients);
+      EXPECT_EQ(views[i].samples, reference[i].samples);
+      EXPECT_EQ(views[i].median_ms, reference[i].median_ms);
+      EXPECT_EQ(views[i].p90_ms, reference[i].p90_ms);
+      EXPECT_EQ(views[i].under_40ms, reference[i].under_40ms);
+    }
+  }
+}
+
+TEST_F(ThreadInvarianceTest, AccessComparisonIsThreadInvariant) {
+  AccessComparisonOptions options;
+  options.threads = 1;
+  const AccessComparison reference = compare_access(dataset(), options);
+  for (const std::size_t threads : {2u, 8u}) {
+    options.threads = threads;
+    const AccessComparison cmp = compare_access(dataset(), options);
+    EXPECT_EQ(cmp.wired, reference.wired);
+    EXPECT_EQ(cmp.wireless, reference.wireless);
+    EXPECT_EQ(cmp.wired_over_time, reference.wired_over_time);
+    EXPECT_EQ(cmp.wireless_over_time, reference.wireless_over_time);
+    EXPECT_EQ(cmp.wired_probe_count, reference.wired_probe_count);
+    EXPECT_EQ(cmp.wireless_probe_count, reference.wireless_probe_count);
+    EXPECT_EQ(cmp.wired_median, reference.wired_median);
+    EXPECT_EQ(cmp.wireless_median, reference.wireless_median);
+  }
 }
 
 }  // namespace
