@@ -4,12 +4,17 @@
 #
 #   bench/run_benches.sh [build-dir] [days]
 #
-# Runs the campaign cache comparison (bench_micro_campaign) and the burst
-# kernel comparison (bench_micro_latency_model) at the paper's nine-month
-# scale (270 days by default) and merges both binaries' numbers into
-# BENCH_campaign.json in the current directory. Override the output file
-# with SHEARS_BENCH_JSON, the pair count with SHEARS_BENCH_REPEATS.
-# Exits non-zero if the cached and uncached datasets ever diverge.
+# Runs the campaign cache comparison plus the telemetry overhead gate
+# (bench_micro_campaign) and the burst kernel comparison
+# (bench_micro_latency_model) at the paper's nine-month scale (270 days by
+# default) and merges both binaries' numbers into BENCH_campaign.json in
+# the current directory — including campaign_telemetry_overhead_pct, the
+# instrumented-vs-plain throughput delta. Override the output file with
+# SHEARS_BENCH_JSON, the pair count with SHEARS_BENCH_REPEATS, the
+# telemetry gate with SHEARS_TELEMETRY_GATE_PCT (default 2%).
+# Exits non-zero if the cached and uncached datasets ever diverge, if an
+# attached MetricsRegistry perturbs the dataset, or if telemetry costs
+# more than the gate allows.
 set -eu
 
 BUILD_DIR="${1:-build-bench}"
@@ -26,7 +31,7 @@ echo "== burst kernel comparison =="
 SHEARS_BENCH_JSON="$JSON" \
   "$BUILD_DIR/bench/bench_micro_latency_model" --benchmark_filter=NONE
 echo
-echo "== campaign cache comparison ($DAYS days) =="
+echo "== campaign cache comparison + telemetry overhead ($DAYS days) =="
 SHEARS_BENCH_DAYS="$DAYS" SHEARS_BENCH_JSON="$JSON" \
   "$BUILD_DIR/bench/bench_micro_campaign" --benchmark_filter=NONE
 echo

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "stats/rng.hpp"
 
 namespace shears::atlas {
@@ -54,9 +58,11 @@ void CampaignTelemetry::merge(const CampaignTelemetry& other) noexcept {
   retries += other.retries;
   bursts_recovered += other.bursts_recovered;
   bursts_faulted += other.bursts_faulted;
+  bursts_cached += other.bursts_cached;
   hang_ticks += other.hang_ticks;
   quarantine_entries += other.quarantine_entries;
   quarantined_ticks += other.quarantined_ticks;
+  fault_kinds.merge(other.fault_kinds);
 }
 
 Campaign::Campaign(const ProbeFleet& fleet,
@@ -222,8 +228,9 @@ void Campaign::run_probe_range(std::size_t begin, std::size_t end,
           out.push_back(m);
         }
       }
-      telemetry.bursts +=
-          static_cast<std::size_t>(ticks) * per_tick;  // no skipped ticks here
+      const std::size_t produced = static_cast<std::size_t>(ticks) * per_tick;
+      telemetry.bursts += produced;  // no skipped ticks here
+      telemetry.bursts_cached += produced;
       continue;
     }
 
@@ -277,6 +284,7 @@ void Campaign::run_probe_range(std::size_t begin, std::size_t end,
         if (use_cache) {
           // Same diurnal value as the recomputed one: the phase table
           // holds model_->diurnal_load for every reachable utc_hour.
+          ++telemetry.bursts_cached;
           const double load = diurnal_by_phase[attempt_tick % diurnal_period] *
                               temporal_load * exposure.load_multiplier;
           return model_->ping_cached(cache_.path(probe.id, region_index),
@@ -347,7 +355,10 @@ void Campaign::run_probe_range(std::size_t begin, std::size_t end,
         m.faults = mask;
         out.push_back(m);
         ++telemetry.bursts;
-        if (mask != 0) ++telemetry.bursts_faulted;
+        if (mask != 0) {
+          ++telemetry.bursts_faulted;
+          telemetry.fault_kinds.record(mask);
+        }
         if (has_quarantine) {
           quarantine.record_burst(tick, ping.all_lost(),
                                   (mask & skew_bit) != 0);
@@ -364,6 +375,13 @@ MeasurementDataset Campaign::run() const {
 }
 
 MeasurementDataset Campaign::run(CampaignTelemetry& telemetry) const {
+  const auto run_start = std::chrono::steady_clock::now();
+  // Resolve the shard histogram once, outside the workers; a null pointer
+  // turns every Span into a no-op, so the unobserved campaign pays one
+  // branch per shard and nothing per burst.
+  obs::LatencyHistogram* shard_hist =
+      metrics_ != nullptr ? &metrics_->histogram("campaign.shard_wall_ms")
+                          : nullptr;
   const std::size_t n = fleet_->size();
   unsigned threads = config_.threads != 0 ? config_.threads
                                           : std::thread::hardware_concurrency();
@@ -375,6 +393,7 @@ MeasurementDataset Campaign::run(CampaignTelemetry& telemetry) const {
   std::vector<CampaignTelemetry> shard_telemetry(threads);
   if (threads == 1) {
     shards[0].reserve(expected_record_count());
+    obs::Span span(shard_hist);
     run_probe_range(0, n, shards[0], shard_telemetry[0]);
   } else {
     std::vector<std::thread> workers;
@@ -383,8 +402,9 @@ MeasurementDataset Campaign::run(CampaignTelemetry& telemetry) const {
     for (unsigned t = 0; t < threads; ++t) {
       const std::size_t begin = static_cast<std::size_t>(t) * chunk;
       const std::size_t end = std::min(n, begin + chunk);
-      workers.emplace_back([this, begin, end, &shard = shards[t],
+      workers.emplace_back([this, begin, end, shard_hist, &shard = shards[t],
                             &tel = shard_telemetry[t]] {
+        obs::Span span(shard_hist);
         run_probe_range(begin, end, shard, tel);
       });
     }
@@ -404,6 +424,7 @@ MeasurementDataset Campaign::run(CampaignTelemetry& telemetry) const {
         telemetry.merge(shard_telemetry[t]);
       }
     }
+    publish_metrics(telemetry, run_start);
     return MeasurementDataset(fleet_, registry_, std::move(records));
   }
   // Uncached runs are the benchmark baseline and keep the pre-change
@@ -415,7 +436,38 @@ MeasurementDataset Campaign::run(CampaignTelemetry& telemetry) const {
     records.insert(records.end(), shards[t].begin(), shards[t].end());
     telemetry.merge(shard_telemetry[t]);
   }
+  publish_metrics(telemetry, run_start);
   return MeasurementDataset(fleet_, registry_, std::move(records));
+}
+
+void Campaign::publish_metrics(
+    const CampaignTelemetry& telemetry,
+    std::chrono::steady_clock::time_point run_start) const {
+  if (metrics_ == nullptr) return;
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - run_start)
+                             .count();
+  obs::MetricsRegistry& m = *metrics_;
+  m.counter("campaign.bursts").add(telemetry.bursts);
+  m.counter("campaign.bursts_retried").add(telemetry.bursts_retried);
+  m.counter("campaign.retries").add(telemetry.retries);
+  m.counter("campaign.bursts_recovered").add(telemetry.bursts_recovered);
+  m.counter("campaign.bursts_faulted").add(telemetry.bursts_faulted);
+  m.counter("campaign.path_cache_hits").add(telemetry.bursts_cached);
+  m.counter("campaign.hang_ticks").add(telemetry.hang_ticks);
+  m.counter("campaign.quarantine_entries").add(telemetry.quarantine_entries);
+  m.counter("campaign.quarantined_ticks").add(telemetry.quarantined_ticks);
+  for (std::size_t k = 0; k < faults::kFaultKindCount; ++k) {
+    const auto kind = static_cast<faults::FaultKind>(k);
+    const std::uint64_t hits = telemetry.fault_kinds.of(kind);
+    if (hits == 0) continue;  // keep clean-run snapshots free of fault rows
+    std::string name = "faults.activations.";
+    name += faults::to_string(kind);
+    m.counter(name).add(hits);
+  }
+  m.gauge("campaign.wall_ms").set(wall_ms);
+  m.gauge("campaign.wall_ms_per_day").set(
+      wall_ms / static_cast<double>(config_.duration_days));
 }
 
 }  // namespace shears::atlas

@@ -19,6 +19,7 @@
 // independent of the thread count.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -30,6 +31,10 @@
 #include "faults/resilience.hpp"
 #include "net/latency_model.hpp"
 #include "topology/registry.hpp"
+
+namespace shears::obs {
+class MetricsRegistry;
+}  // namespace shears::obs
 
 namespace shears::atlas {
 
@@ -78,9 +83,12 @@ struct CampaignTelemetry {
   std::size_t retries = 0;          ///< total retry attempts spent
   std::size_t bursts_recovered = 0; ///< lost at first attempt, then delivered
   std::size_t bursts_faulted = 0;   ///< records with fault exposure flags
+  std::size_t bursts_cached = 0;    ///< attempts served by the path cache
   std::size_t hang_ticks = 0;       ///< probe-ticks lost to firmware hangs
   std::size_t quarantine_entries = 0;
   std::size_t quarantined_ticks = 0;  ///< probe-ticks sidelined
+  /// Per-kind fault activations across recorded bursts.
+  faults::FaultKindCounts fault_kinds{};
 
   void merge(const CampaignTelemetry& other) noexcept;
 };
@@ -119,16 +127,34 @@ class Campaign {
   /// upper bound under churn, hangs, or quarantine.
   [[nodiscard]] std::size_t expected_record_count() const;
 
+  /// Publishes per-run telemetry into `metrics` after every run():
+  /// campaign.* counters (bursts, retries, quarantines, path-cache hits),
+  /// faults.activations.* per kind, the campaign.wall_* gauges, and the
+  /// campaign.shard_wall_ms histogram. Counters are accumulated in the
+  /// per-shard CampaignTelemetry and published once per run, so the
+  /// per-burst hot loop never touches an atomic or lock, and the dataset
+  /// bytes are untouched — the registry only observes, it never feeds
+  /// back into sampling. Pass nullptr to detach. `metrics` must outlive
+  /// the campaign.
+  void attach_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
+
  private:
   void run_probe_range(std::size_t begin, std::size_t end,
                        std::vector<Measurement>& out,
                        CampaignTelemetry& telemetry) const;
+
+  /// Pushes one run's telemetry into metrics_; no-op when detached.
+  void publish_metrics(const CampaignTelemetry& telemetry,
+                       std::chrono::steady_clock::time_point run_start) const;
 
   const ProbeFleet* fleet_;
   const topology::CloudRegistry* registry_;
   const net::LatencyModel* model_;
   CampaignConfig config_;
   const faults::FaultSchedule* schedule_ = nullptr;  ///< may be null
+  obs::MetricsRegistry* metrics_ = nullptr;          ///< may be null
   /// Per-continent target lists, fallback included, precomputed once.
   std::vector<std::uint16_t> targets_by_continent_[geo::kContinentCount];
   /// Probe × region sampling cache; empty when config.sampling_cache is

@@ -1,6 +1,8 @@
 #include "atlas/measurement.hpp"
 
+#include <cmath>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -97,6 +99,39 @@ std::size_t region_index_of(const topology::CloudRegistry& registry,
 
 /// Checks a row's probe metadata against the fleet; loading a dataset
 /// against the wrong fleet seed must fail loudly.
+/// Packet / retry / fault counters live in uint8 record fields; a bare
+/// `static_cast<std::uint8_t>(std::stoi(...))` silently wraps anything
+/// outside [0, 255] (sent=300 becomes 44, -1 becomes 255). Validate the
+/// full-width value first; the throw surfaces as the caller's
+/// line-numbered malformed-row error.
+std::uint8_t parse_count_u8(const std::string& cell) {
+  const int value = std::stoi(cell);
+  if (value < 0 || value > 255) {
+    throw std::out_of_range("counter outside [0, 255]");
+  }
+  return static_cast<std::uint8_t>(value);
+}
+
+/// RTT fields feed stats::Ecdf, whose precondition bans NaN; std::stof
+/// happily parses "nan" and "inf", so reject anything non-finite.
+float parse_finite_float(const std::string& cell) {
+  const float value = std::stof(cell);
+  if (!std::isfinite(value)) {
+    throw std::out_of_range("non-finite RTT");
+  }
+  return value;
+}
+
+/// Tick is a uint32; on LP64 std::stoul parses 64-bit values, so a tick
+/// beyond 2^32 - 1 would silently truncate without this check.
+std::uint32_t parse_tick_u32(const std::string& cell) {
+  const unsigned long long value = std::stoull(cell);
+  if (value > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::out_of_range("tick exceeds 32 bits");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
 const Probe& checked_probe(const ProbeFleet& fleet, unsigned long probe_id,
                            std::string_view country, std::string_view access,
                            const char* who, std::size_t line_no) {
@@ -153,19 +188,22 @@ MeasurementDataset MeasurementDataset::read_csv(
     }
     try {
       Measurement m;
-      m.probe_id = static_cast<ProbeId>(std::stoul(row[0]));
-      checked_probe(*fleet, m.probe_id, row[1], row[3], "read_csv", line_no);
+      // Validate the full-width probe id before narrowing: casting first
+      // would alias 2^32 + k onto probe k and pass the fleet check.
+      const unsigned long probe_id = std::stoul(row[0]);
+      checked_probe(*fleet, probe_id, row[1], row[3], "read_csv", line_no);
+      m.probe_id = static_cast<ProbeId>(probe_id);
       m.region_index = static_cast<std::uint16_t>(
           region_index_of(*registry, row[4], row[5], "read_csv"));
-      m.tick = static_cast<std::uint32_t>(std::stoul(row[6]));
-      m.min_ms = std::stof(row[7]);
-      m.avg_ms = std::stof(row[8]);
-      m.max_ms = std::stof(row[9]);
-      m.sent = static_cast<std::uint8_t>(std::stoi(row[10]));
-      m.received = static_cast<std::uint8_t>(std::stoi(row[11]));
+      m.tick = parse_tick_u32(row[6]);
+      m.min_ms = parse_finite_float(row[7]);
+      m.avg_ms = parse_finite_float(row[8]);
+      m.max_ms = parse_finite_float(row[9]);
+      m.sent = parse_count_u8(row[10]);
+      m.received = parse_count_u8(row[11]);
       if (columns == 14) {
-        m.retries = static_cast<std::uint8_t>(std::stoi(row[12]));
-        m.faults = static_cast<std::uint8_t>(std::stoi(row[13]));
+        m.retries = parse_count_u8(row[12]);
+        m.faults = parse_count_u8(row[13]);
       }
       records.push_back(m);
     } catch (const std::invalid_argument&) {
@@ -241,6 +279,29 @@ double parse_double(std::string_view text, const char* key,
   }
 }
 
+/// As parse_double, additionally rejecting NaN/inf — RTTs flow into
+/// stats::Ecdf, which requires finite samples.
+double parse_finite(std::string_view text, const char* key,
+                    std::size_t line_no) {
+  const double value = parse_double(text, key, line_no);
+  if (!std::isfinite(value)) {
+    throw std::runtime_error("read_jsonl: bad " + std::string(key) +
+                             " at line " + std::to_string(line_no));
+  }
+  return value;
+}
+
+/// As parse_ll with a [0, 255] range check before the uint8 narrowing.
+std::uint8_t parse_count(std::string_view text, const char* key,
+                         std::size_t line_no) {
+  const long long value = parse_ll(text, key, line_no);
+  if (value < 0 || value > 255) {
+    throw std::runtime_error("read_jsonl: bad " + std::string(key) +
+                             " at line " + std::to_string(line_no));
+  }
+  return static_cast<std::uint8_t>(value);
+}
+
 }  // namespace
 
 MeasurementDataset MeasurementDataset::read_jsonl(
@@ -276,10 +337,12 @@ MeasurementDataset MeasurementDataset::read_jsonl(
       throw std::runtime_error("read_jsonl: bad prb_id at line " +
                                std::to_string(line_no));
     }
-    m.probe_id = static_cast<ProbeId>(prb_id);
-    checked_probe(*fleet, m.probe_id, json_field(line, "country", true, line_no),
+    // Full-width check before the ProbeId narrowing, as in read_csv.
+    checked_probe(*fleet, static_cast<unsigned long>(prb_id),
+                  json_field(line, "country", true, line_no),
                   json_field(line, "access", true, line_no), "read_jsonl",
                   line_no);
+    m.probe_id = static_cast<ProbeId>(prb_id);
 
     const std::string_view dst = json_field(line, "dst_name", true, line_no);
     const std::size_t slash = dst.find('/');
@@ -298,30 +361,34 @@ MeasurementDataset MeasurementDataset::read_jsonl(
           "read_jsonl: timestamp off the tick grid at line " +
           std::to_string(line_no) + " (wrong interval_hours?)");
     }
-    m.tick = static_cast<std::uint32_t>(timestamp / tick_seconds);
-    m.sent = static_cast<std::uint8_t>(
-        parse_ll(json_field(line, "sent", true, line_no), "sent", line_no));
-    m.received = static_cast<std::uint8_t>(
-        parse_ll(json_field(line, "rcvd", true, line_no), "rcvd", line_no));
+    const long long tick = timestamp / tick_seconds;
+    if (tick > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::runtime_error("read_jsonl: bad timestamp at line " +
+                               std::to_string(line_no));
+    }
+    m.tick = static_cast<std::uint32_t>(tick);
+    m.sent = parse_count(json_field(line, "sent", true, line_no), "sent",
+                         line_no);
+    m.received = parse_count(json_field(line, "rcvd", true, line_no), "rcvd",
+                             line_no);
     if (m.received > 0) {
       m.min_ms = static_cast<float>(
-          parse_double(json_field(line, "min", true, line_no), "min", line_no));
+          parse_finite(json_field(line, "min", true, line_no), "min", line_no));
       m.avg_ms = static_cast<float>(
-          parse_double(json_field(line, "avg", true, line_no), "avg", line_no));
+          parse_finite(json_field(line, "avg", true, line_no), "avg", line_no));
       m.max_ms = static_cast<float>(
-          parse_double(json_field(line, "max", true, line_no), "max", line_no));
+          parse_finite(json_field(line, "max", true, line_no), "max", line_no));
     }
     bool present = false;
     const std::string_view retries =
         json_field(line, "retries", false, line_no, &present);
     if (present) {
-      m.retries =
-          static_cast<std::uint8_t>(parse_ll(retries, "retries", line_no));
+      m.retries = parse_count(retries, "retries", line_no);
     }
     const std::string_view faults =
         json_field(line, "faults", false, line_no, &present);
     if (present) {
-      m.faults = static_cast<std::uint8_t>(parse_ll(faults, "faults", line_no));
+      m.faults = parse_count(faults, "faults", line_no);
     }
     records.push_back(m);
   }

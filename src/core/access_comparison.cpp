@@ -1,9 +1,12 @@
 #include "core/access_comparison.hpp"
 
 #include <map>
+#include <utility>
 
 #include "core/analysis.hpp"
 #include "core/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "stats/ecdf.hpp"
 
 namespace shears::core {
@@ -22,12 +25,15 @@ Kind kind_of(const atlas::Probe& probe) {
 }
 
 std::vector<std::pair<double, double>> bucket_medians(
-    const std::map<std::uint32_t, std::vector<double>>& buckets) {
+    std::map<std::uint32_t, std::vector<double>>&& buckets) {
   std::vector<std::pair<double, double>> out;
   out.reserve(buckets.size());
-  for (const auto& [bucket, values] : buckets) {
+  // The buckets are dead after this summary, so hand each sample vector
+  // to the Ecdf (which sorts in place) instead of copying it — the
+  // longitudinal series costs one sort per bucket, no allocations.
+  for (auto& [bucket, values] : buckets) {
     out.emplace_back(static_cast<double>(bucket),
-                     stats::Ecdf(values).median());
+                     stats::Ecdf(std::move(values)).median());
   }
   return out;
 }
@@ -37,7 +43,7 @@ std::vector<std::pair<double, double>> bucket_medians(
 AccessComparison compare_access(const atlas::MeasurementDataset& dataset,
                                 AccessComparisonOptions options) {
   const AnalysisOptions analysis_options{options.exclude_privileged,
-                                         options.threads};
+                                         options.threads, options.metrics};
   const std::vector<ProbeBest> best = per_probe_best(dataset, analysis_options);
 
   // Pass 1: which countries host both wired- and wireless-tagged,
@@ -80,9 +86,14 @@ AccessComparison compare_access(const atlas::MeasurementDataset& dataset,
   std::vector<Shard> acc(shards);
   for (Shard& s : acc) s.counted = Bitmap(dataset.fleet().size());
 
+  obs::LatencyHistogram* hist =
+      options.metrics != nullptr
+          ? &options.metrics->histogram("core.access_comparison.shard_ms")
+          : nullptr;
   parallel_shards(
       records.size(), shards,
       [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        obs::Span span(hist);
         Shard& mine = acc[shard];
         for (std::size_t i = begin; i < end; ++i) {
           const atlas::Measurement& m = records[i];
@@ -140,8 +151,8 @@ AccessComparison compare_access(const atlas::MeasurementDataset& dataset,
     }
   }
 
-  result.wired_over_time = bucket_medians(wired_buckets);
-  result.wireless_over_time = bucket_medians(wireless_buckets);
+  result.wired_over_time = bucket_medians(std::move(wired_buckets));
+  result.wireless_over_time = bucket_medians(std::move(wireless_buckets));
   result.wired_median = stats::Ecdf(result.wired).median();
   result.wireless_median = stats::Ecdf(result.wireless).median();
   result.median_ratio = result.wired_median > 0.0

@@ -14,6 +14,10 @@
 
 #include "atlas/measurement.hpp"
 
+namespace shears::obs {
+class MetricsRegistry;
+}  // namespace shears::obs
+
 namespace shears::core {
 
 struct AccessComparisonOptions {
@@ -24,6 +28,10 @@ struct AccessComparisonOptions {
   /// Worker threads for the record scan (0 = hardware concurrency);
   /// byte-deterministic for any value, like AnalysisOptions::threads.
   std::size_t threads = 0;
+  /// Optional metrics sink, forwarded to the underlying analyses; the
+  /// record scan here adds core.access_comparison.shard_ms. nullptr (the
+  /// default) disables instrumentation. See AnalysisOptions::metrics.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct AccessComparison {

@@ -7,6 +7,8 @@
 #include "apps/thresholds.hpp"
 #include "core/parallel.hpp"
 #include "net/latency_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "stats/ecdf.hpp"
 
 namespace shears::core {
@@ -21,6 +23,15 @@ std::size_t country_index(const geo::Country* c) noexcept {
 
 bool skip_probe(const atlas::Probe& probe, const AnalysisOptions& options) {
   return options.exclude_privileged && probe.privileged();
+}
+
+/// Resolves the per-shard wall-time histogram once, before the fork; a
+/// null registry yields a null histogram, which turns every worker's Span
+/// into a no-op.
+obs::LatencyHistogram* shard_hist(const AnalysisOptions& options,
+                                  std::string_view name) {
+  return options.metrics != nullptr ? &options.metrics->histogram(name)
+                                    : nullptr;
 }
 
 }  // namespace
@@ -45,8 +56,11 @@ std::vector<CountryMinLatency> country_min_latency(
   std::vector<Bitmap> seen(shards);
   for (auto& s : seen) s = Bitmap(dataset.fleet().size());
 
+  obs::LatencyHistogram* hist =
+      shard_hist(options, "core.country_min.shard_ms");
   parallel_shards(records.size(), shards,
                   [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                    obs::Span span(hist);
                     std::vector<Acc>& mine = acc[shard];
                     Bitmap& mine_seen = seen[shard];
                     for (std::size_t i = begin; i < end; ++i) {
@@ -109,8 +123,11 @@ std::vector<ProbeBest> per_probe_best(const atlas::MeasurementDataset& dataset,
 
   std::vector<std::vector<ProbeBest>> acc(
       shards, std::vector<ProbeBest>(dataset.fleet().size()));
+  obs::LatencyHistogram* hist =
+      shard_hist(options, "core.per_probe_best.shard_ms");
   parallel_shards(records.size(), shards,
                   [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                    obs::Span span(hist);
                     std::vector<ProbeBest>& mine = acc[shard];
                     for (std::size_t i = begin; i < end; ++i) {
                       const atlas::Measurement& m = records[i];
@@ -165,8 +182,11 @@ best_region_samples_by_continent(const atlas::MeasurementDataset& dataset,
 
   using Split = std::array<std::vector<double>, geo::kContinentCount>;
   std::vector<Split> acc(shards);
+  obs::LatencyHistogram* hist =
+      shard_hist(options, "core.best_region_samples.shard_ms");
   parallel_shards(records.size(), shards,
                   [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                    obs::Span span(hist);
                     Split& mine = acc[shard];
                     for (std::size_t i = begin; i < end; ++i) {
                       const atlas::Measurement& m = records[i];
@@ -282,8 +302,11 @@ std::vector<RegionView> server_side_view(
   std::vector<Bitmap> seen(shards);
   for (auto& s : seen) s = Bitmap(dataset.fleet().size());
 
+  obs::LatencyHistogram* hist =
+      shard_hist(options, "core.server_view.shard_ms");
   parallel_shards(records.size(), shards,
                   [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                    obs::Span span(hist);
                     std::vector<std::vector<double>>& mine = acc[shard];
                     Bitmap& mine_seen = seen[shard];
                     for (std::size_t i = begin; i < end; ++i) {

@@ -20,6 +20,10 @@
 #include "geo/country.hpp"
 #include "topology/region.hpp"
 
+namespace shears::obs {
+class MetricsRegistry;
+}  // namespace shears::obs
+
 namespace shears::core {
 
 struct AnalysisOptions {
@@ -30,6 +34,11 @@ struct AnalysisOptions {
   /// merged in shard order with order-deterministic reducers (see
   /// core/parallel.hpp).
   std::size_t threads = 0;
+  /// Optional metrics sink: each parallelised scan records its per-shard
+  /// wall time into a core.<analysis>.shard_ms histogram. Purely
+  /// observational — results are byte-identical with or without it. Must
+  /// outlive the call; nullptr (the default) disables instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Fig. 4 row: the least latency with which a country reaches any cloud

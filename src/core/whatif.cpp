@@ -1,6 +1,7 @@
 #include "core/whatif.hpp"
 
 #include <limits>
+#include <utility>
 
 #include "core/access_comparison.hpp"
 #include "geo/country.hpp"
@@ -42,7 +43,7 @@ std::vector<ExpansionPoint> expansion_sweep(const std::vector<int>& years,
       if (best < 20.0) ++point.countries_under_20ms;
       if (best < 100.0) ++point.countries_under_100ms;
     }
-    point.median_best_rtt_ms = stats::Ecdf(best_rtts).median();
+    point.median_best_rtt_ms = stats::Ecdf(std::move(best_rtts)).median();
     out.push_back(point);
   }
   return out;

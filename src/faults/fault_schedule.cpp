@@ -6,6 +6,24 @@
 
 namespace shears::faults {
 
+void FaultKindCounts::record(std::uint8_t mask) noexcept {
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if ((mask & (1u << k)) != 0) ++activations[k];
+  }
+}
+
+void FaultKindCounts::merge(const FaultKindCounts& other) noexcept {
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    activations[k] += other.activations[k];
+  }
+}
+
+std::uint64_t FaultKindCounts::total() const noexcept {
+  std::uint64_t n = 0;
+  for (const std::uint64_t a : activations) n += a;
+  return n;
+}
+
 bool FaultScheduleConfig::any_rate() const noexcept {
   return region_outage_rate > 0.0 || route_flap_rate > 0.0 ||
          storm_rate > 0.0 || probe_hang_rate > 0.0 || clock_skew_rate > 0.0 ||

@@ -28,6 +28,7 @@
 // "no fault" everywhere and costs one branch in the campaign loop.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -63,6 +64,27 @@ inline constexpr std::size_t kFaultKindCount = 6;
   }
   return "unknown";
 }
+
+/// Per-kind fault-activation counters — the observability face of the
+/// fault layer. The campaign bumps one instance per worker from each
+/// recorded burst's exposure mask and merges them with the rest of its
+/// telemetry, so the counts are deterministic per (seed, schedule) like
+/// the dataset itself.
+struct FaultKindCounts {
+  std::array<std::uint64_t, kFaultKindCount> activations{};
+
+  /// Bumps every kind set in `mask` (a fault_bit() union). Callers only
+  /// invoke this for non-zero masks, keeping the clean path untouched.
+  void record(std::uint8_t mask) noexcept;
+
+  void merge(const FaultKindCounts& other) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  [[nodiscard]] std::uint64_t of(FaultKind kind) const noexcept {
+    return activations[static_cast<std::size_t>(kind)];
+  }
+};
 
 /// Procedural schedule knobs. Each fault class activates independently
 /// per (entity, epoch) with the given probability; an active fault

@@ -1,0 +1,297 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace shears::obs {
+
+LatencyHistogram::LatencyHistogram() : p50_(0.5), p90_(0.9), p99_(0.99) {}
+
+void LatencyHistogram::record(double ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0 || ms < min_ms_) min_ms_ = ms;
+  if (count_ == 0 || ms > max_ms_) max_ms_ = ms;
+  ++count_;
+  sum_ms_ += ms;
+  p50_.add(ms);
+  p90_.add(ms);
+  p99_.add(ms);
+}
+
+LatencyHistogram::Summary LatencyHistogram::summary() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Summary s;
+  s.count = count_;
+  s.sum_ms = sum_ms_;
+  s.min_ms = min_ms_;
+  s.max_ms = max_ms_;
+  s.p50_ms = p50_.value();
+  s.p90_ms = p90_.value();
+  s.p99_ms = p99_.value();
+  return s;
+}
+
+std::string_view to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+Snapshot::Snapshot(std::vector<MetricSample> samples)
+    : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return static_cast<unsigned>(a.kind) <
+                     static_cast<unsigned>(b.kind);
+            });
+}
+
+const MetricSample* Snapshot::find(std::string_view name) const noexcept {
+  for (const MetricSample& s : samples_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const noexcept {
+  const MetricSample* s = find(name);
+  return s != nullptr && s->kind == MetricKind::kCounter ? s->count : 0;
+}
+
+double Snapshot::gauge(std::string_view name) const noexcept {
+  const MetricSample* s = find(name);
+  return s != nullptr && s->kind == MetricKind::kGauge ? s->value : 0.0;
+}
+
+namespace {
+
+/// Shortest decimal that reads back to the same double.
+void put_double(std::ostream& os, double v) {
+  std::ostringstream tmp;
+  tmp.precision(std::numeric_limits<double>::max_digits10);
+  tmp << v;
+  os << tmp.str();
+}
+
+}  // namespace
+
+void Snapshot::write_jsonl(std::ostream& os) const {
+  for (const MetricSample& s : samples_) {
+    os << "{\"metric\":\"" << s.name << "\",\"kind\":\"" << to_string(s.kind)
+       << '"';
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        os << ",\"count\":" << s.count;
+        break;
+      case MetricKind::kGauge:
+        os << ",\"value\":";
+        put_double(os, s.value);
+        break;
+      case MetricKind::kHistogram:
+        os << ",\"count\":" << s.count << ",\"sum_ms\":";
+        put_double(os, s.sum_ms);
+        os << ",\"min_ms\":";
+        put_double(os, s.min_ms);
+        os << ",\"max_ms\":";
+        put_double(os, s.max_ms);
+        os << ",\"p50_ms\":";
+        put_double(os, s.p50_ms);
+        os << ",\"p90_ms\":";
+        put_double(os, s.p90_ms);
+        os << ",\"p99_ms\":";
+        put_double(os, s.p99_ms);
+        break;
+    }
+    os << "}\n";
+  }
+}
+
+void Snapshot::write_csv(std::ostream& os) const {
+  os << "metric,kind,count,value,sum_ms,min_ms,max_ms,p50_ms,p90_ms,p99_ms\n";
+  for (const MetricSample& s : samples_) {
+    os << s.name << ',' << to_string(s.kind) << ',' << s.count << ',';
+    put_double(os, s.value);
+    os << ',';
+    put_double(os, s.sum_ms);
+    os << ',';
+    put_double(os, s.min_ms);
+    os << ',';
+    put_double(os, s.max_ms);
+    os << ',';
+    put_double(os, s.p50_ms);
+    os << ',';
+    put_double(os, s.p90_ms);
+    os << ',';
+    put_double(os, s.p99_ms);
+    os << '\n';
+  }
+}
+
+namespace {
+
+/// Pulls `"key":` out of one of our own JSONL lines — the writer controls
+/// the format, like the dataset readers in atlas/measurement.cpp.
+std::string_view json_field(std::string_view line, std::string_view key,
+                            bool required, std::size_t line_no) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) {
+    if (!required) return {};
+    throw std::runtime_error("Snapshot::read_jsonl: missing \"" +
+                             std::string(key) + "\" at line " +
+                             std::to_string(line_no));
+  }
+  std::size_t begin = at + needle.size();
+  std::size_t end;
+  if (begin < line.size() && line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+    if (end == std::string_view::npos) {
+      throw std::runtime_error(
+          "Snapshot::read_jsonl: unterminated string at line " +
+          std::to_string(line_no));
+    }
+  } else {
+    end = line.find_first_of(",}", begin);
+    if (end == std::string_view::npos) {
+      throw std::runtime_error("Snapshot::read_jsonl: malformed line " +
+                               std::to_string(line_no));
+    }
+  }
+  return line.substr(begin, end - begin);
+}
+
+std::uint64_t parse_u64(std::string_view text, const char* key,
+                        std::size_t line_no) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(std::string(text), &used);
+    if (used != text.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("Snapshot::read_jsonl: bad " + std::string(key) +
+                             " at line " + std::to_string(line_no));
+  }
+}
+
+double parse_double(std::string_view text, const char* key,
+                    std::size_t line_no) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(std::string(text), &used);
+    if (used != text.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("Snapshot::read_jsonl: bad " + std::string(key) +
+                             " at line " + std::to_string(line_no));
+  }
+}
+
+}  // namespace
+
+Snapshot Snapshot::read_jsonl(std::istream& is) {
+  std::vector<MetricSample> samples;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.front() != '{' || line.back() != '}') {
+      throw std::runtime_error("Snapshot::read_jsonl: malformed line " +
+                               std::to_string(line_no));
+    }
+    MetricSample s;
+    s.name = std::string(json_field(line, "metric", true, line_no));
+    const std::string_view kind = json_field(line, "kind", true, line_no);
+    if (kind == "counter") {
+      s.kind = MetricKind::kCounter;
+      s.count = parse_u64(json_field(line, "count", true, line_no), "count",
+                          line_no);
+    } else if (kind == "gauge") {
+      s.kind = MetricKind::kGauge;
+      s.value = parse_double(json_field(line, "value", true, line_no), "value",
+                             line_no);
+    } else if (kind == "histogram") {
+      s.kind = MetricKind::kHistogram;
+      s.count = parse_u64(json_field(line, "count", true, line_no), "count",
+                          line_no);
+      s.sum_ms = parse_double(json_field(line, "sum_ms", true, line_no),
+                              "sum_ms", line_no);
+      s.min_ms = parse_double(json_field(line, "min_ms", true, line_no),
+                              "min_ms", line_no);
+      s.max_ms = parse_double(json_field(line, "max_ms", true, line_no),
+                              "max_ms", line_no);
+      s.p50_ms = parse_double(json_field(line, "p50_ms", true, line_no),
+                              "p50_ms", line_no);
+      s.p90_ms = parse_double(json_field(line, "p90_ms", true, line_no),
+                              "p90_ms", line_no);
+      s.p99_ms = parse_double(json_field(line, "p99_ms", true, line_no),
+                              "p99_ms", line_no);
+    } else {
+      throw std::runtime_error("Snapshot::read_jsonl: unknown kind at line " +
+                               std::to_string(line_no));
+    }
+    samples.push_back(std::move(s));
+  }
+  return Snapshot(std::move(samples));
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_.try_emplace(std::string(name)).first->second;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> samples;
+  samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kCounter;
+    s.count = counter.value();
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kGauge;
+    s.value = gauge.value();
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const LatencyHistogram::Summary sum = histogram.summary();
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kHistogram;
+    s.count = sum.count;
+    s.sum_ms = sum.sum_ms;
+    s.min_ms = sum.min_ms;
+    s.max_ms = sum.max_ms;
+    s.p50_ms = sum.p50_ms;
+    s.p90_ms = sum.p90_ms;
+    s.p99_ms = sum.p99_ms;
+    samples.push_back(std::move(s));
+  }
+  return Snapshot(std::move(samples));
+}
+
+}  // namespace shears::obs

@@ -1,0 +1,185 @@
+// Low-overhead observability for the measurement platform.
+//
+// RIPE Atlas itself surfaces the operational health behind a nine-month
+// dataset — probe status, credit accounting, per-measurement metadata.
+// This module gives the simulated platform the same telemetry surface:
+// a MetricsRegistry of named counters, gauges, and streaming latency
+// histograms that the campaign engine, the fault layer, and the §4
+// analyses feed, with snapshot export to JSONL/CSV for dashboards and
+// regression tooling.
+//
+// Cost model (the burst-path contract):
+//   * Counter::add is one relaxed fetch-add; the campaign engine goes
+//     further and accumulates per-shard locals, publishing once per
+//     worker — the per-burst cost of compiled-in instrumentation is
+//     zero atomics.
+//   * Gauge::set is one relaxed store.
+//   * LatencyHistogram::record takes a mutex and is for *phase-level*
+//     spans (per-shard scans, per-run wall time) — never per burst.
+//
+// Determinism contract: metrics never consume RNG draws and never feed
+// back into sampling, so an instrumented campaign is byte-identical to
+// an uninstrumented one (test_obs pins the golden checksum). Counter
+// values derived from the dataset are themselves deterministic; wall
+// times are not, and live only in gauges/histograms.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/p2_quantile.hpp"
+
+namespace shears::obs {
+
+/// Monotonic event counter; add() is a single relaxed fetch-add.
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value; set() is a single relaxed store.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Streaming latency summary: count/sum/min/max plus P² estimates of the
+/// median, p90 and p99 (stats::P2Quantile — O(1) memory, no sample
+/// retention). record() is mutex-guarded: it serves phase-level Span
+/// timers, a handful of calls per analysis, never the per-burst path.
+class LatencyHistogram {
+ public:
+  struct Summary {
+    std::uint64_t count = 0;
+    double sum_ms = 0.0;
+    double min_ms = 0.0;  ///< 0 when empty
+    double max_ms = 0.0;
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+  };
+
+  LatencyHistogram();
+
+  void record(double ms);
+
+  [[nodiscard]] Summary summary() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t count_ = 0;
+  double sum_ms_ = 0.0;
+  double min_ms_ = 0.0;
+  double max_ms_ = 0.0;
+  stats::P2Quantile p50_;
+  stats::P2Quantile p90_;
+  stats::P2Quantile p99_;
+};
+
+enum class MetricKind : unsigned char { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view to_string(MetricKind kind) noexcept;
+
+/// One exported metric. Counter values live in `count`, gauge values in
+/// `value`, histogram summaries in the *_ms fields (count = samples).
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;
+  double value = 0.0;
+  double sum_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+
+  [[nodiscard]] bool operator==(const MetricSample&) const = default;
+};
+
+/// Point-in-time export of a registry, ordered by (name, kind) so two
+/// snapshots of the same state serialize identically.
+class Snapshot {
+ public:
+  Snapshot() = default;
+  explicit Snapshot(std::vector<MetricSample> samples);
+
+  [[nodiscard]] const std::vector<MetricSample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// First sample with this name, nullptr when absent.
+  [[nodiscard]] const MetricSample* find(std::string_view name) const noexcept;
+
+  /// Counter value by name; 0 when the counter was never registered.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const noexcept;
+
+  /// Gauge value by name; 0 when absent.
+  [[nodiscard]] double gauge(std::string_view name) const noexcept;
+
+  /// One JSON object per line:
+  ///   {"metric":"campaign.bursts","kind":"counter","count":6144}
+  ///   {"metric":"...","kind":"gauge","value":1.25}
+  ///   {"metric":"...","kind":"histogram","count":8,"sum_ms":...,...}
+  /// Doubles print with max_digits10 so read_jsonl round-trips exactly.
+  void write_jsonl(std::ostream& os) const;
+
+  /// "metric,kind,count,value,sum_ms,min_ms,max_ms,p50_ms,p90_ms,p99_ms"
+  /// rows; unused fields print as 0.
+  void write_csv(std::ostream& os) const;
+
+  /// Round-trip counterpart of write_jsonl; throws std::runtime_error on
+  /// malformed lines (with line numbers, like the dataset readers).
+  static Snapshot read_jsonl(std::istream& is);
+
+ private:
+  std::vector<MetricSample> samples_;
+};
+
+/// Named metric registry. Registration (the name lookup) takes a mutex
+/// and is meant for setup / per-phase code; the returned references are
+/// stable for the registry's lifetime, so hot paths resolve a metric
+/// once and then touch only its atomics.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] LatencyHistogram& histogram(std::string_view name);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // Node-based maps: references handed out stay valid across inserts.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, LatencyHistogram, std::less<>> histograms_;
+};
+
+}  // namespace shears::obs

@@ -1,0 +1,48 @@
+// RAII phase timers feeding obs::LatencyHistogram.
+#pragma once
+
+#include <chrono>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace shears::obs {
+
+/// Wall-clock span: records the elapsed milliseconds into a histogram
+/// when destroyed (or at stop(), whichever comes first). A null histogram
+/// disables the span entirely — call sites instrument unconditionally and
+/// pay nothing when no registry is attached. Spans time *phases* (a shard
+/// scan, a campaign run), not bursts: record() takes a mutex.
+class Span {
+ public:
+  explicit Span(LatencyHistogram* histogram) noexcept
+      : histogram_(histogram),
+        start_(histogram != nullptr ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{}) {
+  }
+
+  /// Convenience: resolves `name` in `registry` (null registry = no-op).
+  Span(MetricsRegistry* registry, std::string_view name)
+      : Span(registry != nullptr ? &registry->histogram(name) : nullptr) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { stop(); }
+
+  /// Records the elapsed time once; later calls (and the destructor after
+  /// a stop) are no-ops.
+  void stop() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->record(
+        std::chrono::duration<double, std::milli>(elapsed).count());
+    histogram_ = nullptr;
+  }
+
+ private:
+  LatencyHistogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace shears::obs

@@ -5,6 +5,7 @@
 //
 //   shears::geo       — coordinates, continents, the country registry
 //   shears::stats     — RNG, distributions, ECDFs, summaries, bootstrap
+//   shears::obs       — metrics registry, spans, telemetry snapshots
 //   shears::topology  — the seven providers and 101 cloud regions
 //   shears::net       — the Internet latency model (paths + last mile)
 //   shears::atlas     — probe fleet, scheduler, campaign engine, dataset
@@ -56,6 +57,8 @@
 #include "net/ping.hpp"
 #include "net/segments.hpp"
 #include "net/tcp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "report/plot.hpp"
 #include "report/resilience.hpp"
 #include "report/svg.hpp"

@@ -852,6 +852,95 @@ TEST(Dataset, CsvLoadRejectsMalformedResilienceColumns) {
                std::runtime_error);
 }
 
+TEST(Dataset, CsvLoadRejectsOutOfRangeNumericFields) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const Probe& p = fleet.probe(0);
+  const topology::CloudRegion& r = *registry.regions()[0];
+  std::ostringstream prefix;
+  prefix << "0," << p.country->iso2 << ','
+         << geo::to_code(p.country->continent) << ','
+         << net::to_string(p.endpoint.access) << ','
+         << topology::to_string(r.provider) << ',' << r.region_id;
+  const std::string header =
+      "probe_id,country,continent,access,provider,region,tick,min_ms,avg_ms,"
+      "max_ms,sent,received,retries,faults\n";
+  const auto reject = [&](const std::string& row) {
+    std::stringstream csv(header + row + "\n");
+    EXPECT_THROW(MeasurementDataset::read_csv(csv, &fleet, &registry),
+                 std::runtime_error)
+        << row;
+  };
+
+  // Control: the same row with in-range values loads cleanly.
+  std::stringstream good(header + prefix.str() + ",5,10,11,12,3,3,0,0\n");
+  EXPECT_EQ(MeasurementDataset::read_csv(good, &fleet, &registry).size(), 1u);
+
+  // Counters beyond the uint8 record fields used to wrap silently
+  // (sent=300 loaded as 44); they must be malformed rows now.
+  reject(prefix.str() + ",5,10,11,12,300,3,0,0");   // sent > 255
+  reject(prefix.str() + ",5,10,11,12,3,300,0,0");   // received > 255
+  reject(prefix.str() + ",5,10,11,12,-1,3,0,0");    // negative sent
+  reject(prefix.str() + ",5,10,11,12,3,-2,0,0");    // negative received
+  reject(prefix.str() + ",5,10,11,12,3,3,256,0");   // retries > 255
+  reject(prefix.str() + ",5,10,11,12,3,3,0,999");   // faults > 255
+  // Non-finite RTTs violate the stats::Ecdf precondition downstream.
+  reject(prefix.str() + ",5,nan,11,12,3,3,0,0");
+  reject(prefix.str() + ",5,10,inf,12,3,3,0,0");
+  reject(prefix.str() + ",5,10,11,-inf,3,3,0,0");
+  // Tick beyond 32 bits used to truncate (stoul is 64-bit on LP64).
+  reject(prefix.str() + ",4294967296,10,11,12,3,3,0,0");
+
+  // probe_id = 2^32 would alias onto probe 0 (matching metadata!) if the
+  // id were narrowed before validation.
+  std::stringstream aliased(header + "4294967296" +
+                            prefix.str().substr(1) + ",5,10,11,12,3,3,0,0\n");
+  EXPECT_THROW(MeasurementDataset::read_csv(aliased, &fleet, &registry),
+               std::runtime_error);
+}
+
+TEST(Dataset, JsonlLoadRejectsOutOfRangeNumericFields) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const Probe& p = fleet.probe(0);
+  const topology::CloudRegion& r = *registry.regions()[0];
+  const auto line = [&](const std::string& prb_id, const std::string& timestamp,
+                        const std::string& sent, const std::string& rcvd,
+                        const std::string& rtts) {
+    std::ostringstream os;
+    os << "{\"type\":\"ping\",\"prb_id\":" << prb_id << ",\"dst_name\":\""
+       << topology::to_string(r.provider) << '/' << r.region_id
+       << "\",\"timestamp\":" << timestamp << ",\"sent\":" << sent
+       << ",\"rcvd\":" << rcvd << rtts << ",\"country\":\"" << p.country->iso2
+       << "\",\"continent\":\"" << geo::to_code(p.country->continent)
+       << "\",\"access\":\"" << net::to_string(p.endpoint.access) << "\"}\n";
+    return os.str();
+  };
+  const std::string rtts = ",\"min\":10,\"avg\":11,\"max\":12";
+  const auto reject = [&](const std::string& text) {
+    std::stringstream jsonl(text);
+    EXPECT_THROW(MeasurementDataset::read_jsonl(jsonl, &fleet, &registry, 3),
+                 std::runtime_error)
+        << text;
+  };
+
+  // Control: in-range values load cleanly.
+  std::stringstream good(line("0", "10800", "3", "3", rtts));
+  EXPECT_EQ(MeasurementDataset::read_jsonl(good, &fleet, &registry, 3).size(),
+            1u);
+
+  reject(line("0", "10800", "300", "3", rtts));  // sent > 255
+  reject(line("0", "10800", "3", "-1", rtts));   // negative rcvd
+  reject(line("0", "10800", "3", "3",            // non-finite RTTs
+              ",\"min\":nan,\"avg\":11,\"max\":12"));
+  reject(line("0", "10800", "3", "3",
+              ",\"min\":10,\"avg\":inf,\"max\":12"));
+  // Timestamp mapping to a tick beyond 32 bits (2^32 * 10800 s).
+  reject(line("0", "46385646796800", "3", "3", rtts));
+  // prb_id = 2^32 must not alias onto probe 0's metadata.
+  reject(line("4294967296", "10800", "3", "3", rtts));
+}
+
 TEST(Dataset, JsonlRoundTripPreservesRecords) {
   const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
   const auto registry = topology::CloudRegistry::campaign_footprint();

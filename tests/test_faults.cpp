@@ -378,5 +378,24 @@ TEST(QuarantineTracker, SkewCountsToggle) {
   EXPECT_FALSE(without_skew.quarantined(2));
 }
 
+TEST(FaultKindCounts, RecordSplitsMasksAndMergeAdds) {
+  FaultKindCounts counts;
+  EXPECT_EQ(counts.total(), 0u);
+  // A burst can carry several kinds at once; each gets its own bump.
+  counts.record(fault_bit(FaultKind::kRouteFlap) |
+                fault_bit(FaultKind::kClockSkew));
+  counts.record(fault_bit(FaultKind::kRouteFlap));
+  EXPECT_EQ(counts.of(FaultKind::kRouteFlap), 2u);
+  EXPECT_EQ(counts.of(FaultKind::kClockSkew), 1u);
+  EXPECT_EQ(counts.of(FaultKind::kRegionOutage), 0u);
+  EXPECT_EQ(counts.total(), 3u);
+
+  FaultKindCounts other;
+  other.record(fault_bit(FaultKind::kCountryBlackout));
+  counts.merge(other);
+  EXPECT_EQ(counts.of(FaultKind::kCountryBlackout), 1u);
+  EXPECT_EQ(counts.total(), 4u);
+}
+
 }  // namespace
 }  // namespace shears::faults
