@@ -35,6 +35,11 @@ void CampaignConfig::validate() const {
   if (interval_hours <= 0) {
     throw std::invalid_argument("CampaignConfig: interval_hours must be > 0");
   }
+  if (interval_hours > 24 * duration_days) {
+    throw std::invalid_argument(
+        "CampaignConfig: interval_hours exceeds the campaign duration "
+        "(schedule would have zero ticks)");
+  }
   if (packets_per_ping <= 0) {
     throw std::invalid_argument("CampaignConfig: packets_per_ping must be > 0");
   }

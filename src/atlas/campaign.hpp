@@ -69,7 +69,8 @@ struct CampaignConfig {
   faults::QuarantinePolicy quarantine{};
 
   /// Throws std::invalid_argument on non-positive knobs, probe_uptime
-  /// outside (0, 1], packets that overflow the record's counters, or an
+  /// outside (0, 1], packets that overflow the record's counters, an
+  /// interval longer than the whole campaign (zero ticks), or an
   /// invalid retry/quarantine policy — a misconfigured campaign must
   /// fail loudly instead of producing an empty or garbage dataset.
   void validate() const;

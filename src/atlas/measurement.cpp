@@ -1,6 +1,7 @@
 #include "atlas/measurement.hpp"
 
 #include <cmath>
+#include <iomanip>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -18,6 +19,24 @@ constexpr std::string_view kCsvHeader =
 constexpr std::string_view kLegacyCsvHeader =
     "probe_id,country,continent,access,provider,region,tick,min_ms,avg_ms,"
     "max_ms,sent,received";
+
+/// RTT floats are written with max_digits10 significant digits so that a
+/// write → read round trip reproduces the stored value bit for bit (the
+/// default 6-digit precision loses the low mantissa bits). Scoped: the
+/// caller's stream precision is restored on destruction.
+class FloatPrecisionGuard {
+ public:
+  explicit FloatPrecisionGuard(std::ostream& os)
+      : os_(os),
+        old_(os.precision(std::numeric_limits<float>::max_digits10)) {}
+  ~FloatPrecisionGuard() { os_.precision(old_); }
+  FloatPrecisionGuard(const FloatPrecisionGuard&) = delete;
+  FloatPrecisionGuard& operator=(const FloatPrecisionGuard&) = delete;
+
+ private:
+  std::ostream& os_;
+  std::streamsize old_;
+};
 
 }  // namespace
 
@@ -50,6 +69,7 @@ double MeasurementDataset::faulted_fraction() const noexcept {
 
 void MeasurementDataset::write_jsonl(std::ostream& os,
                                      int interval_hours) const {
+  const FloatPrecisionGuard precision(os);
   for (const Measurement& m : records_) {
     const Probe& p = probe_of(m);
     const topology::CloudRegion& r = region_of(m);
@@ -81,10 +101,13 @@ void MeasurementDataset::write_jsonl(std::ostream& os,
 namespace {
 
 /// (provider, region_id) -> registry index lookup shared by both readers.
+/// The error carries the line number like every other malformed-row
+/// diagnostic — a bad region cell must point at its row, not just name
+/// the unknown region.
 std::size_t region_index_of(const topology::CloudRegistry& registry,
                             std::string_view provider,
-                            std::string_view region_id,
-                            const char* who) {
+                            std::string_view region_id, const char* who,
+                            std::size_t line_no) {
   const auto& regions = registry.regions();
   for (std::size_t i = 0; i < regions.size(); ++i) {
     if (topology::to_string(regions[i]->provider) == provider &&
@@ -94,7 +117,8 @@ std::size_t region_index_of(const topology::CloudRegistry& registry,
   }
   throw std::runtime_error(std::string(who) + ": unknown region " +
                            std::string(provider) + "/" +
-                           std::string(region_id));
+                           std::string(region_id) + " at line " +
+                           std::to_string(line_no));
 }
 
 /// Checks a row's probe metadata against the fleet; loading a dataset
@@ -104,8 +128,19 @@ std::size_t region_index_of(const topology::CloudRegistry& registry,
 /// outside [0, 255] (sent=300 becomes 44, -1 becomes 255). Validate the
 /// full-width value first; the throw surfaces as the caller's
 /// line-numbered malformed-row error.
+/// The std::sto* family stops at the first non-numeric character, so
+/// "12abc" would silently parse as 12. Every CSV cell must consume in
+/// full, like the JSONL parsers already require.
+void require_full_cell(std::size_t used, const std::string& cell) {
+  if (used != cell.size()) {
+    throw std::invalid_argument("trailing garbage in cell");
+  }
+}
+
 std::uint8_t parse_count_u8(const std::string& cell) {
-  const int value = std::stoi(cell);
+  std::size_t used = 0;
+  const int value = std::stoi(cell, &used);
+  require_full_cell(used, cell);
   if (value < 0 || value > 255) {
     throw std::out_of_range("counter outside [0, 255]");
   }
@@ -115,7 +150,9 @@ std::uint8_t parse_count_u8(const std::string& cell) {
 /// RTT fields feed stats::Ecdf, whose precondition bans NaN; std::stof
 /// happily parses "nan" and "inf", so reject anything non-finite.
 float parse_finite_float(const std::string& cell) {
-  const float value = std::stof(cell);
+  std::size_t used = 0;
+  const float value = std::stof(cell, &used);
+  require_full_cell(used, cell);
   if (!std::isfinite(value)) {
     throw std::out_of_range("non-finite RTT");
   }
@@ -125,7 +162,9 @@ float parse_finite_float(const std::string& cell) {
 /// Tick is a uint32; on LP64 std::stoul parses 64-bit values, so a tick
 /// beyond 2^32 - 1 would silently truncate without this check.
 std::uint32_t parse_tick_u32(const std::string& cell) {
-  const unsigned long long value = std::stoull(cell);
+  std::size_t used = 0;
+  const unsigned long long value = std::stoull(cell, &used);
+  require_full_cell(used, cell);
   if (value > std::numeric_limits<std::uint32_t>::max()) {
     throw std::out_of_range("tick exceeds 32 bits");
   }
@@ -190,17 +229,24 @@ MeasurementDataset MeasurementDataset::read_csv(
       Measurement m;
       // Validate the full-width probe id before narrowing: casting first
       // would alias 2^32 + k onto probe k and pass the fleet check.
-      const unsigned long probe_id = std::stoul(row[0]);
+      std::size_t used = 0;
+      const unsigned long probe_id = std::stoul(row[0], &used);
+      require_full_cell(used, row[0]);
       checked_probe(*fleet, probe_id, row[1], row[3], "read_csv", line_no);
       m.probe_id = static_cast<ProbeId>(probe_id);
       m.region_index = static_cast<std::uint16_t>(
-          region_index_of(*registry, row[4], row[5], "read_csv"));
+          region_index_of(*registry, row[4], row[5], "read_csv", line_no));
       m.tick = parse_tick_u32(row[6]);
       m.min_ms = parse_finite_float(row[7]);
       m.avg_ms = parse_finite_float(row[8]);
       m.max_ms = parse_finite_float(row[9]);
       m.sent = parse_count_u8(row[10]);
       m.received = parse_count_u8(row[11]);
+      if (m.received > m.sent) {
+        // No burst can deliver more echoes than it sent; a writer never
+        // emits this, so it marks a corrupted or hand-edited row.
+        throw std::out_of_range("received exceeds sent");
+      }
       if (columns == 14) {
         m.retries = parse_count_u8(row[12]);
         m.faults = parse_count_u8(row[13]);
@@ -352,7 +398,7 @@ MeasurementDataset MeasurementDataset::read_jsonl(
     }
     m.region_index = static_cast<std::uint16_t>(
         region_index_of(*registry, dst.substr(0, slash), dst.substr(slash + 1),
-                        "read_jsonl"));
+                        "read_jsonl", line_no));
 
     const long long timestamp = parse_ll(
         json_field(line, "timestamp", true, line_no), "timestamp", line_no);
@@ -371,6 +417,10 @@ MeasurementDataset MeasurementDataset::read_jsonl(
                          line_no);
     m.received = parse_count(json_field(line, "rcvd", true, line_no), "rcvd",
                              line_no);
+    if (m.received > m.sent) {
+      throw std::runtime_error("read_jsonl: rcvd exceeds sent at line " +
+                               std::to_string(line_no));
+    }
     if (m.received > 0) {
       m.min_ms = static_cast<float>(
           parse_finite(json_field(line, "min", true, line_no), "min", line_no));
@@ -396,6 +446,7 @@ MeasurementDataset MeasurementDataset::read_jsonl(
 }
 
 void MeasurementDataset::write_csv(std::ostream& os) const {
+  const FloatPrecisionGuard precision(os);
   os << kCsvHeader << '\n';
   for (const Measurement& m : records_) {
     const Probe& p = probe_of(m);

@@ -1,0 +1,205 @@
+#include "check/fuzz.hpp"
+
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "check/property.hpp"
+
+namespace shears::check {
+
+std::string corpus_token(Gen& gen) {
+  static constexpr std::string_view kCorpus[] = {
+      "",        "nan",  "-nan", "inf",   "-inf", "1e999", "-1",
+      "256",     "300",  "4294967296", "18446744073709551616",
+      "0x1f",    "12abc", "3.5.7", "1e",  "+5",   "--3",   "null",
+      "true",    "\"",   "{",    "}",     ",",    ":",     " ",
+      "\t",      "probe", "\xc3\xa9",     "\xff", "0.0.0", "e5",
+  };
+  if (gen.chance(0.15)) {
+    // Random short byte string, printable-ish but occasionally not.
+    std::string token;
+    const int len = gen.int_in(1, 6);
+    for (int i = 0; i < len; ++i) {
+      token.push_back(static_cast<char>(gen.int_in(1, 255)));
+    }
+    return token;
+  }
+  return std::string(
+      kCorpus[gen.below(sizeof(kCorpus) / sizeof(kCorpus[0]))]);
+}
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string text;
+  for (const std::string& line : lines) {
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+/// Replaces one comma-separated cell of the line (CSV rows only).
+void mutate_cell(Gen& gen, std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream fields(line);
+  while (std::getline(fields, cell, ',')) cells.push_back(cell);
+  if (cells.empty()) {
+    line = corpus_token(gen);
+    return;
+  }
+  cells[gen.below(cells.size())] = corpus_token(gen);
+  std::string joined;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) joined += ',';
+    joined += cells[i];
+  }
+  line = joined;
+}
+
+/// Replaces a JSON value: the span between a random ':' and the next
+/// ',' or '}'.
+void mutate_json_value(Gen& gen, std::string& line) {
+  std::vector<std::size_t> colons;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == ':') colons.push_back(i);
+  }
+  if (colons.empty()) {
+    line += corpus_token(gen);
+    return;
+  }
+  const std::size_t at = colons[gen.below(colons.size())] + 1;
+  const std::size_t end = line.find_first_of(",}", at);
+  line.replace(at, end == std::string::npos ? line.size() - at : end - at,
+               corpus_token(gen));
+}
+
+/// One random structural or byte-level mutation over the whole document.
+void mutate_document(Gen& gen, std::vector<std::string>& lines, bool csv) {
+  if (lines.empty()) {
+    lines.push_back(corpus_token(gen));
+    return;
+  }
+  const std::size_t target = gen.below(lines.size());
+  switch (gen.below(8)) {
+    case 0:  // format-aware field replacement
+      if (csv) {
+        mutate_cell(gen, lines[target]);
+      } else {
+        mutate_json_value(gen, lines[target]);
+      }
+      break;
+    case 1: {  // splice a token at a random position
+      const std::size_t at = gen.below(lines[target].size() + 1);
+      lines[target].insert(at, corpus_token(gen));
+      break;
+    }
+    case 2:  // truncate the line
+      lines[target].resize(gen.below(lines[target].size() + 1));
+      break;
+    case 3:  // delete one byte
+      if (!lines[target].empty()) {
+        lines[target].erase(gen.below(lines[target].size()), 1);
+      }
+      break;
+    case 4:  // flip one byte
+      if (!lines[target].empty()) {
+        lines[target][gen.below(lines[target].size())] =
+            static_cast<char>(gen.int_in(1, 255));
+      }
+      break;
+    case 5: {  // duplicate a whole line
+      std::string copy = lines[target];
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(target),
+                   std::move(copy));
+      break;
+    }
+    case 6:  // delete a whole line
+      lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(target));
+      break;
+    default: {  // swap two lines (may move the CSV header)
+      const std::size_t other = gen.below(lines.size());
+      std::swap(lines[target], lines[other]);
+      break;
+    }
+  }
+}
+
+bool has_line_context(const std::string& message) {
+  return message.find("line") != std::string::npos ||
+         message.find("header") != std::string::npos;
+}
+
+template <typename Parse>
+FuzzStats fuzz_document(Gen& gen, const World& world,
+                        const std::string& valid_text, int rounds, bool csv,
+                        const char* reader, Parse&& parse) {
+  FuzzStats stats;
+  const std::vector<std::string> original = split_lines(valid_text);
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::string> lines = original;
+    const int edits = gen.int_in(1, 3);
+    for (int e = 0; e < edits; ++e) mutate_document(gen, lines, csv);
+    const std::string mutated = join_lines(lines);
+    ++stats.mutations;
+    try {
+      parse(mutated);
+      ++stats.parsed;
+    } catch (const std::runtime_error& error) {
+      // The documented contract: a malformed document fails with the
+      // reader's line-numbered (or header) diagnostic.
+      const std::string message = error.what();
+      if (message.find(reader) == std::string::npos ||
+          !has_line_context(message)) {
+        throw PropertyFailure(std::string(reader) +
+                              " raised an undiagnosable error: \"" + message +
+                              "\" [" + world.summary + "]");
+      }
+      ++stats.rejected;
+    } catch (const std::exception& error) {
+      throw PropertyFailure(std::string(reader) +
+                            " raised the wrong exception type: \"" +
+                            error.what() + "\" [" + world.summary + "]");
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+FuzzStats fuzz_csv(Gen& gen, const World& world,
+                   const atlas::MeasurementDataset& dataset, int rounds) {
+  std::ostringstream os;
+  dataset.write_csv(os);
+  return fuzz_document(gen, world, os.str(), rounds, true, "read_csv",
+                       [&](const std::string& text) {
+                         std::istringstream is(text);
+                         (void)atlas::MeasurementDataset::read_csv(
+                             is, &world.fleet, &world.registry);
+                       });
+}
+
+FuzzStats fuzz_jsonl(Gen& gen, const World& world,
+                     const atlas::MeasurementDataset& dataset, int rounds) {
+  std::ostringstream os;
+  dataset.write_jsonl(os, world.campaign.interval_hours);
+  return fuzz_document(gen, world, os.str(), rounds, false, "read_jsonl",
+                       [&](const std::string& text) {
+                         std::istringstream is(text);
+                         (void)atlas::MeasurementDataset::read_jsonl(
+                             is, &world.fleet, &world.registry,
+                             world.campaign.interval_hours);
+                       });
+}
+
+}  // namespace shears::check

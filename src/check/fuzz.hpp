@@ -1,0 +1,37 @@
+// Corpus-driven loader fuzzing: mutate the serialised form of a valid
+// dataset and assert the readers either parse the result or raise their
+// documented line-numbered malformed-row error — never crash, never
+// throw anything else. Run under the sanitize preset this also shakes
+// out memory errors on the parse paths.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "atlas/measurement.hpp"
+#include "check/gen.hpp"
+#include "check/world.hpp"
+
+namespace shears::check {
+
+/// A malformed-ish replacement drawn from the corpus of classic parser
+/// killers (empty cells, NaN/inf, overflow, trailing garbage, stray
+/// punctuation) plus random bytes.
+[[nodiscard]] std::string corpus_token(Gen& gen);
+
+struct FuzzStats {
+  std::size_t mutations = 0;  ///< mutated documents fed to the reader
+  std::size_t parsed = 0;     ///< accepted (mutation kept the row valid)
+  std::size_t rejected = 0;   ///< rejected with the documented error
+};
+
+/// Serialises the dataset, applies `rounds` independent mutations, and
+/// feeds each mutant to read_csv / read_jsonl. Throws PropertyFailure if
+/// a reader crashes with the wrong exception type or an error message
+/// without line context.
+FuzzStats fuzz_csv(Gen& gen, const World& world,
+                   const atlas::MeasurementDataset& dataset, int rounds);
+FuzzStats fuzz_jsonl(Gen& gen, const World& world,
+                     const atlas::MeasurementDataset& dataset, int rounds);
+
+}  // namespace shears::check

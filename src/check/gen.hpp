@@ -1,0 +1,75 @@
+// Seeded generation context for property-based tests.
+//
+// A Gen wraps the simulator's own deterministic RNG (stats::Xoshiro256)
+// together with a *size* knob in the QuickCheck tradition: generators
+// scale collection sizes and value ranges by it, and the property runner
+// shrinks a failing case by replaying the same seed at smaller sizes.
+// Because every generated artefact is a pure function of (seed, size),
+// a counterexample is fully described by those two numbers — which is
+// what the SHEARS_CHECK_SEED replay banner prints.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+
+#include "stats/rng.hpp"
+
+namespace shears::check {
+
+class Gen {
+ public:
+  Gen(std::uint64_t seed, int size) noexcept
+      : seed_(seed), size_(size < 0 ? 0 : size), rng_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// The shrink knob: generators produce "bigger" worlds (more probes,
+  /// longer campaigns, more faults) at larger sizes. Always >= 0.
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  /// Direct access for generators that fork per-entity streams.
+  [[nodiscard]] stats::Xoshiro256& rng() noexcept { return rng_; }
+
+  [[nodiscard]] std::uint64_t u64() noexcept { return rng_.next(); }
+
+  /// Uniform in [0, bound); 0 when bound is 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : rng_.bounded(bound);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  [[nodiscard]] int int_in(int lo, int hi) noexcept {
+    return lo + static_cast<int>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double real_in(double lo, double hi) noexcept {
+    return rng_.uniform(lo, hi);
+  }
+
+  [[nodiscard]] bool chance(double p) noexcept { return rng_.bernoulli(p); }
+
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) noexcept {
+    return items[below(items.size())];
+  }
+
+  template <typename T>
+  [[nodiscard]] T pick(std::initializer_list<T> items) noexcept {
+    return items.begin()[below(items.size())];
+  }
+
+  /// A collection size scaled by the shrink knob: uniform in
+  /// [lo, lo + size()]. At size 0 this degenerates to `lo`, so a fully
+  /// shrunk case is the smallest world the generator can express.
+  [[nodiscard]] int scaled(int lo) noexcept { return int_in(lo, lo + size_); }
+
+ private:
+  std::uint64_t seed_;
+  int size_;
+  stats::Xoshiro256 rng_;
+};
+
+}  // namespace shears::check

@@ -1,0 +1,42 @@
+// Metamorphic and invariant properties over the model, stats and
+// analyses. Unlike the differential oracles (two implementations, one
+// answer), these check a single implementation against facts that must
+// hold for *every* world: physics floors, monotonicity, permutation
+// invariance. All throw PropertyFailure on violation.
+#pragma once
+
+#include "atlas/measurement.hpp"
+#include "check/gen.hpp"
+#include "check/world.hpp"
+
+namespace shears::check {
+
+/// Every delivered burst's minimum RTT respects the propagation floor
+/// implied by the geodesic probe→region distance: routed fibre cannot
+/// beat light over the great circle (2 * geodesic_km * fibre_us_per_km).
+/// Holds even for faulted records because generated faults only add
+/// latency (multipliers >= 1, skew >= 0).
+void check_rtt_floor(const World& world,
+                     const atlas::MeasurementDataset& dataset);
+
+/// stats::Ecdf over a random sample: F is monotone, quantiles are
+/// monotone in q and bounded by [min, max], F(max) == 1, and
+/// quantile(0)/quantile(1) hit the extremes.
+void check_ecdf_properties(Gen& gen);
+
+/// stats::P2Quantile on a random stream: exact nearest-rank agreement
+/// while count < 5, estimates bounded by the observed sample range, and
+/// the marker invariants hold after every add.
+void check_quantile_properties(Gen& gen);
+
+/// core::classify / in_feasibility_zone monotonicity in the latency
+/// budget: lowering the measured RTT or loosening the ceiling can only
+/// move an application toward cloud-sufficient / into the zone.
+void check_feasibility_monotonicity(Gen& gen);
+
+/// Per-country aggregates (Fig. 4 minima, probe counts) and per-probe
+/// minima are invariant under a random permutation of the dataset rows.
+void check_permutation_invariance(Gen& gen, const World& world,
+                                  const atlas::MeasurementDataset& dataset);
+
+}  // namespace shears::check

@@ -1,0 +1,178 @@
+#include "check/oracles.hpp"
+
+#include <array>
+#include <bit>
+#include <sstream>
+#include <vector>
+
+#include "atlas/campaign.hpp"
+#include "check/property.hpp"
+#include "core/analysis.hpp"
+#include "faults/fault_schedule.hpp"
+#include "geo/continent.hpp"
+
+namespace shears::check {
+
+namespace {
+
+[[noreturn]] void fail(const World& world, const std::string& what) {
+  throw PropertyFailure(what + " [" + world.summary + "]");
+}
+
+void require_identical(const World& world, const atlas::MeasurementDataset& a,
+                       const atlas::MeasurementDataset& b,
+                       const std::string& label) {
+  std::string why;
+  if (!datasets_identical(a, b, why)) {
+    fail(world, label + ": " + why);
+  }
+}
+
+bool same_doubles(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i]) != std::bit_cast<std::uint64_t>(b[i]))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void check_cached_vs_uncached(const World& world) {
+  atlas::CampaignConfig config = world.campaign;
+  config.sampling_cache = true;
+  const atlas::MeasurementDataset cached = world.run_with(config);
+  config.sampling_cache = false;
+  const atlas::MeasurementDataset uncached = world.run_with(config);
+  require_identical(world, cached, uncached, "cached vs uncached engine");
+  if (dataset_checksum(cached) != dataset_checksum(uncached)) {
+    fail(world, "cached vs uncached engine: checksums diverge");
+  }
+}
+
+void check_campaign_thread_invariance(const World& world) {
+  atlas::CampaignConfig config = world.campaign;
+  config.threads = 1;
+  const atlas::MeasurementDataset serial = world.run_with(config);
+  config.threads = 8;
+  const atlas::MeasurementDataset sharded = world.run_with(config);
+  require_identical(world, serial, sharded, "campaign threads 1 vs 8");
+}
+
+void check_analysis_thread_invariance(
+    const World& world, const atlas::MeasurementDataset& dataset) {
+  core::AnalysisOptions serial;
+  serial.threads = 1;
+  core::AnalysisOptions sharded;
+  sharded.threads = 8;
+
+  const auto rows_a = core::country_min_latency(dataset, serial);
+  const auto rows_b = core::country_min_latency(dataset, sharded);
+  if (rows_a.size() != rows_b.size()) {
+    fail(world, "country_min_latency: row counts differ across threads");
+  }
+  for (std::size_t i = 0; i < rows_a.size(); ++i) {
+    if (rows_a[i].country != rows_b[i].country ||
+        std::bit_cast<std::uint64_t>(rows_a[i].min_rtt_ms) !=
+            std::bit_cast<std::uint64_t>(rows_b[i].min_rtt_ms) ||
+        rows_a[i].best_region != rows_b[i].best_region ||
+        rows_a[i].probe_count != rows_b[i].probe_count) {
+      fail(world, "country_min_latency: rows diverge across threads");
+    }
+  }
+
+  const auto best_a = core::per_probe_best(dataset, serial);
+  const auto best_b = core::per_probe_best(dataset, sharded);
+  if (best_a.size() != best_b.size()) {
+    fail(world, "per_probe_best: sizes differ across threads");
+  }
+  for (std::size_t i = 0; i < best_a.size(); ++i) {
+    if (best_a[i].probe_id != best_b[i].probe_id ||
+        best_a[i].region_index != best_b[i].region_index ||
+        std::bit_cast<std::uint64_t>(best_a[i].min_ms) !=
+            std::bit_cast<std::uint64_t>(best_b[i].min_ms) ||
+        best_a[i].valid != best_b[i].valid) {
+      fail(world, "per_probe_best: entries diverge across threads");
+    }
+  }
+
+  const auto fig5_a = core::min_rtt_by_continent(dataset, serial);
+  const auto fig5_b = core::min_rtt_by_continent(dataset, sharded);
+  const auto fig6_a = core::best_region_samples_by_continent(dataset, serial);
+  const auto fig6_b = core::best_region_samples_by_continent(dataset, sharded);
+  for (std::size_t c = 0; c < geo::kContinentCount; ++c) {
+    if (!same_doubles(fig5_a[c], fig5_b[c])) {
+      fail(world, "min_rtt_by_continent: samples diverge across threads");
+    }
+    if (!same_doubles(fig6_a[c], fig6_b[c])) {
+      fail(world,
+           "best_region_samples_by_continent: samples diverge across threads");
+    }
+  }
+
+  const auto view_a = core::server_side_view(dataset, serial);
+  const auto view_b = core::server_side_view(dataset, sharded);
+  if (view_a.size() != view_b.size()) {
+    fail(world, "server_side_view: row counts differ across threads");
+  }
+  for (std::size_t i = 0; i < view_a.size(); ++i) {
+    if (view_a[i].region != view_b[i].region ||
+        view_a[i].clients != view_b[i].clients ||
+        view_a[i].samples != view_b[i].samples ||
+        std::bit_cast<std::uint64_t>(view_a[i].median_ms) !=
+            std::bit_cast<std::uint64_t>(view_b[i].median_ms) ||
+        std::bit_cast<std::uint64_t>(view_a[i].p90_ms) !=
+            std::bit_cast<std::uint64_t>(view_b[i].p90_ms) ||
+        std::bit_cast<std::uint64_t>(view_a[i].under_40ms) !=
+            std::bit_cast<std::uint64_t>(view_b[i].under_40ms)) {
+      fail(world, "server_side_view: rows diverge across threads");
+    }
+  }
+}
+
+void check_csv_roundtrip(const World& world,
+                         const atlas::MeasurementDataset& dataset) {
+  std::stringstream first;
+  dataset.write_csv(first);
+  std::stringstream reparse(first.str());
+  const atlas::MeasurementDataset parsed = atlas::MeasurementDataset::read_csv(
+      reparse, &world.fleet, &world.registry);
+  require_identical(world, dataset, parsed, "CSV round trip");
+  std::stringstream second;
+  parsed.write_csv(second);
+  if (first.str() != second.str()) {
+    fail(world, "CSV round trip: re-serialisation is not byte-identical");
+  }
+}
+
+void check_jsonl_roundtrip(const World& world,
+                           const atlas::MeasurementDataset& dataset) {
+  std::stringstream first;
+  dataset.write_jsonl(first, world.campaign.interval_hours);
+  std::stringstream reparse(first.str());
+  const atlas::MeasurementDataset parsed =
+      atlas::MeasurementDataset::read_jsonl(reparse, &world.fleet,
+                                            &world.registry,
+                                            world.campaign.interval_hours);
+  // Lost bursts drop their min/avg/max on the wire (-1 markers) but the
+  // engine also writes zeros there, so full identity still holds.
+  require_identical(world, dataset, parsed, "JSONL round trip");
+  std::stringstream second;
+  parsed.write_jsonl(second, world.campaign.interval_hours);
+  if (first.str() != second.str()) {
+    fail(world, "JSONL round trip: re-serialisation is not byte-identical");
+  }
+}
+
+void check_empty_schedule_identity(const World& world) {
+  const faults::FaultSchedule empty;
+  const atlas::Campaign with_empty(world.fleet, world.registry, world.model,
+                                   world.campaign, &empty);
+  const atlas::Campaign without(world.fleet, world.registry, world.model,
+                                world.campaign, nullptr);
+  require_identical(world, with_empty.run(), without.run(),
+                    "empty schedule vs no schedule");
+}
+
+}  // namespace shears::check

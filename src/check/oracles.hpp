@@ -1,0 +1,36 @@
+// Differential oracles: two independent paths through the stack must
+// agree bit for bit on the same generated world. Each oracle throws
+// PropertyFailure (with the world summary and the first divergence) when
+// the two sides disagree; the property runner turns that into a
+// seed-replayable counterexample.
+#pragma once
+
+#include "atlas/measurement.hpp"
+#include "check/world.hpp"
+
+namespace shears::check {
+
+/// ping_cached vs ping: the precomputed sampling cache must be
+/// byte-identical to the per-packet recomputing engine.
+void check_cached_vs_uncached(const World& world);
+
+/// Campaign determinism across worker counts: 1 thread vs 8 threads.
+void check_campaign_thread_invariance(const World& world);
+
+/// Every §4 analysis must reduce identically serial and sharded
+/// (AnalysisOptions::threads 1 vs 8).
+void check_analysis_thread_invariance(const World& world,
+                                      const atlas::MeasurementDataset& dataset);
+
+/// write_csv → read_csv and write_jsonl → read_jsonl must reproduce the
+/// dataset record for record (and re-serialise to identical bytes).
+void check_csv_roundtrip(const World& world,
+                         const atlas::MeasurementDataset& dataset);
+void check_jsonl_roundtrip(const World& world,
+                           const atlas::MeasurementDataset& dataset);
+
+/// An explicitly attached *empty* fault schedule must be byte-identical
+/// to running the clean engine with no schedule at all.
+void check_empty_schedule_identity(const World& world);
+
+}  // namespace shears::check

@@ -1,0 +1,198 @@
+#include "check/property.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace shears::check {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw PropertyFailure(message);
+}
+
+bool parse_replay_spec(std::string_view spec, std::uint64_t& seed,
+                       int& size) {
+  std::string_view seed_part = spec;
+  std::string_view size_part;
+  if (const std::size_t colon = spec.find(':');
+      colon != std::string_view::npos) {
+    seed_part = spec.substr(0, colon);
+    size_part = spec.substr(colon + 1);
+    if (size_part.empty()) return false;  // a colon promises a size
+  }
+  if (seed_part.starts_with("0x") || seed_part.starts_with("0X")) {
+    seed_part.remove_prefix(2);
+  }
+  if (seed_part.empty()) return false;
+  std::uint64_t parsed_seed = 0;
+  auto [seed_end, seed_err] = std::from_chars(
+      seed_part.data(), seed_part.data() + seed_part.size(), parsed_seed, 16);
+  if (seed_err != std::errc{} || seed_end != seed_part.data() + seed_part.size()) {
+    return false;
+  }
+  int parsed_size = 0;
+  if (!size_part.empty()) {
+    auto [size_end, size_err] = std::from_chars(
+        size_part.data(), size_part.data() + size_part.size(), parsed_size);
+    if (size_err != std::errc{} ||
+        size_end != size_part.data() + size_part.size() || parsed_size < 0) {
+      return false;
+    }
+  }
+  seed = parsed_seed;
+  if (!size_part.empty()) size = parsed_size;
+  return true;
+}
+
+CheckConfig config_from_env(int default_iterations) {
+  CheckConfig config;
+  if (const char* spec = std::getenv("SHEARS_CHECK_SEED");
+      spec != nullptr && *spec != '\0') {
+    std::uint64_t seed = 0;
+    int size = config.max_size;
+    if (parse_replay_spec(spec, seed, size)) {
+      config.replay_seed = seed;
+      config.replay_size = size;
+    } else {
+      std::cerr << "[shears_check] ignoring malformed SHEARS_CHECK_SEED=\""
+                << spec << "\" (want <hex>[:<size>])\n";
+    }
+  }
+  if (const char* iters = std::getenv("SHEARS_PROP_ITERS");
+      iters != nullptr && *iters != '\0') {
+    const int value = std::atoi(iters);
+    if (value > 0) config.iterations = value;
+  }
+  if (config.iterations <= 0) config.iterations = default_iterations;
+  return config;
+}
+
+std::string CheckResult::replay_spec() const {
+  if (!counterexample) return {};
+  std::ostringstream os;
+  os << "SHEARS_CHECK_SEED=0x" << std::hex << counterexample->seed << std::dec
+     << ':' << counterexample->size;
+  return os.str();
+}
+
+namespace {
+
+/// Runs one (seed, size) case; the failure message, or nullopt on success.
+std::optional<std::string> run_case(const Property& property,
+                                    std::uint64_t seed, int size) {
+  Gen gen(seed, size);
+  try {
+    property(gen);
+    return std::nullopt;
+  } catch (const PropertyFailure& failure) {
+    return std::string(failure.what());
+  } catch (const std::exception& e) {
+    return std::string("unexpected exception: ") + e.what();
+  }
+}
+
+/// Greedy size shrinking: repeatedly try smaller sizes (most aggressive
+/// first), keep the smallest that still fails. Deterministic in
+/// (seed, size), which is what makes the replay spec reproduce the same
+/// shrunk counterexample: re-shrinking from the already-minimal size
+/// cannot accept any candidate.
+Counterexample shrink(const Property& property, std::uint64_t seed,
+                      int failing_size, std::string first_message,
+                      int found_at_iteration) {
+  Counterexample cx;
+  cx.seed = seed;
+  cx.size = failing_size;
+  cx.original_size = failing_size;
+  cx.found_at_iteration = found_at_iteration;
+  cx.message = std::move(first_message);
+  bool improved = true;
+  while (improved && cx.size > 0) {
+    improved = false;
+    const int candidates[] = {0, cx.size / 4, cx.size / 2, (cx.size * 3) / 4,
+                              cx.size - 1};
+    for (const int candidate : candidates) {
+      if (candidate < 0 || candidate >= cx.size) continue;
+      if (auto message = run_case(property, seed, candidate)) {
+        cx.size = candidate;
+        cx.message = std::move(*message);
+        ++cx.shrink_steps;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return cx;
+}
+
+std::string make_banner(std::string_view name, const Counterexample& cx,
+                        bool replayed) {
+  std::ostringstream os;
+  os << "[shears_check] property '" << name << "' FAILED"
+     << (replayed ? " (replayed case)" : "") << "\n"
+     << "  counterexample: seed=0x" << std::hex << cx.seed << std::dec
+     << " size=" << cx.size << " (shrunk from size " << cx.original_size
+     << " in " << cx.shrink_steps << " step(s), found at iteration "
+     << cx.found_at_iteration << ")\n"
+     << "  reason: " << cx.message << "\n"
+     << "  replay: SHEARS_CHECK_SEED=0x" << std::hex << cx.seed << std::dec
+     << ':' << cx.size << " reruns exactly this counterexample\n";
+  return os.str();
+}
+
+}  // namespace
+
+CheckResult check(std::string_view name, const Property& property,
+                  const CheckConfig& config) {
+  CheckResult result;
+  result.name = std::string(name);
+
+  if (config.replay_seed) {
+    result.iterations_run = 1;
+    if (auto message =
+            run_case(property, *config.replay_seed, config.replay_size)) {
+      result.passed = false;
+      result.counterexample =
+          shrink(property, *config.replay_seed, config.replay_size,
+                 std::move(*message), 0);
+      result.banner = make_banner(name, *result.counterexample, true);
+    }
+    return result;
+  }
+
+  const int iterations = config.iterations > 0 ? config.iterations : 1;
+  const std::uint64_t root =
+      config.root_seed != 0 ? config.root_seed : kDefaultRootSeed;
+  // Mix the property name in so sibling properties explore independent
+  // seeds even under the same root.
+  stats::SplitMix64 seeds(root ^ stats::fnv1a64(name.data(), name.size()));
+  for (int i = 0; i < iterations; ++i) {
+    // Ramp the size from small to max: small worlds smoke out the edge
+    // cases (empty fleets, single ticks) and large ones the aggregate
+    // properties.
+    const int size =
+        iterations == 1
+            ? config.max_size
+            : (config.max_size * i + (iterations - 1) / 2) / (iterations - 1);
+    const std::uint64_t case_seed = seeds.next();
+    ++result.iterations_run;
+    if (auto message = run_case(property, case_seed, size)) {
+      result.passed = false;
+      result.counterexample =
+          shrink(property, case_seed, size, std::move(*message), i);
+      result.banner = make_banner(name, *result.counterexample, false);
+      break;
+    }
+  }
+  return result;
+}
+
+CheckResult check(std::string_view name, const Property& property,
+                  int default_iterations) {
+  CheckResult result =
+      check(name, property, config_from_env(default_iterations));
+  if (!result.passed) std::cerr << result.banner;
+  return result;
+}
+
+}  // namespace shears::check

@@ -1,0 +1,96 @@
+// The property runner: iterate → fail → shrink → banner → replay.
+//
+// check() runs a property over a sequence of deterministically derived
+// (seed, size) cases. On the first failure it greedily shrinks the size
+// knob (the seed stays fixed — a case is a pure function of both), then
+// prints a banner with a SHEARS_CHECK_SEED=<hex>:<size> replay spec.
+// Exporting that variable makes every check() run exactly the failing
+// case first, reproducing the same shrunk counterexample bit for bit.
+//
+// Environment knobs:
+//   SHEARS_CHECK_SEED=<hex>[:<size>]  replay one case instead of iterating
+//   SHEARS_PROP_ITERS=<n>             iteration budget (tier-1 keeps the
+//                                     per-property default small; nightly
+//                                     CI raises it)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "check/gen.hpp"
+
+namespace shears::check {
+
+/// Thrown by properties (usually via require()) to report a failed
+/// expectation. Any other std::exception escaping a property also counts
+/// as a failure — a generated world must never crash the stack under test.
+class PropertyFailure : public std::runtime_error {
+ public:
+  explicit PropertyFailure(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Throws PropertyFailure(message) when the condition does not hold.
+void require(bool condition, const std::string& message);
+
+/// Root seed mixed into per-iteration case seeds when no replay is forced.
+inline constexpr std::uint64_t kDefaultRootSeed = 0x5eed'0f5e'a025'2020ULL;
+
+struct CheckConfig {
+  std::uint64_t root_seed = 0;  ///< 0 = use the built-in default
+  int iterations = 0;           ///< 0 = the per-property default
+  int max_size = 40;            ///< largest size the ramp reaches
+  /// Replay mode: run exactly (replay_seed, replay_size) before anything
+  /// else. Set from SHEARS_CHECK_SEED by config_from_env().
+  std::optional<std::uint64_t> replay_seed;
+  int replay_size = 40;
+};
+
+/// Reads SHEARS_CHECK_SEED / SHEARS_PROP_ITERS into a CheckConfig.
+/// `default_iterations` applies when SHEARS_PROP_ITERS is unset.
+[[nodiscard]] CheckConfig config_from_env(int default_iterations);
+
+/// Parses "<hex>[:<size>]" (with or without a 0x prefix). Returns false
+/// on malformed input, leaving the outputs untouched.
+[[nodiscard]] bool parse_replay_spec(std::string_view spec,
+                                     std::uint64_t& seed, int& size);
+
+struct Counterexample {
+  std::uint64_t seed = 0;
+  int size = 0;           ///< after shrinking
+  int original_size = 0;  ///< size at which the failure was first found
+  int shrink_steps = 0;   ///< accepted shrinks (size reductions)
+  int found_at_iteration = 0;  ///< 0-based iteration of the first failure
+  std::string message;         ///< the (post-shrink) failure reason
+};
+
+struct CheckResult {
+  std::string name;
+  bool passed = true;
+  int iterations_run = 0;
+  std::optional<Counterexample> counterexample;
+  std::string banner;  ///< empty when passed
+
+  /// The "SHEARS_CHECK_SEED=<hex>:<size>" spec of the counterexample;
+  /// empty when passed.
+  [[nodiscard]] std::string replay_spec() const;
+};
+
+using Property = std::function<void(Gen&)>;
+
+/// Runs the property under an explicit config (no environment reads).
+[[nodiscard]] CheckResult check(std::string_view name,
+                                const Property& property,
+                                const CheckConfig& config);
+
+/// Environment-driven entry point: config_from_env(default_iterations).
+/// On failure the banner is printed to stderr; assert on .passed.
+[[nodiscard]] CheckResult check(std::string_view name,
+                                const Property& property,
+                                int default_iterations = 16);
+
+}  // namespace shears::check

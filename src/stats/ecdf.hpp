@@ -3,6 +3,7 @@
 // quantile map).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -43,6 +44,13 @@ class Ecdf {
   /// The sorted sample (for plot rendering).
   [[nodiscard]] const std::vector<double>& sorted() const noexcept {
     return sorted_;
+  }
+
+  /// Structural invariant, exposed for the property harness
+  /// (shears_check): the retained sample is nondecreasing — every query
+  /// (binary search, interpolation) assumes it.
+  [[nodiscard]] bool invariants_ok() const noexcept {
+    return std::is_sorted(sorted_.begin(), sorted_.end());
   }
 
   /// Evaluates the CDF at each of `points`, returning (x, F(x)) pairs —

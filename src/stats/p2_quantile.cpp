@@ -91,6 +91,19 @@ void P2Quantile::add(double x) noexcept {
   ++count_;
 }
 
+bool P2Quantile::invariants_ok() const noexcept {
+  if (count_ < 5) return true;
+  if (positions_[0] != 1.0 ||
+      positions_[4] != static_cast<double>(count_)) {
+    return false;
+  }
+  for (std::size_t i = 1; i < 5; ++i) {
+    if (!(positions_[i] > positions_[i - 1])) return false;
+    if (heights_[i] < heights_[i - 1]) return false;
+  }
+  return true;
+}
+
 double P2Quantile::value() const noexcept {
   if (count_ == 0) return 0.0;
   if (count_ < 5) {

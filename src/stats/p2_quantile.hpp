@@ -22,6 +22,13 @@ class P2Quantile {
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
 
+  /// Structural invariants of the marker state, exposed for the property
+  /// harness (shears_check): once the estimator leaves exact mode
+  /// (count >= 5), marker heights are nondecreasing and marker positions
+  /// strictly increase from the pinned extremes (positions[0] == 1,
+  /// positions[4] == count). Always true before the fifth sample.
+  [[nodiscard]] bool invariants_ok() const noexcept;
+
  private:
   void insert_initial(double x) noexcept;
   [[nodiscard]] double parabolic(int i, int d) const noexcept;

@@ -560,6 +560,14 @@ TEST(Campaign, ConfigValidationCoversEveryKnob) {
   config.quarantine.enabled = true;
   config.quarantine.window_bursts = 0;
   EXPECT_THROW(config.validate(), std::invalid_argument);
+  // An interval longer than the whole campaign would schedule zero ticks
+  // and silently produce an empty dataset.
+  config = CampaignConfig{};
+  config.duration_days = 1;
+  config.interval_hours = 48;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.interval_hours = 24;  // exactly one tick is still a campaign
+  EXPECT_NO_THROW(config.validate());
 }
 
 void expect_identical_datasets(const MeasurementDataset& a,
@@ -1008,6 +1016,124 @@ TEST(Dataset, JsonlLoadRejectsMalformedInput) {
 
   EXPECT_THROW(MeasurementDataset::read_jsonl(buffer, &fleet, &registry, 0),
                std::invalid_argument);
+}
+
+TEST(Dataset, CsvRoundTripIsBitExact) {
+  // The writers print floats at max_digits10, so a round trip preserves
+  // every record bit for bit — and re-serialising yields identical bytes.
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  const auto original =
+      Campaign(fleet, registry, model, short_campaign_config()).run();
+
+  std::stringstream buffer;
+  original.write_csv(buffer);
+  const std::string first_pass = buffer.str();
+  const auto loaded = MeasurementDataset::read_csv(buffer, &fleet, &registry);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(original.records()[i].min_ms, loaded.records()[i].min_ms);
+    EXPECT_EQ(original.records()[i].avg_ms, loaded.records()[i].avg_ms);
+    EXPECT_EQ(original.records()[i].max_ms, loaded.records()[i].max_ms);
+  }
+  std::stringstream again;
+  loaded.write_csv(again);
+  EXPECT_EQ(first_pass, again.str());
+}
+
+TEST(Dataset, WritersRestoreStreamPrecision) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const net::LatencyModel model;
+  const auto dataset =
+      Campaign(fleet, registry, model, short_campaign_config()).run();
+  std::stringstream buffer;
+  buffer.precision(3);
+  dataset.write_csv(buffer);
+  EXPECT_EQ(buffer.precision(), 3);  // the guard must not leak precision
+  dataset.write_jsonl(buffer, 3);
+  EXPECT_EQ(buffer.precision(), 3);
+}
+
+TEST(Dataset, CsvLoadRejectsTrailingGarbageInNumericCells) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const Probe& p = fleet.probe(0);
+  const topology::CloudRegion& r = *registry.regions()[0];
+  std::ostringstream meta;
+  meta << p.country->iso2 << ',' << geo::to_code(p.country->continent) << ','
+       << net::to_string(p.endpoint.access) << ','
+       << topology::to_string(r.provider) << ',' << r.region_id;
+  const std::string header =
+      "probe_id,country,continent,access,provider,region,tick,min_ms,avg_ms,"
+      "max_ms,sent,received,retries,faults\n";
+  const auto reject = [&](const std::string& row) {
+    std::stringstream csv(header + row + "\n");
+    EXPECT_THROW(MeasurementDataset::read_csv(csv, &fleet, &registry),
+                 std::runtime_error)
+        << row;
+  };
+
+  // Control: the clean row loads.
+  std::stringstream good(header + "0," + meta.str() + ",5,10,11,12,3,3,0,0\n");
+  EXPECT_EQ(MeasurementDataset::read_csv(good, &fleet, &registry).size(), 1u);
+
+  // std::sto* stops at the first non-numeric character, so these cells
+  // used to parse as their numeric prefix and load silently.
+  reject("12abc," + meta.str() + ",5,10,11,12,3,3,0,0");  // probe id
+  reject("0," + meta.str() + ",5x,10,11,12,3,3,0,0");     // tick
+  reject("0," + meta.str() + ",5,10ms,11,12,3,3,0,0");    // RTT
+  reject("0," + meta.str() + ",5,10,11,12,3pkt,3,0,0");   // sent
+  reject("0," + meta.str() + ",5,10,11,12,3,3,0x1,0");    // retries
+}
+
+TEST(Dataset, LoadersRejectReceivedExceedingSent) {
+  // rcvd > sent is physically impossible for a ping burst; accepting it
+  // would corrupt downstream loss statistics.
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const Probe& p = fleet.probe(0);
+  const topology::CloudRegion& r = *registry.regions()[0];
+
+  std::stringstream csv;
+  csv << "probe_id,country,continent,access,provider,region,tick,min_ms,"
+         "avg_ms,max_ms,sent,received,retries,faults\n"
+      << "0," << p.country->iso2 << ',' << geo::to_code(p.country->continent)
+      << ',' << net::to_string(p.endpoint.access) << ','
+      << topology::to_string(r.provider) << ',' << r.region_id
+      << ",5,10,11,12,3,4,0,0\n";
+  EXPECT_THROW(MeasurementDataset::read_csv(csv, &fleet, &registry),
+               std::runtime_error);
+
+  std::stringstream jsonl;
+  jsonl << "{\"type\":\"ping\",\"prb_id\":0,\"dst_name\":\""
+        << topology::to_string(r.provider) << '/' << r.region_id
+        << "\",\"timestamp\":10800,\"sent\":3,\"rcvd\":4,\"min\":10,"
+           "\"avg\":11,\"max\":12,\"country\":\"" << p.country->iso2
+        << "\",\"continent\":\"" << geo::to_code(p.country->continent)
+        << "\",\"access\":\"" << net::to_string(p.endpoint.access) << "\"}\n";
+  EXPECT_THROW(MeasurementDataset::read_jsonl(jsonl, &fleet, &registry, 3),
+               std::runtime_error);
+}
+
+TEST(Dataset, UnknownRegionErrorsCarryTheLineNumber) {
+  const ProbeFleet fleet = ProbeFleet::generate(small_fleet_config());
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const Probe& p = fleet.probe(0);
+  std::stringstream csv;
+  csv << "probe_id,country,continent,access,provider,region,tick,min_ms,"
+         "avg_ms,max_ms,sent,received,retries,faults\n"
+      << "0," << p.country->iso2 << ',' << geo::to_code(p.country->continent)
+      << ',' << net::to_string(p.endpoint.access)
+      << ",Initech,nowhere-1,5,10,11,12,3,3,0,0\n";
+  try {
+    (void)MeasurementDataset::read_csv(csv, &fleet, &registry);
+    FAIL() << "unknown region must be rejected";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("at line 2"), std::string::npos)
+        << error.what();
+  }
 }
 
 }  // namespace

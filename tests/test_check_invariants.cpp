@@ -1,0 +1,57 @@
+// Metamorphic and invariant properties: the propagation floor, ECDF and
+// P² quantile behaviour, feasibility monotonicity, and permutation
+// invariance of the §4 aggregates.
+#include <gtest/gtest.h>
+
+#include "atlas/measurement.hpp"
+#include "check/invariants.hpp"
+#include "check/property.hpp"
+#include "check/world.hpp"
+
+namespace shears::check {
+namespace {
+
+TEST(Invariant, RttRespectsThePropagationFloor) {
+  const CheckResult result = check(
+      "rtt_floor",
+      [](Gen& gen) {
+        const World world = make_world(gen);
+        const atlas::MeasurementDataset dataset = world.run();
+        check_rtt_floor(world, dataset);
+      },
+      8);
+  EXPECT_TRUE(result.passed) << result.banner;
+}
+
+TEST(Invariant, EcdfProperties) {
+  const CheckResult result =
+      check("ecdf_properties", check_ecdf_properties, 64);
+  EXPECT_TRUE(result.passed) << result.banner;
+}
+
+TEST(Invariant, QuantileProperties) {
+  const CheckResult result =
+      check("quantile_properties", check_quantile_properties, 64);
+  EXPECT_TRUE(result.passed) << result.banner;
+}
+
+TEST(Invariant, FeasibilityMonotonicity) {
+  const CheckResult result =
+      check("feasibility_monotonicity", check_feasibility_monotonicity, 64);
+  EXPECT_TRUE(result.passed) << result.banner;
+}
+
+TEST(Invariant, AggregatesSurviveRowPermutation) {
+  const CheckResult result = check(
+      "permutation_invariance",
+      [](Gen& gen) {
+        const World world = make_world(gen);
+        const atlas::MeasurementDataset dataset = world.run();
+        check_permutation_invariance(gen, world, dataset);
+      },
+      8);
+  EXPECT_TRUE(result.passed) << result.banner;
+}
+
+}  // namespace
+}  // namespace shears::check

@@ -1,0 +1,191 @@
+// The property runner itself: replay-spec parsing, the iterate → shrink →
+// banner pipeline, and the acceptance criterion that a printed seed
+// deterministically reproduces the same shrunk counterexample.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "check/gen.hpp"
+#include "check/property.hpp"
+
+namespace shears::check {
+namespace {
+
+TEST(ReplaySpec, ParsesHexSeedAndSize) {
+  std::uint64_t seed = 0;
+  int size = -1;
+  ASSERT_TRUE(parse_replay_spec("0xdeadbeef:7", seed, size));
+  EXPECT_EQ(seed, 0xdeadbeefULL);
+  EXPECT_EQ(size, 7);
+
+  ASSERT_TRUE(parse_replay_spec("DEAD:12", seed, size));
+  EXPECT_EQ(seed, 0xdeadULL);
+  EXPECT_EQ(size, 12);
+}
+
+TEST(ReplaySpec, SizeIsOptional) {
+  std::uint64_t seed = 0;
+  int size = 33;  // must be left untouched when the spec has no size part
+  ASSERT_TRUE(parse_replay_spec("0xff", seed, size));
+  EXPECT_EQ(seed, 0xffULL);
+  EXPECT_EQ(size, 33);
+}
+
+TEST(ReplaySpec, RejectsMalformedInput) {
+  std::uint64_t seed = 99;
+  int size = 99;
+  EXPECT_FALSE(parse_replay_spec("", seed, size));
+  EXPECT_FALSE(parse_replay_spec("0x", seed, size));
+  EXPECT_FALSE(parse_replay_spec("xyz", seed, size));
+  EXPECT_FALSE(parse_replay_spec("12g4", seed, size));
+  EXPECT_FALSE(parse_replay_spec("ab:", seed, size));
+  EXPECT_FALSE(parse_replay_spec("ab:-3", seed, size));
+  EXPECT_FALSE(parse_replay_spec("ab:4x", seed, size));
+  // Outputs untouched on failure.
+  EXPECT_EQ(seed, 99u);
+  EXPECT_EQ(size, 99);
+}
+
+TEST(ReplaySpec, RoundTripsThroughTheBanner) {
+  CheckConfig config;
+  config.iterations = 8;
+  config.max_size = 30;
+  const CheckResult result = check(
+      "round_trip", [](Gen& gen) { require(gen.size() < 12, "size >= 12"); },
+      config);
+  ASSERT_FALSE(result.passed);
+  const std::string spec = result.replay_spec();
+  ASSERT_TRUE(spec.rfind("SHEARS_CHECK_SEED=", 0) == 0);
+  std::uint64_t seed = 0;
+  int size = -1;
+  ASSERT_TRUE(parse_replay_spec(
+      spec.substr(std::string("SHEARS_CHECK_SEED=").size()), seed, size));
+  EXPECT_EQ(seed, result.counterexample->seed);
+  EXPECT_EQ(size, result.counterexample->size);
+}
+
+TEST(Check, PassingPropertyRunsAllIterations) {
+  CheckConfig config;
+  config.iterations = 10;
+  const CheckResult result =
+      check("always_passes", [](Gen&) {}, config);
+  EXPECT_TRUE(result.passed);
+  EXPECT_EQ(result.iterations_run, 10);
+  EXPECT_FALSE(result.counterexample.has_value());
+  EXPECT_TRUE(result.banner.empty());
+  EXPECT_TRUE(result.replay_spec().empty());
+}
+
+TEST(Check, ShrinksToTheExactThreshold) {
+  // A property failing iff size >= K must shrink to exactly K: greedy
+  // shrinking accepts candidates down to K and at size K every candidate
+  // (all < K) passes, so the loop stops.
+  constexpr int kThreshold = 17;
+  CheckConfig config;
+  config.iterations = 12;
+  config.max_size = 40;
+  const CheckResult result = check(
+      "threshold",
+      [](Gen& gen) {
+        require(gen.size() < kThreshold, "size crossed the threshold");
+      },
+      config);
+  ASSERT_FALSE(result.passed);
+  EXPECT_EQ(result.counterexample->size, kThreshold);
+  EXPECT_GE(result.counterexample->original_size, kThreshold);
+  EXPECT_EQ(result.counterexample->message, "size crossed the threshold");
+  EXPECT_NE(result.banner.find("SHEARS_CHECK_SEED=0x"), std::string::npos);
+  EXPECT_NE(result.banner.find("FAILED"), std::string::npos);
+  EXPECT_NE(result.banner.find("size crossed the threshold"),
+            std::string::npos);
+}
+
+TEST(Check, ReplaySeedReproducesTheSameShrunkCounterexample) {
+  // The acceptance criterion: take the banner's (seed, size), force it
+  // through replay mode, and land on the bit-identical counterexample.
+  const auto property = [](Gen& gen) {
+    // Value-dependent failure so the seed matters, not just the size.
+    const int probes = gen.scaled(1);
+    require(probes < 9, "fleet too large: " + std::to_string(probes));
+  };
+  CheckConfig config;
+  config.iterations = 24;
+  config.max_size = 40;
+  const CheckResult first = check("replayed", property, config);
+  ASSERT_FALSE(first.passed);
+
+  CheckConfig replay;
+  replay.replay_seed = first.counterexample->seed;
+  replay.replay_size = first.counterexample->size;
+  const CheckResult second = check("replayed", property, replay);
+  ASSERT_FALSE(second.passed);
+  EXPECT_EQ(second.counterexample->seed, first.counterexample->seed);
+  EXPECT_EQ(second.counterexample->size, first.counterexample->size);
+  EXPECT_EQ(second.counterexample->message, first.counterexample->message);
+  // Already minimal: re-shrinking from the replayed case accepts nothing.
+  EXPECT_EQ(second.counterexample->shrink_steps, 0);
+}
+
+TEST(Check, DeterministicAcrossRuns) {
+  const auto property = [](Gen& gen) {
+    require(gen.u64() % 97 != 13, "hit the magic residue");
+  };
+  CheckConfig config;
+  config.iterations = 200;
+  const CheckResult a = check("deterministic", property, config);
+  const CheckResult b = check("deterministic", property, config);
+  ASSERT_EQ(a.passed, b.passed);
+  if (!a.passed) {
+    EXPECT_EQ(a.counterexample->seed, b.counterexample->seed);
+    EXPECT_EQ(a.counterexample->size, b.counterexample->size);
+    EXPECT_EQ(a.banner, b.banner);
+  }
+}
+
+TEST(Check, SiblingPropertiesExploreIndependentSeeds) {
+  // The property name is mixed into the seed stream; two properties under
+  // the same root must not see the same first case seed.
+  std::uint64_t seed_a = 0;
+  std::uint64_t seed_b = 0;
+  CheckConfig config;
+  config.iterations = 1;
+  (void)check("name_a", [&](Gen& gen) { seed_a = gen.seed(); }, config);
+  (void)check("name_b", [&](Gen& gen) { seed_b = gen.seed(); }, config);
+  EXPECT_NE(seed_a, seed_b);
+}
+
+TEST(Check, UnexpectedExceptionIsAFailure) {
+  CheckConfig config;
+  config.iterations = 1;
+  const CheckResult result = check(
+      "throws_logic_error",
+      [](Gen&) { throw std::logic_error("not a PropertyFailure"); }, config);
+  ASSERT_FALSE(result.passed);
+  EXPECT_NE(result.counterexample->message.find("unexpected exception"),
+            std::string::npos);
+  EXPECT_NE(result.counterexample->message.find("not a PropertyFailure"),
+            std::string::npos);
+}
+
+TEST(Check, SizeRampCoversZeroToMax) {
+  int min_size = 1 << 20;
+  int max_size = -1;
+  CheckConfig config;
+  config.iterations = 9;
+  config.max_size = 24;
+  const CheckResult result = check(
+      "ramp",
+      [&](Gen& gen) {
+        min_size = std::min(min_size, gen.size());
+        max_size = std::max(max_size, gen.size());
+      },
+      config);
+  EXPECT_TRUE(result.passed);
+  EXPECT_EQ(min_size, 0);
+  EXPECT_EQ(max_size, 24);
+}
+
+}  // namespace
+}  // namespace shears::check

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "stats/distributions.hpp"
@@ -60,6 +61,75 @@ TEST(P2, HandlesConstantStream) {
   P2Quantile median(0.5);
   for (int i = 0; i < 1000; ++i) median.add(7.0);
   EXPECT_DOUBLE_EQ(median.value(), 7.0);
+}
+
+// Nearest-rank quantile over a sorted copy — the documented contract for
+// fewer than five samples.
+double nearest_rank(std::vector<double> sample, double q) {
+  std::sort(sample.begin(), sample.end());
+  const auto rank = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sample.size() - 1),
+                       std::floor(q * static_cast<double>(sample.size()))));
+  return sample[rank];
+}
+
+TEST(P2, SmallNIsExactNearestRankForEveryPrefix) {
+  const std::vector<double> stream = {42.0, 3.0, 17.0, 8.0};
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    P2Quantile estimator(q);
+    std::vector<double> fed;
+    for (const double x : stream) {
+      estimator.add(x);
+      fed.push_back(x);
+      EXPECT_DOUBLE_EQ(estimator.value(), nearest_rank(fed, q))
+          << "q=" << q << " n=" << fed.size();
+      EXPECT_TRUE(estimator.invariants_ok());
+    }
+    EXPECT_EQ(estimator.count(), stream.size());
+  }
+}
+
+TEST(P2, SmallNHandlesDuplicates) {
+  for (const double q : {0.25, 0.5, 0.9}) {
+    P2Quantile estimator(q);
+    std::vector<double> fed;
+    for (const double x : {5.0, 5.0, 1.0, 5.0}) {
+      estimator.add(x);
+      fed.push_back(x);
+      EXPECT_DOUBLE_EQ(estimator.value(), nearest_rank(fed, q)) << "q=" << q;
+    }
+  }
+}
+
+TEST(P2, SmallNHandlesMonotoneInput) {
+  for (const double q : {0.25, 0.5, 0.75}) {
+    P2Quantile ascending(q);
+    P2Quantile descending(q);
+    std::vector<double> fed;
+    for (int i = 1; i <= 4; ++i) {
+      ascending.add(static_cast<double>(i));
+      descending.add(static_cast<double>(5 - i));
+      fed.push_back(static_cast<double>(i));
+      EXPECT_DOUBLE_EQ(ascending.value(), nearest_rank(fed, q)) << "q=" << q;
+    }
+    // After four samples both estimators hold the same multiset {1,2,3,4},
+    // so the exact small-n quantiles must agree.
+    EXPECT_DOUBLE_EQ(ascending.value(), descending.value()) << "q=" << q;
+  }
+}
+
+TEST(P2, MarkerInvariantsHoldOnAdversarialStreams) {
+  Xoshiro256 rng(777);
+  P2Quantile estimator(0.5);
+  // Alternate tight duplicates with wild outliers to stress the marker
+  // adjustment; the invariants must hold after every single add.
+  for (int i = 0; i < 2000; ++i) {
+    const double x = (i % 3 == 0)   ? 10.0
+                     : (i % 3 == 1) ? rng.uniform(9.999, 10.001)
+                                    : rng.uniform(0.0, 1e6);
+    estimator.add(x);
+    ASSERT_TRUE(estimator.invariants_ok()) << "after sample " << i;
+  }
 }
 
 }  // namespace

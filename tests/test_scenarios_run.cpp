@@ -1,0 +1,91 @@
+// Every shipped scenario file must not only parse (test_config.cpp) but
+// *run*: a short campaign cut from each scenario has to produce a
+// nonempty dataset with coherent telemetry. This catches scenario knobs
+// that validate but break the engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+
+#include "atlas/campaign.hpp"
+#include "atlas/measurement.hpp"
+#include "atlas/placement.hpp"
+#include "config/scenario.hpp"
+#include "faults/fault_schedule.hpp"
+#include "net/latency_model.hpp"
+#include "topology/registry.hpp"
+
+namespace shears::config {
+namespace {
+
+Scenario load_scenario(const std::string& file) {
+  const std::string path = std::string(SHEARS_SOURCE_DIR) + "/scenarios/" + file;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  return parse_scenario(in);
+}
+
+class ScenarioRun : public testing::TestWithParam<const char*> {};
+
+TEST_P(ScenarioRun, ShortCampaignProducesCleanData) {
+  Scenario s = load_scenario(GetParam());
+
+  // Shrink to a smoke-test cut: a small fleet over a single day keeps the
+  // whole suite fast while still exercising the scenario's model, fault
+  // and resilience knobs.
+  s.fleet.probe_count = std::min<std::size_t>(s.fleet.probe_count, 256);
+  s.campaign.duration_days = 1;
+
+  const topology::CloudRegistry registry = s.make_registry();
+  ASSERT_FALSE(registry.empty()) << GetParam();
+  const atlas::ProbeFleet fleet = atlas::ProbeFleet::generate(s.fleet);
+  const net::LatencyModel model(s.model);
+  const faults::FaultSchedule schedule = s.make_fault_schedule();
+
+  atlas::CampaignTelemetry telemetry;
+  const atlas::Campaign campaign(fleet, registry, model, s.campaign,
+                                 schedule.empty() ? nullptr : &schedule);
+  const atlas::MeasurementDataset dataset = campaign.run(telemetry);
+
+  EXPECT_GT(dataset.size(), 0u) << GetParam();
+  EXPECT_EQ(telemetry.bursts, dataset.size()) << GetParam();
+
+  // Retry bookkeeping must be internally coherent regardless of the
+  // scenario's resilience settings.
+  EXPECT_LE(telemetry.bursts_recovered, telemetry.bursts_retried)
+      << GetParam();
+  EXPECT_LE(telemetry.bursts_retried, telemetry.retries) << GetParam();
+  EXPECT_LE(telemetry.bursts_faulted, telemetry.bursts) << GetParam();
+
+  if (schedule.empty()) {
+    // A scenario without fault knobs must run perfectly clean.
+    EXPECT_EQ(telemetry.bursts_faulted, 0u) << GetParam();
+    EXPECT_EQ(telemetry.hang_ticks, 0u) << GetParam();
+    EXPECT_EQ(telemetry.quarantine_entries, 0u) << GetParam();
+    EXPECT_EQ(dataset.faulted_fraction(), 0.0) << GetParam();
+  }
+
+  // The dataset must be analysable: every record references a real probe
+  // and region (probe_of/region_of throw otherwise).
+  for (const atlas::Measurement& m : dataset.records()) {
+    EXPECT_LE(m.received, m.sent) << GetParam();
+    (void)dataset.probe_of(m);
+    (void)dataset.region_of(m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShippedScenarios, ScenarioRun,
+                         testing::Values("paper_9_months.ini",
+                                         "five_g_delivers.ini",
+                                         "cloud_2014.ini",
+                                         "hyperscalers_only.ini",
+                                         "stress_noisy_network.ini",
+                                         "faulted_9_months.ini"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           return name.substr(0, name.find('.'));
+                         });
+
+}  // namespace
+}  // namespace shears::config
