@@ -1,0 +1,169 @@
+// Serving-layer acceptance bench: columnar-store build throughput
+// (rows/s) and oracle query throughput (qps) across a thread × batch
+// grid, against the brute-force full-scan reference.
+//
+// The indexed batched path must (a) answer byte-identically to the
+// reference on the compared subset — always asserted, never relaxed —
+// and (b) beat the reference's throughput by at least
+// SHEARS_SERVE_GATE_SPEEDUP at batch 4096 (default 10; the perf smoke
+// test keeps the gate but shrinks the campaign). Numbers land in the
+// bench JSON (SHEARS_BENCH_JSON, default BENCH_serve.json here) — see
+// bench/run_benches.sh, which routes them to results/BENCH_serve.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/application.hpp"
+#include "atlas/measurement.hpp"
+#include "bench_common.hpp"
+#include "serve/columnar.hpp"
+#include "serve/oracle.hpp"
+#include "serve/reference.hpp"
+
+namespace {
+
+using namespace shears;
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// Deterministic mixed batch over the fleet: all three kinds, location
+/// and ISO-2 resolution, access filters, real catalog slugs.
+std::vector<serve::Query> make_queries(const atlas::ProbeFleet& fleet,
+                                       std::size_t count) {
+  const std::span<const atlas::Probe> probes = fleet.probes();
+  const std::span<const apps::Application> catalog =
+      apps::application_catalog();
+  std::vector<serve::Query> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const atlas::Probe& probe = probes[(i * 131) % probes.size()];
+    serve::Query q;
+    q.kind = static_cast<serve::QueryKind>(i % 3);
+    q.where = probe.endpoint.location;
+    if (i % 2 == 0) q.country_iso2 = probe.country->iso2;
+    q.any_access = (i % 5) != 0;
+    q.access = probe.endpoint.access;
+    if (q.kind == serve::QueryKind::kFeasibility) {
+      q.app_id = catalog[i % catalog.size()].id;
+    }
+    if (q.kind == serve::QueryKind::kTopK) {
+      q.budget_ms = 20.0 + static_cast<double>(i % 7) * 40.0;
+      q.k = static_cast<std::uint32_t>(1 + i % 8);
+    }
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+/// Answers `queries` repeatedly in slices of `batch`, returns qps.
+double time_batched(const serve::Oracle& oracle,
+                    const std::vector<serve::Query>& queries,
+                    std::size_t batch, std::vector<serve::Answer>& out) {
+  out.resize(queries.size());
+  const auto start = clock_type::now();
+  for (std::size_t at = 0; at < queries.size(); at += batch) {
+    const std::size_t n = std::min(batch, queries.size() - at);
+    oracle.answer(std::span<const serve::Query>(queries).subspan(at, n),
+                  std::span<serve::Answer>(out).subspan(at, n));
+  }
+  const double wall = seconds_since(start);
+  return wall > 0.0 ? static_cast<double>(queries.size()) / wall : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_title("serving layer: columnar store + latency oracle",
+                     "indexed batched queries >= 10x a full-scan reference");
+
+  // The standard campaign dataset (30 days default; 270 = paper scale).
+  auto campaign = bench::make_standard_campaign(argc, argv);
+  campaign.bench_name = "serve_campaign";
+  const atlas::MeasurementDataset dataset = campaign.run();
+  const auto rows = static_cast<double>(dataset.size());
+
+  // Store build throughput (rows ingested + summaries refreshed per
+  // second), hardware concurrency.
+  auto start = clock_type::now();
+  const serve::ColumnarStore store =
+      serve::ColumnarStore::build(dataset, serve::StoreConfig{0});
+  const double build_s = seconds_since(start);
+  bench::bench_record("serve_store_build", build_s, rows);
+  std::printf("store build: %zu rows in %.3f s (%.0f rows/s, %zu shards)\n",
+              dataset.size(), build_s, rows / build_s, store.shard_count());
+
+  // Query throughput across the thread x batch grid.
+  const std::vector<serve::Query> queries = make_queries(dataset.fleet(), 4096);
+  std::vector<serve::Answer> answers;
+  double qps_b4096 = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    serve::OracleConfig config;
+    config.threads = threads;
+    const serve::Oracle oracle(&store, config);
+    for (const std::size_t batch :
+         {std::size_t{1}, std::size_t{64}, std::size_t{4096}}) {
+      const double qps = time_batched(oracle, queries, batch, answers);
+      if (threads == 8 && batch == 4096) qps_b4096 = qps;
+      bench::bench_record("serve_qps_t" + std::to_string(threads) + "_b" +
+                              std::to_string(batch),
+                          static_cast<double>(queries.size()) / qps,
+                          static_cast<double>(queries.size()));
+      std::printf("oracle: %4zu-query batches, %zu thread(s): %12.0f qps\n",
+                  batch, threads, qps);
+    }
+  }
+
+  // Full-scan reference on a subset (each query re-scans every record —
+  // a full 4096 would take minutes at paper scale). Byte-identity on the
+  // subset is always asserted strictly.
+  const std::size_t ref_count = std::min<std::size_t>(queries.size(), 256);
+  const std::vector<serve::Query> subset(queries.begin(),
+                                         queries.begin() +
+                                             static_cast<std::ptrdiff_t>(
+                                                 ref_count));
+  const serve::ReferenceOracle reference(&dataset);
+  start = clock_type::now();
+  const std::vector<serve::Answer> expected = reference.answer(subset);
+  const double ref_s = seconds_since(start);
+  const double ref_qps =
+      ref_s > 0.0 ? static_cast<double>(ref_count) / ref_s : 0.0;
+  bench::bench_record("serve_fullscan_reference", ref_s,
+                      static_cast<double>(ref_count));
+  std::printf("reference: %zu full-scan queries in %.3f s (%.0f qps)\n",
+              ref_count, ref_s, ref_qps);
+
+  serve::OracleConfig config;
+  config.threads = 8;
+  const serve::Oracle oracle(&store, config);
+  const std::vector<serve::Answer> got = oracle.answer(subset);
+  std::string why;
+  const bool identical = serve::answers_identical(expected, got, why);
+  bench::bench_record_value("serve_identical", identical ? 1.0 : 0.0);
+  if (!identical) {
+    std::printf("FAIL: oracle diverges from full-scan reference: %s\n",
+                why.c_str());
+    return 1;
+  }
+
+  const double speedup = ref_qps > 0.0 ? qps_b4096 / ref_qps : 0.0;
+  bench::bench_record_value("serve_speedup_vs_fullscan_b4096", speedup);
+  double gate = 10.0;
+  if (const char* env = std::getenv("SHEARS_SERVE_GATE_SPEEDUP")) {
+    if (const double v = std::atof(env); v > 0.0) gate = v;
+  }
+  std::printf(
+      "speedup (batch 4096, 8 threads, vs full scan): %.1fx  (gate %.0fx)  "
+      "answers byte-identical\n",
+      speedup, gate);
+  if (speedup < gate) {
+    std::printf("FAIL: speedup below gate\n");
+    return 1;
+  }
+  return 0;
+}

@@ -21,10 +21,11 @@ BUILD_DIR="${1:-build-bench}"
 DAYS="${2:-270}"
 SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 JSON="${SHEARS_BENCH_JSON:-BENCH_campaign.json}"
+JSON_SERVE="${SHEARS_BENCH_JSON_SERVE:-results/BENCH_serve.json}"
 
 cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_micro_campaign \
-  bench_micro_latency_model >/dev/null
+  bench_micro_latency_model bench_serve >/dev/null
 
 rm -f "$JSON"
 echo "== burst kernel comparison =="
@@ -35,4 +36,10 @@ echo "== campaign cache comparison + telemetry overhead ($DAYS days) =="
 SHEARS_BENCH_DAYS="$DAYS" SHEARS_BENCH_JSON="$JSON" \
   "$BUILD_DIR/bench/bench_micro_campaign" --benchmark_filter=NONE
 echo
-echo "recorded: $JSON"
+echo "== serving layer: store build + oracle vs full scan ($DAYS days) =="
+mkdir -p "$(dirname "$JSON_SERVE")"
+rm -f "$JSON_SERVE"
+SHEARS_BENCH_DAYS="$DAYS" SHEARS_BENCH_JSON="$JSON_SERVE" \
+  "$BUILD_DIR/bench/bench_serve"
+echo
+echo "recorded: $JSON $JSON_SERVE"

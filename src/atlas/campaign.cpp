@@ -430,6 +430,7 @@ MeasurementDataset Campaign::run(CampaignTelemetry& telemetry) const {
       }
     }
     publish_metrics(telemetry, run_start);
+    if (sink_ != nullptr) sink_->publish(records);
     return MeasurementDataset(fleet_, registry_, std::move(records));
   }
   // Uncached runs are the benchmark baseline and keep the pre-change
@@ -442,6 +443,7 @@ MeasurementDataset Campaign::run(CampaignTelemetry& telemetry) const {
     telemetry.merge(shard_telemetry[t]);
   }
   publish_metrics(telemetry, run_start);
+  if (sink_ != nullptr) sink_->publish(records);
   return MeasurementDataset(fleet_, registry_, std::move(records));
 }
 

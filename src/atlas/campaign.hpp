@@ -94,6 +94,17 @@ struct CampaignTelemetry {
   void merge(const CampaignTelemetry& other) noexcept;
 };
 
+/// Receives a campaign's committed records — the serving layer's burst
+/// publication hook (serve::ColumnarStore implements it, so a running
+/// campaign streams into a live store without a rebuild). Rows arrive in
+/// dataset order, once per run, after the per-probe shards are merged;
+/// the span is only valid for the duration of the call.
+class MeasurementSink {
+ public:
+  virtual ~MeasurementSink() = default;
+  virtual void publish(std::span<const Measurement> rows) = 0;
+};
+
 class Campaign {
  public:
   /// `fleet`, `registry`, and `model` must outlive the campaign and any
@@ -141,6 +152,13 @@ class Campaign {
     metrics_ = metrics;
   }
 
+  /// Publishes every run()'s records into `sink` (dataset order, after
+  /// shard merge) — how a live serving store ingests fresh campaigns.
+  /// Purely observational: the dataset bytes are identical with or
+  /// without a sink. Pass nullptr to detach; `sink` must outlive the
+  /// campaign.
+  void attach_sink(MeasurementSink* sink) noexcept { sink_ = sink; }
+
  private:
   void run_probe_range(std::size_t begin, std::size_t end,
                        std::vector<Measurement>& out,
@@ -156,6 +174,7 @@ class Campaign {
   CampaignConfig config_;
   const faults::FaultSchedule* schedule_ = nullptr;  ///< may be null
   obs::MetricsRegistry* metrics_ = nullptr;          ///< may be null
+  MeasurementSink* sink_ = nullptr;                  ///< may be null
   /// Per-continent target lists, fallback included, precomputed once.
   std::vector<std::uint16_t> targets_by_continent_[geo::kContinentCount];
   /// Probe × region sampling cache; empty when config.sampling_cache is

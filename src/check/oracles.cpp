@@ -1,8 +1,11 @@
 #include "check/oracles.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
+#include <optional>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 #include "atlas/campaign.hpp"
@@ -10,6 +13,10 @@
 #include "core/analysis.hpp"
 #include "faults/fault_schedule.hpp"
 #include "geo/continent.hpp"
+#include "geo/coordinates.hpp"
+#include "geo/spatial_index.hpp"
+#include "serve/columnar.hpp"
+#include "serve/reference.hpp"
 
 namespace shears::check {
 
@@ -173,6 +180,123 @@ void check_empty_schedule_identity(const World& world) {
                                 world.campaign, nullptr);
   require_identical(world, with_empty.run(), without.run(),
                     "empty schedule vs no schedule");
+}
+
+namespace {
+
+/// Every point sorted ascending by (haversine distance, id) — the ground
+/// truth all three SpatialIndex queries must reproduce exactly.
+std::vector<geo::SpatialHit> brute_hits(std::span<const geo::GeoPoint> points,
+                                        const geo::GeoPoint& query) {
+  std::vector<geo::SpatialHit> hits;
+  hits.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    hits.push_back(geo::SpatialHit{static_cast<std::uint32_t>(i),
+                                   geo::haversine_km(query, points[i])});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const geo::SpatialHit& a, const geo::SpatialHit& b) {
+              if (a.distance_km != b.distance_km) {
+                return a.distance_km < b.distance_km;
+              }
+              return a.id < b.id;
+            });
+  return hits;
+}
+
+[[noreturn]] void fail_spatial(std::string_view summary,
+                               const geo::GeoPoint& query,
+                               const std::string& what) {
+  std::ostringstream os;
+  os << "spatial index vs brute force: " << what << " at query ("
+     << query.lat_deg << ", " << query.lon_deg << ") [" << summary << "]";
+  throw PropertyFailure(os.str());
+}
+
+bool hits_equal(const geo::SpatialHit& a, const geo::SpatialHit& b) {
+  return a.id == b.id && std::bit_cast<std::uint64_t>(a.distance_km) ==
+                             std::bit_cast<std::uint64_t>(b.distance_km);
+}
+
+}  // namespace
+
+void check_spatial_index(std::span<const geo::GeoPoint> points,
+                         std::span<const geo::GeoPoint> queries,
+                         double radius_km, std::string_view summary) {
+  const geo::SpatialIndex index(points);
+  for (const geo::GeoPoint& query : queries) {
+    const std::vector<geo::SpatialHit> truth = brute_hits(points, query);
+
+    const std::optional<geo::SpatialHit> nearest = index.nearest(query);
+    if (nearest.has_value() != !truth.empty() ||
+        (nearest.has_value() && !hits_equal(*nearest, truth.front()))) {
+      fail_spatial(summary, query, "nearest diverges");
+    }
+
+    const std::size_t n = std::min<std::size_t>(5, points.size() + 1);
+    const std::vector<geo::SpatialHit> top = index.nearest_n(query, n);
+    if (top.size() != std::min(n, truth.size())) {
+      fail_spatial(summary, query, "nearest_n size diverges");
+    }
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      if (!hits_equal(top[i], truth[i])) {
+        fail_spatial(summary, query, "nearest_n entries diverge");
+      }
+    }
+
+    const std::vector<geo::SpatialHit> within =
+        index.within_radius(query, radius_km);
+    std::size_t expected = 0;
+    while (expected < truth.size() &&
+           truth[expected].distance_km <= radius_km) {
+      ++expected;
+    }
+    if (within.size() != expected) {
+      fail_spatial(summary, query, "within_radius count diverges");
+    }
+    for (std::size_t i = 0; i < within.size(); ++i) {
+      if (!hits_equal(within[i], truth[i])) {
+        fail_spatial(summary, query, "within_radius entries diverge");
+      }
+    }
+  }
+}
+
+void check_oracle_vs_fullscan(const World& world,
+                              const atlas::MeasurementDataset& dataset,
+                              std::span<const serve::Query> queries) {
+  const serve::ReferenceOracle reference(&dataset);
+  const std::vector<serve::Answer> expected = reference.answer(queries);
+
+  const auto require_answers = [&](const serve::ColumnarStore& store,
+                                   std::size_t oracle_threads,
+                                   const std::string& label) {
+    serve::OracleConfig config;
+    config.threads = oracle_threads;
+    const serve::Oracle oracle(&store, config);
+    const std::vector<serve::Answer> got = oracle.answer(queries);
+    std::string why;
+    if (!serve::answers_identical(expected, got, why)) {
+      fail(world, "oracle vs full scan (" + label + "): " + why);
+    }
+  };
+
+  // One-shot build, single-threaded everything.
+  const serve::ColumnarStore one_shot =
+      serve::ColumnarStore::build(dataset, serve::StoreConfig{1});
+  require_answers(one_shot, 1, "one-shot build, 1 thread");
+
+  // Chunked appends with a mid-stream refresh, 8 build threads, 8 query
+  // threads — every knob the determinism contract covers at once.
+  serve::ColumnarStore chunked(&dataset.fleet(), &dataset.registry(),
+                               serve::StoreConfig{8});
+  const std::span<const atlas::Measurement> rows = dataset.records();
+  const std::size_t third = rows.size() / 3;
+  chunked.append(rows.subspan(0, third));
+  chunked.refresh();
+  chunked.append(rows.subspan(third));
+  chunked.refresh();
+  require_answers(chunked, 8, "chunked build, 8 threads");
 }
 
 }  // namespace shears::check

@@ -33,4 +33,20 @@ void check_jsonl_roundtrip(const World& world,
 /// to running the clean engine with no schedule at all.
 void check_empty_schedule_identity(const World& world);
 
+/// geo::SpatialIndex vs a brute-force haversine scan over the same
+/// points: nearest / nearest_n / within_radius must agree bit for bit
+/// (ids *and* distances) on every query, including antimeridian and
+/// polar ones. `summary` labels the counterexample.
+void check_spatial_index(std::span<const geo::GeoPoint> points,
+                         std::span<const geo::GeoPoint> queries,
+                         double radius_km, std::string_view summary);
+
+/// serve::Oracle over a columnar store vs the full-scan
+/// serve::ReferenceOracle: answers must be byte-identical for every
+/// store build path (one-shot vs chunked appends, build threads 1 vs 8)
+/// and every query fan-out (oracle threads 1 vs 8).
+void check_oracle_vs_fullscan(const World& world,
+                              const atlas::MeasurementDataset& dataset,
+                              std::span<const serve::Query> queries);
+
 }  // namespace shears::check

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "apps/application.hpp"
 #include "atlas/tags.hpp"
 #include "geo/country.hpp"
 #include "net/access.hpp"
@@ -227,6 +228,82 @@ World make_world(Gen& gen) {
                campaign,
                fault_config,
                std::move(schedule)};
+}
+
+std::vector<geo::GeoPoint> make_geo_points(Gen& gen, std::size_t count) {
+  std::vector<geo::GeoPoint> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Duplicates force the (distance, id) tie-break to actually decide.
+    if (!points.empty() && gen.chance(0.08)) {
+      points.push_back(points[gen.below(points.size())]);
+      continue;
+    }
+    geo::GeoPoint p;
+    const std::uint64_t mode = gen.below(100);
+    if (mode < 40) {
+      // Antimeridian hugger: a k-d tree over raw lon would see these as
+      // far apart.
+      p.lat_deg = gen.real_in(-90.0, 90.0);
+      p.lon_deg = gen.chance(0.5) ? gen.real_in(175.0, 180.0)
+                                  : gen.real_in(-180.0, -175.0);
+    } else if (mode < 55) {
+      // Polar cluster, occasionally the exact pole.
+      const double lat = gen.chance(0.1) ? 90.0 : gen.real_in(80.0, 90.0);
+      p.lat_deg = gen.chance(0.5) ? lat : -lat;
+      p.lon_deg = gen.real_in(-180.0, 180.0);
+    } else {
+      p.lat_deg = gen.real_in(-90.0, 90.0);
+      p.lon_deg = gen.real_in(-180.0, 180.0);
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<serve::Query> make_queries(Gen& gen, const World& world,
+                                       std::size_t count) {
+  const std::span<const geo::Country> countries = geo::all_countries();
+  const std::span<const apps::Application> catalog =
+      apps::application_catalog();
+  const std::vector<geo::GeoPoint> wild = make_geo_points(gen, 16);
+  const std::span<const atlas::Probe> probes = world.fleet.probes();
+
+  std::vector<serve::Query> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    serve::Query q;
+    q.kind = gen.pick({serve::QueryKind::kBestRtt,
+                       serve::QueryKind::kFeasibility,
+                       serve::QueryKind::kTopK});
+    if (!probes.empty() && gen.chance(0.6)) {
+      // Near a real vantage point, so most queries land on populated
+      // shards.
+      const atlas::Probe& probe = probes[gen.below(probes.size())];
+      q.where = scatter(gen, probe.endpoint.location);
+    } else {
+      q.where = wild[gen.below(wild.size())];
+    }
+    if (gen.chance(0.4)) {
+      // ISO-2 override; mostly a country the fleet inhabits, sometimes
+      // any registry entry (which may hold no data at all).
+      q.country_iso2 = (!probes.empty() && gen.chance(0.7))
+                           ? probes[gen.below(probes.size())].country->iso2
+                           : gen.pick(countries).iso2;
+    }
+    q.any_access = gen.chance(0.5);
+    q.access = gen.pick(std::span<const net::AccessTechnology>(
+        net::kAllAccessTechnologies));
+    if (q.kind == serve::QueryKind::kFeasibility) {
+      q.app_id = gen.chance(0.9) ? gen.pick(catalog).id : "no-such-app";
+    }
+    if (q.kind == serve::QueryKind::kTopK) {
+      q.budget_ms = gen.real_in(1.0, 400.0);
+      q.k = static_cast<std::uint32_t>(gen.int_in(0, 8));
+    }
+    queries.push_back(q);
+  }
+  return queries;
 }
 
 atlas::MeasurementDataset World::run() const { return run_with(campaign); }

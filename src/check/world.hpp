@@ -11,12 +11,16 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
 #include "atlas/campaign.hpp"
 #include "atlas/measurement.hpp"
 #include "atlas/placement.hpp"
 #include "check/gen.hpp"
 #include "faults/fault_schedule.hpp"
+#include "geo/coordinates.hpp"
 #include "net/latency_model.hpp"
+#include "serve/oracle.hpp"
 #include "topology/registry.hpp"
 
 namespace shears::check {
@@ -54,6 +58,23 @@ struct World {
 [[nodiscard]] atlas::CampaignConfig make_campaign_config(Gen& gen);
 [[nodiscard]] net::LatencyModelConfig make_model_config(Gen& gen);
 [[nodiscard]] faults::FaultScheduleConfig make_fault_config(Gen& gen);
+
+/// Random valid WGS-84 points with deliberate clustering on the spatial
+/// index's historical failure modes: ~40% hug the antimeridian (|lon|
+/// within a few degrees of 180) and ~15% the poles (|lat| >= 80); the
+/// rest are uniform over the globe. Exact duplicates are sprinkled in to
+/// exercise the (distance, id) tie-break.
+[[nodiscard]] std::vector<geo::GeoPoint> make_geo_points(Gen& gen,
+                                                         std::size_t count);
+
+/// A mixed batch of oracle queries over the world: all three kinds,
+/// locations from make_geo_points plus points scattered near real
+/// probes, ISO-2 overrides (mostly countries the fleet inhabits, with
+/// the odd dataless one), per-access filters, catalog app slugs (plus an
+/// occasional unknown slug), and assorted top-k budgets.
+[[nodiscard]] std::vector<serve::Query> make_queries(Gen& gen,
+                                                     const World& world,
+                                                     std::size_t count);
 
 /// Order-sensitive FNV-1a checksum over every record field (floats by bit
 /// pattern) — the byte-identity yardstick of the differential oracles.

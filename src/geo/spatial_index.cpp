@@ -1,0 +1,253 @@
+#include "geo/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace shears::geo {
+
+namespace {
+
+constexpr std::uint32_t kLeafSize = 8;
+
+[[nodiscard]] std::array<double, 3> unit_vector(const GeoPoint& p) noexcept {
+  const double lat = deg_to_rad(p.lat_deg);
+  const double lon = deg_to_rad(p.lon_deg);
+  const double cos_lat = std::cos(lat);
+  return {cos_lat * std::cos(lon), cos_lat * std::sin(lon), std::sin(lat)};
+}
+
+/// Squared chord length admitting every point whose great-circle distance
+/// is <= distance_km. The relative margin (1e-9) swamps the rounding
+/// difference between the chord and haversine formulations, so pruning by
+/// it never discards a candidate the exact comparison would keep.
+[[nodiscard]] double chord2_bound(double distance_km) noexcept {
+  if (!(distance_km < kMaxSurfaceDistanceKm)) return 5.0;  // nothing prunable
+  const double half_angle = distance_km / (2.0 * kEarthRadiusKm);
+  const double chord = 2.0 * std::sin(half_angle);
+  return chord * chord * (1.0 + 1e-9) + 1e-12;
+}
+
+/// Squared Euclidean distance from q to the node's bounding box.
+[[nodiscard]] double box_chord2(const std::array<double, 3>& q,
+                                const std::array<double, 3>& lo,
+                                const std::array<double, 3>& hi) noexcept {
+  double d2 = 0.0;
+  for (int a = 0; a < 3; ++a) {
+    const double d = q[a] < lo[a] ? lo[a] - q[a] : (q[a] > hi[a] ? q[a] - hi[a] : 0.0);
+    d2 += d * d;
+  }
+  return d2;
+}
+
+/// The brute-force comparison key: strictly better when nearer, smaller
+/// id on an exact tie.
+[[nodiscard]] bool better(double d, std::uint32_t id, double best_d,
+                          std::uint32_t best_id) noexcept {
+  return d < best_d || (d == best_d && id < best_id);
+}
+
+}  // namespace
+
+SpatialIndex::SpatialIndex(std::span<const GeoPoint> points) {
+  geo_.assign(points.begin(), points.end());
+  for (const GeoPoint& p : geo_) {
+    if (!is_valid(p)) {
+      throw std::invalid_argument("SpatialIndex: point outside WGS-84 ranges");
+    }
+  }
+  if (geo_.empty()) return;
+  ids_.resize(geo_.size());
+  unit_.resize(geo_.size());
+  for (std::uint32_t i = 0; i < geo_.size(); ++i) {
+    ids_[i] = i;
+    unit_[i] = unit_vector(geo_[i]);
+  }
+  nodes_.reserve(2 * geo_.size() / kLeafSize + 2);
+  build_node(0, static_cast<std::uint32_t>(geo_.size()));
+}
+
+std::uint32_t SpatialIndex::build_node(std::uint32_t begin, std::uint32_t end) {
+  const std::uint32_t index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.begin = begin;
+    node.end = end;
+    node.lo = {1.0, 1.0, 1.0};
+    node.hi = {-1.0, -1.0, -1.0};
+    for (std::uint32_t i = begin; i < end; ++i) {
+      for (int a = 0; a < 3; ++a) {
+        node.lo[a] = std::min(node.lo[a], unit_[i][a]);
+        node.hi[a] = std::max(node.hi[a], unit_[i][a]);
+      }
+    }
+  }
+  if (end - begin <= kLeafSize) return index;
+
+  // Median split on the widest bounding-box axis. The comparator falls
+  // back to the point id so the permutation (hence the whole index) is a
+  // pure function of the input, even with duplicate coordinates.
+  int axis = 0;
+  {
+    const Node& node = nodes_[index];
+    double widest = -1.0;
+    for (int a = 0; a < 3; ++a) {
+      const double width = node.hi[a] - node.lo[a];
+      if (width > widest) {
+        widest = width;
+        axis = a;
+      }
+    }
+  }
+  const std::uint32_t mid = begin + (end - begin) / 2;
+  // Sort ids and unit vectors together through an index permutation.
+  std::vector<std::uint32_t> order(end - begin);
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = begin + i;
+  std::nth_element(order.begin(), order.begin() + (mid - begin), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     if (unit_[a][axis] != unit_[b][axis]) {
+                       return unit_[a][axis] < unit_[b][axis];
+                     }
+                     return ids_[a] < ids_[b];
+                   });
+  std::vector<std::uint32_t> ids_tmp(order.size());
+  std::vector<std::array<double, 3>> unit_tmp(order.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    ids_tmp[i] = ids_[order[i]];
+    unit_tmp[i] = unit_[order[i]];
+  }
+  std::copy(ids_tmp.begin(), ids_tmp.end(), ids_.begin() + begin);
+  std::copy(unit_tmp.begin(), unit_tmp.end(), unit_.begin() + begin);
+
+  const std::uint32_t left = build_node(begin, mid);
+  const std::uint32_t right = build_node(mid, end);
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+std::optional<SpatialHit> SpatialIndex::nearest(const GeoPoint& query) const {
+  if (empty()) return std::nullopt;
+  const std::array<double, 3> q = unit_vector(query);
+  double best_d = std::numeric_limits<double>::infinity();
+  std::uint32_t best_id = 0;
+  double bound = 5.0;  // larger than any chord^2 (max 4)
+
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const std::uint32_t ni = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[ni];
+    if (box_chord2(q, node.lo, node.hi) > bound) continue;
+    if (node.left == 0) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        const std::uint32_t id = ids_[i];
+        const double d = haversine_km(query, geo_[id]);
+        if (better(d, id, best_d, best_id)) {
+          best_d = d;
+          best_id = id;
+          bound = chord2_bound(best_d);
+        }
+      }
+      continue;
+    }
+    // Visit the nearer child first so the bound tightens early.
+    const double dl = box_chord2(q, nodes_[node.left].lo, nodes_[node.left].hi);
+    const double dr =
+        box_chord2(q, nodes_[node.right].lo, nodes_[node.right].hi);
+    if (dl <= dr) {
+      stack.push_back(node.right);
+      stack.push_back(node.left);
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  return SpatialHit{best_id, best_d};
+}
+
+std::vector<SpatialHit> SpatialIndex::nearest_n(const GeoPoint& query,
+                                                std::size_t n) const {
+  std::vector<SpatialHit> best;
+  if (empty() || n == 0) return best;
+  n = std::min(n, size());
+  const std::array<double, 3> q = unit_vector(query);
+  // `best` is kept sorted ascending by (distance, id); with n small this
+  // insertion sort beats a heap and gives the output order for free.
+  best.reserve(n + 1);
+  double bound = 5.0;
+
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const std::uint32_t ni = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[ni];
+    if (box_chord2(q, node.lo, node.hi) > bound) continue;
+    if (node.left == 0) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        const std::uint32_t id = ids_[i];
+        const double d = haversine_km(query, geo_[id]);
+        if (best.size() == n &&
+            !better(d, id, best.back().distance_km, best.back().id)) {
+          continue;
+        }
+        const SpatialHit hit{id, d};
+        const auto pos = std::lower_bound(
+            best.begin(), best.end(), hit,
+            [](const SpatialHit& a, const SpatialHit& b) {
+              return better(a.distance_km, a.id, b.distance_km, b.id);
+            });
+        best.insert(pos, hit);
+        if (best.size() > n) best.pop_back();
+        if (best.size() == n) bound = chord2_bound(best.back().distance_km);
+      }
+      continue;
+    }
+    const double dl = box_chord2(q, nodes_[node.left].lo, nodes_[node.left].hi);
+    const double dr =
+        box_chord2(q, nodes_[node.right].lo, nodes_[node.right].hi);
+    if (dl <= dr) {
+      stack.push_back(node.right);
+      stack.push_back(node.left);
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  return best;
+}
+
+std::vector<SpatialHit> SpatialIndex::within_radius(const GeoPoint& query,
+                                                    double radius_km) const {
+  std::vector<SpatialHit> hits;
+  if (empty() || !(radius_km >= 0.0)) return hits;
+  const std::array<double, 3> q = unit_vector(query);
+  const double bound = chord2_bound(radius_km);
+
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const std::uint32_t ni = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[ni];
+    if (box_chord2(q, node.lo, node.hi) > bound) continue;
+    if (node.left == 0) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        const std::uint32_t id = ids_[i];
+        const double d = haversine_km(query, geo_[id]);
+        if (d <= radius_km) hits.push_back(SpatialHit{id, d});
+      }
+      continue;
+    }
+    stack.push_back(node.left);
+    stack.push_back(node.right);
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const SpatialHit& a, const SpatialHit& b) {
+              return better(a.distance_km, a.id, b.distance_km, b.id);
+            });
+  return hits;
+}
+
+}  // namespace shears::geo

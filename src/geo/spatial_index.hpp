@@ -1,0 +1,88 @@
+// Spatial index over points on the sphere: a 3-D k-d tree in unit-vector
+// space.
+//
+// The serving layer answers "nearest cloud region / probe to (lat, lon)"
+// and "everything within R km" at memory speed. A k-d tree over raw
+// (lat, lon) would break at the antimeridian (lon -179.9 and +179.9 are
+// 22 km apart at the equator, not 40 000) and at the poles (every
+// longitude collapses to one point). Embedding each point as a unit
+// vector on the sphere removes both singularities: chord distance
+// |a - b| is strictly monotone in great-circle distance, so a Euclidean
+// k-d tree in R^3 prunes correctly everywhere on the globe.
+//
+// Exactness contract: candidate points are always compared by
+// haversine_km — the same function a brute-force geodesic scan uses —
+// with ties broken towards the smaller id. The chord metric is used only
+// for subtree pruning, with a relative safety margin far wider than the
+// float error between the two formulations, so results (ids *and*
+// reported distances) are bit-identical to the brute-force scan the
+// property harness runs (see check_spatial_index).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geo/coordinates.hpp"
+
+namespace shears::geo {
+
+/// One query result: the point's index in the construction span and its
+/// great-circle distance from the query point.
+struct SpatialHit {
+  std::uint32_t id = 0;
+  double distance_km = 0.0;
+
+  friend bool operator==(const SpatialHit&, const SpatialHit&) = default;
+};
+
+class SpatialIndex {
+ public:
+  SpatialIndex() = default;
+
+  /// Builds over `points`; ids are indices into the span. Throws
+  /// std::invalid_argument when a point is outside the WGS-84 ranges
+  /// (is_valid) — an index answering from garbage coordinates must fail
+  /// loudly at build time, not at query time.
+  explicit SpatialIndex(std::span<const GeoPoint> points);
+
+  [[nodiscard]] std::size_t size() const noexcept { return geo_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return geo_.empty(); }
+
+  /// The point nearest to `query` by great-circle distance, smallest id
+  /// on exact ties (duplicate coordinates); nullopt when empty.
+  [[nodiscard]] std::optional<SpatialHit> nearest(
+      const GeoPoint& query) const;
+
+  /// The `n` nearest points, ascending by (distance, id). Returns fewer
+  /// when the index holds fewer.
+  [[nodiscard]] std::vector<SpatialHit> nearest_n(const GeoPoint& query,
+                                                  std::size_t n) const;
+
+  /// Every point with haversine_km(query, point) <= radius_km, ascending
+  /// by (distance, id). The boundary is inclusive, like the brute-force
+  /// scan's `<=`.
+  [[nodiscard]] std::vector<SpatialHit> within_radius(
+      const GeoPoint& query, double radius_km) const;
+
+ private:
+  struct Node {
+    std::array<double, 3> lo{};  ///< tight bounding box over the subtree
+    std::array<double, 3> hi{};
+    std::uint32_t begin = 0;  ///< leaf: range into ids_/unit_
+    std::uint32_t end = 0;
+    std::uint32_t left = 0;  ///< 0 = leaf (node 0 is always the root)
+    std::uint32_t right = 0;
+  };
+
+  std::uint32_t build_node(std::uint32_t begin, std::uint32_t end);
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> ids_;              ///< leaf-ordered point ids
+  std::vector<std::array<double, 3>> unit_;     ///< unit vectors, leaf order
+  std::vector<GeoPoint> geo_;                   ///< original points, by id
+};
+
+}  // namespace shears::geo

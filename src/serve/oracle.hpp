@@ -1,0 +1,188 @@
+// The latency oracle: batched feasibility queries over the columnar
+// store — the paper's punchline ("is the cloud already fast enough from
+// here?") as a service.
+//
+// Three query kinds cover the questions Fig. 4 / Fig. 8 answer in batch
+// form:
+//   * kBestRtt     — best observed cloud RTT from a location (or a
+//                    country) over a given access technology, plus the
+//                    winning region's median/p95;
+//   * kFeasibility — the §5 edge-vs-cloud verdict for one application
+//                    class from one country (core::classify against the
+//                    measured country minimum);
+//   * kTopK        — the k best regions whose observed minimum meets a
+//                    latency budget, ascending.
+//
+// Locations resolve to countries through the probe spatial index: the
+// nearest vantage point (optionally restricted to the queried access
+// technology) stands in for the user, exactly as the paper's probes
+// stand in for populations. Batches fan out across query shards with
+// core/parallel.hpp; answers are deterministic and byte-identical to
+// the brute-force full-scan reference (serve/reference.hpp) for any
+// thread count — the serve test suite and bench gate pin both.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "apps/application.hpp"
+#include "core/feasibility.hpp"
+#include "geo/coordinates.hpp"
+#include "geo/country.hpp"
+#include "geo/spatial_index.hpp"
+#include "net/access.hpp"
+#include "serve/columnar.hpp"
+#include "topology/region.hpp"
+
+namespace shears::obs {
+class Counter;
+class LatencyHistogram;
+class MetricsRegistry;
+}  // namespace shears::obs
+
+namespace shears::serve {
+
+enum class QueryKind : unsigned char { kBestRtt, kFeasibility, kTopK };
+
+[[nodiscard]] constexpr std::string_view to_string(QueryKind k) noexcept {
+  switch (k) {
+    case QueryKind::kBestRtt: return "best-rtt";
+    case QueryKind::kFeasibility: return "feasibility";
+    case QueryKind::kTopK: return "top-k";
+  }
+  return "unknown";
+}
+
+struct Query {
+  QueryKind kind = QueryKind::kBestRtt;
+  /// Where the user is. Ignored when `country_iso2` is set.
+  geo::GeoPoint where{};
+  /// ISO-2 country override; empty = resolve via nearest probe to
+  /// `where`.
+  std::string_view country_iso2{};
+  /// Access filter; ignored when any_access (the country rollup answers).
+  net::AccessTechnology access = net::AccessTechnology::kEthernet;
+  bool any_access = true;
+  /// kFeasibility: application slug (apps::find_application).
+  std::string_view app_id{};
+  /// kTopK: RTT budget (ms) and result cap.
+  double budget_ms = 0.0;
+  std::uint32_t k = 0;
+};
+
+/// One ranked region of a kTopK answer.
+struct RegionAnswer {
+  const topology::CloudRegion* region = nullptr;
+  double rtt_ms = 0.0;
+
+  friend bool operator==(const RegionAnswer&, const RegionAnswer&) = default;
+};
+
+struct Answer {
+  /// The query resolved to a country with data in scope (and, for
+  /// kFeasibility, a known application). All payload below is zero/null
+  /// when false.
+  bool ok = false;
+  const geo::Country* country = nullptr;
+  /// kBestRtt / kFeasibility: the region behind the best observed RTT.
+  const topology::CloudRegion* best_region = nullptr;
+  double best_ms = 0.0;
+  double median_ms = 0.0;  ///< of the best region's samples in scope
+  double p95_ms = 0.0;
+  /// kFeasibility payload.
+  core::EdgeVerdict verdict = core::EdgeVerdict::kNoEdgeCase;
+  bool in_zone = false;
+  /// kTopK payload, ascending by (rtt, region index).
+  std::vector<RegionAnswer> regions;
+
+  friend bool operator==(const Answer&, const Answer&) = default;
+};
+
+struct OracleConfig {
+  /// Threads a batch fans out over (0 = hardware concurrency). Answers
+  /// are identical for any value.
+  std::size_t threads = 0;
+  /// Feasibility-zone geometry for kFeasibility verdicts.
+  core::FeasibilityConfig feasibility{};
+};
+
+class Oracle {
+ public:
+  /// `store` must be refresh()ed and outlive the oracle. Builds the
+  /// probe and region spatial indexes once (per-access probe indexes
+  /// included, so filtered location queries stay O(log n)).
+  explicit Oracle(const ColumnarStore* store, OracleConfig config = {});
+
+  /// Answers a batch in place; out.size() must equal queries.size().
+  /// Throws std::logic_error when the store has unrefreshed appends.
+  void answer(std::span<const Query> queries, std::span<Answer> out) const;
+
+  [[nodiscard]] std::vector<Answer> answer(
+      std::span<const Query> queries) const;
+
+  [[nodiscard]] Answer answer_one(const Query& query) const;
+
+  /// Geodesic region lookups over the footprint's spatial index — the
+  /// "where is the nearest datacenter" side of the serving surface.
+  [[nodiscard]] std::vector<geo::SpatialHit> nearest_regions(
+      const geo::GeoPoint& where, std::size_t n) const;
+  [[nodiscard]] std::vector<geo::SpatialHit> regions_within_km(
+      const geo::GeoPoint& where, double radius_km) const;
+
+  [[nodiscard]] const ColumnarStore& store() const noexcept {
+    return *store_;
+  }
+
+  /// Publishes serve.queries / serve.batches / serve.answers_ok /
+  /// serve.queries.<kind> counters and the serve.batch_ms histogram.
+  /// Counters accumulate per batch in locals and publish once, so the
+  /// per-query path touches no atomics. Observational only; nullptr
+  /// detaches. `metrics` must outlive the oracle.
+  void attach_metrics(obs::MetricsRegistry* metrics);
+
+ private:
+  void answer_into(const Query& query, Answer& out) const;
+  /// Country of the query, resolved via iso2 or the spatial index;
+  /// nullptr when unresolvable.
+  [[nodiscard]] const geo::Country* resolve_country(const Query& q) const;
+  [[nodiscard]] std::span<const RegionStats> stats_in_scope(
+      const Query& q, const geo::Country* country) const;
+
+  const ColumnarStore* store_;
+  OracleConfig config_;
+  geo::SpatialIndex region_index_;
+  geo::SpatialIndex probe_index_;  ///< analysis-eligible probes
+  std::vector<std::uint32_t> probe_of_hit_;  ///< index hit id -> probe id
+  /// Per-access filtered probe indexes (same id indirection).
+  std::array<geo::SpatialIndex, net::kAccessTechnologyCount> access_index_;
+  std::array<std::vector<std::uint32_t>, net::kAccessTechnologyCount>
+      access_probe_of_hit_;
+  /// Metric handles resolved once at attach time; all null when detached.
+  struct Instruments {
+    obs::Counter* queries = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* answers_ok = nullptr;
+    std::array<obs::Counter*, 3> by_kind{};
+    obs::LatencyHistogram* batch_ms = nullptr;
+  };
+  Instruments instruments_{};
+};
+
+namespace detail {
+
+/// Shared answer assembly over a per-region summary table (dense by
+/// region index). Both the indexed oracle and the full-scan reference
+/// feed it, so the two paths can only diverge where it matters — in how
+/// the country was resolved and how the summaries were computed.
+void answer_from_stats(const Query& query, const geo::Country* country,
+                       std::span<const RegionStats> stats,
+                       const topology::CloudRegistry& registry,
+                       const core::FeasibilityConfig& feasibility,
+                       Answer& out);
+
+}  // namespace detail
+
+}  // namespace shears::serve

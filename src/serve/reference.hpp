@@ -1,0 +1,54 @@
+// Brute-force reference implementation of the latency oracle.
+//
+// Every query re-scans the entire measurement dataset: country
+// resolution is a linear sweep over the eligible probes comparing exact
+// haversine distances, and the per-region summary table is rebuilt from
+// scratch by filtering every record against the query's (country,
+// access) scope. O(probes + records) per query — hopeless as a serving
+// path, unbeatable as ground truth.
+//
+// The indexed Oracle must produce byte-identical Answers (operator== on
+// every field, RTTs compared as exact doubles) for any store shard
+// count, append chunking, and query thread count. The serve test suite
+// and the bench gate both pin this via answers_identical().
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "atlas/measurement.hpp"
+#include "serve/oracle.hpp"
+
+namespace shears::serve {
+
+class ReferenceOracle {
+ public:
+  /// `dataset` must outlive the oracle. `config.threads` is ignored —
+  /// the reference is deliberately sequential.
+  explicit ReferenceOracle(const atlas::MeasurementDataset* dataset,
+                           OracleConfig config = {});
+
+  [[nodiscard]] std::vector<Answer> answer(
+      std::span<const Query> queries) const;
+
+  [[nodiscard]] Answer answer_one(const Query& query) const;
+
+ private:
+  [[nodiscard]] const geo::Country* resolve_country(const Query& q) const;
+  /// Dense per-region summaries over the records in the query's scope.
+  [[nodiscard]] std::vector<RegionStats> scan_stats(
+      const Query& q, const geo::Country* country) const;
+
+  const atlas::MeasurementDataset* dataset_;
+  OracleConfig config_;
+};
+
+/// True when the two answer batches match element-for-element. On the
+/// first divergence, fills `why` with the index and a short field-level
+/// description (for test failure messages) and returns false.
+[[nodiscard]] bool answers_identical(std::span<const Answer> a,
+                                     std::span<const Answer> b,
+                                     std::string& why);
+
+}  // namespace shears::serve

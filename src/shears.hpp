@@ -13,6 +13,7 @@
 //   shears::apps      — perception thresholds and the Fig. 2 app catalog
 //   shears::trends    — the Fig. 1 zeitgeist series and era analytics
 //   shears::core      — the §4 analyses and the Fig. 8 feasibility zone
+//   shears::serve     — columnar store, spatial index, the latency oracle
 //   shears::report    — text tables and ASCII plots
 //
 // Typical use (see examples/quickstart.cpp):
@@ -50,6 +51,7 @@
 #include "geo/continent.hpp"
 #include "geo/coordinates.hpp"
 #include "geo/country.hpp"
+#include "geo/spatial_index.hpp"
 #include "net/access.hpp"
 #include "net/endpoint.hpp"
 #include "net/latency_model.hpp"
@@ -66,6 +68,9 @@
 #include "route/graph.hpp"
 #include "route/path_provider.hpp"
 #include "route/steering.hpp"
+#include "serve/columnar.hpp"
+#include "serve/oracle.hpp"
+#include "serve/reference.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/distributions.hpp"
 #include "stats/ecdf.hpp"
