@@ -25,7 +25,7 @@ JSON_SERVE="${SHEARS_BENCH_JSON_SERVE:-results/BENCH_serve.json}"
 
 cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_micro_campaign \
-  bench_micro_latency_model bench_serve >/dev/null
+  bench_micro_latency_model bench_serve bench_front >/dev/null
 
 rm -f "$JSON"
 echo "== burst kernel comparison =="
@@ -41,5 +41,9 @@ mkdir -p "$(dirname "$JSON_SERVE")"
 rm -f "$JSON_SERVE"
 SHEARS_BENCH_DAYS="$DAYS" SHEARS_BENCH_JSON="$JSON_SERVE" \
   "$BUILD_DIR/bench/bench_serve"
+echo
+echo "== serving front-end: overload session, qps under SLO ($DAYS days) =="
+SHEARS_BENCH_DAYS="$DAYS" SHEARS_BENCH_JSON="$JSON_SERVE" \
+  "$BUILD_DIR/bench/bench_front"
 echo
 echo "recorded: $JSON $JSON_SERVE"

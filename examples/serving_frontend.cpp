@@ -1,0 +1,106 @@
+// The serving front-end end to end: a campaign feeds the columnar
+// store, the oracle answers over it, and the framed session layer
+// (src/front) runs the peak-load study of scenarios/serving_peak_load.ini
+// on its simulated clock — open Poisson arrivals at ~8x the modelled
+// service capacity, zipf-skewed queries, 3 ms deadlines, retrying
+// clients. Prints the deterministic session report: what was admitted,
+// what was shed where, and the latency tail of what was answered.
+//
+//   ./build/examples/serving_frontend [days]   (default 7)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "atlas/campaign.hpp"
+#include "atlas/measurement.hpp"
+#include "atlas/placement.hpp"
+#include "front/server.hpp"
+#include "front/traffic.hpp"
+#include "net/latency_model.hpp"
+#include "obs/metrics.hpp"
+#include "serve/columnar.hpp"
+#include "serve/oracle.hpp"
+#include "topology/registry.hpp"
+
+using namespace shears;
+
+int main(int argc, char** argv) {
+  const int days = argc > 1 ? std::atoi(argv[1]) : 7;
+  std::printf("== campaign (%d day%s) ==\n", days, days == 1 ? "" : "s");
+  const auto registry = topology::CloudRegistry::campaign_footprint();
+  const auto fleet = atlas::ProbeFleet::generate({});
+  const net::LatencyModel model{};
+  atlas::CampaignConfig campaign_config;
+  campaign_config.duration_days = days > 0 ? days : 7;
+  const auto dataset =
+      atlas::Campaign(fleet, registry, model, campaign_config).run();
+  std::printf("%zu measurements\n", dataset.size());
+
+  serve::ColumnarStore store =
+      serve::ColumnarStore::build(dataset, serve::StoreConfig{0});
+  const serve::Oracle oracle(&store, serve::OracleConfig{});
+
+  // The peak-load regime of scenarios/serving_peak_load.ini: a 100 us +
+  // 200 us/query service model against 40 kqps offered, with deadlines
+  // and backoffs sized so completed requests meet the SLO by
+  // construction.
+  front::FrontConfig front_config;
+  front_config.queue_capacity = 256;
+  front_config.max_batch = 64;
+  front_config.batch_overhead_us = 100;
+  front_config.per_query_us = 200;
+  front_config.client_rate_qps = 2000;
+  front_config.client_burst = 16;
+
+  front::TrafficConfig traffic;
+  traffic.arrival = front::ArrivalMode::kOpen;
+  traffic.clients = 64;
+  traffic.offered_qps = 40'000;
+  traffic.zipf_exponent = 1.1;
+  traffic.duration_us = 1'000'000;
+  traffic.slo_ms = 5.0;
+  traffic.seed = 2020;
+  traffic.client.deadline_us = 3000;
+  traffic.client.max_retries = 2;
+  traffic.client.backoff_base_us = 500;
+  traffic.client.backoff_cap_us = 1000;
+
+  std::printf("\n== front-end session: %u clients, %u qps offered, "
+              "%.1f ms SLO ==\n",
+              traffic.clients, traffic.offered_qps, traffic.slo_ms);
+  obs::MetricsRegistry metrics;
+  front::FrontServer server(&oracle, &store, front_config);
+  server.attach_metrics(&metrics);
+  const std::vector<serve::Query> corpus =
+      front::make_corpus(dataset.fleet(), 4096);
+  const front::TrafficReport report =
+      front::run_traffic(server, corpus, traffic, &metrics);
+
+  const auto llu = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  std::printf("offered   %8llu   (+ %llu retries = %llu on the wire)\n",
+              llu(report.offered), llu(report.retries), llu(report.sent));
+  std::printf("completed %8llu   failed %llu\n", llu(report.completed),
+              llu(report.failed));
+  std::printf("admitted  %8llu   answered %llu over %llu batches\n",
+              llu(report.server.admitted), llu(report.server.answered),
+              llu(report.server.batches));
+  std::printf("shed      %8llu   (deadline %llu, throttled %llu, "
+              "queue-full %llu)\n",
+              llu(report.server.shed_deadline + report.server.shed_throttled +
+                  report.server.shed_queue_full),
+              llu(report.server.shed_deadline),
+              llu(report.server.shed_throttled),
+              llu(report.server.shed_queue_full));
+  std::printf("expired   %8llu   (in queue %llu, served late %llu)\n",
+              llu(report.server.expired_in_queue + report.server.expired_served),
+              llu(report.server.expired_in_queue),
+              llu(report.server.expired_served));
+  std::printf("latency   p50 %.3f / p95 %.3f / p99 %.3f ms\n", report.p50_ms,
+              report.p95_ms, report.p99_ms);
+  std::printf("qps under SLO: %.0f   (SLO %s, server %s)\n", report.qps,
+              report.slo_met ? "met" : "MISSED",
+              report.drained ? "drained" : "NOT DRAINED");
+  return report.slo_met && report.drained ? 0 : 1;
+}

@@ -1,10 +1,13 @@
 #include "check/fuzz.hpp"
 
 #include <sstream>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "check/property.hpp"
+#include "front/frame.hpp"
 
 namespace shears::check {
 
@@ -200,6 +203,224 @@ FuzzStats fuzz_jsonl(Gen& gen, const World& world,
                              is, &world.fleet, &world.registry,
                              world.campaign.interval_hours);
                        });
+}
+
+namespace {
+
+std::string random_token(Gen& gen, int max_len) {
+  std::string token;
+  const int len = gen.int_in(0, max_len);
+  for (int i = 0; i < len; ++i) {
+    token.push_back(static_cast<char>(gen.int_in(1, 255)));
+  }
+  return token;
+}
+
+/// One random valid frame appended to `out`; returns the payload bytes
+/// it carries, for the clean-round round-trip comparison.
+std::pair<front::FrameType, std::vector<std::uint8_t>> append_random_frame(
+    Gen& gen, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  front::FrameType type = front::FrameType::kRequest;
+  switch (gen.below(3)) {
+    case 0: {
+      front::Request req;
+      req.request_id = gen.u64();
+      req.client_id = gen.u64();
+      req.deadline_us = gen.below(1'000'000);
+      req.kind = static_cast<serve::QueryKind>(gen.below(3));
+      req.lat_deg = gen.real_in(-90.0, 90.0);
+      req.lon_deg = gen.real_in(-180.0, 180.0);
+      if (gen.chance(0.5)) req.country_iso2 = random_token(gen, 2);
+      req.access = static_cast<net::AccessTechnology>(gen.below(7));
+      req.any_access = gen.chance(0.5);
+      if (gen.chance(0.5)) req.app_id = random_token(gen, 12);
+      req.budget_ms = gen.real_in(0.0, 500.0);
+      req.k = static_cast<std::uint32_t>(gen.below(16));
+      front::append_request_frame(out, req);
+      type = front::FrameType::kRequest;
+      break;
+    }
+    case 1: {
+      front::Response res;
+      res.request_id = gen.u64();
+      res.ok = gen.chance(0.8);
+      if (gen.chance(0.5)) res.country_iso2 = random_token(gen, 2);
+      res.best_region = static_cast<std::uint16_t>(gen.below(101));
+      res.best_ms = gen.real_in(0.0, 400.0);
+      res.median_ms = gen.real_in(0.0, 400.0);
+      res.p95_ms = gen.real_in(0.0, 400.0);
+      res.verdict = static_cast<core::EdgeVerdict>(gen.below(5));
+      res.in_zone = gen.chance(0.5);
+      const int rows = gen.int_in(0, 8);
+      for (int r = 0; r < rows; ++r) {
+        res.regions.push_back(front::WireRegion{
+            static_cast<std::uint16_t>(gen.below(101)),
+            gen.real_in(0.0, 400.0)});
+      }
+      front::append_response_frame(out, res);
+      type = front::FrameType::kResponse;
+      break;
+    }
+    default: {
+      front::Error err;
+      err.request_id = gen.u64();
+      err.code = static_cast<front::ErrorCode>(gen.int_in(1, 5));
+      err.message = random_token(gen, 24);
+      front::append_error_frame(out, err);
+      type = front::FrameType::kError;
+      break;
+    }
+  }
+  return {type, std::vector<std::uint8_t>(
+                    out.begin() + static_cast<std::ptrdiff_t>(start) +
+                        static_cast<std::ptrdiff_t>(front::kFrameHeaderBytes),
+                    out.end())};
+}
+
+/// One byte-level mutation over the whole stream.
+void mutate_bytes(Gen& gen, std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) return;
+  switch (gen.below(5)) {
+    case 0:  // flip a byte (magic, header fields and payload all fair game)
+      bytes[gen.below(bytes.size())] =
+          static_cast<std::uint8_t>(gen.below(256));
+      break;
+    case 1:  // truncate
+      bytes.resize(gen.below(bytes.size() + 1));
+      break;
+    case 2: {  // splice random bytes at a random position
+      const std::size_t at = gen.below(bytes.size() + 1);
+      const int len = gen.int_in(1, 16);
+      std::vector<std::uint8_t> noise;
+      for (int i = 0; i < len; ++i) {
+        noise.push_back(static_cast<std::uint8_t>(gen.below(256)));
+      }
+      bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                   noise.begin(), noise.end());
+      break;
+    }
+    case 3: {  // delete a short span
+      const std::size_t at = gen.below(bytes.size());
+      const std::size_t len =
+          std::min(bytes.size() - at,
+                   static_cast<std::size_t>(gen.int_in(1, 16)));
+      bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                  bytes.begin() + static_cast<std::ptrdiff_t>(at + len));
+      break;
+    }
+    default: {  // duplicate a short span (repeated headers, stutter)
+      const std::size_t at = gen.below(bytes.size());
+      const std::size_t len =
+          std::min(bytes.size() - at,
+                   static_cast<std::size_t>(gen.int_in(1, 16)));
+      const std::vector<std::uint8_t> span(
+          bytes.begin() + static_cast<std::ptrdiff_t>(at),
+          bytes.begin() + static_cast<std::ptrdiff_t>(at + len));
+      bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                   span.begin(), span.end());
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+FrameFuzzStats fuzz_frames(Gen& gen, int rounds) {
+  FrameFuzzStats stats;
+  for (int round = 0; round < rounds; ++round) {
+    ++stats.rounds;
+    std::vector<std::uint8_t> bytes;
+    std::vector<std::pair<front::FrameType, std::vector<std::uint8_t>>> built;
+    const int count = gen.int_in(1, 6);
+    for (int f = 0; f < count; ++f) {
+      built.push_back(append_random_frame(gen, bytes));
+    }
+
+    const bool clean = gen.chance(0.3);
+    if (!clean) {
+      const int edits = gen.int_in(1, 4);
+      for (int e = 0; e < edits; ++e) mutate_bytes(gen, bytes);
+    } else {
+      ++stats.clean;
+    }
+
+    front::FrameDecoder decoder;
+    std::vector<front::FrameDecoder::Item> delivered;
+    // Every next() call past this bound would mean the decoder stopped
+    // consuming input — the infinite-loop failure mode.
+    const std::size_t progress_cap = bytes.size() + 64;
+    std::size_t calls = 0;
+    try {
+      std::size_t pos = 0;
+      while (pos < bytes.size()) {
+        const std::size_t chunk = std::min(
+            bytes.size() - pos, static_cast<std::size_t>(gen.int_in(1, 48)));
+        decoder.feed(std::span<const std::uint8_t>(bytes).subspan(pos, chunk));
+        pos += chunk;
+        while (true) {
+          if (++calls > progress_cap) {
+            throw PropertyFailure(
+                "fuzz_frames: decoder stopped making progress");
+          }
+          front::FrameDecoder::Item item = decoder.next();
+          if (item.status == front::DecodeStatus::kNeedMore) break;
+          if (item.status == front::DecodeStatus::kFrame) {
+            // Body decoders must be total too: garbage that checksums
+            // fine returns false, it never throws.
+            if (item.type == front::FrameType::kRequest) {
+              front::Request req;
+              (void)front::decode_request(item.payload, req);
+            } else if (item.type == front::FrameType::kResponse) {
+              front::Response res;
+              (void)front::decode_response(item.payload, res);
+            } else {
+              front::Error err;
+              (void)front::decode_error(item.payload, err);
+            }
+            ++stats.frames;
+          } else {
+            ++stats.damaged;
+          }
+          delivered.push_back(std::move(item));
+        }
+      }
+    } catch (const PropertyFailure&) {
+      throw;
+    } catch (const std::exception& error) {
+      throw PropertyFailure(std::string("fuzz_frames: decoder threw: \"") +
+                            error.what() + "\"");
+    }
+
+    if (clean) {
+      // An undamaged stream must round-trip exactly, no matter how the
+      // bytes were chunked.
+      std::size_t seen = 0;
+      for (const front::FrameDecoder::Item& item : delivered) {
+        if (item.status != front::DecodeStatus::kFrame) {
+          throw PropertyFailure("fuzz_frames: clean stream produced " +
+                                std::string(to_string(item.status)));
+        }
+        if (seen >= built.size() || item.type != built[seen].first ||
+            item.payload != built[seen].second) {
+          throw PropertyFailure(
+              "fuzz_frames: clean stream payload mismatch at frame " +
+              std::to_string(seen));
+        }
+        ++seen;
+      }
+      if (seen != built.size()) {
+        throw PropertyFailure("fuzz_frames: clean stream delivered " +
+                              std::to_string(seen) + " of " +
+                              std::to_string(built.size()) + " frames");
+      }
+      if (decoder.buffered() != 0) {
+        throw PropertyFailure(
+            "fuzz_frames: clean stream left bytes buffered");
+      }
+    }
+  }
+  return stats;
 }
 
 }  // namespace shears::check

@@ -34,4 +34,19 @@ FuzzStats fuzz_csv(Gen& gen, const World& world,
 FuzzStats fuzz_jsonl(Gen& gen, const World& world,
                      const atlas::MeasurementDataset& dataset, int rounds);
 
+struct FrameFuzzStats {
+  std::size_t rounds = 0;
+  std::size_t clean = 0;    ///< unmutated rounds (exact round-trip required)
+  std::size_t frames = 0;   ///< intact frames the decoder delivered
+  std::size_t damaged = 0;  ///< per-frame decode errors surfaced
+};
+
+/// Builds random valid front-end frame streams, sometimes mutates them
+/// (byte flips, truncation, splices, deletions), and feeds the result to
+/// front::FrameDecoder in random-sized chunks. Throws PropertyFailure if
+/// the decoder throws, stops making progress, or — on an unmutated
+/// stream — fails to deliver every frame byte-exactly regardless of how
+/// the bytes were chunked.
+FrameFuzzStats fuzz_frames(Gen& gen, int rounds);
+
 }  // namespace shears::check

@@ -36,6 +36,14 @@ const std::set<std::string>& allowed_keys() {
       "resilience.quarantine", "resilience.quarantine_window",
       "resilience.quarantine_loss_threshold",
       "resilience.quarantine_cooldown_ticks",
+      "traffic.arrival", "traffic.clients", "traffic.offered_qps",
+      "traffic.think_time_us", "traffic.zipf_exponent", "traffic.duration_us",
+      "traffic.slo_ms", "traffic.seed", "traffic.deadline_us",
+      "traffic.max_retries", "traffic.backoff_base_us",
+      "traffic.backoff_cap_us", "traffic.jitter_fraction",
+      "traffic.queue_capacity", "traffic.client_rate_qps",
+      "traffic.client_burst", "traffic.max_batch", "traffic.batch_linger_us",
+      "traffic.batch_overhead_us", "traffic.per_query_us",
       "footprint.year", "footprint.providers",
   };
   return keys;
@@ -214,6 +222,64 @@ Scenario parse_scenario(std::istream& is) {
     throw std::runtime_error(std::string("scenario: ") + e.what());
   }
 
+  const std::string arrival = ini.get_string(
+      "traffic", "arrival", std::string(front::to_string(s.traffic.arrival)));
+  const auto mode = front::arrival_from_string(arrival);
+  if (!mode) {
+    throw std::runtime_error("scenario: unknown traffic.arrival '" + arrival +
+                             "' (open|closed)");
+  }
+  s.traffic.arrival = *mode;
+  s.traffic.clients = static_cast<std::uint32_t>(ini.get_int(
+      "traffic", "clients", static_cast<long>(s.traffic.clients)));
+  s.traffic.offered_qps = static_cast<std::uint32_t>(ini.get_int(
+      "traffic", "offered_qps", static_cast<long>(s.traffic.offered_qps)));
+  s.traffic.think_time_us = static_cast<front::SimTime>(ini.get_int(
+      "traffic", "think_time_us", static_cast<long>(s.traffic.think_time_us)));
+  s.traffic.zipf_exponent =
+      ini.get_double("traffic", "zipf_exponent", s.traffic.zipf_exponent);
+  s.traffic.duration_us = static_cast<front::SimTime>(ini.get_int(
+      "traffic", "duration_us", static_cast<long>(s.traffic.duration_us)));
+  s.traffic.slo_ms = ini.get_double("traffic", "slo_ms", s.traffic.slo_ms);
+  s.traffic.seed = static_cast<std::uint64_t>(
+      ini.get_int("traffic", "seed", static_cast<long>(s.traffic.seed)));
+  s.traffic.client.deadline_us = static_cast<front::SimTime>(
+      ini.get_int("traffic", "deadline_us",
+                  static_cast<long>(s.traffic.client.deadline_us)));
+  s.traffic.client.max_retries = static_cast<int>(ini.get_int(
+      "traffic", "max_retries", s.traffic.client.max_retries));
+  s.traffic.client.backoff_base_us = static_cast<front::SimTime>(
+      ini.get_int("traffic", "backoff_base_us",
+                  static_cast<long>(s.traffic.client.backoff_base_us)));
+  s.traffic.client.backoff_cap_us = static_cast<front::SimTime>(
+      ini.get_int("traffic", "backoff_cap_us",
+                  static_cast<long>(s.traffic.client.backoff_cap_us)));
+  s.traffic.client.jitter_fraction = ini.get_double(
+      "traffic", "jitter_fraction", s.traffic.client.jitter_fraction);
+  s.front.queue_capacity = static_cast<std::size_t>(ini.get_int(
+      "traffic", "queue_capacity", static_cast<long>(s.front.queue_capacity)));
+  s.front.client_rate_qps = static_cast<std::uint32_t>(
+      ini.get_int("traffic", "client_rate_qps",
+                  static_cast<long>(s.front.client_rate_qps)));
+  s.front.client_burst = static_cast<std::uint32_t>(ini.get_int(
+      "traffic", "client_burst", static_cast<long>(s.front.client_burst)));
+  s.front.max_batch = static_cast<std::size_t>(ini.get_int(
+      "traffic", "max_batch", static_cast<long>(s.front.max_batch)));
+  s.front.batch_linger_us = static_cast<front::SimTime>(
+      ini.get_int("traffic", "batch_linger_us",
+                  static_cast<long>(s.front.batch_linger_us)));
+  s.front.batch_overhead_us = static_cast<front::SimTime>(
+      ini.get_int("traffic", "batch_overhead_us",
+                  static_cast<long>(s.front.batch_overhead_us)));
+  s.front.per_query_us = static_cast<front::SimTime>(ini.get_int(
+      "traffic", "per_query_us", static_cast<long>(s.front.per_query_us)));
+  try {
+    s.front.validate();
+    s.traffic.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("scenario: ") + e.what());
+  }
+
   s.footprint_year =
       static_cast<int>(ini.get_int("footprint", "year", s.footprint_year));
   for (const std::string& name : ini.get_list("footprint", "providers")) {
@@ -289,6 +355,32 @@ std::string default_scenario_text() {
       << s.campaign.quarantine.loss_threshold << "\n"
       << "quarantine_cooldown_ticks = "
       << s.campaign.quarantine.cooldown_ticks << "\n\n"
+      << "[traffic]\n"
+      << "# Serving front-end session over the post-campaign oracle; see\n"
+      << "# scenarios/serving_peak_load.ini for an overload study\n"
+      << "arrival = " << front::to_string(s.traffic.arrival)
+      << "  ; open | closed\n"
+      << "clients = " << s.traffic.clients << "\n"
+      << "offered_qps = " << s.traffic.offered_qps << "\n"
+      << "think_time_us = " << s.traffic.think_time_us << "\n"
+      << "zipf_exponent = " << s.traffic.zipf_exponent << "\n"
+      << "duration_us = " << s.traffic.duration_us << "\n"
+      << "slo_ms = " << s.traffic.slo_ms << "\n"
+      << "seed = " << s.traffic.seed << "\n"
+      << "deadline_us = " << s.traffic.client.deadline_us
+      << "  ; 0 = none\n"
+      << "max_retries = " << s.traffic.client.max_retries << "\n"
+      << "backoff_base_us = " << s.traffic.client.backoff_base_us << "\n"
+      << "backoff_cap_us = " << s.traffic.client.backoff_cap_us << "\n"
+      << "jitter_fraction = " << s.traffic.client.jitter_fraction << "\n"
+      << "queue_capacity = " << s.front.queue_capacity << "\n"
+      << "client_rate_qps = " << s.front.client_rate_qps
+      << "  ; 0 = unlimited\n"
+      << "client_burst = " << s.front.client_burst << "\n"
+      << "max_batch = " << s.front.max_batch << "\n"
+      << "batch_linger_us = " << s.front.batch_linger_us << "\n"
+      << "batch_overhead_us = " << s.front.batch_overhead_us << "\n"
+      << "per_query_us = " << s.front.per_query_us << "\n\n"
       << "[footprint]\n"
       << "year = 0        ; 0 = full 2019/2020 footprint\n"
       << "# providers = Amazon, Google   ; default: all seven\n";

@@ -25,6 +25,8 @@
 #include "atlas/campaign.hpp"
 #include "atlas/placement.hpp"
 #include "faults/fault_schedule.hpp"
+#include "front/server.hpp"
+#include "front/traffic.hpp"
 #include "net/latency_model.hpp"
 #include "topology/registry.hpp"
 
@@ -39,6 +41,11 @@ struct Scenario {
   /// so an unfaulted scenario builds an empty schedule. Retry/quarantine
   /// knobs ([resilience]) live inside `campaign`.
   faults::FaultScheduleConfig faults{};
+  /// Serving front-end knobs ([traffic] section): admission control,
+  /// batching and the traffic-generator session driven against the
+  /// oracle built from this scenario's dataset.
+  front::FrontConfig front{};
+  front::TrafficConfig traffic{};
   /// Footprint snapshot year; 0 = the full campaign footprint.
   int footprint_year = 0;
   /// Provider subset; empty = all seven.

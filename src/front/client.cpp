@@ -1,0 +1,160 @@
+#include "front/client.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace shears::front {
+
+void ClientConfig::validate() const {
+  if (max_retries < 0) {
+    throw std::invalid_argument("ClientConfig: max_retries must be >= 0");
+  }
+  if (backoff_base_us == 0 || backoff_cap_us == 0) {
+    throw std::invalid_argument(
+        "ClientConfig: backoff base and cap must be > 0");
+  }
+  if (jitter_fraction < 0.0 || jitter_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "ClientConfig: jitter_fraction must be in [0, 1)");
+  }
+}
+
+FrontClient::FrontClient(std::uint64_t client_id, ClientConfig config,
+                         std::uint64_t session_seed)
+    : client_id_(client_id),
+      config_(config),
+      rng_(stats::Xoshiro256(session_seed).fork(client_id)) {
+  config_.validate();
+}
+
+SimTime FrontClient::backoff_us(int attempt) {
+  // Capped exponential: base × 2^(attempt-1), the campaign retry curve.
+  SimTime wait = config_.backoff_base_us;
+  for (int i = 1; i < attempt && wait < config_.backoff_cap_us; ++i) {
+    wait *= 2;
+  }
+  wait = std::min(wait, config_.backoff_cap_us);
+  if (config_.jitter_fraction > 0.0) {
+    const double scale = rng_.uniform(1.0 - config_.jitter_fraction,
+                                      1.0 + config_.jitter_fraction);
+    wait = static_cast<SimTime>(static_cast<double>(wait) * scale);
+    if (wait == 0) wait = 1;
+  }
+  return wait;
+}
+
+std::vector<std::uint8_t> FrontClient::frame_attempt(
+    const serve::Query& query, const PendingRequest& pending, SimTime now) {
+  Request req;
+  req.request_id = pending.request_id;
+  req.client_id = client_id_;
+  req.deadline_us = config_.deadline_us == 0 ? 0 : now + config_.deadline_us;
+  req.kind = query.kind;
+  req.lat_deg = query.where.lat_deg;
+  req.lon_deg = query.where.lon_deg;
+  req.country_iso2 = std::string(query.country_iso2);
+  req.access = query.access;
+  req.any_access = query.any_access;
+  req.app_id = std::string(query.app_id);
+  req.budget_ms = query.budget_ms;
+  req.k = query.k;
+  std::vector<std::uint8_t> bytes;
+  append_request_frame(bytes, req);
+  stats_.sent += 1;
+  return bytes;
+}
+
+std::vector<std::uint8_t> FrontClient::make_request(
+    const serve::Query& query, std::uint64_t corpus_index, SimTime now) {
+  PendingRequest pending;
+  pending.request_id = (client_id_ << 32) | next_request_++;
+  pending.corpus_index = corpus_index;
+  pending.first_issue_us = now;
+  pending.attempt = 1;
+  std::vector<std::uint8_t> bytes = frame_attempt(query, pending, now);
+  pending_.push_back(pending);
+  return bytes;
+}
+
+std::vector<std::uint8_t> FrontClient::make_retry(const Outcome& outcome,
+                                                  const serve::Query& query,
+                                                  SimTime now) {
+  const auto it = std::find_if(pending_.begin(), pending_.end(),
+                               [&outcome](const PendingRequest& p) {
+                                 return p.request_id == outcome.request_id;
+                               });
+  if (it == pending_.end()) {
+    throw std::logic_error("FrontClient::make_retry: unknown request id");
+  }
+  return frame_attempt(query, *it, now);
+}
+
+std::vector<FrontClient::Outcome> FrontClient::on_bytes(
+    std::span<const std::uint8_t> bytes, SimTime now) {
+  std::vector<Outcome> outcomes;
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  while (true) {
+    const FrameDecoder::Item item = decoder.next();
+    if (item.status == DecodeStatus::kNeedMore) break;
+    if (item.status != DecodeStatus::kFrame) continue;
+
+    std::uint64_t request_id = 0;
+    bool completed = false;
+    double latency_ms = 0.0;
+    ErrorCode code = ErrorCode::kBadRequest;
+    if (item.type == FrameType::kResponse) {
+      Response res;
+      if (!decode_response(item.payload, res)) continue;
+      request_id = res.request_id;
+      completed = true;
+    } else if (item.type == FrameType::kError) {
+      Error err;
+      if (!decode_error(item.payload, err)) continue;
+      request_id = err.request_id;
+      code = err.code;
+    } else {
+      continue;  // servers do not send requests
+    }
+
+    const auto it = std::find_if(pending_.begin(), pending_.end(),
+                                 [request_id](const PendingRequest& p) {
+                                   return p.request_id == request_id;
+                                 });
+    if (it == pending_.end()) continue;  // duplicate or unsolicited
+
+    Outcome outcome;
+    outcome.request_id = request_id;
+    outcome.corpus_index = it->corpus_index;
+    if (completed) {
+      latency_ms = static_cast<double>(now - it->first_issue_us) / 1000.0;
+      outcome.kind = Outcome::Kind::kCompleted;
+      outcome.latency_ms = latency_ms;
+      stats_.completed += 1;
+      latencies_ms_.push_back(latency_ms);
+      pending_.erase(it);
+    } else {
+      switch (code) {
+        case ErrorCode::kOverloaded: stats_.errors_overloaded += 1; break;
+        case ErrorCode::kThrottled: stats_.errors_throttled += 1; break;
+        case ErrorCode::kDeadlineExceeded: stats_.errors_deadline += 1; break;
+        case ErrorCode::kStale: stats_.errors_stale += 1; break;
+        case ErrorCode::kBadRequest: stats_.errors_bad_request += 1; break;
+      }
+      if (retryable(code) && it->attempt <= config_.max_retries) {
+        outcome.kind = Outcome::Kind::kRetry;
+        outcome.retry_at = now + backoff_us(it->attempt);
+        it->attempt += 1;
+        stats_.retries += 1;
+      } else {
+        outcome.kind = Outcome::Kind::kFailed;
+        stats_.failed += 1;
+        pending_.erase(it);
+      }
+    }
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+}  // namespace shears::front

@@ -1,0 +1,120 @@
+// The front-end's client half: request framing, response matching, and
+// a retry policy with capped exponential backoff plus deterministic
+// jitter — the same resilience shape the campaign engine applies to
+// lost bursts (faults::RetryPolicy), transplanted to the serving path.
+//
+// A client owns one connection. It stamps each attempt with a fresh
+// absolute deadline, measures latency from the *first* issue (retries
+// do not reset the user's clock), and retries exactly the transient
+// error codes (kOverloaded / kThrottled / kStale). Jitter draws from a
+// per-client forked stats::Xoshiro256 stream, so a thousand clients
+// backing off never stampede in phase — and the whole schedule is still
+// a pure function of the session seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "front/frame.hpp"
+#include "stats/rng.hpp"
+
+namespace shears::front {
+
+struct ClientConfig {
+  /// Extra attempts after a retryable error; 0 disables retries.
+  int max_retries = 3;
+  /// Backoff before retry k (1-based): base × 2^(k-1), capped, then
+  /// jittered by ±jitter_fraction.
+  SimTime backoff_base_us = 5'000;
+  SimTime backoff_cap_us = 160'000;
+  double jitter_fraction = 0.25;
+  /// Per-attempt deadline stamped on each request; 0 = none.
+  SimTime deadline_us = 0;
+
+  /// Throws std::invalid_argument on negative retries, zero backoff
+  /// base/cap, or jitter outside [0, 1).
+  void validate() const;
+};
+
+/// Deterministic per-client tallies plus completed-request latencies.
+struct ClientStats {
+  std::uint64_t sent = 0;       ///< request frames issued (incl. retries)
+  std::uint64_t completed = 0;  ///< response frames received
+  std::uint64_t retries = 0;    ///< retry attempts scheduled
+  std::uint64_t failed = 0;     ///< gave up (retries exhausted or fatal)
+  std::uint64_t errors_overloaded = 0;
+  std::uint64_t errors_throttled = 0;
+  std::uint64_t errors_deadline = 0;
+  std::uint64_t errors_stale = 0;
+  std::uint64_t errors_bad_request = 0;
+};
+
+class FrontClient {
+ public:
+  /// What the caller (the traffic loop) must do next for one request.
+  struct Outcome {
+    enum class Kind : unsigned char {
+      kCompleted,  ///< response received; latency_ms is the user latency
+      kRetry,      ///< transient error; re-send via make_retry at retry_at
+      kFailed,     ///< fatal error or retries exhausted
+    };
+    Kind kind = Kind::kCompleted;
+    std::uint64_t corpus_index = 0;  ///< caller's query tag, round-tripped
+    double latency_ms = 0.0;         ///< kCompleted only
+    SimTime retry_at = 0;            ///< kRetry only
+    std::uint64_t request_id = 0;
+  };
+
+  FrontClient(std::uint64_t client_id, ClientConfig config,
+              std::uint64_t session_seed);
+
+  [[nodiscard]] std::uint64_t client_id() const noexcept {
+    return client_id_;
+  }
+
+  /// Frames a fresh request for `query` issued at `now`; `corpus_index`
+  /// rides along and comes back in the Outcome.
+  [[nodiscard]] std::vector<std::uint8_t> make_request(
+      const serve::Query& query, std::uint64_t corpus_index, SimTime now);
+
+  /// Frames the retry attempt promised by an Outcome::kRetry.
+  [[nodiscard]] std::vector<std::uint8_t> make_retry(
+      const Outcome& outcome, const serve::Query& query, SimTime now);
+
+  /// Feeds server→client bytes received at `now`; returns the resolved
+  /// outcomes, in wire order.
+  [[nodiscard]] std::vector<Outcome> on_bytes(
+      std::span<const std::uint8_t> bytes, SimTime now);
+
+  [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
+  /// User-visible latencies (ms) of completed requests, arrival order.
+  [[nodiscard]] const std::vector<double>& latencies_ms() const noexcept {
+    return latencies_ms_;
+  }
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  struct PendingRequest {
+    std::uint64_t request_id = 0;
+    std::uint64_t corpus_index = 0;
+    SimTime first_issue_us = 0;
+    int attempt = 1;
+  };
+
+  [[nodiscard]] std::vector<std::uint8_t> frame_attempt(
+      const serve::Query& query, const PendingRequest& pending, SimTime now);
+  [[nodiscard]] SimTime backoff_us(int attempt);
+
+  std::uint64_t client_id_;
+  ClientConfig config_;
+  stats::Xoshiro256 rng_;  ///< jitter stream, forked from the session seed
+  std::uint64_t next_request_ = 0;
+  std::vector<PendingRequest> pending_;
+  ClientStats stats_;
+  std::vector<double> latencies_ms_;
+};
+
+}  // namespace shears::front

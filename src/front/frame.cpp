@@ -1,0 +1,425 @@
+#include "front/frame.hpp"
+
+#include <cstring>
+
+namespace shears::front {
+
+namespace {
+
+// Little-endian primitive writers/readers over byte vectors. A Cursor
+// read fails (returns false) instead of reading past the payload, which
+// is what lets the body decoders reject truncation without exceptions.
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_string(std::vector<std::uint8_t>& out, std::string_view s) {
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) noexcept
+      : bytes_(bytes) {}
+
+  [[nodiscard]] bool done() const noexcept { return at_ == bytes_.size(); }
+
+  [[nodiscard]] bool u8(std::uint8_t& v) noexcept {
+    if (bytes_.size() - at_ < 1) return false;
+    v = bytes_[at_++];
+    return true;
+  }
+
+  [[nodiscard]] bool u16(std::uint16_t& v) noexcept {
+    if (bytes_.size() - at_ < 2) return false;
+    v = static_cast<std::uint16_t>(bytes_[at_] |
+                                   (std::uint16_t{bytes_[at_ + 1]} << 8));
+    at_ += 2;
+    return true;
+  }
+
+  [[nodiscard]] bool u32(std::uint32_t& v) noexcept {
+    if (bytes_.size() - at_ < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= std::uint32_t{bytes_[at_ + static_cast<std::size_t>(i)]}
+           << (8 * i);
+    }
+    at_ += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool u64(std::uint64_t& v) noexcept {
+    if (bytes_.size() - at_ < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= std::uint64_t{bytes_[at_ + static_cast<std::size_t>(i)]}
+           << (8 * i);
+    }
+    at_ += 8;
+    return true;
+  }
+
+  [[nodiscard]] bool f64(double& v) noexcept {
+    std::uint64_t bits;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+  }
+
+  [[nodiscard]] bool string(std::string& v) noexcept {
+    std::uint16_t n;
+    if (!u16(n)) return false;
+    if (bytes_.size() - at_ < n) return false;
+    v.assign(reinterpret_cast<const char*>(bytes_.data() + at_), n);
+    at_ += n;
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+};
+
+[[nodiscard]] std::uint16_t read_u16_at(
+    std::span<const std::uint8_t> bytes, std::size_t at) noexcept {
+  return static_cast<std::uint16_t>(bytes[at] |
+                                    (std::uint16_t{bytes[at + 1]} << 8));
+}
+
+[[nodiscard]] std::uint32_t read_u32_at(
+    std::span<const std::uint8_t> bytes, std::size_t at) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= std::uint32_t{bytes[at + static_cast<std::size_t>(i)]} << (8 * i);
+  }
+  return v;
+}
+
+/// Registry index of a region pointer (the footprint tops out at ~101
+/// regions, so a scan beats carrying a side table around).
+[[nodiscard]] std::uint16_t region_index_of(
+    const topology::CloudRegistry& registry,
+    const topology::CloudRegion* region) noexcept {
+  const auto& regions = registry.regions();
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    if (regions[i] == region) return static_cast<std::uint16_t>(i);
+  }
+  return kNoRegion;
+}
+
+}  // namespace
+
+std::string_view to_string(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kRequest: return "request";
+    case FrameType::kResponse: return "response";
+    case FrameType::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kThrottled: return "throttled";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kStale: return "stale";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(DecodeStatus status) noexcept {
+  switch (status) {
+    case DecodeStatus::kFrame: return "frame";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadLength: return "bad-length";
+    case DecodeStatus::kBadChecksum: return "bad-checksum";
+    case DecodeStatus::kBadType: return "bad-type";
+  }
+  return "unknown";
+}
+
+serve::Query Request::query() const noexcept {
+  serve::Query q;
+  q.kind = kind;
+  q.where = geo::GeoPoint{lat_deg, lon_deg};
+  q.country_iso2 = country_iso2;
+  q.access = access;
+  q.any_access = any_access;
+  q.app_id = app_id;
+  q.budget_ms = budget_ms;
+  q.k = k;
+  return q;
+}
+
+std::uint32_t frame_checksum(std::uint8_t version, std::uint8_t type,
+                             std::span<const std::uint8_t> payload) noexcept {
+  // FNV-1a over (version, type, length, payload) — the same hash the
+  // dataset checksums use, truncated to the header's 32-bit field.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  mix(version);
+  mix(type);
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) mix(static_cast<std::uint8_t>(length >> (8 * i)));
+  for (const std::uint8_t byte : payload) mix(byte);
+  return static_cast<std::uint32_t>(h);
+}
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::span<const std::uint8_t> payload) {
+  put_u16(out, kFrameMagic);
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, frame_checksum(kProtocolVersion,
+                              static_cast<std::uint8_t>(type), payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void append_request_frame(std::vector<std::uint8_t>& out, const Request& req) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, req.request_id);
+  put_u64(body, req.client_id);
+  put_u64(body, req.deadline_us);
+  put_u8(body, static_cast<std::uint8_t>(req.kind));
+  put_f64(body, req.lat_deg);
+  put_f64(body, req.lon_deg);
+  put_string(body, req.country_iso2);
+  put_u8(body, static_cast<std::uint8_t>(req.access));
+  put_u8(body, req.any_access ? 1 : 0);
+  put_string(body, req.app_id);
+  put_f64(body, req.budget_ms);
+  put_u32(body, req.k);
+  append_frame(out, FrameType::kRequest, body);
+}
+
+void append_response_frame(std::vector<std::uint8_t>& out,
+                           const Response& res) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, res.request_id);
+  put_u8(body, res.ok ? 1 : 0);
+  put_string(body, res.country_iso2);
+  put_u16(body, res.best_region);
+  put_f64(body, res.best_ms);
+  put_f64(body, res.median_ms);
+  put_f64(body, res.p95_ms);
+  put_u8(body, static_cast<std::uint8_t>(res.verdict));
+  put_u8(body, res.in_zone ? 1 : 0);
+  put_u16(body, static_cast<std::uint16_t>(res.regions.size()));
+  for (const WireRegion& r : res.regions) {
+    put_u16(body, r.region_index);
+    put_f64(body, r.rtt_ms);
+  }
+  append_frame(out, FrameType::kResponse, body);
+}
+
+void append_error_frame(std::vector<std::uint8_t>& out, const Error& err) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, err.request_id);
+  put_u8(body, static_cast<std::uint8_t>(err.code));
+  put_string(body, err.message);
+  append_frame(out, FrameType::kError, body);
+}
+
+bool decode_request(std::span<const std::uint8_t> payload,
+                    Request& out) noexcept {
+  Cursor c(payload);
+  std::uint8_t kind = 0;
+  std::uint8_t access = 0;
+  std::uint8_t any_access = 0;
+  if (!c.u64(out.request_id) || !c.u64(out.client_id) ||
+      !c.u64(out.deadline_us) || !c.u8(kind) || !c.f64(out.lat_deg) ||
+      !c.f64(out.lon_deg) || !c.string(out.country_iso2) || !c.u8(access) ||
+      !c.u8(any_access) || !c.string(out.app_id) || !c.f64(out.budget_ms) ||
+      !c.u32(out.k) || !c.done()) {
+    return false;
+  }
+  if (kind > static_cast<std::uint8_t>(serve::QueryKind::kTopK)) return false;
+  if (access >= net::kAccessTechnologyCount) return false;
+  if (any_access > 1) return false;
+  out.kind = static_cast<serve::QueryKind>(kind);
+  out.access = static_cast<net::AccessTechnology>(access);
+  out.any_access = any_access != 0;
+  return true;
+}
+
+bool decode_response(std::span<const std::uint8_t> payload,
+                     Response& out) noexcept {
+  Cursor c(payload);
+  std::uint8_t ok = 0;
+  std::uint8_t verdict = 0;
+  std::uint8_t in_zone = 0;
+  std::uint16_t region_count = 0;
+  if (!c.u64(out.request_id) || !c.u8(ok) || !c.string(out.country_iso2) ||
+      !c.u16(out.best_region) || !c.f64(out.best_ms) ||
+      !c.f64(out.median_ms) || !c.f64(out.p95_ms) || !c.u8(verdict) ||
+      !c.u8(in_zone) || !c.u16(region_count)) {
+    return false;
+  }
+  if (ok > 1 || in_zone > 1) return false;
+  if (verdict > static_cast<std::uint8_t>(core::EdgeVerdict::kNoEdgeCase)) {
+    return false;
+  }
+  out.ok = ok != 0;
+  out.verdict = static_cast<core::EdgeVerdict>(verdict);
+  out.in_zone = in_zone != 0;
+  out.regions.clear();
+  out.regions.reserve(region_count);
+  for (std::uint16_t i = 0; i < region_count; ++i) {
+    WireRegion r;
+    if (!c.u16(r.region_index) || !c.f64(r.rtt_ms)) return false;
+    out.regions.push_back(r);
+  }
+  return c.done();
+}
+
+bool decode_error(std::span<const std::uint8_t> payload, Error& out) noexcept {
+  Cursor c(payload);
+  std::uint8_t code = 0;
+  if (!c.u64(out.request_id) || !c.u8(code) || !c.string(out.message) ||
+      !c.done()) {
+    return false;
+  }
+  if (code < static_cast<std::uint8_t>(ErrorCode::kBadRequest) ||
+      code > static_cast<std::uint8_t>(ErrorCode::kStale)) {
+    return false;
+  }
+  out.code = static_cast<ErrorCode>(code);
+  return true;
+}
+
+Response make_response(std::uint64_t request_id, const serve::Answer& answer,
+                       const topology::CloudRegistry& registry) {
+  Response res;
+  res.request_id = request_id;
+  res.ok = answer.ok;
+  if (answer.country != nullptr) res.country_iso2 = answer.country->iso2;
+  if (answer.best_region != nullptr) {
+    res.best_region = region_index_of(registry, answer.best_region);
+  }
+  res.best_ms = answer.best_ms;
+  res.median_ms = answer.median_ms;
+  res.p95_ms = answer.p95_ms;
+  res.verdict = answer.verdict;
+  res.in_zone = answer.in_zone;
+  res.regions.reserve(answer.regions.size());
+  for (const serve::RegionAnswer& r : answer.regions) {
+    res.regions.push_back(
+        WireRegion{region_index_of(registry, r.region), r.rtt_ms});
+  }
+  return res;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  // Compact lazily: drop consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void FrameDecoder::resync(std::size_t n) {
+  pos_ += n;
+  tally_.resync_bytes += n;
+  // Scan for the next byte pair that could open a frame; everything
+  // before it is damage from the current one.
+  while (buffer_.size() - pos_ >= 2 &&
+         read_u16_at(buffer_, pos_) != kFrameMagic) {
+    ++pos_;
+    ++tally_.resync_bytes;
+  }
+}
+
+FrameDecoder::Item FrameDecoder::next() {
+  Item item;
+  const std::size_t avail = buffer_.size() - pos_;
+  if (avail < kFrameHeaderBytes) {
+    item.status = DecodeStatus::kNeedMore;
+    return item;
+  }
+  if (read_u16_at(buffer_, pos_) != kFrameMagic) {
+    resync(1);
+    item.status = DecodeStatus::kBadMagic;
+    ++tally_.bad_magic;
+    return item;
+  }
+  const std::uint8_t version = buffer_[pos_ + 2];
+  const std::uint8_t type = buffer_[pos_ + 3];
+  const std::uint32_t length = read_u32_at(buffer_, pos_ + 4);
+  if (length > kMaxPayloadBytes) {
+    // The length field cannot be trusted, so the frame body cannot be
+    // skipped exactly; drop the header and hunt for the next magic.
+    resync(kFrameHeaderBytes);
+    item.status = DecodeStatus::kBadLength;
+    ++tally_.bad_length;
+    return item;
+  }
+  if (avail < kFrameHeaderBytes + length) {
+    item.status = DecodeStatus::kNeedMore;
+    return item;
+  }
+  const std::uint32_t want = read_u32_at(buffer_, pos_ + 8);
+  const std::span<const std::uint8_t> payload(
+      buffer_.data() + pos_ + kFrameHeaderBytes, length);
+  pos_ += kFrameHeaderBytes + length;
+  if (want != frame_checksum(version, type, payload)) {
+    item.status = DecodeStatus::kBadChecksum;
+    ++tally_.bad_checksum;
+    return item;
+  }
+  // Checksummed: the length (covered by the hash) is authoritative, so
+  // version/type damage skips exactly this frame.
+  if (version != kProtocolVersion) {
+    item.status = DecodeStatus::kBadVersion;
+    ++tally_.bad_version;
+    return item;
+  }
+  if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
+      type > static_cast<std::uint8_t>(FrameType::kError)) {
+    item.status = DecodeStatus::kBadType;
+    ++tally_.bad_type;
+    return item;
+  }
+  item.status = DecodeStatus::kFrame;
+  item.type = static_cast<FrameType>(type);
+  item.payload.assign(payload.begin(), payload.end());
+  ++tally_.frames;
+  return item;
+}
+
+}  // namespace shears::front

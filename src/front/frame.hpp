@@ -1,0 +1,233 @@
+// The serving front-end's wire format: versioned, length-prefixed,
+// checksummed frames over a byte stream.
+//
+// A production oracle is judged by what happens to the *other* requests
+// when one arrives broken. The codec therefore rejects damage per frame,
+// never per connection: a truncated header waits for more bytes, a bad
+// checksum or version skips exactly the advertised frame, and a
+// corrupted magic resynchronises by scanning for the next frame
+// boundary — every intact frame after the damage is still delivered.
+// The decoder never throws and never reads past its buffer; the
+// corpus-driven fuzz suite (check::fuzz_frames) pins both.
+//
+// Layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       2     magic 0x5346 ("FS")
+//   2       1     protocol version (kProtocolVersion)
+//   3       1     frame type (FrameType)
+//   4       4     payload length, <= kMaxPayloadBytes
+//   8       4     checksum: FNV-1a 64 over bytes [2, 8) + payload,
+//                 truncated to 32 bits — covers version, type and
+//                 length, so a corrupted length field cannot pass
+//   12      N     payload
+//
+// Payloads are the request / response / error bodies below, serialised
+// with fixed-width fields and length-prefixed strings. Their decoders
+// return false on malformed bodies instead of throwing — a frame that
+// checksums correctly can still carry garbage, and the server answers
+// that with a kBadRequest error frame, not a crash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/oracle.hpp"
+
+namespace shears::front {
+
+inline constexpr std::uint16_t kFrameMagic = 0x5346;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kMaxPayloadBytes = 64 * 1024;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+};
+
+[[nodiscard]] std::string_view to_string(FrameType type) noexcept;
+
+/// Error codes carried by kError frames. Retryable conditions
+/// (kOverloaded, kThrottled, kStale) are transient server states; the
+/// client retry policy backs off and retries exactly those.
+enum class ErrorCode : std::uint8_t {
+  kBadRequest = 1,        ///< body failed to decode; do not retry
+  kOverloaded = 2,        ///< admission queue full or wait exceeds deadline
+  kThrottled = 3,         ///< per-client token bucket empty
+  kDeadlineExceeded = 4,  ///< admitted, but served past the deadline
+  kStale = 5,             ///< store had unrefreshed appends; retry
+};
+
+[[nodiscard]] std::string_view to_string(ErrorCode code) noexcept;
+
+[[nodiscard]] constexpr bool retryable(ErrorCode code) noexcept {
+  return code == ErrorCode::kOverloaded || code == ErrorCode::kThrottled ||
+         code == ErrorCode::kStale;
+}
+
+/// Simulated time in microseconds since session start. All front-end
+/// latency arithmetic is integer microseconds, so overload, shedding and
+/// recovery replay byte-identically on any machine or thread count.
+using SimTime = std::uint64_t;
+
+// ---------------------------------------------------------------------------
+// Frame bodies.
+
+/// A request body: one serve::Query plus the request lifecycle fields.
+/// Strings are owned, so a decoded request outlives its frame buffer.
+struct Request {
+  std::uint64_t request_id = 0;
+  std::uint64_t client_id = 0;
+  /// Absolute sim-time deadline (µs); 0 = no deadline.
+  SimTime deadline_us = 0;
+  serve::QueryKind kind = serve::QueryKind::kBestRtt;
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+  std::string country_iso2;  ///< empty = resolve via location
+  net::AccessTechnology access = net::AccessTechnology::kEthernet;
+  bool any_access = true;
+  std::string app_id;
+  double budget_ms = 0.0;
+  std::uint32_t k = 0;
+
+  /// The serve::Query view of this request. The returned query borrows
+  /// this request's strings; keep the request alive while answering.
+  [[nodiscard]] serve::Query query() const noexcept;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+/// One kTopK row on the wire: the region by registry index.
+struct WireRegion {
+  std::uint16_t region_index = 0;
+  double rtt_ms = 0.0;
+
+  friend bool operator==(const WireRegion&, const WireRegion&) = default;
+};
+
+inline constexpr std::uint16_t kNoRegion = 0xffff;
+
+/// A response body: the answer with registry pointers flattened to
+/// indexes (the client resolves them against its own registry copy).
+struct Response {
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  std::string country_iso2;  ///< empty when the country did not resolve
+  std::uint16_t best_region = kNoRegion;
+  double best_ms = 0.0;
+  double median_ms = 0.0;
+  double p95_ms = 0.0;
+  core::EdgeVerdict verdict = core::EdgeVerdict::kNoEdgeCase;
+  bool in_zone = false;
+  std::vector<WireRegion> regions;
+
+  friend bool operator==(const Response&, const Response&) = default;
+};
+
+/// An error body; `message` is optional human-readable context.
+struct Error {
+  std::uint64_t request_id = 0;
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string message;
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Encoding.
+
+/// Appends one framed message to `out`.
+void append_request_frame(std::vector<std::uint8_t>& out, const Request& req);
+void append_response_frame(std::vector<std::uint8_t>& out,
+                           const Response& res);
+void append_error_frame(std::vector<std::uint8_t>& out, const Error& err);
+
+/// Appends a raw frame around an arbitrary payload (fuzzing / tests).
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::span<const std::uint8_t> payload);
+
+/// Body decoders: false on malformed/truncated/trailing-garbage bodies.
+/// Never throw.
+[[nodiscard]] bool decode_request(std::span<const std::uint8_t> payload,
+                                  Request& out) noexcept;
+[[nodiscard]] bool decode_response(std::span<const std::uint8_t> payload,
+                                   Response& out) noexcept;
+[[nodiscard]] bool decode_error(std::span<const std::uint8_t> payload,
+                                Error& out) noexcept;
+
+/// Builds a Response body from an answered query (pointers -> indexes).
+[[nodiscard]] Response make_response(std::uint64_t request_id,
+                                     const serve::Answer& answer,
+                                     const topology::CloudRegistry& registry);
+
+// ---------------------------------------------------------------------------
+// Decoding.
+
+enum class DecodeStatus : std::uint8_t {
+  kFrame,        ///< a complete, checksummed frame was delivered
+  kNeedMore,     ///< buffer holds no complete unit; feed more bytes
+  kBadMagic,     ///< resynchronised by scanning for the next magic
+  kBadVersion,   ///< well-formed frame of an unknown protocol version
+  kBadLength,    ///< length field above kMaxPayloadBytes; resynchronised
+  kBadChecksum,  ///< frame skipped whole
+  kBadType,      ///< unknown FrameType; frame skipped whole
+};
+
+[[nodiscard]] std::string_view to_string(DecodeStatus status) noexcept;
+
+/// Incremental frame decoder over a per-connection read buffer. feed()
+/// bytes as they arrive, then pull next() until kNeedMore. Decode errors
+/// consume the damaged region and leave the stream usable; the per-kind
+/// error tallies feed the front.decode.* counters.
+class FrameDecoder {
+ public:
+  struct Item {
+    DecodeStatus status = DecodeStatus::kNeedMore;
+    FrameType type = FrameType::kRequest;   ///< valid when kFrame
+    std::vector<std::uint8_t> payload;      ///< valid when kFrame
+  };
+
+  struct Tally {
+    std::uint64_t frames = 0;
+    std::uint64_t bad_magic = 0;
+    std::uint64_t bad_version = 0;
+    std::uint64_t bad_length = 0;
+    std::uint64_t bad_checksum = 0;
+    std::uint64_t bad_type = 0;
+    std::uint64_t resync_bytes = 0;  ///< bytes discarded hunting for magic
+  };
+
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Next frame or per-frame error; kNeedMore when the buffer is
+  /// exhausted. Never throws.
+  [[nodiscard]] Item next();
+
+  [[nodiscard]] const Tally& tally() const noexcept { return tally_; }
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - pos_;
+  }
+
+ private:
+  /// Drops `n` bytes, then scans forward to the next plausible magic.
+  void resync(std::size_t n);
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;
+  Tally tally_;
+};
+
+/// Checksum as written into the frame header: FNV-1a 64 over the
+/// version/type/length header tail plus the payload, truncated to 32
+/// bits.
+[[nodiscard]] std::uint32_t frame_checksum(
+    std::uint8_t version, std::uint8_t type,
+    std::span<const std::uint8_t> payload) noexcept;
+
+}  // namespace shears::front

@@ -1,0 +1,278 @@
+#include "front/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "apps/application.hpp"
+#include "obs/metrics.hpp"
+
+namespace shears::front {
+
+std::string_view to_string(ArrivalMode mode) noexcept {
+  switch (mode) {
+    case ArrivalMode::kOpen: return "open";
+    case ArrivalMode::kClosed: return "closed";
+  }
+  return "unknown";
+}
+
+std::optional<ArrivalMode> arrival_from_string(std::string_view name) noexcept {
+  if (name == "open") return ArrivalMode::kOpen;
+  if (name == "closed") return ArrivalMode::kClosed;
+  return std::nullopt;
+}
+
+void TrafficConfig::validate() const {
+  if (clients == 0) {
+    throw std::invalid_argument("TrafficConfig: clients must be > 0");
+  }
+  if (duration_us == 0) {
+    throw std::invalid_argument("TrafficConfig: duration_us must be > 0");
+  }
+  if (arrival == ArrivalMode::kOpen && offered_qps == 0) {
+    throw std::invalid_argument(
+        "TrafficConfig: open arrivals need offered_qps > 0");
+  }
+  if (arrival == ArrivalMode::kClosed && think_time_us == 0) {
+    throw std::invalid_argument(
+        "TrafficConfig: closed arrivals need think_time_us > 0");
+  }
+  if (zipf_exponent < 0.0) {
+    throw std::invalid_argument("TrafficConfig: zipf_exponent must be >= 0");
+  }
+  client.validate();
+}
+
+double percentile_ms(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank: the smallest value with at least q of the mass at or
+  // below it — exact and unambiguous for SLO judgments.
+  const auto n = static_cast<double>(samples.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+namespace {
+
+/// Zipf(s) sampler over [0, n): cumulative-weight table + binary search.
+class ZipfPicker {
+ public:
+  ZipfPicker(std::size_t n, double exponent) {
+    cumulative_.reserve(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cumulative_.push_back(total);
+    }
+  }
+
+  [[nodiscard]] std::size_t pick(stats::Xoshiro256& rng) const {
+    const double u = rng.next_double() * cumulative_.back();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<std::size_t>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+struct Event {
+  SimTime at = 0;
+  std::uint64_t order = 0;  ///< push order; the deterministic tie-break
+  enum class Kind : unsigned char { kSend, kRetry, kWake } kind = Kind::kSend;
+  std::uint32_t client = 0;
+  std::uint64_t corpus_index = 0;
+  std::uint64_t request_id = 0;  ///< kRetry only
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.at != b.at) return a.at > b.at;
+    return a.order > b.order;
+  }
+};
+
+}  // namespace
+
+std::vector<serve::Query> make_corpus(const atlas::ProbeFleet& fleet,
+                                      std::size_t count) {
+  const std::span<const atlas::Probe> probes = fleet.probes();
+  const std::span<const apps::Application> catalog =
+      apps::application_catalog();
+  std::vector<serve::Query> corpus;
+  corpus.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const atlas::Probe& probe = probes[(i * 131) % probes.size()];
+    serve::Query q;
+    q.kind = static_cast<serve::QueryKind>(i % 3);
+    q.where = probe.endpoint.location;
+    if (i % 2 == 0) q.country_iso2 = probe.country->iso2;
+    q.any_access = (i % 5) != 0;
+    q.access = probe.endpoint.access;
+    if (q.kind == serve::QueryKind::kFeasibility) {
+      q.app_id = catalog[i % catalog.size()].id;
+    }
+    if (q.kind == serve::QueryKind::kTopK) {
+      q.budget_ms = 20.0 + static_cast<double>(i % 7) * 40.0;
+      q.k = static_cast<std::uint32_t>(1 + i % 8);
+    }
+    corpus.push_back(q);
+  }
+  return corpus;
+}
+
+TrafficReport run_traffic(FrontServer& server,
+                          std::span<const serve::Query> corpus,
+                          const TrafficConfig& config,
+                          obs::MetricsRegistry* metrics) {
+  config.validate();
+  if (corpus.empty()) {
+    throw std::invalid_argument("run_traffic: corpus must be non-empty");
+  }
+
+  // Independent deterministic streams: arrival process, query skew,
+  // per-client start phases; client jitter forks off the same seed.
+  stats::Xoshiro256 session(config.seed);
+  stats::Xoshiro256 arrivals = session.fork(0xA221);
+  stats::Xoshiro256 skew = session.fork(0x21BF);
+  const ZipfPicker zipf(corpus.size(), config.zipf_exponent);
+
+  std::vector<FrontClient> clients;
+  std::vector<ConnId> conns;
+  clients.reserve(config.clients);
+  conns.reserve(config.clients);
+  for (std::uint32_t c = 0; c < config.clients; ++c) {
+    clients.emplace_back(c, config.client, config.seed);
+    conns.push_back(server.connect(c));
+  }
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  std::uint64_t order = 0;
+  const auto push = [&events, &order](Event e) {
+    e.order = order++;
+    events.push(e);
+  };
+
+  std::uint64_t offered = 0;
+  if (config.arrival == ArrivalMode::kOpen) {
+    // The whole Poisson arrival schedule is drawn up front: it does not
+    // depend on completions, which is the point of an open system.
+    const double rate =
+        static_cast<double>(config.offered_qps) / 1e6;  // per µs
+    double t = 0.0;
+    while (true) {
+      t += -std::log1p(-arrivals.next_double()) / rate;
+      const auto at = static_cast<SimTime>(t);
+      if (at >= config.duration_us) break;
+      push(Event{at, 0, Event::Kind::kSend,
+                 static_cast<std::uint32_t>(
+                     arrivals.bounded(config.clients)),
+                 zipf.pick(skew), 0});
+    }
+  } else {
+    // Closed: one outstanding request per client, first issues spread
+    // over a think-time phase so clients do not start in lockstep.
+    for (std::uint32_t c = 0; c < config.clients; ++c) {
+      push(Event{arrivals.bounded(config.think_time_us), 0,
+                 Event::Kind::kSend, c, zipf.pick(skew), 0});
+    }
+  }
+
+  // The event loop: interleave client sends with server activity
+  // (batch completions, pending output) in strict sim-time order.
+  const auto deliver = [&](SimTime now) {
+    for (std::uint32_t c = 0; c < config.clients; ++c) {
+      const std::vector<std::uint8_t> bytes =
+          server.take_output(conns[c], now);
+      if (bytes.empty()) continue;
+      for (const FrontClient::Outcome& outcome :
+           clients[c].on_bytes(bytes, now)) {
+        using Kind = FrontClient::Outcome::Kind;
+        if (outcome.kind == Kind::kRetry) {
+          push(Event{outcome.retry_at, 0, Event::Kind::kRetry, c,
+                     outcome.corpus_index, outcome.request_id});
+        } else if (config.arrival == ArrivalMode::kClosed &&
+                   now + config.think_time_us < config.duration_us) {
+          push(Event{now + config.think_time_us, 0, Event::Kind::kSend, c,
+                     zipf.pick(skew), 0});
+        }
+      }
+    }
+  };
+
+  SimTime now = 0;
+  while (true) {
+    const std::optional<SimTime> server_at = server.next_activity();
+    if (events.empty() && !server_at.has_value()) break;
+    if (server_at.has_value() &&
+        (events.empty() || *server_at <= events.top().at)) {
+      now = std::max(now, *server_at);
+      server.run_until(now);
+      deliver(now);
+      continue;
+    }
+    const Event e = events.top();
+    events.pop();
+    now = std::max(now, e.at);
+    server.run_until(now);
+    const std::uint32_t c = e.client;
+    if (e.kind == Event::Kind::kSend) {
+      offered += 1;
+      const serve::Query& q = corpus[e.corpus_index];
+      server.submit(conns[c], clients[c].make_request(q, e.corpus_index, now),
+                    now);
+    } else if (e.kind == Event::Kind::kRetry) {
+      FrontClient::Outcome outcome;
+      outcome.request_id = e.request_id;
+      outcome.corpus_index = e.corpus_index;
+      server.submit(conns[c],
+                    clients[c].make_retry(outcome, corpus[e.corpus_index],
+                                          now),
+                    now);
+    }
+    deliver(now);
+  }
+
+  TrafficReport report;
+  report.offered = offered;
+  report.server = server.stats();
+  std::vector<double> latencies;
+  for (const FrontClient& client : clients) {
+    const ClientStats& s = client.stats();
+    report.sent += s.sent;
+    report.completed += s.completed;
+    report.failed += s.failed;
+    report.retries += s.retries;
+    latencies.insert(latencies.end(), client.latencies_ms().begin(),
+                     client.latencies_ms().end());
+  }
+  report.p50_ms = percentile_ms(latencies, 0.50);
+  report.p95_ms = percentile_ms(latencies, 0.95);
+  report.p99_ms = percentile_ms(latencies, 0.99);
+  report.qps = static_cast<double>(report.completed) /
+               (static_cast<double>(config.duration_us) / 1e6);
+  report.slo_ms = config.slo_ms;
+  report.slo_met = report.completed > 0 && report.p99_ms <= config.slo_ms;
+  report.drained = server.drained();
+
+  if (metrics != nullptr) {
+    metrics->counter("front.traffic.offered").add(report.offered);
+    metrics->counter("front.traffic.completed").add(report.completed);
+    metrics->counter("front.traffic.failed").add(report.failed);
+    metrics->counter("front.traffic.retries").add(report.retries);
+    metrics->gauge("front.traffic.p50_ms").set(report.p50_ms);
+    metrics->gauge("front.traffic.p95_ms").set(report.p95_ms);
+    metrics->gauge("front.traffic.p99_ms").set(report.p99_ms);
+    metrics->gauge("front.traffic.qps").set(report.qps);
+    metrics->gauge("front.traffic.slo_met").set(report.slo_met ? 1.0 : 0.0);
+  }
+  return report;
+}
+
+}  // namespace shears::front

@@ -1,0 +1,106 @@
+// Closed-loop traffic generator for the serving front-end.
+//
+// The question a serving layer must answer is not "how fast is a query"
+// but "what query rate can it sustain while the tail stays inside the
+// SLO, and what happens to the excess". This harness drives a
+// FrontServer with the two canonical arrival disciplines:
+//
+//   * open — requests arrive on a Poisson process at a configured
+//     offered rate, regardless of completions (the overload-capable
+//     discipline: offered load can exceed capacity, which is exactly
+//     when shedding and deadline drops must earn their keep);
+//   * closed — each client issues the next request one think-time after
+//     its previous one resolves (the feedback discipline real user
+//     populations follow).
+//
+// Query skew is zipfian over a caller-supplied corpus — the digital-
+// divide traffic shape, where a handful of populous, poorly-connected
+// countries dominate the stream. Everything (arrivals, skew, jitter)
+// derives from one seed through forked stats::Xoshiro256 streams on a
+// simulated clock, so a session's every shed, retry and percentile is
+// byte-reproducible at any oracle thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "front/client.hpp"
+#include "front/server.hpp"
+
+namespace shears::obs {
+class MetricsRegistry;
+}  // namespace shears::obs
+
+namespace shears::front {
+
+enum class ArrivalMode : unsigned char { kOpen, kClosed };
+
+[[nodiscard]] std::string_view to_string(ArrivalMode mode) noexcept;
+/// "open" / "closed"; nullopt on anything else.
+[[nodiscard]] std::optional<ArrivalMode> arrival_from_string(
+    std::string_view name) noexcept;
+
+struct TrafficConfig {
+  ArrivalMode arrival = ArrivalMode::kOpen;
+  std::uint32_t clients = 32;
+  /// Open mode: total offered arrival rate (requests/s).
+  std::uint32_t offered_qps = 20'000;
+  /// Closed mode: per-client think time between resolve and next issue.
+  SimTime think_time_us = 10'000;
+  /// Zipf exponent of the query skew over the corpus (0 = uniform).
+  double zipf_exponent = 1.1;
+  /// New requests are issued in [0, duration); retries may drain later.
+  SimTime duration_us = 1'000'000;
+  /// The tail target the report judges: p99 of completed requests.
+  double slo_ms = 5.0;
+  std::uint64_t seed = 2020;
+  ClientConfig client{};
+
+  /// Throws std::invalid_argument on zero clients/duration, a zero open
+  /// rate, or a negative zipf exponent.
+  void validate() const;
+};
+
+/// Everything a session run produces. All fields are deterministic
+/// functions of (server config, corpus, traffic config) — the soak test
+/// compares whole reports across oracle thread counts.
+struct TrafficReport {
+  std::uint64_t offered = 0;    ///< fresh requests issued (retries excluded)
+  std::uint64_t sent = 0;       ///< request frames on the wire
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;
+  FrontStats server;            ///< shed/expired/stale/queue counters
+  double p50_ms = 0.0;          ///< exact percentiles of completed
+  double p95_ms = 0.0;          ///< request latencies (user-visible,
+  double p99_ms = 0.0;          ///< first issue → response)
+  double qps = 0.0;             ///< completed / configured duration
+  double slo_ms = 0.0;
+  bool slo_met = false;         ///< p99_ms <= slo_ms (and completions > 0)
+  bool drained = false;         ///< server empty after the session
+
+  friend bool operator==(const TrafficReport&, const TrafficReport&) = default;
+};
+
+/// Exact nearest-rank percentile of an unsorted sample; 0 when empty.
+[[nodiscard]] double percentile_ms(std::vector<double> samples, double q);
+
+/// Drives a full session against `server` and returns the report.
+/// `corpus` supplies the query population (non-empty). When `metrics`
+/// is set, publishes front.traffic.* counters and gauges on top of
+/// whatever the server itself has attached.
+[[nodiscard]] TrafficReport run_traffic(FrontServer& server,
+                                        std::span<const serve::Query> corpus,
+                                        const TrafficConfig& config,
+                                        obs::MetricsRegistry* metrics = nullptr);
+
+/// A deterministic mixed corpus over a store's fleet: all three query
+/// kinds, location and ISO-2 resolution, access filters, catalog app
+/// slugs — the serving-path twin of the bench query mix.
+[[nodiscard]] std::vector<serve::Query> make_corpus(
+    const atlas::ProbeFleet& fleet, std::size_t count);
+
+}  // namespace shears::front

@@ -70,6 +70,11 @@ void answer_from_stats(const Query& query, const geo::Country* country,
 
 }  // namespace detail
 
+Oracle::Oracle(ColumnarStore* store, OracleConfig config)
+    : Oracle(static_cast<const ColumnarStore*>(store), config) {
+  mutable_store_ = store;
+}
+
 Oracle::Oracle(const ColumnarStore* store, OracleConfig config)
     : store_(store), config_(config) {
   const topology::CloudRegistry& registry = store_->registry();
@@ -129,12 +134,22 @@ void Oracle::answer_into(const Query& query, Answer& out) const {
 
 void Oracle::answer(std::span<const Query> queries,
                     std::span<Answer> out) const {
+  if (try_answer(queries, out) == BatchStatus::kStale) {
+    throw std::logic_error(
+        "Oracle::answer: store has unrefreshed appends (call refresh())");
+  }
+}
+
+BatchStatus Oracle::try_answer(std::span<const Query> queries,
+                               std::span<Answer> out) const {
   if (queries.size() != out.size()) {
     throw std::invalid_argument("Oracle::answer: out.size() != queries.size()");
   }
   if (!store_->fresh()) {
-    throw std::logic_error(
-        "Oracle::answer: store has unrefreshed appends (call refresh())");
+    if (!config_.auto_refresh || mutable_store_ == nullptr) {
+      return BatchStatus::kStale;
+    }
+    mutable_store_->refresh();
   }
   const auto start = std::chrono::steady_clock::now();
 
@@ -171,6 +186,7 @@ void Oracle::answer(std::span<const Query> queries,
             std::chrono::steady_clock::now() - start)
             .count());
   }
+  return BatchStatus::kOk;
 }
 
 std::vector<Answer> Oracle::answer(std::span<const Query> queries) const {

@@ -107,7 +107,16 @@ struct OracleConfig {
   std::size_t threads = 0;
   /// Feasibility-zone geometry for kFeasibility verdicts.
   core::FeasibilityConfig feasibility{};
+  /// With a mutable store (the non-const constructor), answer() calls
+  /// refresh() on unrefreshed appends instead of failing — what a
+  /// long-lived server in front of a live MeasurementSink wants.
+  /// Ignored when the oracle only holds a const store.
+  bool auto_refresh = false;
 };
+
+/// Outcome of a non-throwing batch. kStale is recoverable: refresh the
+/// store (or build the oracle with auto_refresh) and ask again.
+enum class BatchStatus : unsigned char { kOk, kStale };
 
 class Oracle {
  public:
@@ -116,9 +125,22 @@ class Oracle {
   /// included, so filtered location queries stay O(log n)).
   explicit Oracle(const ColumnarStore* store, OracleConfig config = {});
 
+  /// Mutable-store overload: additionally allows config.auto_refresh to
+  /// absorb live appends inside answer(). Refreshing is not thread-safe
+  /// against concurrent answer() calls — serialise batches (the serving
+  /// front-end's single event loop does).
+  explicit Oracle(ColumnarStore* store, OracleConfig config = {});
+
   /// Answers a batch in place; out.size() must equal queries.size().
-  /// Throws std::logic_error when the store has unrefreshed appends.
+  /// Throws std::logic_error when the store has unrefreshed appends
+  /// (unless auto_refresh absorbs them).
   void answer(std::span<const Query> queries, std::span<Answer> out) const;
+
+  /// Non-throwing lifecycle variant: returns kStale (touching nothing)
+  /// when the store has unrefreshed appends and auto-refresh is
+  /// unavailable, kOk once every answer has been written.
+  [[nodiscard]] BatchStatus try_answer(std::span<const Query> queries,
+                                       std::span<Answer> out) const;
 
   [[nodiscard]] std::vector<Answer> answer(
       std::span<const Query> queries) const;
@@ -152,6 +174,8 @@ class Oracle {
       const Query& q, const geo::Country* country) const;
 
   const ColumnarStore* store_;
+  /// Set only by the mutable-store constructor; enables auto_refresh.
+  ColumnarStore* mutable_store_ = nullptr;
   OracleConfig config_;
   geo::SpatialIndex region_index_;
   geo::SpatialIndex probe_index_;  ///< analysis-eligible probes

@@ -45,6 +45,26 @@ TEST(Fuzz, JsonlReaderParsesOrRejectsWithDiagnostics) {
   if (result.passed) EXPECT_GT(rejected, 0u);
 }
 
+TEST(Fuzz, FrameDecoderNeverThrowsPastAFrameBoundary) {
+  std::size_t damaged = 0;
+  std::size_t clean = 0;
+  const CheckResult result = check(
+      "fuzz_frames",
+      [&](Gen& gen) {
+        const FrameFuzzStats stats = fuzz_frames(gen, 32);
+        damaged += stats.damaged;
+        clean += stats.clean;
+      },
+      8);
+  EXPECT_TRUE(result.passed) << result.banner;
+  if (result.passed) {
+    // The mutations must actually reach the decoder's error paths, and
+    // the clean rounds must actually exercise exact round-trips.
+    EXPECT_GT(damaged, 0u);
+    EXPECT_GT(clean, 0u);
+  }
+}
+
 TEST(Fuzz, CorpusTokensAreDeterministic) {
   Gen a(1234, 10);
   Gen b(1234, 10);

@@ -13,7 +13,11 @@
 #include "atlas/placement.hpp"
 #include "config/scenario.hpp"
 #include "faults/fault_schedule.hpp"
+#include "front/server.hpp"
+#include "front/traffic.hpp"
 #include "net/latency_model.hpp"
+#include "serve/columnar.hpp"
+#include "serve/oracle.hpp"
 #include "topology/registry.hpp"
 
 namespace shears::config {
@@ -75,13 +79,50 @@ TEST_P(ScenarioRun, ShortCampaignProducesCleanData) {
   }
 }
 
+// The serving scenario's [traffic] section must drive an actual
+// front-end session over the oracle built from its own campaign — a
+// smoke-sized cut of the peak-load study, checking the overload
+// machinery engages and the session drains.
+TEST(ScenarioRun, ServingPeakLoadDrivesFrontEnd) {
+  Scenario s = load_scenario("serving_peak_load.ini");
+  s.fleet.probe_count = 256;
+  s.campaign.duration_days = 1;
+  s.traffic.duration_us = 50'000;
+
+  const topology::CloudRegistry registry = s.make_registry();
+  const atlas::ProbeFleet fleet = atlas::ProbeFleet::generate(s.fleet);
+  const net::LatencyModel model(s.model);
+  atlas::CampaignTelemetry telemetry;
+  const atlas::Campaign campaign(fleet, registry, model, s.campaign, nullptr);
+  const atlas::MeasurementDataset dataset = campaign.run(telemetry);
+
+  serve::ColumnarStore store =
+      serve::ColumnarStore::build(dataset, serve::StoreConfig{0});
+  const serve::Oracle oracle(&store, serve::OracleConfig{});
+  front::FrontServer server(&oracle, &store, s.front);
+  const std::vector<serve::Query> corpus =
+      front::make_corpus(dataset.fleet(), 512);
+  const front::TrafficReport report =
+      front::run_traffic(server, corpus, s.traffic, nullptr);
+
+  EXPECT_GT(report.offered, 0u);
+  EXPECT_GT(report.completed, 0u);
+  EXPECT_TRUE(report.drained);
+  // 10x overload: the admission machinery must actually engage.
+  EXPECT_GT(report.server.shed_queue_full + report.server.shed_deadline +
+                report.server.shed_throttled,
+            0u);
+  EXPECT_EQ(report.server.decode_errors, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllShippedScenarios, ScenarioRun,
                          testing::Values("paper_9_months.ini",
                                          "five_g_delivers.ini",
                                          "cloud_2014.ini",
                                          "hyperscalers_only.ini",
                                          "stress_noisy_network.ini",
-                                         "faulted_9_months.ini"),
+                                         "faulted_9_months.ini",
+                                         "serving_peak_load.ini"),
                          [](const testing::TestParamInfo<const char*>& info) {
                            std::string name = info.param;
                            return name.substr(0, name.find('.'));

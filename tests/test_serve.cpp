@@ -446,6 +446,46 @@ TEST(Oracle, BatchApiGuardRails) {
   EXPECT_NO_THROW(oracle.answer(queries, out));
 }
 
+TEST(Oracle, StaleBatchesRecoverViaTryAnswerAndAutoRefresh) {
+  const TinyWorld world;
+  ColumnarStore store(&world.fleet, &world.registry, StoreConfig{1});
+  store.append(std::vector<atlas::Measurement>{row(0, 0, 0, 20.0f)});
+
+  const std::vector<Query> queries(1);
+  std::vector<Answer> out(1);
+
+  // A const-store oracle can only report the condition: try_answer
+  // returns kStale and leaves the output span untouched.
+  const ColumnarStore& frozen_store = store;
+  const Oracle frozen(&frozen_store, OracleConfig{1, {}});
+  out[0].best_ms = -1.0;
+  EXPECT_EQ(frozen.try_answer(queries, out), BatchStatus::kStale);
+  EXPECT_EQ(out[0].best_ms, -1.0);
+
+  // auto_refresh over a const store is ignored, not silently enabled.
+  const Oracle frozen_auto(&frozen_store, OracleConfig{1, {}, true});
+  EXPECT_EQ(frozen_auto.try_answer(queries, out), BatchStatus::kStale);
+  EXPECT_THROW(frozen_auto.answer(queries, out), std::logic_error);
+
+  // A mutable-store oracle with auto_refresh absorbs live appends inside
+  // the call — through both the throwing and non-throwing entry points.
+  const Oracle live(&store, OracleConfig{1, {}, true});
+  EXPECT_EQ(live.try_answer(queries, out), BatchStatus::kOk);
+  EXPECT_TRUE(store.fresh());
+  store.append(std::vector<atlas::Measurement>{row(1, 1, 1, 30.0f)});
+  EXPECT_FALSE(store.fresh());
+  EXPECT_NO_THROW(live.answer(queries, out));
+  EXPECT_TRUE(store.fresh());
+
+  // Without auto_refresh a mutable-store oracle still refuses; the store
+  // owner decides when summaries move.
+  store.append(std::vector<atlas::Measurement>{row(2, 1, 2, 40.0f)});
+  const Oracle manual(&store, OracleConfig{1, {}});
+  EXPECT_EQ(manual.try_answer(queries, out), BatchStatus::kStale);
+  store.refresh();
+  EXPECT_EQ(manual.try_answer(queries, out), BatchStatus::kOk);
+}
+
 TEST(Oracle, NearestRegionsMatchesRegistryScan) {
   const CampaignWorld world;
   const atlas::MeasurementDataset dataset = world.run();
