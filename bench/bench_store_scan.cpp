@@ -1,0 +1,123 @@
+// Store scan-kernel bench: min / feasibility-count / percentile scans
+// over the columnar store's raw RTT columns, scalar reference vs the
+// active (AVX2 when available) kernels.
+//
+// The two families must agree bit for bit on every column — always
+// asserted. Throughput (floats scanned per second) lands in the bench
+// JSON as store_scan_scalar / store_scan, with the ratio gated by
+// SHEARS_SCAN_GATE (default 0 = report only; run_benches.sh sets the
+// acceptance bar on SIMD builds).
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "atlas/measurement.hpp"
+#include "bench_common.hpp"
+#include "serve/columnar.hpp"
+#include "serve/scan.hpp"
+
+namespace {
+
+using namespace shears;
+using clock_type = std::chrono::steady_clock;
+
+struct ScanTotals {
+  double floats_scanned = 0.0;
+  float min_xor = 0.0f;  ///< xor-folded bits, for identity + DoNotOptimize
+  std::uint64_t count_sum = 0;
+  std::uint64_t quantile_bits = 0;
+};
+
+/// One full pass with one kernel family: min + budget count over every
+/// column, p95 over every column large enough to be interesting.
+ScanTotals scan_pass(const std::vector<std::span<const float>>& columns,
+                     const serve::ScanKernels& kernels) {
+  ScanTotals totals;
+  std::uint32_t min_bits = 0;
+  for (const std::span<const float> column : columns) {
+    if (column.empty()) continue;
+    min_bits ^= std::bit_cast<std::uint32_t>(
+        kernels.min(column.data(), column.size()));
+    totals.count_sum += kernels.count_le(column.data(), column.size(), 100.0f);
+    totals.quantile_bits ^= std::bit_cast<std::uint64_t>(
+        serve::quantile_type7(kernels, column.data(), column.size(), 0.95));
+    totals.floats_scanned += static_cast<double>(column.size()) * 3.0;
+  }
+  totals.min_xor = std::bit_cast<float>(min_bits);
+  return totals;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_title("store scan kernels",
+                     "vectorized min/count/percentile column scans");
+
+  auto campaign = bench::make_standard_campaign(argc, argv);
+  campaign.bench_name = "store_scan_campaign";
+  const atlas::MeasurementDataset dataset = campaign.run();
+  const serve::ColumnarStore store =
+      serve::ColumnarStore::build(dataset, serve::StoreConfig{1});
+
+  std::vector<std::span<const float>> columns;
+  for (const serve::ColumnarStore::ShardView& view : store.shards()) {
+    columns.push_back(view.rtt_ms);
+  }
+  std::printf("store: %zu rows across %zu columns\n", store.rows_stored(),
+              columns.size());
+
+  const serve::ScanKernels& scalar = serve::scalar_scan_kernels();
+  const serve::ScanKernels& active = serve::active_scan_kernels();
+  std::printf("kernels: scalar reference vs active \"%s\"\n", active.name);
+
+  constexpr int kPasses = 40;
+  auto start = clock_type::now();
+  ScanTotals scalar_totals;
+  for (int i = 0; i < kPasses; ++i) {
+    scalar_totals = scan_pass(columns, scalar);
+  }
+  const double scalar_s =
+      std::chrono::duration<double>(clock_type::now() - start).count();
+
+  start = clock_type::now();
+  ScanTotals active_totals;
+  for (int i = 0; i < kPasses; ++i) {
+    active_totals = scan_pass(columns, active);
+  }
+  const double active_s =
+      std::chrono::duration<double>(clock_type::now() - start).count();
+
+  // Byte-identity between the families is the exact-path gate.
+  if (std::bit_cast<std::uint32_t>(scalar_totals.min_xor) !=
+          std::bit_cast<std::uint32_t>(active_totals.min_xor) ||
+      scalar_totals.count_sum != active_totals.count_sum ||
+      scalar_totals.quantile_bits != active_totals.quantile_bits) {
+    std::printf("FAIL: %s kernels diverge from the scalar reference\n",
+                active.name);
+    return 1;
+  }
+
+  const double items = scalar_totals.floats_scanned *
+                       static_cast<double>(kPasses);
+  bench::bench_record("store_scan_scalar", scalar_s, items);
+  bench::bench_record("store_scan", active_s, items);
+  const double speedup = active_s > 0.0 ? scalar_s / active_s : 0.0;
+  bench::bench_record_value("store_scan_speedup", speedup);
+
+  double gate = 0.0;
+  if (const char* env = std::getenv("SHEARS_SCAN_GATE")) {
+    gate = std::atof(env);
+  }
+  std::printf(
+      "scan kernels: scalar %.3f s, %s %.3f s — %.2fx (gate %.1fx), "
+      "results byte-identical\n",
+      scalar_s, active.name, active_s, speedup, gate);
+  if (gate > 0.0 && speedup < gate) {
+    std::printf("FAIL: scan kernel speedup below gate\n");
+    return 1;
+  }
+  return 0;
+}

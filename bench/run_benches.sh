@@ -25,12 +25,17 @@ JSON_SERVE="${SHEARS_BENCH_JSON_SERVE:-results/BENCH_serve.json}"
 
 cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_micro_campaign \
-  bench_micro_latency_model bench_serve bench_front >/dev/null
+  bench_micro_latency_model bench_serve bench_front bench_store_scan >/dev/null
 
 rm -f "$JSON"
-echo "== burst kernel comparison =="
-SHEARS_BENCH_JSON="$JSON" \
+echo "== burst kernel comparison (batched acceptance bar: 3x) =="
+SHEARS_BENCH_JSON="$JSON" SHEARS_BATCHED_GATE="${SHEARS_BATCHED_GATE:-3}" \
   "$BUILD_DIR/bench/bench_micro_latency_model" --benchmark_filter=NONE
+echo
+echo "== store scan kernels ($DAYS days) =="
+SHEARS_BENCH_DAYS="$DAYS" SHEARS_BENCH_JSON="$JSON" \
+  SHEARS_SCAN_GATE="${SHEARS_SCAN_GATE:-1.2}" \
+  "$BUILD_DIR/bench/bench_store_scan"
 echo
 echo "== campaign cache comparison + telemetry overhead ($DAYS days) =="
 SHEARS_BENCH_DAYS="$DAYS" SHEARS_BENCH_JSON="$JSON" \

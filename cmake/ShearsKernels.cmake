@@ -1,0 +1,55 @@
+# Compile-flag policy for the numeric hot paths and SIMD kernel TUs.
+#
+# Every special-cased math/vector flag in the tree is granted through the
+# two helpers below instead of ad-hoc target_compile_options calls, so the
+# default, sanitize, CI, and forced-scalar builds all agree on exactly
+# which translation units get which flags.
+#
+#   shears_hot_math(<target>)
+#     Adds -fno-math-errno to the whole target. Value-safe: sqrt lowers to
+#     the bare hardware instruction (correctly rounded either way), nothing
+#     in the tree reads errno, and no reassociation/contraction flags are
+#     enabled — datasets stay bit-identical (the determinism suite pins
+#     golden checksums).
+#
+#   shears_simd_kernel(<target> <source>...)
+#     Marks the listed sources of <target> as SIMD kernel TUs:
+#       * -ffp-contract=off always — the kernels promise bit-identical
+#         results between the AVX2 and forced-scalar builds, which requires
+#         that no build ever fuses a*b+c (plain -mavx2 does not enable FMA,
+#         but this pins the contract against -march experiments);
+#       * -O3 — GCC 12's -O2 vectorizer runs the "very-cheap" cost model,
+#         which refuses every loop with an unknown trip count; the kernels
+#         exist to be vectorized, so they opt into the full model;
+#       * -fno-trapping-math — the kernels' clamp/mask selects are FP
+#         compares feeding ternaries, and if-conversion refuses to
+#         speculate FP compares while traps are considered observable.
+#         Value-safe: results are bit-identical, only the (unused) FP
+#         exception flags may differ;
+#       * -mavx2 unless SHEARS_DISABLE_SIMD is ON. Kernel TUs detect the
+#         ISA with #ifdef __AVX2__, so the forced-scalar build compiles the
+#         same sources down to their scalar fallbacks — no macro plumbing.
+#     Also applies shears_hot_math to the target (vector math needs the
+#     errno bookkeeping gone to vectorize sqrt).
+#
+# SHEARS_DISABLE_SIMD is the build half of the scalar fallback story; the
+# runtime half is the SHEARS_FORCE_SCALAR environment variable read by the
+# serve::scan dispatcher. CI's nightly scalar job sets both.
+
+option(SHEARS_DISABLE_SIMD
+  "Build SIMD kernel TUs without -mavx2 (scalar fallbacks only)" OFF)
+
+function(shears_hot_math target)
+  target_compile_options(${target} PRIVATE -fno-math-errno)
+endfunction()
+
+function(shears_simd_kernel target)
+  shears_hot_math(${target})
+  set(flags "-ffp-contract=off" "-O3" "-fno-trapping-math")
+  if(NOT SHEARS_DISABLE_SIMD)
+    list(APPEND flags "-mavx2")
+  endif()
+  foreach(src ${ARGN})
+    set_property(SOURCE ${src} APPEND PROPERTY COMPILE_OPTIONS ${flags})
+  endforeach()
+endfunction()

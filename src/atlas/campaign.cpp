@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "net/burst_lanes.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "stats/rng.hpp"
@@ -64,6 +65,7 @@ void CampaignTelemetry::merge(const CampaignTelemetry& other) noexcept {
   bursts_recovered += other.bursts_recovered;
   bursts_faulted += other.bursts_faulted;
   bursts_cached += other.bursts_cached;
+  bursts_batched += other.bursts_batched;
   hang_ticks += other.hang_ticks;
   quarantine_entries += other.quarantine_entries;
   quarantined_ticks += other.quarantined_ticks;
@@ -129,9 +131,19 @@ std::size_t Campaign::expected_record_count() const {
   return total;
 }
 
+bool Campaign::batched_eligible() const noexcept {
+  return config_.batched && !cache_.empty() &&
+         config_.retry.max_retries == 0 && !config_.quarantine.enabled &&
+         config_.packets_per_ping <= net::kMaxBatchedPackets;
+}
+
 void Campaign::run_probe_range(std::size_t begin, std::size_t end,
                                std::vector<Measurement>& out,
                                CampaignTelemetry& telemetry) const {
+  if (batched_eligible()) {
+    run_probe_range_batched(begin, end, out, telemetry);
+    return;
+  }
   stats::Xoshiro256 root(config_.seed);
   const std::uint32_t ticks = tick_count();
   const auto probes = fleet_->probes();
@@ -461,6 +473,11 @@ void Campaign::publish_metrics(
   m.counter("campaign.bursts_recovered").add(telemetry.bursts_recovered);
   m.counter("campaign.bursts_faulted").add(telemetry.bursts_faulted);
   m.counter("campaign.path_cache_hits").add(telemetry.bursts_cached);
+  if (telemetry.bursts_batched != 0) {
+    // Conditional like the fault rows below: scalar-engine snapshots
+    // stay free of batched-kernel counters.
+    m.counter("campaign.bursts_batched").add(telemetry.bursts_batched);
+  }
   m.counter("campaign.hang_ticks").add(telemetry.hang_ticks);
   m.counter("campaign.quarantine_entries").add(telemetry.quarantine_entries);
   m.counter("campaign.quarantined_ticks").add(telemetry.quarantined_ticks);

@@ -63,6 +63,18 @@ struct CampaignConfig {
   /// recomputes the invariants per packet like the original engine
   /// (kept for byte-identity tests and the perf-regression bench).
   bool sampling_cache = true;
+  /// Sample through the lane-batched SIMD kernel (net/burst_lanes.hpp):
+  /// up to 8 probes advance together, with the transcendental math
+  /// evaluated as vectorized array ops. Draw-for-draw aligned with the
+  /// scalar engine — every record's structure (losses, counts, fault
+  /// masks) is identical — but RTT values go through polynomial exp/log
+  /// and drift within a bounded epsilon, so batched datasets are gated
+  /// by the scalar-vs-batched differential suite (src/check), not the
+  /// golden byte-identity checksums. Off by default. Requires the
+  /// sampling cache; configurations the kernel does not cover (retries,
+  /// quarantine, packets_per_ping > net::kMaxBatchedPackets) silently
+  /// fall back to the scalar engine — see batched_eligible().
+  bool batched = false;
   /// Retry policy for fully-lost bursts; off by default.
   faults::RetryPolicy retry{};
   /// Probe quarantine policy; off by default.
@@ -85,6 +97,7 @@ struct CampaignTelemetry {
   std::size_t bursts_recovered = 0; ///< lost at first attempt, then delivered
   std::size_t bursts_faulted = 0;   ///< records with fault exposure flags
   std::size_t bursts_cached = 0;    ///< attempts served by the path cache
+  std::size_t bursts_batched = 0;   ///< bursts sampled by the lane kernel
   std::size_t hang_ticks = 0;       ///< probe-ticks lost to firmware hangs
   std::size_t quarantine_entries = 0;
   std::size_t quarantined_ticks = 0;  ///< probe-ticks sidelined
@@ -139,6 +152,13 @@ class Campaign {
   /// upper bound under churn, hangs, or quarantine.
   [[nodiscard]] std::size_t expected_record_count() const;
 
+  /// Whether run() will use the lane-batched kernel: config.batched is
+  /// set and the configuration is one the kernel covers (sampling cache
+  /// on, no retries, no quarantine, burst size within
+  /// net::kMaxBatchedPackets). Churn and fault schedules *are* covered —
+  /// the SoA fault path keeps perturbed windows on the kernel.
+  [[nodiscard]] bool batched_eligible() const noexcept;
+
   /// Publishes per-run telemetry into `metrics` after every run():
   /// campaign.* counters (bursts, retries, quarantines, path-cache hits),
   /// faults.activations.* per kind, the campaign.wall_* gauges, and the
@@ -163,6 +183,16 @@ class Campaign {
   void run_probe_range(std::size_t begin, std::size_t end,
                        std::vector<Measurement>& out,
                        CampaignTelemetry& telemetry) const;
+
+  /// Lane-batched twin of run_probe_range (campaign_batched.cpp): groups
+  /// the range's probes into 8-lane blocks per continent and samples
+  /// them through net::sample_burst_lanes. Per-probe output is
+  /// independent of block composition (each lane consumes only its own
+  /// stream), so sharding and thread count still do not change the
+  /// dataset.
+  void run_probe_range_batched(std::size_t begin, std::size_t end,
+                               std::vector<Measurement>& out,
+                               CampaignTelemetry& telemetry) const;
 
   /// Pushes one run's telemetry into metrics_; no-op when detached.
   void publish_metrics(const CampaignTelemetry& telemetry,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cmath>
 #include <optional>
 #include <sstream>
 #include <string_view>
@@ -15,6 +16,7 @@
 #include "geo/continent.hpp"
 #include "geo/coordinates.hpp"
 #include "geo/spatial_index.hpp"
+#include "net/burst_lanes.hpp"
 #include "serve/columnar.hpp"
 #include "serve/reference.hpp"
 
@@ -56,6 +58,157 @@ void check_cached_vs_uncached(const World& world) {
   if (dataset_checksum(cached) != dataset_checksum(uncached)) {
     fail(world, "cached vs uncached engine: checksums diverge");
   }
+}
+
+namespace {
+
+[[nodiscard]] double quantile_of_sorted(const std::vector<double>& sorted,
+                                        double q) noexcept {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/// Loss-rate and RTT-quantile agreement between the two engines over the
+/// same record subset. The engines consume each probe's stream on
+/// different schedules (burst_lanes.hpp), so the pooled populations are
+/// two independent samples of the same model — the bounds are sized
+/// ~an order of magnitude above the sampling noise of the property
+/// harness's campaign sizes, loose enough to be deterministic in
+/// practice and tight enough that a real distributional break (wrong
+/// transform, mask misapplied, tail dropped) trips them.
+void require_distribution_close(const World& world, const std::string& label,
+                                std::span<const atlas::Measurement> a,
+                                std::span<const atlas::Measurement> b) {
+  double a_sent = 0.0, a_recv = 0.0, b_sent = 0.0, b_recv = 0.0;
+  std::vector<double> a_avg, b_avg;
+  for (const atlas::Measurement& r : a) {
+    a_sent += r.sent;
+    a_recv += r.received;
+    if (r.received > 0) a_avg.push_back(r.avg_ms);
+  }
+  for (const atlas::Measurement& r : b) {
+    b_sent += r.sent;
+    b_recv += r.received;
+    if (r.received > 0) b_avg.push_back(r.avg_ms);
+  }
+  if (a_sent <= 0.0 || b_sent <= 0.0) return;
+
+  const double a_loss = 1.0 - a_recv / a_sent;
+  const double b_loss = 1.0 - b_recv / b_sent;
+  // Binomial noise floor: sd of the rate difference at pooled p, plus a
+  // small absolute term for the large-sample regime.
+  const double p = std::min(0.5, std::max((a_loss + b_loss) * 0.5, 1e-3));
+  const double sd =
+      std::sqrt(2.0 * p * (1.0 - p) / std::min(a_sent, b_sent));
+  if (std::abs(a_loss - b_loss) > 0.01 + 6.0 * sd) {
+    std::ostringstream msg;
+    msg << label << ": loss rates diverge (" << a_loss << " vs " << b_loss
+        << ", bound " << 0.01 + 6.0 * sd << ")";
+    fail(world, msg.str());
+  }
+
+  // Quantiles, not means: the Pareto spike tail has unbounded variance,
+  // quantile estimates stay stable. Skip small subsets — below a few
+  // hundred bursts the estimator noise would force useless bounds.
+  if (a_avg.size() < 300 || b_avg.size() < 300) return;
+  std::sort(a_avg.begin(), a_avg.end());
+  std::sort(b_avg.begin(), b_avg.end());
+  const double n = static_cast<double>(std::min(a_avg.size(), b_avg.size()));
+  // Estimator noise shrinks like 1/sqrt(n); 8/sqrt(n) relative spans the
+  // harness's campaign sizes with margin.
+  const double rel = 0.03 + 8.0 / std::sqrt(n);
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double qa = quantile_of_sorted(a_avg, q);
+    const double qb = quantile_of_sorted(b_avg, q);
+    if (std::abs(qa - qb) > rel * std::max(qa, qb) + 0.5) {
+      std::ostringstream msg;
+      msg << label << ": avg-RTT quantile " << q << " diverges (" << qa
+          << " vs " << qb << ", rel bound " << rel << ")";
+      fail(world, msg.str());
+    }
+  }
+}
+
+}  // namespace
+
+void check_batched_vs_scalar(const World& world) {
+  atlas::CampaignConfig config = world.campaign;
+  // Normalise to the kernel's coverage; both sides run the same config,
+  // so the comparison stays apples to apples. probe_uptime is pinned to
+  // 1 because churn Bernoullis are drawn from each probe's stream at
+  // tick level: the engines advance that stream differently inside a
+  // burst (fixed kind-major schedule vs data-dependent scalar draws), so
+  // with churn enabled the up/down realisations would desync and the
+  // record *structure* — which this oracle holds exactly — would
+  // legitimately differ.
+  config.sampling_cache = true;
+  config.retry = faults::RetryPolicy{};
+  config.quarantine = faults::QuarantinePolicy{};
+  config.probe_uptime = 1.0;
+  if (config.packets_per_ping > net::kMaxBatchedPackets) {
+    config.packets_per_ping = net::kMaxBatchedPackets;
+  }
+  config.threads = 1;
+  config.batched = false;
+  const atlas::MeasurementDataset scalar = world.run_with(config);
+
+  config.batched = true;
+  const atlas::Campaign engine(world.fleet, world.registry, world.model,
+                               config,
+                               world.faulted() ? &world.schedule : nullptr);
+  if (!engine.batched_eligible()) {
+    fail(world, "batched vs scalar: normalised config not kernel-eligible");
+  }
+  atlas::CampaignTelemetry telemetry;
+  const atlas::MeasurementDataset batched = engine.run(telemetry);
+  if (telemetry.bursts > 0 && telemetry.bursts_batched == 0) {
+    fail(world, "batched vs scalar: kernel produced records but "
+                "bursts_batched stayed 0 (fell back to the scalar path)");
+  }
+
+  // Record structure is draw-free at uptime 1 and must match exactly:
+  // same probes, same ticks, same targets, same burst sizes, same fault
+  // exposure. Only the sampled values (received, RTTs) may differ.
+  const std::span<const atlas::Measurement> a = scalar.records();
+  const std::span<const atlas::Measurement> b = batched.records();
+  if (a.size() != b.size()) {
+    fail(world, "batched vs scalar: record counts diverge (" +
+                    std::to_string(a.size()) + " vs " +
+                    std::to_string(b.size()) + ")");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const atlas::Measurement& sa = a[i];
+    const atlas::Measurement& sb = b[i];
+    if (sa.probe_id != sb.probe_id || sa.region_index != sb.region_index ||
+        sa.tick != sb.tick || sa.sent != sb.sent ||
+        sa.retries != sb.retries || sa.faults != sb.faults) {
+      fail(world, "batched vs scalar: record structure diverges at row " +
+                      std::to_string(i));
+    }
+  }
+
+  // The sampled values are gated distributionally — globally and on the
+  // faulted subset (structure matches row-for-row, so the faulted rows
+  // of one engine are exactly the faulted rows of the other: a fault
+  // path that mis-scales only perturbed bursts cannot hide in the
+  // global pool).
+  require_distribution_close(world, "batched vs scalar", a, b);
+  std::vector<atlas::Measurement> a_faulted, b_faulted;
+  for (const atlas::Measurement& r : a)
+    if (r.faulted()) a_faulted.push_back(r);
+  for (const atlas::Measurement& r : b)
+    if (r.faulted()) b_faulted.push_back(r);
+  require_distribution_close(world, "batched vs scalar (faulted subset)",
+                             a_faulted, b_faulted);
+
+  // The batched engine is exact with respect to itself: sharding must
+  // not change a byte (lanes only ever consume their own stream).
+  config.threads = 8;
+  const atlas::MeasurementDataset batched8 = world.run_with(config);
+  require_identical(world, batched, batched8, "batched engine threads 1 vs 8");
 }
 
 void check_campaign_thread_invariance(const World& world) {

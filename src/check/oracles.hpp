@@ -17,6 +17,19 @@ void check_cached_vs_uncached(const World& world);
 /// Campaign determinism across worker counts: 1 thread vs 8 threads.
 void check_campaign_thread_invariance(const World& world);
 
+/// Scalar vs lane-batched campaign engine — the *epsilon-mode*
+/// differential oracle of the SIMD kernels (DESIGN.md §6). On the same
+/// world (faulted or clean, after switching off the resilience knobs the
+/// kernel does not cover and pinning uptime to 1) the batched engine
+/// must reproduce every record's structure exactly — probe/region/tick,
+/// sent, retries, fault masks — while the sampled values (received,
+/// RTTs) are held to *distributional* agreement: the kernel consumes
+/// each stream on a fixed kind-major schedule with Box–Muller normals,
+/// so loss rates and pooled RTT quantiles must agree within bounds, on
+/// the whole dataset and on the faulted subset. The batched engine
+/// itself must be byte-identical across 1 vs 8 threads.
+void check_batched_vs_scalar(const World& world);
+
 /// Every §4 analysis must reduce identically serial and sharded
 /// (AnalysisOptions::threads 1 vs 8).
 void check_analysis_thread_invariance(const World& world,

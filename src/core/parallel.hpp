@@ -19,20 +19,31 @@
 namespace shears::core {
 
 /// Maps a requested thread count (0 = hardware concurrency) to the count
-/// actually worth spawning for `items` units of work. Small inputs run on
-/// the calling thread: forking pays ~50us per worker, which swamps the
-/// scan cost of a few thousand records.
-[[nodiscard]] inline std::size_t resolve_threads(std::size_t requested,
-                                                 std::size_t items) noexcept {
-  constexpr std::size_t kMinItemsPerShard = 1 << 14;
+/// actually worth spawning for `items` units of work, given the minimum
+/// shard size below which forking costs more than it saves: a worker
+/// fork/join pays ~50us, so each shard must carry enough work to amortise
+/// it. Callers pick the cutoff for their per-item cost — a record scan
+/// amortises at a few thousand items, a microsecond-scale oracle query
+/// needs thousands more.
+[[nodiscard]] inline std::size_t resolve_threads(
+    std::size_t requested, std::size_t items,
+    std::size_t min_items_per_shard) noexcept {
   std::size_t n = requested != 0
                       ? requested
                       : static_cast<std::size_t>(
                             std::thread::hardware_concurrency());
   if (n == 0) n = 1;
-  const std::size_t useful = items / kMinItemsPerShard;
+  const std::size_t useful =
+      min_items_per_shard != 0 ? items / min_items_per_shard : items;
   if (n > useful) n = useful;
   return n == 0 ? 1 : n;
+}
+
+/// Default cutoff for record-scan workloads (the §4 analyses).
+[[nodiscard]] inline std::size_t resolve_threads(std::size_t requested,
+                                                 std::size_t items) noexcept {
+  constexpr std::size_t kMinItemsPerShard = 1 << 14;
+  return resolve_threads(requested, items, kMinItemsPerShard);
 }
 
 /// Splits [0, items) into `shards` contiguous ranges (remainder spread

@@ -279,6 +279,34 @@ std::span<const RegionStats> ColumnarStore::country_stats(
   return country_stats_[country_index];
 }
 
+ColumnarStore::ScanSummary ColumnarStore::scan_region(
+    std::size_t country_index, net::AccessTechnology access,
+    std::uint16_t region, float budget_ms,
+    const ScanKernels& kernels) const {
+  ScanSummary out;
+  if (country_index >= geo::country_count()) return out;
+  const KeyGroup& group =
+      groups_[country_index * net::kAccessTechnologyCount +
+              static_cast<std::size_t>(access)];
+  // Gather the cell's samples off the region-filtered column. Ingestion
+  // order, like refresh_group's bucketing — the value multiset (and so
+  // every kernel result) matches the Ecdf summary exactly.
+  std::vector<float> values;
+  values.reserve(group.rtt_ms.size());
+  for (std::size_t i = 0; i < group.rtt_ms.size(); ++i) {
+    if (group.region_index[i] == region) values.push_back(group.rtt_ms[i]);
+  }
+  if (values.empty()) return out;
+  const float* data = values.data();
+  const std::size_t n = values.size();
+  out.count = n;
+  out.min_ms = static_cast<double>(kernels.min(data, n));
+  out.median_ms = quantile_type7(kernels, data, n, 0.5);
+  out.p95_ms = quantile_type7(kernels, data, n, 0.95);
+  out.within_budget = kernels.count_le(data, n, budget_ms);
+  return out;
+}
+
 std::vector<ColumnarStore::ShardView> ColumnarStore::shards() const {
   std::vector<ShardView> views;
   const std::span<const geo::Country> all = geo::all_countries();

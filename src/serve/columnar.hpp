@@ -36,6 +36,7 @@
 #include "atlas/placement.hpp"
 #include "geo/country.hpp"
 #include "net/access.hpp"
+#include "serve/scan.hpp"
 #include "stats/ecdf.hpp"
 #include "topology/registry.hpp"
 
@@ -142,6 +143,40 @@ class ColumnarStore final : public atlas::MeasurementSink {
 
   /// Views of every non-empty shard, ordered by (country index, access).
   [[nodiscard]] std::vector<ShardView> shards() const;
+
+  /// Result of a direct kernel scan of one (shard, region) cell — the
+  /// scan-kernel face of RegionStats. count / min_ms / median_ms /
+  /// p95_ms are bit-identical to the Ecdf-based summary of the same
+  /// cell; within_budget is the feasibility count (samples <=
+  /// budget_ms).
+  struct ScanSummary {
+    std::uint64_t count = 0;
+    double min_ms = 0.0;
+    double median_ms = 0.0;
+    double p95_ms = 0.0;
+    std::uint64_t within_budget = 0;
+
+    [[nodiscard]] bool empty() const noexcept { return count == 0; }
+  };
+
+  /// Scans one (country, access, region) cell straight off the raw RTT
+  /// column with the given kernel family — no sort, no Ecdf, no
+  /// refresh() required (raw columns are always current). The default
+  /// overload uses active_scan_kernels() (AVX2 when available, scalar
+  /// under SHEARS_FORCE_SCALAR); passing scalar_scan_kernels()
+  /// explicitly is how tests and benches pin the fallback.
+  [[nodiscard]] ScanSummary scan_region(std::size_t country_index,
+                                        net::AccessTechnology access,
+                                        std::uint16_t region,
+                                        float budget_ms,
+                                        const ScanKernels& kernels) const;
+  [[nodiscard]] ScanSummary scan_region(std::size_t country_index,
+                                        net::AccessTechnology access,
+                                        std::uint16_t region,
+                                        float budget_ms) const {
+    return scan_region(country_index, access, region, budget_ms,
+                       active_scan_kernels());
+  }
 
   /// Publishes serve.store.* counters (rows, dropped, appends, refreshed
   /// shards) and the serve.store.refresh_ms histogram. Observational

@@ -153,16 +153,14 @@ BatchStatus Oracle::try_answer(std::span<const Query> queries,
   }
   const auto start = std::chrono::steady_clock::now();
 
-  // A query costs microseconds; forking costs tens of them. Only fan out
-  // when each worker gets a meaningful slice.
-  constexpr std::size_t kMinQueriesPerShard = 256;
-  std::size_t threads = config_.threads != 0
-                            ? config_.threads
-                            : static_cast<std::size_t>(
-                                  std::thread::hardware_concurrency());
-  if (threads == 0) threads = 1;
-  const std::size_t shards = std::max<std::size_t>(
-      1, std::min(threads, queries.size() / kMinQueriesPerShard));
+  // A query costs ~1-2us; a worker fork/join costs tens of us. The old
+  // 256-query cutoff still fanned a 4096-query batch across 8 threads —
+  // ~512 queries (~1ms of work) per worker, which thread overhead ate
+  // whole (bench_serve showed t8 *slower* than t1 at b4096). Each shard
+  // now has to carry a few thousand queries before forking pays.
+  constexpr std::size_t kMinQueriesPerShard = 4096;
+  const std::size_t shards = core::resolve_threads(
+      config_.threads, queries.size(), kMinQueriesPerShard);
   core::parallel_shards(queries.size(), shards,
                         [&](std::size_t, std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {

@@ -1,0 +1,91 @@
+#include "serve/scan.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+namespace shears::serve {
+
+namespace {
+
+float scalar_min(const float* data, std::size_t n) {
+  float m = data[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    m = data[i] < m ? data[i] : m;
+  }
+  return m;
+}
+
+std::size_t scalar_count_le(const float* data, std::size_t n,
+                            float threshold) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    count += data[i] <= threshold ? 1 : 0;
+  }
+  return count;
+}
+
+constexpr ScanKernels kScalarKernels{"scalar", scalar_min, scalar_count_le};
+
+[[nodiscard]] bool force_scalar_env() noexcept {
+  const char* v = std::getenv("SHEARS_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
+const ScanKernels& scalar_scan_kernels() noexcept { return kScalarKernels; }
+
+const ScanKernels& active_scan_kernels() noexcept {
+  static const ScanKernels& chosen = []() -> const ScanKernels& {
+    if (force_scalar_env()) return kScalarKernels;
+    const ScanKernels* avx2 = detail::avx2_scan_kernels();
+    if (avx2 != nullptr && __builtin_cpu_supports("avx2")) return *avx2;
+    return kScalarKernels;
+  }();
+  return chosen;
+}
+
+float kth_smallest(const ScanKernels& kernels, const float* data,
+                   std::size_t n, std::size_t k) noexcept {
+  // For non-negative IEEE floats the unsigned bit pattern orders exactly
+  // like the value, so the k-th smallest element is the smallest float f
+  // with count_le(f) >= k + 1 — found by bisecting the bit space. The
+  // upper bound 0x7F7FFFFF (max finite float) keeps every probe finite;
+  // the store's RTT columns never hold inf/NaN.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0x7F7FFFFFu;
+  const std::size_t rank = k + 1;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (kernels.count_le(data, n, std::bit_cast<float>(mid)) >= rank) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return std::bit_cast<float>(lo);
+}
+
+double quantile_type7(const ScanKernels& kernels, const float* data,
+                      std::size_t n, double q) noexcept {
+  // Mirrors stats::Ecdf::quantile over the sorted doubles of this
+  // sample: selection replaces sorting, the interpolation arithmetic is
+  // identical (float -> double widening is exact).
+  if (q <= 0.0) return static_cast<double>(kth_smallest(kernels, data, n, 0));
+  if (q >= 1.0) {
+    return static_cast<double>(kth_smallest(kernels, data, n, n - 1));
+  }
+  const double h = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = lo + 1 < n ? lo + 1 : lo;
+  const double frac = h - std::floor(h);
+  const auto vlo = static_cast<double>(kth_smallest(kernels, data, n, lo));
+  const auto vhi = hi == lo
+                       ? vlo
+                       : static_cast<double>(kth_smallest(kernels, data, n, hi));
+  return vlo + frac * (vhi - vlo);
+}
+
+}  // namespace shears::serve

@@ -1,0 +1,72 @@
+// AVX2 scan kernels. This TU is compiled with -mavx2 via
+// shears_simd_kernel unless SHEARS_DISABLE_SIMD is ON, in which case
+// __AVX2__ is not defined and the family degrades to nullptr — the
+// dispatcher (scan.cpp) then serves the scalar kernels. Both primitives
+// are bit-exact with the scalar reference: min over finite non-NaN
+// floats is order-insensitive, and count_le is an integer reduction.
+#include "serve/scan.hpp"
+
+#ifdef __AVX2__
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+
+namespace shears::serve {
+namespace {
+
+float avx2_min(const float* data, std::size_t n) {
+  std::size_t i = 0;
+  float m = data[0];
+  if (n >= 8) {
+    __m256 acc = _mm256_loadu_ps(data);
+    for (i = 8; i + 8 <= n; i += 8) {
+      acc = _mm256_min_ps(acc, _mm256_loadu_ps(data + i));
+    }
+    const __m128 lo = _mm256_castps256_ps128(acc);
+    const __m128 hi = _mm256_extractf128_ps(acc, 1);
+    __m128 r = _mm_min_ps(lo, hi);
+    r = _mm_min_ps(r, _mm_movehl_ps(r, r));
+    r = _mm_min_ss(r, _mm_shuffle_ps(r, r, 1));
+    m = _mm_cvtss_f32(r);
+  }
+  for (; i < n; ++i) {
+    m = data[i] < m ? data[i] : m;
+  }
+  return m;
+}
+
+std::size_t avx2_count_le(const float* data, std::size_t n, float threshold) {
+  std::size_t count = 0;
+  const __m256 thr = _mm256_set1_ps(threshold);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 cmp = _mm256_cmp_ps(_mm256_loadu_ps(data + i), thr,
+                                     _CMP_LE_OQ);
+    count += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(_mm256_movemask_ps(cmp))));
+  }
+  for (; i < n; ++i) {
+    count += data[i] <= threshold ? 1 : 0;
+  }
+  return count;
+}
+
+constexpr ScanKernels kAvx2Kernels{"avx2", avx2_min, avx2_count_le};
+
+}  // namespace
+
+namespace detail {
+const ScanKernels* avx2_scan_kernels() noexcept { return &kAvx2Kernels; }
+}  // namespace detail
+
+}  // namespace shears::serve
+
+#else  // !__AVX2__ (SHEARS_DISABLE_SIMD build)
+
+namespace shears::serve::detail {
+const ScanKernels* avx2_scan_kernels() noexcept { return nullptr; }
+}  // namespace shears::serve::detail
+
+#endif

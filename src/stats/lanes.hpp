@@ -1,0 +1,77 @@
+// Lane-batched PRNG: N independent Xoshiro256** streams advanced side by
+// side for the block sampling kernels (net/burst_lanes.hpp).
+//
+// The lanes are the *same* generators the scalar engine uses — lane l is
+// root.fork(stream_ids[l]), exactly the fork the per-probe scalar path
+// performs — so any lane's raw 64-bit stream is recoverable by running
+// that fork by hand. The batched kernel consumes each lane's stream on a
+// *fixed schedule* (a constant number of draws per packet, see
+// net/burst_lanes.hpp) instead of the scalar engine's data-dependent
+// draw pattern; that is what lets fill_u64_lockstep generate the whole
+// draw grid as branch-free 8-wide array code. The two engines therefore
+// agree in distribution, not draw for draw — the differential suite
+// (src/check) holds them to bounded quantile drift.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "stats/rng.hpp"
+
+namespace shears::stats {
+
+class XoshiroLanes {
+ public:
+  /// Lane width of the batched kernels. Eight 256-bit states fill the
+  /// same four cache lines as one AoS array of them; the win is the
+  /// batched transcendental math downstream, not the RNG layout.
+  static constexpr std::size_t kLanes = 8;
+
+  XoshiroLanes() noexcept : XoshiroLanes(Xoshiro256(0)) {}
+  explicit XoshiroLanes(const Xoshiro256& fill) noexcept
+      : lanes_{fill, fill, fill, fill, fill, fill, fill, fill} {}
+
+  /// Stripes lane l from root.fork(stream_ids[l]); unused trailing lanes
+  /// (when fewer than kLanes ids are given) keep an arbitrary fork and
+  /// must be masked inactive by the caller.
+  [[nodiscard]] static XoshiroLanes striped(
+      Xoshiro256& root, std::span<const std::uint64_t> stream_ids) noexcept {
+    XoshiroLanes lanes(root.fork(0));
+    const std::size_t n = stream_ids.size() < kLanes ? stream_ids.size()
+                                                     : kLanes;
+    for (std::size_t l = 0; l < n; ++l) {
+      lanes.lanes_[l] = root.fork(stream_ids[l]);
+    }
+    return lanes;
+  }
+
+  [[nodiscard]] Xoshiro256& lane(std::size_t l) noexcept { return lanes_[l]; }
+  [[nodiscard]] const Xoshiro256& lane(std::size_t l) const noexcept {
+    return lanes_[l];
+  }
+
+  /// Lockstep uniform draw: one next_double() per lane, for stages where
+  /// every lane consumes exactly one draw.
+  void next_double_all(double out[kLanes]) noexcept {
+    for (std::size_t l = 0; l < kLanes; ++l) out[l] = lanes_[l].next_double();
+  }
+
+  /// Advances every lane `rounds` steps in lockstep and writes the raw
+  /// 64-bit outputs striped as out[r * kLanes + l] — row r holds draw r
+  /// of all eight streams. The grid is generated from an SoA transpose
+  /// of the lane states with plain array ops (compiled as a SIMD kernel
+  /// TU, see stats/lanes.cpp), so the eight streams advance in four
+  /// integer vector lanes instead of eight serial dependency chains.
+  /// Lanes with advance[l] == false still contribute rows (their slots
+  /// carry valid but unused draws) yet have their state restored, so a
+  /// masked-out lane's stream position is untouched by the call.
+  void fill_u64_lockstep(std::uint64_t* out, std::size_t rounds,
+                         const std::array<bool, kLanes>& advance) noexcept;
+
+ private:
+  std::array<Xoshiro256, kLanes> lanes_;
+};
+
+}  // namespace shears::stats

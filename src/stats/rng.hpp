@@ -104,6 +104,10 @@ class Xoshiro256 {
   }
 
  private:
+  // XoshiroLanes advances eight of these states side by side in SoA form
+  // (stats/lanes.cpp); it needs the raw words to transpose in and out.
+  friend class XoshiroLanes;
+
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }

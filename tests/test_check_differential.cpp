@@ -34,6 +34,17 @@ TEST(Differential, CampaignThreadInvariance) {
   EXPECT_TRUE(result.passed) << result.banner;
 }
 
+TEST(Differential, BatchedVsScalarEngine) {
+  const CheckResult result = check(
+      "batched_vs_scalar",
+      [](Gen& gen) {
+        const World world = make_world(gen);
+        check_batched_vs_scalar(world);
+      },
+      8);
+  EXPECT_TRUE(result.passed) << result.banner;
+}
+
 TEST(Differential, AnalysisThreadInvariance) {
   const CheckResult result = check(
       "analysis_thread_invariance",
