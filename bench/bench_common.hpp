@@ -11,6 +11,7 @@
 #include <iomanip>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -61,11 +62,20 @@ inline void bench_json_record_line(const std::string& name,
   }
   entries.push_back("  {" + key + ", " + fields + "}");
   std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("bench: cannot open " + path + " for writing");
+  }
   out << "{\"bench\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     out << entries[i] << (i + 1 < entries.size() ? ",\n" : "\n");
   }
   out << "]}\n";
+  out.flush();
+  if (!out) {
+    // The file was truncated before the rewrite — losing the recorded
+    // history silently would defeat the perf-regression gate.
+    throw std::runtime_error("bench: write to " + path + " failed");
+  }
 }
 
 /// Records a timed run: wall clock, item count, and derived throughput

@@ -1,0 +1,25 @@
+# Re-applies a full label list to every test gtest_discover_tests found
+# for one target. The discovery machinery flattens list arguments when
+# it writes the generated set_tests_properties calls, so of a
+# multi-label list like "serve;snapshot" only the first label survives
+# and `ctest -L` filters silently miss the rest. shears_add_test works
+# around it by appending a tiny generated file to TEST_INCLUDE_FILES —
+# processed by ctest after the discovery include — that sets the two
+# variables below and includes this script.
+#
+# Expects:
+#   SHEARS_RELABEL_FILE    — the target's generated <name>[1]_tests.cmake
+#   SHEARS_RELABEL_LABELS  — the label list to apply
+if(EXISTS "${SHEARS_RELABEL_FILE}")
+  file(STRINGS "${SHEARS_RELABEL_FILE}" _shears_relabel_lines
+       REGEX "^add_test")
+  foreach(_shears_relabel_line IN LISTS _shears_relabel_lines)
+    # Test names are bracket-guarded: add_test([=[Suite.Name]=] ...).
+    # Capture up to the first closing bracket — gtest names never
+    # contain one.
+    if(_shears_relabel_line MATCHES "^add_test\\(\\[=*\\[([^]]+)\\]")
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES
+        LABELS "${SHEARS_RELABEL_LABELS}")
+    endif()
+  endforeach()
+endif()

@@ -99,8 +99,10 @@ int main(int argc, char** argv) {
   const std::string csv_path = prefix + ".csv";
   std::ofstream jsonl(jsonl_path);
   snap.write_jsonl(jsonl);
+  jsonl.flush();
   std::ofstream csv(csv_path);
   snap.write_csv(csv);
+  csv.flush();
   if (!jsonl || !csv) {
     std::cerr << "failed writing " << jsonl_path << " / " << csv_path << '\n';
     return 1;

@@ -29,6 +29,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   dataset.write_csv(out);
+  out.flush();
+  if (!out) {
+    std::cerr << "write to " << path << " failed (disk full?)\n";
+    return 1;
+  }
   std::cout << "wrote " << dataset.size() << " ping bursts ("
             << config.duration_days << " days, " << fleet.size()
             << " probes, " << cloud.size() << " regions) to " << path << '\n'

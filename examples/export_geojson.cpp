@@ -63,6 +63,11 @@ int main(int argc, char** argv) {
         << "\"}}";
   }
   out << "\n]}\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "write to " << path << " failed (disk full?)\n";
+    return 1;
+  }
   std::cout << "wrote " << rows.size() << " country features and "
             << cloud.size() << " region features to " << path << '\n';
   return 0;

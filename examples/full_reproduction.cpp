@@ -162,6 +162,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << md.str();
+  out.flush();
+  if (!out) {
+    std::cerr << "write to " << report_path << " failed (disk full?)\n";
+    return 1;
+  }
   std::cout << "wrote " << report_path << " and " << svg_path << '\n';
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "check/fuzz.hpp"
 
+#include <bit>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -8,6 +9,9 @@
 
 #include "check/property.hpp"
 #include "front/frame.hpp"
+#include "io/block_file.hpp"
+#include "serve/columnar.hpp"
+#include "serve/snapshot.hpp"
 
 namespace shears::check {
 
@@ -418,6 +422,108 @@ FrameFuzzStats fuzz_frames(Gen& gen, int rounds) {
         throw PropertyFailure(
             "fuzz_frames: clean stream left bytes buffered");
       }
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+/// Column-and-counter identity of two stores — the fuzz-side version of
+/// the gtest expect_same_store helper, throwing PropertyFailure.
+void require_same_store(const serve::ColumnarStore& a,
+                        const serve::ColumnarStore& b,
+                        const std::string& what) {
+  if (a.rows_stored() != b.rows_stored() ||
+      a.rows_dropped() != b.rows_dropped()) {
+    throw PropertyFailure(what + ": row counters diverge");
+  }
+  const std::vector<serve::ColumnarStore::ShardView> shards_a = a.shards();
+  const std::vector<serve::ColumnarStore::ShardView> shards_b = b.shards();
+  if (shards_a.size() != shards_b.size()) {
+    throw PropertyFailure(what + ": shard counts diverge");
+  }
+  for (std::size_t s = 0; s < shards_a.size(); ++s) {
+    const serve::ColumnarStore::ShardView& va = shards_a[s];
+    const serve::ColumnarStore::ShardView& vb = shards_b[s];
+    if (va.country != vb.country || va.access != vb.access ||
+        va.rtt_ms.size() != vb.rtt_ms.size()) {
+      throw PropertyFailure(what + ": shard " + std::to_string(s) +
+                            " shape diverges");
+    }
+    for (std::size_t i = 0; i < va.rtt_ms.size(); ++i) {
+      if (va.probe_ids[i] != vb.probe_ids[i] ||
+          va.region_index[i] != vb.region_index[i] ||
+          va.ticks[i] != vb.ticks[i] ||
+          std::bit_cast<std::uint32_t>(va.rtt_ms[i]) !=
+              std::bit_cast<std::uint32_t>(vb.rtt_ms[i])) {
+        throw PropertyFailure(what + ": shard " + std::to_string(s) +
+                              " row " + std::to_string(i) + " diverges");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SnapshotFuzzStats fuzz_snapshot(Gen& gen, const World& world,
+                                const atlas::MeasurementDataset& dataset,
+                                int rounds) {
+  const serve::ColumnarStore store =
+      serve::ColumnarStore::build(dataset, serve::StoreConfig{1});
+  std::ostringstream sink(std::ios::binary);
+  serve::save_snapshot(store, sink);
+  const std::string image = sink.str();
+  const std::vector<std::uint8_t> original(image.begin(), image.end());
+
+  SnapshotFuzzStats stats;
+  for (int round = 0; round < rounds; ++round) {
+    ++stats.rounds;
+    std::vector<std::uint8_t> bytes = original;
+    const bool clean = gen.chance(0.15);
+    if (!clean) {
+      const int edits = gen.int_in(1, 4);
+      for (int e = 0; e < edits; ++e) mutate_bytes(gen, bytes);
+    } else {
+      ++stats.clean;
+    }
+
+    try {
+      serve::SnapshotLoadOptions options;
+      options.lazy_summaries = gen.chance(0.3);
+      serve::ColumnarStore loaded =
+          serve::load_snapshot(bytes, &world.fleet, &world.registry,
+                               serve::StoreConfig{1}, options);
+      ++stats.loaded;
+      // Whatever the loader accepts must be a complete store: the lazy
+      // path still owes a working refresh, and a clean image must
+      // reproduce the original exactly.
+      if (!loaded.fresh()) loaded.refresh();
+      if (clean) {
+        require_same_store(store, loaded,
+                           "fuzz_snapshot: clean image diverges");
+      }
+    } catch (const serve::SnapshotError&) {
+      ++stats.rejected;
+      if (clean) {
+        throw PropertyFailure(
+            "fuzz_snapshot: loader rejected an unmutated image [" +
+            world.summary + "]");
+      }
+    } catch (const io::BlockError&) {
+      ++stats.rejected;
+      if (clean) {
+        throw PropertyFailure(
+            "fuzz_snapshot: container reader rejected an unmutated image [" +
+            world.summary + "]");
+      }
+    } catch (const PropertyFailure&) {
+      throw;
+    } catch (const std::exception& error) {
+      throw PropertyFailure(
+          std::string("fuzz_snapshot: loader threw outside the contract: "
+                      "\"") +
+          error.what() + "\" [" + world.summary + "]");
     }
   }
   return stats;

@@ -49,4 +49,23 @@ struct FrameFuzzStats {
 /// the bytes were chunked.
 FrameFuzzStats fuzz_frames(Gen& gen, int rounds);
 
+struct SnapshotFuzzStats {
+  std::size_t rounds = 0;
+  std::size_t clean = 0;     ///< unmutated rounds (exact round-trip required)
+  std::size_t loaded = 0;    ///< mutants the loader still accepted
+  std::size_t rejected = 0;  ///< SnapshotError / io::BlockError raised
+};
+
+/// Builds the dataset's columnar store once, serialises it with
+/// save_snapshot, then feeds mutated copies of the image (byte flips,
+/// truncations, splices, deletions, insertions) to load_snapshot. The
+/// loader's confinement contract: every mutant either loads a complete,
+/// counter-consistent store or throws serve::SnapshotError /
+/// io::BlockError — any other exception (or a crash) is a
+/// PropertyFailure. Unmutated images must load a store with identical
+/// columns and counters.
+SnapshotFuzzStats fuzz_snapshot(Gen& gen, const World& world,
+                                const atlas::MeasurementDataset& dataset,
+                                int rounds);
+
 }  // namespace shears::check

@@ -60,7 +60,10 @@ void check_ecdf_properties(Gen& gen) {
   if (ecdf.empty()) {
     require(ecdf.fraction_at_or_below(0.0) == 0.0,
             "empty Ecdf: F must be 0 everywhere");
-    require(ecdf.quantile(0.5) == 0.0, "empty Ecdf: quantile must be 0");
+    require(std::isnan(ecdf.quantile(0.5)),
+            "empty Ecdf: quantile must be NaN, not a sentinel value");
+    require(std::isnan(ecdf.min()) && std::isnan(ecdf.max()),
+            "empty Ecdf: min/max must be NaN, not a sentinel value");
     return;
   }
   require(ecdf.min() <= ecdf.max(), "Ecdf min exceeds max");

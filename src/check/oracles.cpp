@@ -19,6 +19,7 @@
 #include "net/burst_lanes.hpp"
 #include "serve/columnar.hpp"
 #include "serve/reference.hpp"
+#include "serve/snapshot.hpp"
 
 namespace shears::check {
 
@@ -450,6 +451,77 @@ void check_oracle_vs_fullscan(const World& world,
   chunked.append(rows.subspan(third));
   chunked.refresh();
   require_answers(chunked, 8, "chunked build, 8 threads");
+}
+
+void check_snapshot_roundtrip(const World& world,
+                              const atlas::MeasurementDataset& dataset,
+                              std::span<const serve::Query> queries) {
+  const serve::ColumnarStore live =
+      serve::ColumnarStore::build(dataset, serve::StoreConfig{1});
+  const std::vector<serve::Answer> expected =
+      serve::Oracle(&live, serve::OracleConfig{1}).answer(queries);
+
+  std::ostringstream sink(std::ios::binary);
+  serve::save_snapshot(live, sink);
+  const std::string image = sink.str();
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(image.data()), image.size());
+
+  const auto require_answers = [&](const serve::ColumnarStore& store,
+                                   const std::string& label) {
+    if (store.rows_stored() != live.rows_stored() ||
+        store.rows_dropped() != live.rows_dropped()) {
+      fail(world, "snapshot round-trip (" + label + "): counters diverge");
+    }
+    const std::vector<serve::Answer> got =
+        serve::Oracle(&store, serve::OracleConfig{1}).answer(queries);
+    std::string why;
+    if (!serve::answers_identical(expected, got, why)) {
+      fail(world, "snapshot round-trip (" + label + "): " + why);
+    }
+  };
+
+  // Full (verifying) load, 1 and 8 rebuild threads.
+  require_answers(serve::load_snapshot(bytes, &dataset.fleet(),
+                                       &dataset.registry(),
+                                       serve::StoreConfig{1}),
+                  "full load, 1 thread");
+  require_answers(serve::load_snapshot(bytes, &dataset.fleet(),
+                                       &dataset.registry(),
+                                       serve::StoreConfig{8}),
+                  "full load, 8 threads");
+
+  // Lazy load: stale until the caller's refresh, then identical.
+  serve::SnapshotLoadOptions lazy;
+  lazy.lazy_summaries = true;
+  serve::ColumnarStore deferred = serve::load_snapshot(
+      bytes, &dataset.fleet(), &dataset.registry(), serve::StoreConfig{1},
+      lazy);
+  if (dataset.size() > 0 && deferred.fresh()) {
+    fail(world, "snapshot round-trip: lazy load returned a fresh store");
+  }
+  deferred.refresh();
+  require_answers(deferred, "lazy load + refresh");
+
+  // Mid-ingest: snapshot N rows, load, append the remaining M — must
+  // answer like the one-shot N+M build above.
+  const std::span<const atlas::Measurement> rows = dataset.records();
+  const std::size_t cut = rows.size() / 2;
+  serve::ColumnarStore partial(&dataset.fleet(), &dataset.registry(),
+                               serve::StoreConfig{1});
+  partial.append(rows.subspan(0, cut));
+  partial.refresh();
+  std::ostringstream partial_sink(std::ios::binary);
+  serve::save_snapshot(partial, partial_sink);
+  const std::string partial_image = partial_sink.str();
+  serve::ColumnarStore resumed = serve::load_snapshot(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(partial_image.data()),
+          partial_image.size()),
+      &dataset.fleet(), &dataset.registry(), serve::StoreConfig{8});
+  resumed.append(rows.subspan(cut));
+  resumed.refresh();
+  require_answers(resumed, "snapshot-N, load, append-M");
 }
 
 }  // namespace shears::check

@@ -62,4 +62,14 @@ void check_oracle_vs_fullscan(const World& world,
                               const atlas::MeasurementDataset& dataset,
                               std::span<const serve::Query> queries);
 
+/// save_snapshot → load_snapshot must reproduce the store exactly: the
+/// loaded store (full and lazy, 1 and 8 rebuild threads) must answer an
+/// arbitrary query batch byte-identically to the live store it was
+/// saved from, its counters must survive, and a snapshot taken
+/// mid-ingest — N rows saved, loaded, then M more appended — must
+/// answer like the one-shot N+M build.
+void check_snapshot_roundtrip(const World& world,
+                              const atlas::MeasurementDataset& dataset,
+                              std::span<const serve::Query> queries);
+
 }  // namespace shears::check

@@ -44,6 +44,8 @@ const std::set<std::string>& allowed_keys() {
       "traffic.queue_capacity", "traffic.client_rate_qps",
       "traffic.client_burst", "traffic.max_batch", "traffic.batch_linger_us",
       "traffic.batch_overhead_us", "traffic.per_query_us",
+      "snapshot.path", "snapshot.delta", "snapshot.mode", "snapshot.lazy",
+      "snapshot.compact",
       "footprint.year", "footprint.providers",
   };
   return keys;
@@ -280,6 +282,22 @@ Scenario parse_scenario(std::istream& is) {
     throw std::runtime_error(std::string("scenario: ") + e.what());
   }
 
+  s.snapshot.path = ini.get_string("snapshot", "path", s.snapshot.path);
+  s.snapshot.delta = ini.get_string("snapshot", "delta", s.snapshot.delta);
+  s.snapshot.mode = ini.get_string("snapshot", "mode", s.snapshot.mode);
+  s.snapshot.lazy = ini.get_bool("snapshot", "lazy", s.snapshot.lazy);
+  s.snapshot.compact =
+      ini.get_bool("snapshot", "compact", s.snapshot.compact);
+  if (s.snapshot.mode != "read" && s.snapshot.mode != "mmap") {
+    throw std::runtime_error("scenario: unknown snapshot.mode '" +
+                             s.snapshot.mode + "' (read|mmap)");
+  }
+  if (s.snapshot.path.empty() && !s.snapshot.delta.empty()) {
+    throw std::runtime_error(
+        "scenario: snapshot.delta requires snapshot.path (the log is keyed "
+        "to a base snapshot)");
+  }
+
   s.footprint_year =
       static_cast<int>(ini.get_int("footprint", "year", s.footprint_year));
   for (const std::string& name : ini.get_list("footprint", "providers")) {
@@ -381,6 +399,18 @@ std::string default_scenario_text() {
       << "batch_linger_us = " << s.front.batch_linger_us << "\n"
       << "batch_overhead_us = " << s.front.batch_overhead_us << "\n"
       << "per_query_us = " << s.front.per_query_us << "\n\n"
+      << "[snapshot]\n"
+      << "# Store persistence (examples/store_snapshot): save the built\n"
+      << "# store to `path`, or load it back instead of replaying the\n"
+      << "# campaign; `delta` adds an append-only log for incremental\n"
+      << "# ingest on top of the base.\n"
+      << "# path = store.snap\n"
+      << "# delta = store.delta\n"
+      << "mode = " << s.snapshot.mode << "  ; read | mmap\n"
+      << "lazy = " << (s.snapshot.lazy ? "true" : "false")
+      << "  ; defer summary rebuild to first use\n"
+      << "compact = " << (s.snapshot.compact ? "true" : "false")
+      << "  ; fold the delta log into the base\n\n"
       << "[footprint]\n"
       << "year = 0        ; 0 = full 2019/2020 footprint\n"
       << "# providers = Amazon, Google   ; default: all seven\n";

@@ -46,6 +46,17 @@ struct Scenario {
   /// oracle built from this scenario's dataset.
   front::FrontConfig front{};
   front::TrafficConfig traffic{};
+  /// Store-snapshot persistence knobs ([snapshot] section), consumed by
+  /// the drivers (examples/store_snapshot) that own a serve store.
+  /// Strings and bools only — config does not link the serve layer.
+  struct SnapshotConfig {
+    std::string path{};   ///< base snapshot file; empty = persistence off
+    std::string delta{};  ///< delta-log file; empty = no incremental log
+    std::string mode = "read";  ///< load mode: read | mmap
+    bool lazy = false;    ///< defer the summary rebuild to first use
+    bool compact = false;  ///< fold the delta log into the base after load
+  };
+  SnapshotConfig snapshot{};
   /// Footprint snapshot year; 0 = the full campaign footprint.
   int footprint_year = 0;
   /// Provider subset; empty = all seven.

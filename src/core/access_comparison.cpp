@@ -1,5 +1,6 @@
 #include "core/access_comparison.hpp"
 
+#include <cmath>
 #include <map>
 #include <utility>
 
@@ -153,11 +154,15 @@ AccessComparison compare_access(const atlas::MeasurementDataset& dataset,
 
   result.wired_over_time = bucket_medians(std::move(wired_buckets));
   result.wireless_over_time = bucket_medians(std::move(wireless_buckets));
+  // Empty populations yield NaN medians (no samples ⇒ no median); the
+  // ratio stays an explicit 0.0 in that case rather than NaN-poisoning
+  // the "~2.5x" headline comparison.
   result.wired_median = stats::Ecdf(result.wired).median();
   result.wireless_median = stats::Ecdf(result.wireless).median();
-  result.median_ratio = result.wired_median > 0.0
-                            ? result.wireless_median / result.wired_median
-                            : 0.0;
+  result.median_ratio =
+      result.wired_median > 0.0 && !std::isnan(result.wireless_median)
+          ? result.wireless_median / result.wired_median
+          : 0.0;
   result.added_latency_ms = result.wireless_median - result.wired_median;
   return result;
 }

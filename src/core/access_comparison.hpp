@@ -42,9 +42,12 @@ struct AccessComparison {
   std::vector<std::pair<double, double>> wireless_over_time;
   std::size_t wired_probe_count = 0;
   std::size_t wireless_probe_count = 0;
+  /// NaN when the respective tagged population is empty (no samples ⇒
+  /// no median, and 0.0 would read as a real 0 ms RTT).
   double wired_median = 0.0;
   double wireless_median = 0.0;
-  /// wireless_median / wired_median; the paper reports ~2.5x.
+  /// wireless_median / wired_median; the paper reports ~2.5x. 0.0 when
+  /// either population is empty.
   double median_ratio = 0.0;
   /// wireless - wired median difference (the "10-40 ms added" claim).
   double added_latency_ms = 0.0;

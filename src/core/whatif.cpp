@@ -43,6 +43,8 @@ std::vector<ExpansionPoint> expansion_sweep(const std::vector<int>& years,
       if (best < 20.0) ++point.countries_under_20ms;
       if (best < 100.0) ++point.countries_under_100ms;
     }
+    // NaN when no country reaches any region (pre-cloud years): there is
+    // no median to report, and 0.0 would read as a perfect RTT.
     point.median_best_rtt_ms = stats::Ecdf(std::move(best_rtts)).median();
     out.push_back(point);
   }

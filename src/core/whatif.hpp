@@ -27,7 +27,9 @@ struct ExpansionPoint {
   std::size_t countries_under_10ms = 0;
   std::size_t countries_under_20ms = 0;
   std::size_t countries_under_100ms = 0;
-  double median_best_rtt_ms = 0.0;  ///< median over countries
+  /// Median over countries; NaN when the footprint reaches no country
+  /// at all (pre-cloud years).
+  double median_best_rtt_ms = 0.0;
 };
 
 /// Evaluates footprint snapshots at each year. Countries with no reachable

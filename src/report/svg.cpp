@@ -270,7 +270,13 @@ bool write_text_file(const std::string& path, const std::string& content) {
   std::ofstream out(path);
   if (!out) return false;
   out << content;
-  return static_cast<bool>(out);
+  // The insert above only fills the stream buffer; a full disk or
+  // yanked volume surfaces at flush/close. Check after both, or a
+  // truncated file would report success.
+  out.flush();
+  if (!out) return false;
+  out.close();
+  return !out.fail();
 }
 
 }  // namespace shears::report

@@ -50,7 +50,10 @@ struct MapLayer {
                                          int width = 880);
 
 /// Writes a string to a file; returns false (and leaves no partial file
-/// guarantees) on I/O failure.
-bool write_text_file(const std::string& path, const std::string& content);
+/// guarantees) on I/O failure. Failure is checked through flush and
+/// close, so a full disk cannot silently truncate the file — callers
+/// must consume the result.
+[[nodiscard]] bool write_text_file(const std::string& path,
+                                   const std::string& content);
 
 }  // namespace shears::report

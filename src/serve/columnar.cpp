@@ -18,6 +18,10 @@ namespace {
 
 constexpr std::uint32_t kSkipKey = 0xffffffffu;
 
+/// Hard per-shard capacity: the scatter indexes shard slots with
+/// std::uint32_t offsets, so a shard can never exceed 2^32 - 1 rows.
+constexpr std::uint64_t kMaxShardRows = 0xffffffffu;
+
 /// Worker count for per-shard-heavy work (sorting summaries): unlike the
 /// record scans behind core::resolve_threads, each unit here is worth a
 /// thread well below 16k items.
@@ -73,6 +77,13 @@ ColumnarStore ColumnarStore::build(const atlas::MeasurementDataset& dataset,
 
 void ColumnarStore::append(std::span<const atlas::Measurement> rows) {
   if (rows.empty()) return;
+  if (rows.size() > kMaxShardRows) {
+    // Keeps every pass-1 per-shard count exact in 32 bits; callers this
+    // large must chunk (the sink path already does).
+    throw std::length_error(
+        "ColumnarStore::append: batch of " + std::to_string(rows.size()) +
+        " rows exceeds the 2^32 - 1 per-call limit; split the batch");
+  }
   const std::size_t keys = key_count();
   const std::size_t shards = core::resolve_threads(config_.threads,
                                                    rows.size());
@@ -107,6 +118,34 @@ void ColumnarStore::append(std::span<const atlas::Measurement> rows) {
     throw std::invalid_argument(
         "ColumnarStore::append: row " + std::to_string(first_bad.load()) +
         " does not resolve against the bound fleet/registry");
+  }
+
+  // Capacity check, in 64 bits and *before* any group is touched: the
+  // scatter below indexes shard slots with std::uint32_t offsets, so
+  // growth past 2^32 - 1 rows per shard (or past the configured cap)
+  // would silently wrap the offsets and corrupt the store. A violation
+  // throws here and leaves the store exactly as it was.
+  const std::uint64_t shard_limit =
+      config_.max_shard_rows == 0
+          ? kMaxShardRows
+          : std::min(config_.max_shard_rows, kMaxShardRows);
+  for (std::size_t key = 0; key < keys; ++key) {
+    std::uint64_t incoming = 0;
+    for (std::size_t s = 0; s < shards; ++s) incoming += counts[s][key];
+    if (incoming == 0) continue;
+    const std::uint64_t grown = groups_[key].rtt_ms.size() + incoming;
+    if (grown > shard_limit) {
+      const geo::Country& country =
+          geo::all_countries()[key / net::kAccessTechnologyCount];
+      const auto access = static_cast<net::AccessTechnology>(
+          key % net::kAccessTechnologyCount);
+      throw std::length_error(
+          "ColumnarStore::append: shard (" + std::string(country.iso2) +
+          ", " + std::string(net::to_string(access)) + ") would grow to " +
+          std::to_string(grown) + " rows, past its capacity of " +
+          std::to_string(shard_limit) +
+          " (u32 scatter offsets); no rows were appended");
+    }
   }
 
   // Offsets: slot of a row = shard base + rows of its key in earlier

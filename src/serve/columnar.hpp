@@ -51,6 +51,13 @@ struct StoreConfig {
   /// concurrency). Stored bytes and summaries are identical for any
   /// value — the serve test suite pins it.
   std::size_t threads = 0;
+  /// Upper bound on rows per (country, access) shard. 0 (the default)
+  /// means the format's hard ceiling of 2^32 - 1 — the shard columns
+  /// index rows with std::uint32_t offsets, so growth past that limit
+  /// throws std::length_error instead of silently wrapping the scatter
+  /// offsets and corrupting the store. Tests and capacity-capped
+  /// deployments lower it; values above the ceiling are clamped to it.
+  std::uint64_t max_shard_rows = 0;
 };
 
 /// Pre-aggregated latency summary of one (shard, target region) cell.
@@ -184,6 +191,11 @@ class ColumnarStore final : public atlas::MeasurementSink {
   void attach_metrics(obs::MetricsRegistry* metrics);
 
  private:
+  /// Snapshot persistence (src/serve/snapshot.cpp) serialises the raw
+  /// shard columns and counters and restores them on load; it is the
+  /// only code with by-hand access to the representation.
+  friend struct SnapshotAccess;
+
   struct KeyGroup {
     std::vector<std::uint32_t> probe_ids;
     std::vector<std::uint16_t> region_index;

@@ -71,6 +71,7 @@
 #include "serve/columnar.hpp"
 #include "serve/oracle.hpp"
 #include "serve/reference.hpp"
+#include "serve/snapshot.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/distributions.hpp"
 #include "stats/ecdf.hpp"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace shears::stats {
@@ -54,7 +55,9 @@ double Ecdf::fraction_below(double x) const noexcept {
 }
 
 double Ecdf::quantile(double q) const noexcept {
-  if (sorted_.empty()) return 0.0;
+  // NaN, not 0.0: an empty sample has no quantiles, and 0.0 is a real
+  // (excellent) RTT — callers must check empty() or propagate the NaN.
+  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (q <= 0.0) return sorted_.front();
   if (q >= 1.0) return sorted_.back();
   const double h = q * static_cast<double>(sorted_.size() - 1);
@@ -64,8 +67,14 @@ double Ecdf::quantile(double q) const noexcept {
   return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
 }
 
-double Ecdf::min() const noexcept { return sorted_.empty() ? 0.0 : sorted_.front(); }
-double Ecdf::max() const noexcept { return sorted_.empty() ? 0.0 : sorted_.back(); }
+double Ecdf::min() const noexcept {
+  return sorted_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : sorted_.front();
+}
+double Ecdf::max() const noexcept {
+  return sorted_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : sorted_.back();
+}
 
 std::vector<std::pair<double, double>> Ecdf::curve(
     const std::vector<double>& points) const {

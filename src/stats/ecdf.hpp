@@ -43,7 +43,10 @@ class Ecdf {
   [[nodiscard]] double fraction_below(double x) const noexcept;
 
   /// Quantile with linear interpolation between order statistics
-  /// (type-7 / numpy default). q is clamped to [0, 1]. 0 if empty.
+  /// (type-7 / numpy default). q is clamped to [0, 1]. NaN when the
+  /// sample is empty — an empty ECDF has no quantiles, and a sentinel
+  /// 0.0 would be indistinguishable from a real 0 ms RTT; check empty()
+  /// first or let the NaN propagate.
   [[nodiscard]] double quantile(double q) const noexcept;
 
   /// Convenience: quantile(p / 100).
@@ -51,6 +54,8 @@ class Ecdf {
     return quantile(p / 100.0);
   }
 
+  /// Extremes of the sample; NaN when empty (same rationale as
+  /// quantile()).
   [[nodiscard]] double min() const noexcept;
   [[nodiscard]] double max() const noexcept;
   [[nodiscard]] double median() const noexcept { return quantile(0.5); }

@@ -1,13 +1,15 @@
 // Property tests for the serving layer: the spatial index against a
 // brute-force geodesic scan (with antimeridian / polar point clouds),
-// and the indexed oracle against the full-scan reference over generated
+// the indexed oracle against the full-scan reference over generated
 // worlds — every build path and thread count must answer bit for bit
-// identically.
+// identically — and the snapshot subsystem: save → load answer
+// identity, plus corpus fuzzing of the loader's error confinement.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "atlas/measurement.hpp"
+#include "check/fuzz.hpp"
 #include "check/oracles.hpp"
 #include "check/property.hpp"
 #include "check/world.hpp"
@@ -46,6 +48,37 @@ TEST(ServeProperty, OracleMatchesFullScanReference) {
         check_oracle_vs_fullscan(world, dataset, queries);
       },
       8);
+  EXPECT_TRUE(result.passed) << result.banner;
+}
+
+TEST(ServeProperty, SnapshotRoundTripAnswersIdentically) {
+  const CheckResult result = check(
+      "snapshot_roundtrip",
+      [](Gen& gen) {
+        const World world = make_world(gen);
+        const atlas::MeasurementDataset dataset = world.run();
+        const std::vector<serve::Query> queries =
+            make_queries(gen, world, 24);
+        check_snapshot_roundtrip(world, dataset, queries);
+      },
+      6);
+  EXPECT_TRUE(result.passed) << result.banner;
+}
+
+TEST(ServeFuzz, SnapshotLoaderConfinesCorruptImages) {
+  const CheckResult result = check(
+      "fuzz_snapshot",
+      [](Gen& gen) {
+        const World world = make_world(gen);
+        const atlas::MeasurementDataset dataset = world.run();
+        const SnapshotFuzzStats stats =
+            fuzz_snapshot(gen, world, dataset, 48);
+        require(stats.loaded + stats.rejected == stats.rounds,
+                "every round must load or reject");
+        require(stats.loaded >= stats.clean,
+                "clean images must always load");
+      },
+      4);
   EXPECT_TRUE(result.passed) << result.banner;
 }
 

@@ -175,6 +175,37 @@ TEST(Scenario, RejectsOutOfRangeValues) {
                std::runtime_error);  // faster than light in fibre
 }
 
+TEST(Scenario, SnapshotKeysApply) {
+  const Scenario s = parse_scenario_string(
+      "[snapshot]\n"
+      "path = store.snap\n"
+      "delta = store.delta\n"
+      "mode = mmap\n"
+      "lazy = true\n"
+      "compact = true\n");
+  EXPECT_EQ(s.snapshot.path, "store.snap");
+  EXPECT_EQ(s.snapshot.delta, "store.delta");
+  EXPECT_EQ(s.snapshot.mode, "mmap");
+  EXPECT_TRUE(s.snapshot.lazy);
+  EXPECT_TRUE(s.snapshot.compact);
+
+  // Defaults: persistence off, buffered read, eager summaries.
+  const Scenario d = parse_scenario_string("");
+  EXPECT_TRUE(d.snapshot.path.empty());
+  EXPECT_TRUE(d.snapshot.delta.empty());
+  EXPECT_EQ(d.snapshot.mode, "read");
+  EXPECT_FALSE(d.snapshot.lazy);
+  EXPECT_FALSE(d.snapshot.compact);
+}
+
+TEST(Scenario, RejectsBadSnapshotConfig) {
+  EXPECT_THROW(parse_scenario_string("[snapshot]\nmode = eager\n"),
+               std::runtime_error);
+  // A delta log without a base snapshot has nothing to key itself to.
+  EXPECT_THROW(parse_scenario_string("[snapshot]\ndelta = x.delta\n"),
+               std::runtime_error);
+}
+
 TEST(Scenario, ShippedScenarioFilesParse) {
   // Every file in scenarios/ must parse and validate.
   const std::string dir = std::string(SHEARS_SOURCE_DIR) + "/scenarios/";

@@ -227,7 +227,11 @@ TEST(Ecdf, FractionsAndQuantiles) {
 TEST(Ecdf, EmptyIsSafe) {
   const Ecdf ecdf;
   EXPECT_TRUE(ecdf.empty());
-  EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), 0.0);
+  // Empty quantiles/extremes are NaN, not 0.0 — a sentinel 0.0 would be
+  // indistinguishable from a genuine 0 ms RTT sample.
+  EXPECT_TRUE(std::isnan(ecdf.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(ecdf.min()));
+  EXPECT_TRUE(std::isnan(ecdf.max()));
   EXPECT_DOUBLE_EQ(ecdf.fraction_at_or_below(1.0), 0.0);
 }
 

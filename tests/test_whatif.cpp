@@ -1,6 +1,8 @@
 // Tests for the what-if engines (expansion ablation A1, 5G ablation A2).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "atlas/placement.hpp"
 #include "core/whatif.hpp"
 #include "net/latency_model.hpp"
@@ -42,7 +44,9 @@ TEST(ExpansionSweep, PreCloudYearCoversNobody) {
   ASSERT_EQ(points.size(), 1u);
   EXPECT_EQ(points[0].region_count, 0u);
   EXPECT_EQ(points[0].countries_under_100ms, 0u);
-  EXPECT_DOUBLE_EQ(points[0].median_best_rtt_ms, 0.0);
+  // No reachable region ⇒ no median: an explicit NaN, not a 0.0 that
+  // would read as a perfect RTT.
+  EXPECT_TRUE(std::isnan(points[0].median_best_rtt_ms));
 }
 
 TEST(ExpansionSweep, FallbackContinentsCountAsReachable) {
