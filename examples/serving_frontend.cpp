@@ -6,9 +6,14 @@
 // clients. Prints the deterministic session report: what was admitted,
 // what was shed where, and the latency tail of what was answered.
 //
-//   ./build/examples/serving_frontend [days]   (default 7)
+// With --loopback the same store and oracle are served over real TCP
+// instead: the epoll socket transport on 127.0.0.1, closed-loop client
+// threads, wall-clock latencies (src/front/transport).
+//
+//   ./build/examples/serving_frontend [days] [--loopback]   (default 7)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "atlas/campaign.hpp"
@@ -16,6 +21,8 @@
 #include "atlas/placement.hpp"
 #include "front/server.hpp"
 #include "front/traffic.hpp"
+#include "front/transport/loopback.hpp"
+#include "front/transport/socket_server.hpp"
 #include "net/latency_model.hpp"
 #include "obs/metrics.hpp"
 #include "serve/columnar.hpp"
@@ -24,8 +31,78 @@
 
 using namespace shears;
 
+namespace {
+
+int run_loopback(const serve::Oracle& oracle, serve::ColumnarStore& store,
+                 const std::vector<serve::Query>& corpus) {
+  if (!front::sockets_available()) {
+    std::printf("\nloopback sockets unavailable in this sandbox; nothing "
+                "to serve\n");
+    return 1;
+  }
+  // Token buckets well below the hammering closed-loop offered rate:
+  // the fairness machinery, not the oracle, sets the completed rate.
+  front::FrontConfig front_config;
+  front_config.client_rate_qps = 500;
+  front_config.client_burst = 16;
+
+  front::LoopbackConfig config;
+  config.clients = 8;
+  config.requests_per_client = 500;
+  config.slo_ms = 5.0;
+  config.client.max_retries = 3;
+  config.client.backoff_base_us = 500;
+  config.client.backoff_cap_us = 2'000;
+
+  std::printf("\n== loopback session: %u closed-loop TCP clients x %llu "
+              "requests, %.1f ms SLO ==\n",
+              config.clients,
+              static_cast<unsigned long long>(config.requests_per_client),
+              config.slo_ms);
+  front::FrontServer server(&oracle, &store, front_config);
+  const front::LoopbackReport report =
+      front::run_loopback(server, corpus, config);
+
+  const auto llu = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  std::printf("offered   %8llu   (+ %llu retries = %llu on the wire)\n",
+              llu(report.offered), llu(report.retries), llu(report.sent));
+  std::printf("completed %8llu   failed %llu\n", llu(report.completed),
+              llu(report.failed));
+  std::printf("shed      %8llu   (throttled %llu, queue-full %llu)\n",
+              llu(report.server.shed_throttled +
+                  report.server.shed_queue_full +
+                  report.server.shed_deadline),
+              llu(report.server.shed_throttled),
+              llu(report.server.shed_queue_full));
+  std::printf("transport %8llu accepted  %llu KiB in / %llu KiB out, "
+              "%llu partial writes\n",
+              llu(report.transport.accepted),
+              llu(report.transport.bytes_in >> 10),
+              llu(report.transport.bytes_out >> 10),
+              llu(report.transport.partial_writes));
+  std::printf("latency   p50 %.3f / p95 %.3f / p99 %.3f ms  (wall clock)\n",
+              report.p50_ms, report.p95_ms, report.p99_ms);
+  std::printf("qps: %.0f over %.1f ms   (SLO %s, transport %s)\n",
+              report.qps, report.duration_ms,
+              report.slo_met ? "met" : "MISSED",
+              report.drained ? "drained" : "NOT DRAINED");
+  return report.slo_met && report.drained ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const int days = argc > 1 ? std::atoi(argv[1]) : 7;
+  bool loopback = false;
+  int days = 7;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--loopback") == 0) {
+      loopback = true;
+    } else {
+      days = std::atoi(argv[i]);
+    }
+  }
   std::printf("== campaign (%d day%s) ==\n", days, days == 1 ? "" : "s");
   const auto registry = topology::CloudRegistry::campaign_footprint();
   const auto fleet = atlas::ProbeFleet::generate({});
@@ -39,6 +116,10 @@ int main(int argc, char** argv) {
   serve::ColumnarStore store =
       serve::ColumnarStore::build(dataset, serve::StoreConfig{0});
   const serve::Oracle oracle(&store, serve::OracleConfig{});
+  const std::vector<serve::Query> corpus =
+      front::make_corpus(dataset.fleet(), 4096);
+
+  if (loopback) return run_loopback(oracle, store, corpus);
 
   // The peak-load regime of scenarios/serving_peak_load.ini: a 100 us +
   // 200 us/query service model against 40 kqps offered, with deadlines
@@ -71,8 +152,6 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   front::FrontServer server(&oracle, &store, front_config);
   server.attach_metrics(&metrics);
-  const std::vector<serve::Query> corpus =
-      front::make_corpus(dataset.fleet(), 4096);
   const front::TrafficReport report =
       front::run_traffic(server, corpus, traffic, &metrics);
 

@@ -429,6 +429,119 @@ FrameFuzzStats fuzz_frames(Gen& gen, int rounds) {
 
 namespace {
 
+/// Everything one decode of a byte stream produces: the delivered frame
+/// sequence, the final tallies, and the unconsumed residue size.
+struct ReassemblyRun {
+  std::vector<std::pair<front::FrameType, std::vector<std::uint8_t>>> frames;
+  std::size_t damaged = 0;
+  front::FrameDecoder::Tally tally;
+  std::size_t residue = 0;
+};
+
+/// Decodes `bytes` split at random chunk boundaries (chunk size 0 means
+/// "feed everything at once").
+ReassemblyRun decode_chunked(Gen& gen, std::span<const std::uint8_t> bytes,
+                             bool whole) {
+  front::FrameDecoder decoder;
+  ReassemblyRun run;
+  // next() must consume input or report kNeedMore once per feed; more
+  // calls than bytes-plus-slack means it stopped making progress.
+  const std::size_t progress_cap = 2 * bytes.size() + 64;
+  std::size_t calls = 0;
+  std::size_t pos = 0;
+  try {
+    while (pos < bytes.size()) {
+      const std::size_t chunk =
+          whole ? bytes.size()
+                : std::min(bytes.size() - pos,
+                           static_cast<std::size_t>(gen.int_in(1, 48)));
+      decoder.feed(bytes.subspan(pos, chunk));
+      pos += chunk;
+      while (true) {
+        if (++calls > progress_cap) {
+          throw PropertyFailure(
+              "fuzz_reassembly: decoder stopped making progress");
+        }
+        front::FrameDecoder::Item item = decoder.next();
+        if (item.status == front::DecodeStatus::kNeedMore) break;
+        if (item.status == front::DecodeStatus::kFrame) {
+          run.frames.emplace_back(item.type, std::move(item.payload));
+        } else {
+          ++run.damaged;
+        }
+      }
+    }
+  } catch (const PropertyFailure&) {
+    throw;
+  } catch (const std::exception& error) {
+    throw PropertyFailure(std::string("fuzz_reassembly: decoder threw: \"") +
+                          error.what() + "\"");
+  }
+  run.tally = decoder.tally();
+  run.residue = decoder.buffered();
+  return run;
+}
+
+/// The chunking-invariance contract between a reference decode and a
+/// differently-chunked decode of the same bytes. Two quantities are
+/// legitimately chunking-dependent: bad_magic counts resync *events*
+/// (a garbage run torn across reads surfaces as several), and the
+/// resync scan can only run through bytes buffered at the time, so
+/// trailing garbage splits differently between "discarded" and "still
+/// buffered". What IS conserved: the delivered frame sequence, every
+/// whole-frame tally, and discarded + residual bytes as a sum.
+void require_same_reassembly(const ReassemblyRun& ref,
+                             const ReassemblyRun& got, const char* what) {
+  if (got.frames != ref.frames) {
+    throw PropertyFailure(std::string("fuzz_reassembly: ") + what +
+                          ": delivered frame sequence depends on chunking");
+  }
+  const front::FrameDecoder::Tally& a = ref.tally;
+  const front::FrameDecoder::Tally& b = got.tally;
+  if (a.frames != b.frames || a.bad_version != b.bad_version ||
+      a.bad_length != b.bad_length || a.bad_checksum != b.bad_checksum ||
+      a.bad_type != b.bad_type) {
+    throw PropertyFailure(std::string("fuzz_reassembly: ") + what +
+                          ": decode tallies depend on chunking");
+  }
+  if (a.resync_bytes + ref.residue != b.resync_bytes + got.residue) {
+    throw PropertyFailure(
+        std::string("fuzz_reassembly: ") + what +
+        ": discarded+buffered byte count depends on chunking");
+  }
+}
+
+}  // namespace
+
+ReassemblyFuzzStats fuzz_reassembly(Gen& gen, int rounds) {
+  ReassemblyFuzzStats stats;
+  for (int round = 0; round < rounds; ++round) {
+    ++stats.rounds;
+    std::vector<std::uint8_t> bytes;
+    const int count = gen.int_in(1, 8);
+    for (int f = 0; f < count; ++f) {
+      (void)append_random_frame(gen, bytes);
+    }
+    if (gen.chance(0.6)) {
+      ++stats.mutated;
+      const int edits = gen.int_in(1, 4);
+      for (int e = 0; e < edits; ++e) mutate_bytes(gen, bytes);
+    }
+
+    const std::span<const std::uint8_t> view(bytes);
+    const ReassemblyRun reference = decode_chunked(gen, view, /*whole=*/true);
+    stats.frames += reference.frames.size();
+    stats.damaged += reference.damaged;
+    require_same_reassembly(reference, decode_chunked(gen, view, false),
+                            "chunking A");
+    require_same_reassembly(reference, decode_chunked(gen, view, false),
+                            "chunking B");
+  }
+  return stats;
+}
+
+namespace {
+
 /// Column-and-counter identity of two stores — the fuzz-side version of
 /// the gtest expect_same_store helper, throwing PropertyFailure.
 void require_same_store(const serve::ColumnarStore& a,

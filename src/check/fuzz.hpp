@@ -49,6 +49,26 @@ struct FrameFuzzStats {
 /// the bytes were chunked.
 FrameFuzzStats fuzz_frames(Gen& gen, int rounds);
 
+struct ReassemblyFuzzStats {
+  std::size_t rounds = 0;
+  std::size_t mutated = 0;  ///< rounds whose stream was damaged first
+  std::size_t frames = 0;   ///< frames the reference decode delivered
+  std::size_t damaged = 0;  ///< decode errors the reference surfaced
+};
+
+/// Socket-reassembly fuzzing: builds concatenated (sometimes mutated)
+/// frame streams, then decodes the same bytes under three different
+/// chunkings — all at once, and two independent random segmentations,
+/// the torn-read shapes a TCP receive path produces. Chunk boundaries
+/// must not change the delivered kFrame sequence, any whole-frame error
+/// tally (bad_version/length/checksum/type), or the sum of discarded
+/// and still-buffered bytes; they MAY change how a garbage run splits
+/// into bad_magic resync events and how its tail splits between
+/// "discarded" and "buffered" (the resync scan only sees what has
+/// arrived). The decoder must also never stop making progress. Throws
+/// PropertyFailure on any divergence.
+ReassemblyFuzzStats fuzz_reassembly(Gen& gen, int rounds);
+
 struct SnapshotFuzzStats {
   std::size_t rounds = 0;
   std::size_t clean = 0;     ///< unmutated rounds (exact round-trip required)

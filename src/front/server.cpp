@@ -142,6 +142,13 @@ void FrontServer::admit(ConnId conn, Request&& request, SimTime now) {
 
 void FrontServer::submit(ConnId conn, std::span<const std::uint8_t> bytes,
                          SimTime now) {
+  ingest(conn, bytes, now);
+  // Batches whose close time this submission reached (or created).
+  run_until(now);
+}
+
+void FrontServer::ingest(ConnId conn, std::span<const std::uint8_t> bytes,
+                         SimTime now) {
   Conn& c = conns_[conn];
   c.decoder.feed(bytes);
   while (true) {
@@ -169,8 +176,6 @@ void FrontServer::submit(ConnId conn, std::span<const std::uint8_t> bytes,
     }
     admit(conn, std::move(request), now);
   }
-  // Batches whose close time this submission reached (or created).
-  run_until(now);
 }
 
 std::optional<SimTime> FrontServer::next_batch_close() const {

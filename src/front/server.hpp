@@ -110,6 +110,14 @@ class FrontServer {
   /// `now` must not go backwards across calls.
   void submit(ConnId conn, std::span<const std::uint8_t> bytes, SimTime now);
 
+  /// The decode+admit half of submit(), without the trailing
+  /// run_until(now). The socket transport feeds each read(2) chunk
+  /// through here and drives batch formation from its Clock instead, so
+  /// the session layer's decisions depend on *when bytes arrived*, never
+  /// on how TCP happened to segment them — the invariant behind the
+  /// differential transport tests.
+  void ingest(ConnId conn, std::span<const std::uint8_t> bytes, SimTime now);
+
   /// Runs every batch whose formation closes at or before `now`.
   void run_until(SimTime now);
 

@@ -1,0 +1,190 @@
+#include "front/transport/loopback.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "front/traffic.hpp"  // percentile_ms
+#include "front/transport/blocking_client.hpp"
+#include "front/transport/clock.hpp"
+
+namespace shears::front {
+
+namespace {
+
+// TCP delivers whatever byte runs it likes, but FrontClient::on_bytes
+// expects whole frames (the simulated transport always hands it those).
+// This buffer releases only the complete-frame prefix of what has
+// arrived so far. Loopback responses come from our own server, so the
+// header length field is trustworthy here.
+class FrameReassembler {
+ public:
+  /// Appends `bytes`; returns the longest complete-frame prefix now
+  /// available (may be empty).
+  std::vector<std::uint8_t> feed(std::span<const std::uint8_t> bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+    std::size_t end = 0;
+    while (buffer_.size() - end >= kFrameHeaderBytes) {
+      const std::size_t length = static_cast<std::size_t>(buffer_[end + 4]) |
+                                 (static_cast<std::size_t>(buffer_[end + 5])
+                                  << 8) |
+                                 (static_cast<std::size_t>(buffer_[end + 6])
+                                  << 16) |
+                                 (static_cast<std::size_t>(buffer_[end + 7])
+                                  << 24);
+      const std::size_t total = kFrameHeaderBytes + length;
+      if (buffer_.size() - end < total) break;
+      end += total;
+    }
+    std::vector<std::uint8_t> ready(buffer_.begin(), buffer_.begin() + end);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + end);
+    return ready;
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+struct ClientResult {
+  ClientStats stats;
+  std::vector<double> latencies_ms;
+  std::uint64_t offered = 0;
+  std::uint64_t timeouts = 0;
+  bool transport_error = false;
+};
+
+void client_loop(std::uint32_t index, std::uint16_t port,
+                 std::span<const serve::Query> corpus,
+                 const LoopbackConfig& config, MonotonicClock* clock,
+                 ClientResult* result) {
+  FrontClient client(index + 1, config.client, config.seed);
+  BlockingClient sock;
+  try {
+    sock.connect(port);
+    FrameReassembler reassembler;
+    for (std::uint64_t k = 0; k < config.requests_per_client; ++k) {
+      // Deterministic per-client stride over the corpus; the randomness
+      // that matters (retry jitter) lives inside FrontClient.
+      const std::uint64_t corpus_index =
+          (static_cast<std::uint64_t>(index) * 7919 + k) % corpus.size();
+      sock.send(client.make_request(corpus[corpus_index], corpus_index,
+                                    clock->now()));
+      result->offered += 1;
+
+      bool resolved = false;
+      while (!resolved) {
+        const std::vector<std::uint8_t> raw =
+            sock.recv_some(config.recv_timeout_ms);
+        if (raw.empty()) {
+          if (sock.eof()) throw TransportError("loopback: server closed");
+          result->timeouts += 1;
+          resolved = true;  // abandon; the pending entry stays unmatched
+          continue;
+        }
+        const std::vector<std::uint8_t> frames = reassembler.feed(raw);
+        if (frames.empty()) continue;
+        for (const FrontClient::Outcome& outcome :
+             client.on_bytes(frames, clock->now())) {
+          switch (outcome.kind) {
+            case FrontClient::Outcome::Kind::kCompleted:
+            case FrontClient::Outcome::Kind::kFailed:
+              resolved = true;
+              break;
+            case FrontClient::Outcome::Kind::kRetry: {
+              const SimTime now = clock->now();
+              if (outcome.retry_at > now) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(outcome.retry_at - now));
+              }
+              sock.send(client.make_retry(outcome,
+                                          corpus[outcome.corpus_index],
+                                          clock->now()));
+              break;
+            }
+          }
+        }
+      }
+    }
+    sock.close();
+  } catch (const TransportError&) {
+    result->transport_error = true;
+  }
+  result->stats = client.stats();
+  result->latencies_ms = client.latencies_ms();
+}
+
+}  // namespace
+
+void LoopbackConfig::validate() const {
+  if (clients == 0) throw std::invalid_argument("loopback: zero clients");
+  if (requests_per_client == 0) {
+    throw std::invalid_argument("loopback: zero requests per client");
+  }
+  if (recv_timeout_ms <= 0) {
+    throw std::invalid_argument("loopback: non-positive recv timeout");
+  }
+  client.validate();
+  transport.validate();
+}
+
+LoopbackReport run_loopback(FrontServer& server,
+                            std::span<const serve::Query> corpus,
+                            const LoopbackConfig& config) {
+  config.validate();
+  if (corpus.empty()) throw std::invalid_argument("loopback: empty corpus");
+  if (!sockets_available()) {
+    throw TransportError("loopback: sockets unavailable");
+  }
+
+  MonotonicClock clock;
+  SocketServer transport(&server, &clock, config.transport);
+  const std::uint16_t port = transport.listen();
+  std::thread server_thread([&transport] { transport.run(); });
+
+  std::vector<ClientResult> results(config.clients);
+  const SimTime t0 = clock.now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(config.clients);
+    for (std::uint32_t i = 0; i < config.clients; ++i) {
+      threads.emplace_back(client_loop, i, port, corpus, std::cref(config),
+                           &clock, &results[i]);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const SimTime t1 = clock.now();
+
+  transport.request_drain();
+  server_thread.join();
+
+  LoopbackReport report;
+  std::vector<double> latencies;
+  for (const ClientResult& r : results) {
+    report.offered += r.offered;
+    report.sent += r.stats.sent;
+    report.completed += r.stats.completed;
+    report.failed += r.stats.failed + r.timeouts +
+                     static_cast<std::uint64_t>(r.transport_error);
+    report.retries += r.stats.retries;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+  }
+  report.server = server.stats();
+  report.transport = transport.stats();
+  report.p50_ms = percentile_ms(latencies, 0.50);
+  report.p95_ms = percentile_ms(latencies, 0.95);
+  report.p99_ms = percentile_ms(latencies, 0.99);
+  report.duration_ms = static_cast<double>(t1 - t0) / 1e3;
+  report.qps = report.duration_ms > 0.0
+                   ? static_cast<double>(report.completed) /
+                         (report.duration_ms / 1e3)
+                   : 0.0;
+  report.slo_ms = config.slo_ms;
+  report.slo_met = report.completed > 0 && report.p99_ms <= config.slo_ms;
+  report.drained = transport.drained() && server.drained();
+  return report;
+}
+
+}  // namespace shears::front

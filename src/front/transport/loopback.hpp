@@ -1,0 +1,65 @@
+// End-to-end loopback driver: a SocketServer on its own thread, real
+// TCP connections from closed-loop client threads, wall-clock latency.
+//
+// This is the wall-clock twin of front::run_traffic — same FrontClient
+// framing/retry logic, same report shape — but over the socket
+// transport with a shared MonotonicClock, so the numbers include every
+// real cost the simulation abstracts away (syscalls, epoll wakeups,
+// TCP, scheduler jitter). The bench gates live here: sustained qps
+// under the SLO, shedding engaging under overload, a clean drain at the
+// end. Latencies are *not* deterministic (this is the point); the
+// deterministic counterpart is the differential transport test.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "front/client.hpp"
+#include "front/server.hpp"
+#include "front/transport/socket_server.hpp"
+
+namespace shears::front {
+
+struct LoopbackConfig {
+  std::uint32_t clients = 4;
+  /// Closed loop: each client issues this many fresh requests,
+  /// back-to-back (plus whatever retries its errors earn).
+  std::uint64_t requests_per_client = 250;
+  /// p99 target over completed-request latencies.
+  double slo_ms = 5.0;
+  std::uint64_t seed = 2020;
+  /// Per-recv wait before a client declares the request lost.
+  int recv_timeout_ms = 2'000;
+  ClientConfig client{};
+  TransportConfig transport{};
+
+  /// Throws std::invalid_argument on zero clients/requests/timeout.
+  void validate() const;
+};
+
+struct LoopbackReport {
+  std::uint64_t offered = 0;    ///< fresh requests issued
+  std::uint64_t sent = 0;       ///< request frames on the wire
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;     ///< gave up (retries exhausted or timeout)
+  std::uint64_t retries = 0;
+  FrontStats server;            ///< session-layer counters
+  TransportStats transport;     ///< socket-layer counters
+  double p50_ms = 0.0;          ///< wall-clock first-issue → response
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double duration_ms = 0.0;     ///< first issue → last client done
+  double qps = 0.0;             ///< completed / duration
+  double slo_ms = 0.0;
+  bool slo_met = false;         ///< p99_ms <= slo_ms (and completions > 0)
+  bool drained = false;         ///< transport + session empty after drain
+};
+
+/// Runs a full loopback session against `server` (which must not be
+/// shared with any other driver while this runs). Requires
+/// sockets_available(); throws TransportError otherwise.
+[[nodiscard]] LoopbackReport run_loopback(FrontServer& server,
+                                          std::span<const serve::Query> corpus,
+                                          const LoopbackConfig& config);
+
+}  // namespace shears::front

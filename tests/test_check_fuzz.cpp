@@ -65,6 +65,29 @@ TEST(Fuzz, FrameDecoderNeverThrowsPastAFrameBoundary) {
   }
 }
 
+TEST(Fuzz, FrameReassemblyIsChunkingInvariant) {
+  std::size_t frames = 0;
+  std::size_t damaged = 0;
+  std::size_t mutated = 0;
+  const CheckResult result = check(
+      "fuzz_reassembly",
+      [&](Gen& gen) {
+        const ReassemblyFuzzStats stats = fuzz_reassembly(gen, 32);
+        frames += stats.frames;
+        damaged += stats.damaged;
+        mutated += stats.mutated;
+      },
+      8);
+  EXPECT_TRUE(result.passed) << result.banner;
+  if (result.passed) {
+    // The property is vacuous unless the rounds deliver real frames AND
+    // hit the error paths whose tallies it pins.
+    EXPECT_GT(frames, 0u);
+    EXPECT_GT(damaged, 0u);
+    EXPECT_GT(mutated, 0u);
+  }
+}
+
 TEST(Fuzz, CorpusTokensAreDeterministic) {
   Gen a(1234, 10);
   Gen b(1234, 10);
