@@ -12,7 +12,9 @@
 # instrumented-vs-plain throughput delta. Override the output file with
 # SHEARS_BENCH_JSON, the pair count with SHEARS_BENCH_REPEATS, the
 # telemetry gate with SHEARS_TELEMETRY_GATE_PCT (default 2%), and the
-# snapshot warm-start gate with SHEARS_SNAPSHOT_GATE (default 10x).
+# snapshot warm-start gate with SHEARS_SNAPSHOT_GATE (default 10x), and
+# the optimizer incremental-scoring gate with SHEARS_OPT_GATE (default
+# 10x).
 # Exits non-zero if the cached and uncached datasets ever diverge, if an
 # attached MetricsRegistry perturbs the dataset, or if telemetry costs
 # more than the gate allows.
@@ -27,7 +29,7 @@ JSON_SERVE="${SHEARS_BENCH_JSON_SERVE:-results/BENCH_serve.json}"
 cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_micro_campaign \
   bench_micro_latency_model bench_serve bench_front bench_store_scan \
-  bench_snapshot >/dev/null
+  bench_snapshot bench_opt >/dev/null
 
 rm -f "$JSON"
 echo "== burst kernel comparison (batched acceptance bar: 3x) =="
@@ -57,5 +59,10 @@ echo "== store snapshot: warm start vs campaign replay ($DAYS days) =="
 SHEARS_BENCH_DAYS="$DAYS" SHEARS_BENCH_JSON="$JSON_SERVE" \
   SHEARS_SNAPSHOT_GATE="${SHEARS_SNAPSHOT_GATE:-10}" \
   "$BUILD_DIR/bench/bench_snapshot"
+echo
+echo "== footprint optimizer: incremental scoring vs rebuild ($DAYS days) =="
+SHEARS_BENCH_DAYS="$DAYS" SHEARS_BENCH_JSON="$JSON_SERVE" \
+  SHEARS_OPT_GATE="${SHEARS_OPT_GATE:-10}" \
+  "$BUILD_DIR/bench/bench_opt"
 echo
 echo "recorded: $JSON $JSON_SERVE"

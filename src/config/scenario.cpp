@@ -46,6 +46,11 @@ const std::set<std::string>& allowed_keys() {
       "traffic.batch_overhead_us", "traffic.per_query_us",
       "snapshot.path", "snapshot.delta", "snapshot.mode", "snapshot.lazy",
       "snapshot.compact",
+      "optimizer.threshold_ms", "optimizer.max_sites",
+      "optimizer.swap_passes", "optimizer.wireless_scale",
+      "optimizer.route_scale", "optimizer.placements",
+      "optimizer.max_cities_per_country",
+      "optimizer.min_metro_population_m",
       "footprint.year", "footprint.providers",
   };
   return keys;
@@ -298,6 +303,42 @@ Scenario parse_scenario(std::istream& is) {
         "to a base snapshot)");
   }
 
+  s.optimizer.threshold_ms = ini.get_double("optimizer", "threshold_ms",
+                                            s.optimizer.threshold_ms);
+  s.optimizer.max_sites = static_cast<int>(ini.get_int(
+      "optimizer", "max_sites", static_cast<long>(s.optimizer.max_sites)));
+  s.optimizer.swap_passes = static_cast<int>(ini.get_int(
+      "optimizer", "swap_passes", static_cast<long>(s.optimizer.swap_passes)));
+  s.optimizer.wireless_scale = ini.get_double("optimizer", "wireless_scale",
+                                              s.optimizer.wireless_scale);
+  s.optimizer.route_scale =
+      ini.get_double("optimizer", "route_scale", s.optimizer.route_scale);
+  s.optimizer.placements = ini.get_list("optimizer", "placements");
+  s.optimizer.max_cities_per_country = static_cast<int>(
+      ini.get_int("optimizer", "max_cities_per_country",
+                  static_cast<long>(s.optimizer.max_cities_per_country)));
+  s.optimizer.min_metro_population_m =
+      ini.get_double("optimizer", "min_metro_population_m",
+                     s.optimizer.min_metro_population_m);
+  check_range(s.optimizer.threshold_ms > 0.0, "optimizer.threshold_ms");
+  check_range(s.optimizer.max_sites >= 0, "optimizer.max_sites");
+  check_range(s.optimizer.swap_passes >= 0, "optimizer.swap_passes");
+  check_range(s.optimizer.wireless_scale > 0.0, "optimizer.wireless_scale");
+  check_range(s.optimizer.route_scale > 0.0, "optimizer.route_scale");
+  check_range(s.optimizer.max_cities_per_country >= 0,
+              "optimizer.max_cities_per_country");
+  check_range(s.optimizer.min_metro_population_m >= 0.0,
+              "optimizer.min_metro_population_m");
+  for (const std::string& p : s.optimizer.placements) {
+    // Names match edge::to_string(EdgePlacement); literal here because
+    // config stays below the opt/edge layers (same rule as snapshot.mode).
+    if (p != "basestation" && p != "central-office" && p != "metro-pop" &&
+        p != "regional-site") {
+      throw std::runtime_error("scenario: unknown optimizer placement '" + p +
+                               "'");
+    }
+  }
+
   s.footprint_year =
       static_cast<int>(ini.get_int("footprint", "year", s.footprint_year));
   for (const std::string& name : ini.get_list("footprint", "providers")) {
@@ -411,6 +452,21 @@ std::string default_scenario_text() {
       << "  ; defer summary rebuild to first use\n"
       << "compact = " << (s.snapshot.compact ? "true" : "false")
       << "  ; fold the delta log into the base\n\n"
+      << "[optimizer]\n"
+      << "# Footprint placement search (examples/footprint_planner): pick\n"
+      << "# the edge sites that maximise population-weighted coverage at\n"
+      << "# threshold_ms; see scenarios/footprint_search.ini\n"
+      << "threshold_ms = " << s.optimizer.threshold_ms << "\n"
+      << "max_sites = " << s.optimizer.max_sites << "\n"
+      << "swap_passes = " << s.optimizer.swap_passes << "\n"
+      << "wireless_scale = " << s.optimizer.wireless_scale
+      << "  ; <1 = search under the 5G what-if\n"
+      << "route_scale = " << s.optimizer.route_scale << "\n"
+      << "# placements = metro-pop, regional-site\n"
+      << "max_cities_per_country = " << s.optimizer.max_cities_per_country
+      << "\n"
+      << "min_metro_population_m = " << s.optimizer.min_metro_population_m
+      << "\n\n"
       << "[footprint]\n"
       << "year = 0        ; 0 = full 2019/2020 footprint\n"
       << "# providers = Amazon, Google   ; default: all seven\n";

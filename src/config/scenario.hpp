@@ -57,6 +57,23 @@ struct Scenario {
     bool compact = false;  ///< fold the delta log into the base after load
   };
   SnapshotConfig snapshot{};
+  /// Footprint-optimizer knobs ([optimizer] section), consumed by the
+  /// drivers (examples/footprint_planner) that own a serve store and the
+  /// opt subsystem. Plain scalars and strings only — config does not
+  /// link opt, mirroring the snapshot section's layering.
+  struct OptimizerConfig {
+    double threshold_ms = 50.0;    ///< coverage budget (ms)
+    int max_sites = 8;             ///< site budget of the search
+    int swap_passes = 1;           ///< local-search rounds after greedy
+    double wireless_scale = 1.0;   ///< base-delta 5G knob
+    double route_scale = 1.0;      ///< base-delta routing multiplier
+    /// Placement tiers of the candidate universe (edge::EdgePlacement
+    /// names: basestation | central-office | metro-pop | regional-site).
+    std::vector<std::string> placements{};
+    int max_cities_per_country = 4;
+    double min_metro_population_m = 0.0;
+  };
+  OptimizerConfig optimizer{};
   /// Footprint snapshot year; 0 = the full campaign footprint.
   int footprint_year = 0;
   /// Provider subset; empty = all seven.

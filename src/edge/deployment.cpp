@@ -19,6 +19,20 @@ double placement_backhaul_ms(EdgePlacement p) noexcept {
   return 0.0;
 }
 
+double placement_serve_radius_km(EdgePlacement p) noexcept {
+  // A site is useful while the metro fibre to it stays small against its
+  // backhaul saving; the discs widen with placement depth like the §5
+  // economies-of-scale argument expects (few regional sites vs very many
+  // basestations).
+  switch (p) {
+    case EdgePlacement::kBasestation: return 25.0;
+    case EdgePlacement::kCentralOffice: return 60.0;
+    case EdgePlacement::kMetroPop: return 150.0;
+    case EdgePlacement::kRegionalSite: return 400.0;
+  }
+  return 0.0;
+}
+
 double edge_baseline_rtt_ms(const net::LatencyModel& model,
                             const net::Endpoint& user,
                             EdgePlacement placement) noexcept {

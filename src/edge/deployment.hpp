@@ -51,6 +51,13 @@ inline constexpr std::size_t kEdgePlacementCount = 4;
 /// scaled by the country tier like everything else).
 [[nodiscard]] double placement_backhaul_ms(EdgePlacement p) noexcept;
 
+/// Default serviceable radius (km) of one site at a placement: how far a
+/// user can sit and still be served by it over metro/regional fibre.
+/// Deeper placements serve small cells; a regional mini-datacenter covers
+/// a whole region. The footprint optimizer's candidate generator uses
+/// these as its coverage discs (overridable per candidate).
+[[nodiscard]] double placement_serve_radius_km(EdgePlacement p) noexcept;
+
 /// Expected (congestion-free) RTT from a user to an edge server at the
 /// given placement: last-mile median + placement backhaul, tier-scaled.
 [[nodiscard]] double edge_baseline_rtt_ms(const net::LatencyModel& model,

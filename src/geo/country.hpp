@@ -46,6 +46,18 @@ struct Country {
 /// Sum of `population_m` across the registry (~7.7B for the 2020 table).
 [[nodiscard]] double world_population_m() noexcept;
 
+/// Fraction of the world population living in `c`:
+/// population_m / world_population_m(). This is the per-country weight of
+/// every population-weighted objective (the footprint optimizer's
+/// coverage, digital-divide style reports) — one source of truth instead
+/// of each consumer re-deriving weights from the raw table. `c` must be
+/// a registry entry (all_countries() / find_country()).
+[[nodiscard]] double population_share(const Country& c) noexcept;
+
+/// Total population (millions) across countries of one connectivity
+/// tier — the population × connectivity-tier marginal of the registry.
+[[nodiscard]] double population_in_tier_m(ConnectivityTier tier) noexcept;
+
 /// All embedded countries, grouped by continent in a stable order. The
 /// table is the dataset, not a cache.
 [[nodiscard]] std::span<const Country> all_countries() noexcept;

@@ -234,4 +234,19 @@ double world_population_m() noexcept {
   return total;
 }
 
+double population_share(const Country& c) noexcept {
+  // The total is a pure function of the embedded table; computing it once
+  // keeps the accessor cheap enough for per-row objective loops.
+  static const double total = world_population_m();
+  return c.population_m / total;
+}
+
+double population_in_tier_m(ConnectivityTier tier) noexcept {
+  double total = 0.0;
+  for (const Country& c : kCountries) {
+    if (c.tier == tier) total += c.population_m;
+  }
+  return total;
+}
+
 }  // namespace shears::geo

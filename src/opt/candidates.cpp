@@ -1,0 +1,62 @@
+#include "opt/candidates.hpp"
+
+#include <algorithm>
+
+#include "geo/city.hpp"
+
+namespace shears::opt {
+
+std::vector<CandidateSite> generate_candidates(const CandidateConfig& config) {
+  std::vector<CandidateSite> out;
+  for (const geo::Country& country : geo::all_countries()) {
+    if (config.min_population_share > 0.0 &&
+        geo::population_share(country) < config.min_population_share) {
+      continue;
+    }
+
+    // Anchor locations: the country's biggest metros first, national hub
+    // as the fallback so small or city-less countries stay in play.
+    struct Anchor {
+      std::string_view name;
+      geo::GeoPoint where;
+    };
+    std::vector<Anchor> anchors;
+    if (config.max_cities_per_country > 0) {
+      std::vector<const geo::City*> cities = geo::cities_in(country.iso2);
+      std::stable_sort(cities.begin(), cities.end(),
+                       [](const geo::City* a, const geo::City* b) {
+                         return a->metro_population_m > b->metro_population_m;
+                       });
+      for (const geo::City* city : cities) {
+        if (city->metro_population_m < config.min_metro_population_m) continue;
+        if (anchors.size() >= config.max_cities_per_country) break;
+        anchors.push_back(Anchor{city->name, city->location});
+      }
+    }
+    if (anchors.empty() && config.include_country_hubs) {
+      anchors.push_back(Anchor{"hub", country.site});
+    }
+
+    for (const Anchor& anchor : anchors) {
+      for (edge::EdgePlacement placement : config.placements) {
+        CandidateSite site;
+        site.id = static_cast<std::uint32_t>(out.size());
+        site.label.append(edge::to_string(placement))
+            .append("@")
+            .append(country.iso2)
+            .append("/")
+            .append(anchor.name);
+        site.country = &country;
+        site.where = anchor.where;
+        site.placement = placement;
+        site.radius_km = config.radius_km > 0.0
+                             ? config.radius_km
+                             : edge::placement_serve_radius_km(placement);
+        out.push_back(std::move(site));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace shears::opt

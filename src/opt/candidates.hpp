@@ -1,0 +1,66 @@
+// Candidate-site generation for the footprint optimizer.
+//
+// The paper's shears cut *against* edge deployments: most applications
+// tolerate the cloud. The optimizer inverts the question — given that
+// some budget of edge sites will be built anyway, where do they buy the
+// most population-weighted latency coverage? The first ingredient is the
+// candidate universe: concrete (location, placement) pairs a deployment
+// could actually occupy. We derive them from the data the repo already
+// embeds — the city registry (metro population centres, where Atlas
+// probes cluster) crossed with the edge placement tiers — instead of
+// inventing a synthetic grid, so every candidate is a place a CDN or
+// telco could plausibly rack servers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edge/deployment.hpp"
+#include "geo/coordinates.hpp"
+#include "geo/country.hpp"
+
+namespace shears::opt {
+
+/// One place the footprint search may open a site.
+struct CandidateSite {
+  /// Dense [0, N) generation index — the search engine's identity and
+  /// its deterministic tie-break (ties in gain resolve to the smaller
+  /// id, i.e. the earlier candidate in generation order).
+  std::uint32_t id = 0;
+  std::string label;  ///< "metro-pop@DE/Berlin", "regional-site@KE/hub"
+  const geo::Country* country = nullptr;
+  geo::GeoPoint where{};
+  edge::EdgePlacement placement = edge::EdgePlacement::kMetroPop;
+  /// Serviceable disc of the site (km); defaults to
+  /// edge::placement_serve_radius_km(placement).
+  double radius_km = 0.0;
+};
+
+struct CandidateConfig {
+  /// Placement tiers to cross with each anchor location.
+  std::vector<edge::EdgePlacement> placements{edge::EdgePlacement::kMetroPop};
+  /// Largest-first cap on city anchors per country (0 = no cities).
+  std::size_t max_cities_per_country = 4;
+  /// Cities below this metro population (millions) are not anchors.
+  double min_metro_population_m = 0.0;
+  /// When a country contributes no city anchor, fall back to its
+  /// national hub coordinate so the country is still representable.
+  bool include_country_hubs = true;
+  /// Skip countries below this share of world population (0 = keep all).
+  double min_population_share = 0.0;
+  /// Override the serviceable radius for every candidate (0 = per
+  /// placement default).
+  double radius_km = 0.0;
+};
+
+/// Generates the candidate universe: countries in registry order; within
+/// a country, city anchors by descending metro population (stable on the
+/// city registry for equal populations), hub fallback last; each anchor
+/// crossed with `config.placements` in the given order. Ids are assigned
+/// in that exact sequence, so the universe — and therefore every
+/// deterministic tie-break downstream — is a pure function of the config.
+[[nodiscard]] std::vector<CandidateSite> generate_candidates(
+    const CandidateConfig& config = {});
+
+}  // namespace shears::opt

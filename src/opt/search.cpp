@@ -1,0 +1,323 @@
+#include "opt/search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "core/parallel.hpp"
+
+namespace shears::opt {
+
+namespace {
+constexpr float kInf = std::numeric_limits<float>::infinity();
+}  // namespace
+
+FootprintSearch::FootprintSearch(const serve::ColumnarStore* store,
+                                 std::vector<CandidateSite> candidates,
+                                 SearchConfig config, OverlayConfig overlay)
+    : evaluator_(store, overlay),
+      candidates_(std::move(candidates)),
+      config_(config) {
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    if (candidates_[i].id != i) {
+      throw std::invalid_argument(
+          "FootprintSearch: candidate ids must be their indexes");
+    }
+  }
+
+  // Reduce the objective once. Base pass: per-shard covered/uncovered
+  // counts under the delta without sites. Shards partition probes, so
+  // the per-probe uncovered counters are race-free across workers, and
+  // everything written in parallel is an integer.
+  const std::vector<serve::ColumnarStore::ShardView> shards =
+      evaluator_.store().shards();
+  const std::size_t probe_count = store->fleet().probes().size();
+  std::vector<std::uint32_t> uncovered_rows(probe_count, 0);
+  struct Counts {
+    std::uint64_t rows = 0;
+    std::uint64_t covered = 0;
+  };
+  std::vector<Counts> by_shard(shards.size());
+  const float route = static_cast<float>(config_.route_scale);
+  const std::size_t workers =
+      core::resolve_threads(config_.threads, shards.size(), 1);
+  core::parallel_shards(shards.size(), workers,
+                        [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      const serve::ColumnarStore::ShardView& shard = shards[s];
+      const float relief =
+          evaluator_.relief_for(shard, config_.wireless_scale);
+      by_shard[s].rows = shard.rtt_ms.size();
+      for (std::size_t i = 0; i < shard.rtt_ms.size(); ++i) {
+        const float v = transform_rtt(shard.rtt_ms[i], relief, route, kInf);
+        if (static_cast<double>(v) <= config_.threshold_ms) {
+          ++by_shard[s].covered;
+        } else {
+          ++uncovered_rows[shard.probe_ids[i]];
+        }
+      }
+    }
+  });
+
+  std::vector<Counts> by_country(geo::country_count());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    Counts& c = by_country[serve::country_index_of(shards[s].country)];
+    c.rows += by_shard[s].rows;
+    c.covered += by_shard[s].covered;
+  }
+  // Registry-order folds mirroring OverlayEvaluator::coverage().
+  const std::span<const geo::Country> all = geo::all_countries();
+  double weight_with_data = 0.0;
+  for (std::size_t ci = 0; ci < all.size(); ++ci) {
+    if (by_country[ci].rows > 0) {
+      weight_with_data += geo::population_share(all[ci]);
+    }
+  }
+  base_internal_ = 0.0;
+  for (std::size_t ci = 0; ci < all.size(); ++ci) {
+    if (by_country[ci].rows == 0) continue;
+    base_internal_ += geo::population_share(all[ci]) *
+                      (static_cast<double>(by_country[ci].covered) /
+                       static_cast<double>(by_country[ci].rows));
+  }
+  if (weight_with_data > 0.0) base_internal_ /= weight_with_data;
+
+  // Serving probe p within threshold converts its uncovered rows: worth
+  // weight_c / W * uncovered_p / rows_c of objective, exactly.
+  probe_value_.assign(probe_count, 0.0);
+  for (const atlas::Probe& probe : store->fleet().probes()) {
+    if (probe.privileged() || uncovered_rows[probe.id] == 0) continue;
+    const std::size_t ci = serve::country_index_of(probe.country);
+    probe_value_[probe.id] =
+        geo::population_share(*probe.country) / weight_with_data *
+        (static_cast<double>(uncovered_rows[probe.id]) /
+         static_cast<double>(by_country[ci].rows));
+  }
+
+  // Per-candidate coverage lists: the probes it would newly serve.
+  covers_.resize(candidates_.size());
+  const std::size_t cand_workers =
+      core::resolve_threads(config_.threads, candidates_.size(), 1);
+  core::parallel_shards(candidates_.size(), cand_workers,
+                        [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      const SiteSpec spec = to_spec(candidates_[c]);
+      std::vector<std::uint32_t> list;
+      for (const geo::SpatialHit& hit : evaluator_.probes_within(
+               candidates_[c].where, spec.effective_radius_km())) {
+        if (probe_value_[hit.id] <= 0.0) continue;  // nothing left to gain
+        const float edge = evaluator_.edge_rtt_ms(
+            hit.id, spec, hit.distance_km, config_.wireless_scale);
+        if (static_cast<double>(edge) <= config_.threshold_ms) {
+          list.push_back(hit.id);
+        }
+      }
+      std::sort(list.begin(), list.end());  // the fixed fold order
+      covers_[c] = std::move(list);
+    }
+  });
+}
+
+double FootprintSearch::gain_of(std::uint32_t candidate,
+                                std::span<const std::uint8_t> covered) const {
+  double gain = 0.0;
+  for (std::uint32_t p : covers_[candidate]) {
+    if (covered[p] == 0) gain += probe_value_[p];
+  }
+  return gain;
+}
+
+double FootprintSearch::internal_objective(
+    std::span<const std::uint32_t> sites) const {
+  std::vector<std::uint8_t> covered(probe_value_.size(), 0);
+  for (std::uint32_t id : sites) {
+    for (std::uint32_t p : covers_[id]) covered[p] = 1;
+  }
+  double sum = base_internal_;
+  for (std::size_t p = 0; p < covered.size(); ++p) {
+    if (covered[p] != 0) sum += probe_value_[p];
+  }
+  return sum;
+}
+
+void FootprintSearch::greedy(std::vector<std::uint32_t>& sites,
+                             std::vector<PlanStep>& steps) const {
+  // CELF: submodularity means a gain computed at an earlier round is an
+  // upper bound now, so an entry whose round-stamp is current can be
+  // selected without looking at the rest of the heap. Only candidates
+  // that float to the top get re-scored — the incremental
+  // re-evaluation the bench gate measures.
+  struct Entry {
+    double gain = 0.0;
+    std::uint32_t id = 0;
+    std::uint32_t round = 0;
+  };
+  struct Less {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.gain != b.gain) return a.gain < b.gain;
+      return a.id > b.id;  // equal gains: smaller id on top
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Less> heap;
+
+  // Initial round in parallel into dense slots; heap pushes sequential.
+  std::vector<double> initial(candidates_.size(), 0.0);
+  std::vector<std::uint8_t> covered(probe_value_.size(), 0);
+  const std::size_t workers =
+      core::resolve_threads(config_.threads, candidates_.size(), 1);
+  core::parallel_shards(candidates_.size(), workers,
+                        [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      initial[c] = gain_of(static_cast<std::uint32_t>(c), covered);
+    }
+  });
+  for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    heap.push(Entry{initial[c], static_cast<std::uint32_t>(c), 0});
+  }
+
+  std::uint32_t round = 0;
+  double objective = base_internal_;
+  while (sites.size() < config_.max_sites && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (top.round != round) {
+      top.gain = gain_of(top.id, covered);
+      top.round = round;
+      heap.push(top);
+      continue;
+    }
+    if (top.gain <= config_.min_gain) break;
+    sites.push_back(top.id);
+    objective += top.gain;
+    steps.push_back(PlanStep{top.id, top.gain, objective});
+    for (std::uint32_t p : covers_[top.id]) covered[p] = 1;
+    ++round;
+  }
+}
+
+void FootprintSearch::refine(std::vector<std::uint32_t>& sites) const {
+  if (sites.empty()) return;
+  double current = internal_objective(sites);
+  for (std::size_t pass = 0; pass < config_.swap_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t pos = 0; pos < sites.size(); ++pos) {
+      std::vector<std::uint8_t> in_set(candidates_.size(), 0);
+      for (std::uint32_t id : sites) in_set[id] = 1;
+
+      // Score every replacement for this slot in parallel; each
+      // evaluation is a pure fixed-order fold.
+      constexpr double kUnscored = -1.0;
+      std::vector<double> objective(candidates_.size(), kUnscored);
+      std::vector<std::uint32_t> trial(sites.begin(), sites.end());
+      const std::size_t workers =
+          core::resolve_threads(config_.threads, candidates_.size(), 1);
+      core::parallel_shards(
+          candidates_.size(), workers,
+          [&](std::size_t, std::size_t begin, std::size_t end) {
+            std::vector<std::uint32_t> local = trial;
+            for (std::size_t c = begin; c < end; ++c) {
+              if (in_set[c] != 0) continue;
+              local[pos] = static_cast<std::uint32_t>(c);
+              objective[c] = internal_objective(local);
+            }
+          });
+
+      std::size_t best = candidates_.size();
+      for (std::size_t c = 0; c < candidates_.size(); ++c) {
+        if (objective[c] == kUnscored) continue;
+        if (best == candidates_.size() || objective[c] > objective[best]) {
+          best = c;  // strict >: equal objectives keep the smaller id
+        }
+      }
+      if (best < candidates_.size() && objective[best] > current) {
+        sites[pos] = static_cast<std::uint32_t>(best);
+        current = objective[best];
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+FootprintPlan FootprintSearch::plan() const {
+  std::vector<std::uint32_t> sites;
+  std::vector<PlanStep> steps;
+  greedy(sites, steps);
+  refine(sites);
+  return finish(std::move(sites), std::move(steps));
+}
+
+FootprintPlan FootprintSearch::exhaustive() const {
+  if (candidates_.size() > kExhaustiveLimit) {
+    throw std::invalid_argument(
+        "FootprintSearch::exhaustive: too many candidates");
+  }
+
+  // Depth-first lexicographic enumeration with incremental coverage
+  // counts. Strict > acceptance means the first-visited maximum wins;
+  // a set is always visited before its supersets, so zero-gain sites
+  // are never part of the reported optimum.
+  struct Enumerator {
+    const FootprintSearch& search;
+    std::vector<std::uint32_t> count;    ///< covering sites per probe
+    std::vector<std::uint32_t> chosen;
+    std::vector<std::uint32_t> best_sites;
+    double best;
+
+    void visit(std::size_t from, double objective) {
+      for (std::size_t c = from; c < search.candidates_.size(); ++c) {
+        double gain = 0.0;
+        for (std::uint32_t p : search.covers_[c]) {
+          if (count[p] == 0) gain += search.probe_value_[p];
+        }
+        const double with = objective + gain;
+        chosen.push_back(static_cast<std::uint32_t>(c));
+        if (with > best) {
+          best = with;
+          best_sites = chosen;
+        }
+        if (chosen.size() < search.config_.max_sites) {
+          for (std::uint32_t p : search.covers_[c]) ++count[p];
+          visit(c + 1, with);
+          for (std::uint32_t p : search.covers_[c]) --count[p];
+        }
+        chosen.pop_back();
+      }
+    }
+  };
+  Enumerator e{*this,
+               std::vector<std::uint32_t>(probe_value_.size(), 0),
+               {},
+               {},
+               base_internal_};
+  if (config_.max_sites > 0) e.visit(0, base_internal_);
+  return finish(std::move(e.best_sites), {});
+}
+
+ScenarioDelta FootprintSearch::delta_for(
+    std::span<const std::uint32_t> sites) const {
+  ScenarioDelta delta;
+  delta.wireless_scale = config_.wireless_scale;
+  delta.route_scale = config_.route_scale;
+  for (std::uint32_t id : sites) {
+    delta.sites.push_back(to_spec(candidates_.at(id)));
+  }
+  return delta;
+}
+
+FootprintPlan FootprintSearch::finish(std::vector<std::uint32_t> sites,
+                                      std::vector<PlanStep> steps) const {
+  FootprintPlan plan;
+  plan.sites = std::move(sites);
+  plan.steps = std::move(steps);
+  plan.coverage =
+      evaluator_.coverage(delta_for(plan.sites), config_.threshold_ms);
+  plan.objective = plan.coverage.weighted_fraction;
+  plan.base_objective =
+      evaluator_.coverage(delta_for({}), config_.threshold_ms)
+          .weighted_fraction;
+  return plan;
+}
+
+}  // namespace shears::opt

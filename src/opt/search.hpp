@@ -1,0 +1,150 @@
+// Footprint search: pick the edge sites that buy the most
+// population-weighted latency coverage.
+//
+// Objective. For a candidate set S, f(S) is the coverage report's
+// weighted fraction: per country, the share of its stored samples whose
+// transformed RTT (base delta + best edge over S) meets the threshold,
+// weighted by population share. Because a row is covered iff its base
+// transform meets the threshold OR some selected site serves its probe
+// within budget, f is a weighted set-coverage function over probes:
+// monotone and submodular. That is what licenses the lazy-greedy
+// engine — marginal gains only shrink as S grows, so a stale heap
+// entry is always an upper bound — and gives the classic (1 - 1/e)
+// guarantee, which the test suite pins empirically against the
+// exhaustive optimum on small instances.
+//
+// Incremental model. The constructor reduces the problem exactly once:
+// per-probe uncovered-row counts under the base delta, per-candidate
+// lists of probes the candidate newly serves within threshold, and a
+// per-probe scalar value (its country's population weight times its
+// share of the country's rows). A marginal gain is then a short pure
+// fold over one candidate's list — no store scan, no overlay rebuild —
+// which is what the bench gate's >= 10x speedup over per-candidate
+// store rebuilds measures. The reduction is exact in coverage counts:
+// plan objectives are re-reported through a fresh
+// OverlayEvaluator::coverage() fold, so the numbers in a plan are
+// bit-identical to evaluating the chosen delta from scratch.
+//
+// Determinism. Candidate scoring fans out with core/parallel.hpp into
+// dense per-candidate slots; every fold that mixes floats runs
+// sequentially on the calling thread in a fixed order (probe id, then
+// candidate id), and ties break to the smaller candidate id. Chosen
+// sites, steps, and coverage reports are byte-identical for any thread
+// count — the opt test suite pins 1 vs 8.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "opt/candidates.hpp"
+#include "opt/overlay.hpp"
+
+namespace shears::opt {
+
+struct SearchConfig {
+  /// A sample is covered when its transformed RTT is <= this (ms).
+  double threshold_ms = 50.0;
+  /// Site budget (the k of the coverage maximisation).
+  std::size_t max_sites = 8;
+  /// Stop early once the best marginal gain drops to or below this.
+  double min_gain = 0.0;
+  /// Local-search passes after greedy (0 = plain greedy).
+  std::size_t swap_passes = 1;
+  /// Base-delta knobs the search optimises under (see ScenarioDelta).
+  double wireless_scale = 1.0;
+  double route_scale = 1.0;
+  /// Worker threads for candidate scoring (0 = hardware concurrency).
+  /// Plans are byte-identical for any value.
+  std::size_t threads = 0;
+};
+
+struct PlanStep {
+  std::uint32_t candidate = 0;
+  /// Marginal objective gain when selected (internal model).
+  double gain = 0.0;
+  /// Internal objective after the step.
+  double objective = 0.0;
+
+  friend bool operator==(const PlanStep&, const PlanStep&) = default;
+};
+
+struct FootprintPlan {
+  /// Chosen candidate ids in selection order (exhaustive: ascending).
+  std::vector<std::uint32_t> sites;
+  /// Greedy selection trace (empty for exhaustive plans).
+  std::vector<PlanStep> steps;
+  /// Weighted coverage of the base delta without any site, from a fresh
+  /// evaluator fold.
+  double base_objective = 0.0;
+  /// Weighted coverage of the final footprint, from a fresh fold —
+  /// bit-identical to OverlayEvaluator::coverage() of delta_for(sites).
+  double objective = 0.0;
+  CoverageReport coverage;
+
+  friend bool operator==(const FootprintPlan&, const FootprintPlan&) = default;
+};
+
+class FootprintSearch {
+ public:
+  /// `store` must be fresh() and outlive the search. Candidate ids must
+  /// be their indexes (generate_candidates output qualifies).
+  FootprintSearch(const serve::ColumnarStore* store,
+                  std::vector<CandidateSite> candidates,
+                  SearchConfig config = {}, OverlayConfig overlay = {});
+
+  /// Lazy-greedy (CELF) selection, then `swap_passes` rounds of local
+  /// search (replace one chosen site by one unchosen candidate while it
+  /// strictly improves the objective).
+  [[nodiscard]] FootprintPlan plan() const;
+
+  /// Exact optimum by subset enumeration; ties resolve to the first
+  /// maximum in depth-first lexicographic order (a set is visited before
+  /// its supersets, so zero-gain sites never pad the optimum). Throws
+  /// std::invalid_argument above kExhaustiveLimit candidates.
+  [[nodiscard]] FootprintPlan exhaustive() const;
+  static constexpr std::size_t kExhaustiveLimit = 24;
+
+  /// The delta a chosen footprint denotes (base knobs + those sites).
+  [[nodiscard]] ScenarioDelta delta_for(
+      std::span<const std::uint32_t> sites) const;
+
+  [[nodiscard]] const std::vector<CandidateSite>& candidates() const noexcept {
+    return candidates_;
+  }
+  [[nodiscard]] const OverlayEvaluator& evaluator() const noexcept {
+    return evaluator_;
+  }
+  [[nodiscard]] const SearchConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Marginal internal gain of a candidate against a covered-probe mask.
+  [[nodiscard]] double gain_of(std::uint32_t candidate,
+                               std::span<const std::uint8_t> covered) const;
+  /// Internal objective of a full candidate set (fixed-order fold).
+  [[nodiscard]] double internal_objective(
+      std::span<const std::uint32_t> sites) const;
+  /// Greedy selection (no swaps); fills sites + steps.
+  void greedy(std::vector<std::uint32_t>& sites,
+              std::vector<PlanStep>& steps) const;
+  /// Local-search swap refinement in place.
+  void refine(std::vector<std::uint32_t>& sites) const;
+  /// Fresh-fold plan assembly for a chosen site list.
+  [[nodiscard]] FootprintPlan finish(std::vector<std::uint32_t> sites,
+                                     std::vector<PlanStep> steps) const;
+
+  OverlayEvaluator evaluator_;
+  std::vector<CandidateSite> candidates_;
+  SearchConfig config_;
+
+  /// Internal model, reduced once at construction:
+  /// f(S) = base_internal_ + sum of probe_value_ over probes served
+  /// within threshold by S.
+  double base_internal_ = 0.0;
+  std::vector<double> probe_value_;  ///< by probe id; 0 when nothing to gain
+  /// Per candidate: probe ids it serves within threshold that still have
+  /// uncovered rows, ascending (the fixed fold order).
+  std::vector<std::vector<std::uint32_t>> covers_;
+};
+
+}  // namespace shears::opt

@@ -118,39 +118,60 @@ const geo::Country* Oracle::resolve_country(const Query& q) const {
 }
 
 std::span<const RegionStats> Oracle::stats_in_scope(
-    const Query& q, const geo::Country* country) const {
+    const Query& q, const geo::Country* country,
+    const SummaryOverlay* overlay) const {
   const std::size_t index = country_index_of(country);
+  if (overlay != nullptr) {
+    const auto substituted = overlay->stats(
+        index, q.any_access ? std::nullopt
+                            : std::optional<net::AccessTechnology>(q.access));
+    if (substituted.has_value()) return *substituted;
+  }
   return q.any_access ? store_->country_stats(index)
                       : store_->shard_stats(index, q.access);
 }
 
-void Oracle::answer_into(const Query& query, Answer& out) const {
+void Oracle::answer_into(const Query& query, Answer& out,
+                         const SummaryOverlay* overlay) const {
   const geo::Country* country = resolve_country(query);
   std::span<const RegionStats> stats;
-  if (country != nullptr) stats = stats_in_scope(query, country);
+  if (country != nullptr) stats = stats_in_scope(query, country, overlay);
   detail::answer_from_stats(query, country, stats, store_->registry(),
                             config_.feasibility, out);
 }
 
 void Oracle::answer(std::span<const Query> queries,
                     std::span<Answer> out) const {
-  if (try_answer(queries, out) == BatchStatus::kStale) {
+  answer(queries, out, nullptr);
+}
+
+void Oracle::answer(std::span<const Query> queries, std::span<Answer> out,
+                    const SummaryOverlay* overlay) const {
+  if (try_answer(queries, out, overlay) == BatchStatus::kStale) {
     throw std::logic_error(
         "Oracle::answer: store has unrefreshed appends (call refresh())");
   }
 }
 
+bool Oracle::ensure_fresh() const {
+  if (store_->fresh()) return true;
+  if (!config_.auto_refresh || mutable_store_ == nullptr) return false;
+  mutable_store_->refresh();
+  return true;
+}
+
 BatchStatus Oracle::try_answer(std::span<const Query> queries,
                                std::span<Answer> out) const {
+  return try_answer(queries, out, nullptr);
+}
+
+BatchStatus Oracle::try_answer(std::span<const Query> queries,
+                               std::span<Answer> out,
+                               const SummaryOverlay* overlay) const {
   if (queries.size() != out.size()) {
     throw std::invalid_argument("Oracle::answer: out.size() != queries.size()");
   }
-  if (!store_->fresh()) {
-    if (!config_.auto_refresh || mutable_store_ == nullptr) {
-      return BatchStatus::kStale;
-    }
-    mutable_store_->refresh();
-  }
+  if (!ensure_fresh()) return BatchStatus::kStale;
   const auto start = std::chrono::steady_clock::now();
 
   // A query costs ~1-2us; a worker fork/join costs tens of us. The old
@@ -164,7 +185,7 @@ BatchStatus Oracle::try_answer(std::span<const Query> queries,
   core::parallel_shards(queries.size(), shards,
                         [&](std::size_t, std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      answer_into(queries[i], out[i]);
+      answer_into(queries[i], out[i], overlay);
     }
   });
 
@@ -197,6 +218,63 @@ Answer Oracle::answer_one(const Query& query) const {
   Answer out;
   answer(std::span<const Query>(&query, 1), std::span<Answer>(&out, 1));
   return out;
+}
+
+CoverageResult Oracle::weighted_coverage(std::span<const Query> queries,
+                                         double budget_ms,
+                                         std::span<const double> weights,
+                                         const SummaryOverlay* overlay) const {
+  if (!weights.empty() && weights.size() != queries.size()) {
+    throw std::invalid_argument(
+        "Oracle::weighted_coverage: weights.size() != queries.size()");
+  }
+  if (!ensure_fresh()) {
+    throw std::logic_error(
+        "Oracle::weighted_coverage: store has unrefreshed appends");
+  }
+
+  // Per-query pooled counts, computed independently into a dense vector.
+  // Counts are integers (rank of budget_ms in each cell's sorted sample),
+  // so no arithmetic here can depend on evaluation order.
+  struct Counts {
+    std::uint64_t covered = 0;
+    std::uint64_t total = 0;
+  };
+  std::vector<Counts> counts(queries.size());
+  constexpr std::size_t kMinQueriesPerShard = 512;
+  const std::size_t shards = core::resolve_threads(
+      config_.threads, queries.size(), kMinQueriesPerShard);
+  core::parallel_shards(queries.size(), shards,
+                        [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const geo::Country* country = resolve_country(queries[i]);
+      if (country == nullptr) continue;
+      for (const RegionStats& cell :
+           stats_in_scope(queries[i], country, overlay)) {
+        if (cell.empty()) continue;
+        const std::vector<double>& samples = cell.ecdf.sorted();
+        counts[i].total += samples.size();
+        counts[i].covered += static_cast<std::uint64_t>(
+            std::upper_bound(samples.begin(), samples.end(), budget_ms) -
+            samples.begin());
+      }
+    }
+  });
+
+  // The weighted fold runs sequentially in query order on the calling
+  // thread — the one float accumulation, and it never crosses a thread
+  // boundary, so the result is byte-identical for any thread count.
+  CoverageResult result;
+  result.queries = queries.size();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (counts[i].total == 0) continue;
+    const double w = weights.empty() ? 1.0 : weights[i];
+    ++result.answered;
+    result.answered_weight += w;
+    result.covered_weight += w * (static_cast<double>(counts[i].covered) /
+                                  static_cast<double>(counts[i].total));
+  }
+  return result;
 }
 
 std::vector<geo::SpatialHit> Oracle::nearest_regions(

@@ -24,6 +24,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -118,6 +119,48 @@ struct OracleConfig {
 /// store (or build the oracle with auto_refresh) and ask again.
 enum class BatchStatus : unsigned char { kOk, kStale };
 
+/// What-if overlay seam: a scenario delta (new edge sites, 5G wireless
+/// scaling, a routing change) substitutes the summary tables of exactly
+/// the scopes it changes, and the oracle answers from base summaries plus
+/// the overlay — the store is never rebuilt. Implementations (the
+/// optimizer's opt::OverlayEvaluator is the heaviest client) must return
+/// tables with the store's own shape — dense by region index — built from
+/// the same Ecdf machinery, so an overlay-answered batch is bit-exact to
+/// one answered over a store rebuilt with the delta applied (the `opt`
+/// differential suite pins this).
+class SummaryOverlay {
+ public:
+  virtual ~SummaryOverlay() = default;
+
+  /// Replacement per-region summary table for one scope: a country's
+  /// all-access rollup (access == nullopt) or a (country, access) shard.
+  /// Return nullopt to fall through to the base store (the common case —
+  /// a delta touches few scopes). Spans must stay valid for the lifetime
+  /// of the overlay object.
+  [[nodiscard]] virtual std::optional<std::span<const RegionStats>> stats(
+      std::size_t country_index,
+      std::optional<net::AccessTechnology> access) const = 0;
+};
+
+/// Result of a weighted coverage fan-out (see Oracle::weighted_coverage).
+struct CoverageResult {
+  /// Σ weight over queries that resolved to a country with data in scope.
+  double answered_weight = 0.0;
+  /// Σ weight[i] * covered_fraction[i]: each query contributes the
+  /// fraction of its scope's pooled samples at or below the budget.
+  double covered_weight = 0.0;
+  std::uint64_t answered = 0;  ///< queries that resolved
+  std::uint64_t queries = 0;
+
+  /// Weighted covered fraction over the answered queries (0 when none).
+  [[nodiscard]] double fraction() const noexcept {
+    return answered_weight > 0.0 ? covered_weight / answered_weight : 0.0;
+  }
+
+  friend bool operator==(const CoverageResult&, const CoverageResult&) =
+      default;
+};
+
 class Oracle {
  public:
   /// `store` must be refresh()ed and outlive the oracle. Builds the
@@ -147,6 +190,30 @@ class Oracle {
 
   [[nodiscard]] Answer answer_one(const Query& query) const;
 
+  /// What-if variants: identical to answer()/try_answer() except that
+  /// scopes the overlay substitutes are answered from its tables instead
+  /// of the base store's. nullptr behaves exactly like the plain batch.
+  void answer(std::span<const Query> queries, std::span<Answer> out,
+              const SummaryOverlay* overlay) const;
+  [[nodiscard]] BatchStatus try_answer(std::span<const Query> queries,
+                                       std::span<Answer> out,
+                                       const SummaryOverlay* overlay) const;
+
+  /// Population-weighted coverage in one fan-out: for each query, the
+  /// fraction of its scope's pooled samples (all regions merged) at or
+  /// below `budget_ms`, folded as Σ weight·fraction / Σ weight over the
+  /// queries that resolved to data. Empty `weights` means all 1.0;
+  /// otherwise weights.size() must equal queries.size(). Per-query counts
+  /// are integers computed independently, and the weighted fold runs
+  /// sequentially on the calling thread in query order — the result is
+  /// byte-identical for any thread count. Query kinds are ignored; only
+  /// the scope fields (where/country_iso2/access/any_access) matter.
+  /// Throws std::logic_error on a stale store (unless auto_refresh).
+  [[nodiscard]] CoverageResult weighted_coverage(
+      std::span<const Query> queries, double budget_ms,
+      std::span<const double> weights = {},
+      const SummaryOverlay* overlay = nullptr) const;
+
   /// Geodesic region lookups over the footprint's spatial index — the
   /// "where is the nearest datacenter" side of the serving surface.
   [[nodiscard]] std::vector<geo::SpatialHit> nearest_regions(
@@ -166,12 +233,19 @@ class Oracle {
   void attach_metrics(obs::MetricsRegistry* metrics);
 
  private:
-  void answer_into(const Query& query, Answer& out) const;
+  void answer_into(const Query& query, Answer& out,
+                   const SummaryOverlay* overlay) const;
   /// Country of the query, resolved via iso2 or the spatial index;
   /// nullptr when unresolvable.
   [[nodiscard]] const geo::Country* resolve_country(const Query& q) const;
+  /// Summary table for the query's scope: the overlay's substitution if
+  /// it has one, the base store's otherwise.
   [[nodiscard]] std::span<const RegionStats> stats_in_scope(
-      const Query& q, const geo::Country* country) const;
+      const Query& q, const geo::Country* country,
+      const SummaryOverlay* overlay) const;
+  /// Shared staleness guard: refreshes via auto_refresh when possible,
+  /// returns false when the batch must report kStale.
+  [[nodiscard]] bool ensure_fresh() const;
 
   const ColumnarStore* store_;
   /// Set only by the mutable-store constructor; enables auto_refresh.

@@ -61,6 +61,9 @@
 #include "net/tcp.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "opt/candidates.hpp"
+#include "opt/overlay.hpp"
+#include "opt/search.hpp"
 #include "report/plot.hpp"
 #include "report/resilience.hpp"
 #include "report/svg.hpp"

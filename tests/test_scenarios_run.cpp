@@ -15,7 +15,10 @@
 #include "faults/fault_schedule.hpp"
 #include "front/server.hpp"
 #include "front/traffic.hpp"
+#include "edge/deployment.hpp"
 #include "net/latency_model.hpp"
+#include "opt/candidates.hpp"
+#include "opt/search.hpp"
 #include "serve/columnar.hpp"
 #include "serve/oracle.hpp"
 #include "topology/registry.hpp"
@@ -115,6 +118,48 @@ TEST(ScenarioRun, ServingPeakLoadDrivesFrontEnd) {
   EXPECT_EQ(report.server.decode_errors, 0u);
 }
 
+// The optimizer scenario's [optimizer] section must drive an actual
+// footprint search over the store built from its own campaign — the
+// planner pipeline end to end at smoke size.
+TEST(ScenarioRun, FootprintSearchDrivesOptimizer) {
+  Scenario s = load_scenario("footprint_search.ini");
+  s.fleet.probe_count = 256;
+  s.campaign.duration_days = 1;
+
+  const topology::CloudRegistry registry = s.make_registry();
+  const atlas::ProbeFleet fleet = atlas::ProbeFleet::generate(s.fleet);
+  const net::LatencyModel model(s.model);
+  const atlas::Campaign campaign(fleet, registry, model, s.campaign, nullptr);
+  const atlas::MeasurementDataset dataset = campaign.run();
+  serve::ColumnarStore store =
+      serve::ColumnarStore::build(dataset, serve::StoreConfig{});
+
+  opt::CandidateConfig candidates;
+  candidates.placements.clear();
+  for (const std::string& name : s.optimizer.placements) {
+    if (name == "regional-site") {
+      candidates.placements.push_back(edge::EdgePlacement::kRegionalSite);
+    } else {
+      candidates.placements.push_back(edge::EdgePlacement::kMetroPop);
+    }
+  }
+  candidates.max_cities_per_country =
+      static_cast<std::size_t>(s.optimizer.max_cities_per_country);
+  candidates.min_metro_population_m = s.optimizer.min_metro_population_m;
+
+  opt::SearchConfig search;
+  search.threshold_ms = s.optimizer.threshold_ms;
+  search.max_sites = static_cast<std::size_t>(s.optimizer.max_sites);
+  search.swap_passes = static_cast<std::size_t>(s.optimizer.swap_passes);
+  const opt::FootprintSearch optimizer(
+      &store, opt::generate_candidates(candidates), search);
+  const opt::FootprintPlan plan = optimizer.plan();
+
+  EXPECT_LE(plan.sites.size(), search.max_sites);
+  EXPECT_GE(plan.objective, plan.base_objective);
+  EXPECT_FALSE(plan.coverage.countries.empty());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllShippedScenarios, ScenarioRun,
                          testing::Values("paper_9_months.ini",
                                          "five_g_delivers.ini",
@@ -122,7 +167,8 @@ INSTANTIATE_TEST_SUITE_P(AllShippedScenarios, ScenarioRun,
                                          "hyperscalers_only.ini",
                                          "stress_noisy_network.ini",
                                          "faulted_9_months.ini",
-                                         "serving_peak_load.ini"),
+                                         "serving_peak_load.ini",
+                                         "footprint_search.ini"),
                          [](const testing::TestParamInfo<const char*>& info) {
                            std::string name = info.param;
                            return name.substr(0, name.find('.'));
